@@ -1,0 +1,108 @@
+// Benchmarks: one testing.B target per table and figure of the paper's
+// evaluation (run with `go test -bench=. -benchmem`). Each executes the
+// corresponding internal/bench experiment at reduced scale and reports
+// simulated GRW steps per wall-second as steps/s; `cmd/benchfig` runs the
+// same experiments at full scale with the paper-comparison columns.
+package ridgewalker_test
+
+import (
+	"io"
+	"runtime"
+	"testing"
+
+	"ridgewalker"
+	"ridgewalker/internal/bench"
+)
+
+// benchOptions keeps individual iterations around a second.
+func benchOptions() bench.Options {
+	return bench.Options{Shrink: 6, Queries: 300, WalkLength: 40, Seed: 42}
+}
+
+// runExperiment is the shared driver for the per-figure benchmarks.
+func runExperiment(b *testing.B, id string) {
+	b.Helper()
+	e, err := bench.ByID(id)
+	if err != nil {
+		b.Fatal(err)
+	}
+	c := bench.NewContext(benchOptions())
+	// Warm the graph cache outside the timed region.
+	if _, err := c.Twin("WG"); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if err := e.Run(c, io.Discard); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+func BenchmarkFig3a(b *testing.B)  { runExperiment(b, "fig3a") }
+func BenchmarkFig8a(b *testing.B)  { runExperiment(b, "fig8a") }
+func BenchmarkFig8b(b *testing.B)  { runExperiment(b, "fig8b") }
+func BenchmarkFig8c(b *testing.B)  { runExperiment(b, "fig8c") }
+func BenchmarkFig8d(b *testing.B)  { runExperiment(b, "fig8d") }
+func BenchmarkFig9a(b *testing.B)  { runExperiment(b, "fig9a") }
+func BenchmarkFig9b(b *testing.B)  { runExperiment(b, "fig9b") }
+func BenchmarkFig9c(b *testing.B)  { runExperiment(b, "fig9c") }
+func BenchmarkFig9d(b *testing.B)  { runExperiment(b, "fig9d") }
+func BenchmarkFig10(b *testing.B)  { runExperiment(b, "fig10") }
+func BenchmarkFig11(b *testing.B)  { runExperiment(b, "fig11") }
+func BenchmarkTable3(b *testing.B) { runExperiment(b, "tab3") }
+func BenchmarkTable4(b *testing.B) { runExperiment(b, "tab4") }
+func BenchmarkObs2(b *testing.B)   { runExperiment(b, "obs2") }
+func BenchmarkMicro(b *testing.B)  { runExperiment(b, "micro") }
+
+// BenchmarkSimulatorThroughput measures the cycle-level simulator itself:
+// simulated GRW steps per wall-clock second for the full U55C model.
+func BenchmarkSimulatorThroughput(b *testing.B) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Balanced(12, 8, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 40
+	qs, err := ridgewalker.RandomQueries(g, cfg, 2000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st, err := ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{
+			Walk: cfg, DiscardPaths: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += st.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simsteps/s")
+}
+
+// BenchmarkSoftwareEngine measures the multi-core CPU engine (the
+// ThunderRW-style path applications can use directly).
+func BenchmarkSoftwareEngine(b *testing.B) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Balanced(14, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 80
+	qs, err := ridgewalker.RandomQueries(g, cfg, 5000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err := ridgewalker.WalkParallel(g, qs, cfg, runtime.GOMAXPROCS(0))
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += res.Steps
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+}

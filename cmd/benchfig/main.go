@@ -1,0 +1,58 @@
+// Command benchfig regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	benchfig [-shrink N] [-queries N] [-len N] [-seed N] all | <id>...
+//
+// Experiment ids: fig3a fig8a fig8b fig8c fig8d fig9a fig9b fig9c fig9d
+// fig10 fig11 tab3 tab4 obs2 micro. See DESIGN.md §4 for the index.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"ridgewalker/internal/bench"
+)
+
+func main() {
+	shrink := flag.Int("shrink", 3, "scale levels to shrink dataset twins by (0 = DESIGN.md sizes)")
+	queries := flag.Int("queries", 2500, "queries per experiment run")
+	length := flag.Int("len", 80, "maximum walk length")
+	seed := flag.Uint64("seed", 42, "random seed")
+	flag.Parse()
+	args := flag.Args()
+	if len(args) == 0 {
+		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] all | <experiment-id>...")
+		for _, e := range bench.All() {
+			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
+		}
+		os.Exit(2)
+	}
+	var exps []bench.Experiment
+	if len(args) == 1 && args[0] == "all" {
+		exps = bench.All()
+	} else {
+		for _, id := range args {
+			e, err := bench.ByID(id)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				os.Exit(2)
+			}
+			exps = append(exps, e)
+		}
+	}
+	c := bench.NewContext(bench.Options{
+		Shrink: *shrink, Queries: *queries, WalkLength: *length, Seed: *seed,
+	})
+	for _, e := range exps {
+		start := time.Now()
+		if err := e.Run(c, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", e.ID, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s completed in %v]\n", e.ID, time.Since(start).Round(time.Millisecond))
+	}
+}

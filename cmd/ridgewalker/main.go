@@ -1,0 +1,180 @@
+// Command ridgewalker runs graph random walks on the cycle-level
+// RidgeWalker accelerator model or the multi-core software engine.
+//
+// Usage:
+//
+//	ridgewalker -graph WG -alg urw -queries 2000 -len 80
+//	ridgewalker -graph rmat:14,8,graph500 -alg ppr -platform U250
+//	ridgewalker -graph /path/to/graph.rwg -alg node2vec -engine cpu
+//
+// The -graph argument accepts a dataset twin name (WG, CP, AS, LJ, AB, UK),
+// an inline RMAT spec "rmat:scale,edgefactor[,balanced|graph500]", or a
+// path to a binary graph written by graphgen.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"time"
+
+	"ridgewalker"
+)
+
+func main() {
+	if err := run(); err != nil {
+		fmt.Fprintln(os.Stderr, "ridgewalker:", err)
+		os.Exit(1)
+	}
+}
+
+func run() error {
+	graphSpec := flag.String("graph", "WG", "dataset twin name, rmat:scale,ef[,kind], or .rwg path")
+	algName := flag.String("alg", "urw", "urw | ppr | deepwalk | node2vec | metapath")
+	queries := flag.Int("queries", 2000, "number of walk queries")
+	length := flag.Int("len", 80, "maximum walk length")
+	platform := flag.String("platform", "U55C", "U55C | U50 | U280 | U250 | VCK5000")
+	engine := flag.String("engine", "sim", "sim (accelerator model) | cpu (software engine)")
+	alpha := flag.Float64("alpha", 0.2, "PPR teleport probability")
+	p := flag.Float64("p", 2, "Node2Vec return parameter")
+	q := flag.Float64("q", 0.5, "Node2Vec in-out parameter")
+	shrink := flag.Int("shrink", 3, "scale levels to shrink dataset twins by")
+	seed := flag.Uint64("seed", 1, "random seed")
+	pathsOut := flag.String("paths", "", "write one walk per line to this file")
+	noAsync := flag.Bool("no-async", false, "disable the asynchronous access engine (ablation)")
+	noSched := flag.Bool("no-sched", false, "disable the zero-bubble scheduler (ablation)")
+	flag.Parse()
+
+	alg, err := parseAlg(*algName)
+	if err != nil {
+		return err
+	}
+	g, err := loadGraph(*graphSpec, *shrink, *seed)
+	if err != nil {
+		return err
+	}
+	cfg := ridgewalker.DefaultWalkConfig(alg)
+	cfg.WalkLength = *length
+	cfg.Alpha = *alpha
+	cfg.P, cfg.Q = *p, *q
+	cfg.Seed = *seed
+	if alg == ridgewalker.DeepWalk || alg == ridgewalker.MetaPath {
+		g.AttachWeights()
+	}
+	if alg == ridgewalker.MetaPath {
+		g.AttachLabels(3)
+	}
+	qs, err := ridgewalker.RandomQueries(g, cfg, *queries, *seed^0xfeed)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s; %d queries × len %d\n",
+		g.NumVertices, g.NumEdges(), alg, len(qs), *length)
+
+	var res *ridgewalker.Result
+	start := time.Now()
+	switch *engine {
+	case "cpu":
+		res, err = ridgewalker.WalkParallel(g, qs, cfg, runtime.GOMAXPROCS(0))
+		if err != nil {
+			return err
+		}
+		el := time.Since(start)
+		fmt.Printf("cpu engine: %d steps in %v (%.1f MStep/s wall)\n",
+			res.Steps, el.Round(time.Millisecond), float64(res.Steps)/el.Seconds()/1e6)
+	case "sim":
+		plat, err := ridgewalker.PlatformByName(*platform)
+		if err != nil {
+			return err
+		}
+		var stats *ridgewalker.SimStats
+		res, stats, err = ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{
+			Platform: plat, Walk: cfg,
+			DisableAsync: *noAsync, DisableDynamicSched: *noSched,
+		})
+		if err != nil {
+			return err
+		}
+		fmt.Printf("simulated %s: %d steps in %d cycles (%.3f ms at %v MHz)\n",
+			plat.Name, stats.Steps, stats.Cycles, 1e3*stats.Seconds(), plat.CoreMHz)
+		fmt.Printf("throughput: %.0f MStep/s  effective bw: %.2f GB/s  Eq.(1) utilization: %.0f%%\n",
+			stats.ThroughputMSteps(), stats.EffectiveBandwidthGBs(), 100*stats.Eq1Utilization())
+		fmt.Printf("wall time: %v  (simulation, not hardware)\n", time.Since(start).Round(time.Millisecond))
+	default:
+		return fmt.Errorf("unknown engine %q", *engine)
+	}
+	if *pathsOut != "" {
+		f, err := os.Create(*pathsOut)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		for _, path := range res.Paths {
+			for i, v := range path {
+				if i > 0 {
+					fmt.Fprint(f, " ")
+				}
+				fmt.Fprint(f, v)
+			}
+			fmt.Fprintln(f)
+		}
+		fmt.Printf("wrote %d walks to %s\n", len(res.Paths), *pathsOut)
+	}
+	return nil
+}
+
+func parseAlg(s string) (ridgewalker.Algorithm, error) {
+	switch strings.ToLower(s) {
+	case "urw":
+		return ridgewalker.URW, nil
+	case "ppr":
+		return ridgewalker.PPR, nil
+	case "deepwalk":
+		return ridgewalker.DeepWalk, nil
+	case "node2vec":
+		return ridgewalker.Node2Vec, nil
+	case "metapath":
+		return ridgewalker.MetaPath, nil
+	}
+	return 0, fmt.Errorf("unknown algorithm %q", s)
+}
+
+func loadGraph(spec string, shrink int, seed uint64) (*ridgewalker.Graph, error) {
+	if strings.HasPrefix(spec, "rmat:") {
+		parts := strings.Split(strings.TrimPrefix(spec, "rmat:"), ",")
+		if len(parts) < 2 {
+			return nil, fmt.Errorf("rmat spec needs scale,edgefactor[,kind]")
+		}
+		scale, err := strconv.Atoi(parts[0])
+		if err != nil {
+			return nil, err
+		}
+		ef, err := strconv.Atoi(parts[1])
+		if err != nil {
+			return nil, err
+		}
+		kind := "balanced"
+		if len(parts) > 2 {
+			kind = parts[2]
+		}
+		switch kind {
+		case "balanced":
+			return ridgewalker.GenerateRMAT(ridgewalker.Balanced(scale, ef, seed))
+		case "graph500":
+			return ridgewalker.GenerateRMAT(ridgewalker.Graph500(scale, ef, seed))
+		default:
+			return nil, fmt.Errorf("unknown rmat kind %q", kind)
+		}
+	}
+	if ds, err := ridgewalker.DatasetByName(spec); err == nil {
+		ds.Scale -= shrink
+		if ds.Scale < 8 {
+			ds.Scale = 8
+		}
+		return ds.Generate(seed)
+	}
+	return ridgewalker.LoadGraph(spec)
+}

@@ -1,0 +1,227 @@
+package baselines
+
+import (
+	"testing"
+
+	"ridgewalker/internal/core"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+// sinkyGraph is a directed graph with dangling vertices, producing the
+// variable walk lengths every baseline's weakness feeds on.
+func sinkyGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.RMATConfig{
+		Scale: 11, EdgeFactor: 8, A: 0.5, B: 0.2, C: 0.2, D: 0.1,
+		Directed: true, Seed: 19,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func smallPlat() hbm.Platform {
+	p := hbm.U250 // 4 channels, 2 pipelines: fast to simulate
+	return p
+}
+
+func TestLightRWSlowerThanRidgeWalker(t *testing.T) {
+	g := sinkyGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 40, Seed: 3}
+	qs, err := walk.RandomQueries(g, w, 600, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lr, _, err := RunLightRW(g, qs, w, smallPlat())
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(smallPlat(), w)
+	cfg.RecordPaths = false
+	a, err := core.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := a.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ratio := st.ThroughputMSteps() / lr.ThroughputMSteps
+	// Fig. 8c/8d: RidgeWalker beats LightRW by 1.1×–1.7×.
+	if ratio < 1.02 {
+		t.Fatalf("RidgeWalker/LightRW = %.2f, want > 1", ratio)
+	}
+	if ratio > 5 {
+		t.Fatalf("RidgeWalker/LightRW = %.2f, implausibly large (paper: 1.1–1.7)", ratio)
+	}
+}
+
+func TestSuEtAlMuchSlowerThanRidgeWalker(t *testing.T) {
+	g := sinkyGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 40, Seed: 7}
+	qs, err := walk.RandomQueries(g, w, 400, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Shrink the platform to 8 channels (4 pipelines) on both sides to
+	// keep the test fast.
+	plat := hbm.U280
+	plat.Channels = 8
+	su, _, err := RunSuEtAl(g, qs, w, plat)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := core.DefaultConfig(plat, w)
+	cfg.RecordPaths = false
+	a, err := core.New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, st, err := a.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Fig. 8b: ~9–10× on the full 32-channel U280; with 4 pipelines on the
+	// RidgeWalker side and the full baseline the gap narrows, but must stay
+	// well above 2×.
+	if ratio := st.ThroughputMSteps() / su.ThroughputMSteps; ratio < 2 {
+		t.Fatalf("RidgeWalker/SuEtAl = %.2f, want > 2", ratio)
+	}
+}
+
+func TestFastRWCacheCliff(t *testing.T) {
+	// Fig. 3a: FastRW holds up while the graph fits on-chip and collapses
+	// beyond it.
+	small := graph.SmallTestGraph()
+	big := sinkyGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 30, Seed: 11}
+
+	qsSmall, _ := walk.RandomQueries(small, w, 200, 1)
+	qsBig, _ := walk.RandomQueries(big, w, 200, 1)
+
+	cfg := DefaultFastRW()
+	rSmall, err := RunFastRW(small, qsSmall, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Force the big graph far out of cache reach via the working-set
+	// override (the scale-11 twin is small in absolute terms).
+	cfg.WorkingSetBytes = cfg.OnChipBytes * 64
+	rBig, err := RunFastRW(big, qsBig, w, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rSmall.ThroughputMSteps < 5*rBig.ThroughputMSteps {
+		t.Fatalf("cache cliff missing: cached %.1f vs thrashed %.1f MStep/s",
+			rSmall.ThroughputMSteps, rBig.ThroughputMSteps)
+	}
+	// Cached throughput is capped at the 45%-of-peak static-scheduling
+	// ceiling.
+	peak := cfg.Platform.Eq1PeakStepsPerSec() / 1e6
+	if rSmall.ThroughputMSteps > 0.46*peak {
+		t.Fatalf("cached FastRW %.1f exceeds its 45%%-of-peak ceiling %.1f",
+			rSmall.ThroughputMSteps, 0.45*peak)
+	}
+}
+
+func TestFastRWMissFractionMonotoneInWorkingSet(t *testing.T) {
+	g := sinkyGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 60, Seed: 13}
+	qs, _ := walk.RandomQueries(g, w, 300, 3)
+	prev := -1.0
+	for _, mult := range []int64{1, 8, 64} {
+		cfg := DefaultFastRW()
+		cfg.WorkingSetBytes = cfg.OnChipBytes * mult
+		r, err := RunFastRW(g, qs, w, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if r.BubbleRatio <= prev {
+			t.Fatalf("miss fraction not increasing with working set: %.3f then %.3f", prev, r.BubbleRatio)
+		}
+		prev = r.BubbleRatio
+	}
+}
+
+func TestGSamplerDivergencePenalty(t *testing.T) {
+	// Uniform-length walks: no divergence. Variable lengths: penalty.
+	gEven := graph.SmallTestGraph() // no sinks → all walks full length
+	gVar := sinkyGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 40, Seed: 17}
+
+	qsE, _ := walk.RandomQueries(gEven, w, 640, 2)
+	qsV, _ := walk.RandomQueries(gVar, w, 640, 2)
+
+	rE, err := RunGSampler(gEven, qsE, w, DefaultH100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rV, err := RunGSampler(gVar, qsV, w, DefaultH100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rE.BubbleRatio > 0.01 {
+		t.Fatalf("uniform-length walks diverged: %.3f", rE.BubbleRatio)
+	}
+	if rV.BubbleRatio < 0.1 {
+		t.Fatalf("variable-length walks show no divergence: %.3f", rV.BubbleRatio)
+	}
+	if rV.ThroughputMSteps >= rE.ThroughputMSteps {
+		t.Fatal("divergent workload not slower")
+	}
+}
+
+func TestGSamplerCacheBoost(t *testing.T) {
+	g := sinkyGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 40, Seed: 23}
+	qs, _ := walk.RandomQueries(g, w, 320, 4)
+	cached := DefaultH100()
+	uncached := DefaultH100()
+	uncached.L2Bytes = 0
+	rC, err := RunGSampler(g, qs, w, cached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rU, err := RunGSampler(g, qs, w, uncached)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rC.ThroughputMSteps <= rU.ThroughputMSteps {
+		t.Fatal("L2-resident graph not faster")
+	}
+}
+
+func TestGSamplerDeepWalkSlowerThanURW(t *testing.T) {
+	g := sinkyGraph(t)
+	g.AttachWeights()
+	urw := walk.Config{Algorithm: walk.URW, WalkLength: 40, Seed: 29}
+	dw := walk.Config{Algorithm: walk.DeepWalk, WalkLength: 40, Seed: 29}
+	qs, _ := walk.RandomQueries(g, urw, 320, 6)
+	rU, err := RunGSampler(g, qs, urw, DefaultH100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	rD, err := RunGSampler(g, qs, dw, DefaultH100())
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Alias sampling halves gSampler's effective rate (§VIII-C1).
+	if rD.ThroughputMSteps >= rU.ThroughputMSteps*0.7 {
+		t.Fatalf("DeepWalk %.1f not clearly slower than URW %.1f on GPU",
+			rD.ThroughputMSteps, rU.ThroughputMSteps)
+	}
+}
+
+func TestBaselinesRejectEmptyWorkload(t *testing.T) {
+	g := graph.SmallTestGraph()
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 5, Seed: 1}
+	if _, err := RunFastRW(g, nil, w, DefaultFastRW()); err == nil {
+		t.Error("FastRW accepted empty workload")
+	}
+	if _, err := RunGSampler(g, nil, w, DefaultH100()); err == nil {
+		t.Error("gSampler accepted empty workload")
+	}
+}

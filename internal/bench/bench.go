@@ -1,0 +1,238 @@
+// Package bench regenerates every table and figure of the paper's
+// evaluation (§VIII). Each experiment is a named runner that produces the
+// same rows/series the paper reports — throughput in MStep/s, speedups
+// against the appropriate baseline, normalized bandwidth utilization — next
+// to the paper's published values for direct shape comparison.
+//
+// Workloads run on scaled dataset twins (internal/graph, DESIGN.md §5);
+// absolute numbers therefore differ from the paper, but who wins, by
+// roughly what factor, and where crossovers fall is the reproduction
+// target (EXPERIMENTS.md records both sides).
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"ridgewalker/internal/core"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+// Options scales experiment workloads.
+type Options struct {
+	// Shrink subtracts scale levels from every dataset twin (each level
+	// halves the vertex count). 0 reproduces DESIGN.md §5 sizes; the
+	// default 3 keeps a full `benchfig all` run in minutes.
+	Shrink int
+	// Queries per run (paper workloads stream continuously; throughput is
+	// query-count independent once pipelines saturate).
+	Queries int
+	// WalkLength is the maximum walk length (paper: 80).
+	WalkLength int
+	// Seed drives all generation and sampling.
+	Seed uint64
+}
+
+// DefaultOptions returns the standard quick configuration. Queries must
+// comfortably exceed pipelines × memory-latency so throughput is measured
+// at steady state, not concurrency-limited (~2500 walks keeps 16 pipelines
+// saturated through a ~200-cycle round trip).
+func DefaultOptions() Options {
+	return Options{Shrink: 3, Queries: 2500, WalkLength: 80, Seed: 42}
+}
+
+// Context caches generated graphs across experiments in one invocation.
+type Context struct {
+	Opts   Options
+	graphs map[string]*graph.CSR
+}
+
+// NewContext returns a fresh experiment context.
+func NewContext(opts Options) *Context {
+	if opts.Queries == 0 {
+		opts.Queries = 1500
+	}
+	if opts.WalkLength == 0 {
+		opts.WalkLength = 80
+	}
+	if opts.Seed == 0 {
+		opts.Seed = 42
+	}
+	return &Context{Opts: opts, graphs: map[string]*graph.CSR{}}
+}
+
+// Twin returns the (cached) scaled twin of a Table-II dataset.
+func (c *Context) Twin(name string) (*graph.CSR, error) {
+	if g, ok := c.graphs[name]; ok {
+		return g, nil
+	}
+	spec, err := graph.DatasetByName(name)
+	if err != nil {
+		return nil, err
+	}
+	spec.Scale -= c.Opts.Shrink
+	if spec.Scale < 8 {
+		spec.Scale = 8
+	}
+	g, err := spec.Generate(c.Opts.Seed)
+	if err != nil {
+		return nil, err
+	}
+	c.graphs[name] = g
+	return g, nil
+}
+
+// Weighted returns a shallow copy of g with ThunderRW-style edge weights.
+func Weighted(g *graph.CSR) *graph.CSR {
+	gw := *g
+	gw.Weights = nil
+	gw2 := &gw
+	gw2.AttachWeights()
+	return gw2
+}
+
+// Labeled returns a shallow copy of g with hashed vertex labels.
+func Labeled(g *graph.CSR, types int) *graph.CSR {
+	gl := *g
+	gl.Labels = nil
+	gl2 := &gl
+	gl2.AttachLabels(types)
+	return gl2
+}
+
+// Experiment is one reproducible artifact of the evaluation.
+type Experiment struct {
+	// ID is the key used by `benchfig <id>` (e.g. "fig9a", "tab3").
+	ID string
+	// Title describes the artifact.
+	Title string
+	// Run executes the experiment and writes its table to w.
+	Run func(c *Context, w io.Writer) error
+}
+
+// registry is populated by the per-figure files' init functions.
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// All returns every experiment, ordered by ID.
+func All() []Experiment {
+	out := make([]Experiment, len(registry))
+	copy(out, registry)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// ByID finds an experiment.
+func ByID(id string) (Experiment, error) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, nil
+		}
+	}
+	return Experiment{}, fmt.Errorf("bench: unknown experiment %q (try: %v)", id, ids())
+}
+
+func ids() []string {
+	var out []string
+	for _, e := range All() {
+		out = append(out, e.ID)
+	}
+	return out
+}
+
+// table is a small aligned-text table builder.
+type table struct {
+	w     *tabwriter.Writer
+	title string
+}
+
+func newTable(w io.Writer, title string) *table {
+	t := &table{w: tabwriter.NewWriter(w, 2, 4, 2, ' ', 0), title: title}
+	fmt.Fprintf(w, "\n== %s ==\n", title)
+	return t
+}
+
+func (t *table) row(cells ...any) {
+	for i, c := range cells {
+		if i > 0 {
+			fmt.Fprint(t.w, "\t")
+		}
+		switch v := c.(type) {
+		case float64:
+			fmt.Fprintf(t.w, "%.1f", v)
+		default:
+			fmt.Fprintf(t.w, "%v", v)
+		}
+	}
+	fmt.Fprintln(t.w)
+}
+
+func (t *table) flush() error { return t.w.Flush() }
+
+// runRidgeWalker runs the full accelerator and returns its stats.
+func runRidgeWalker(g *graph.CSR, wcfg walk.Config, platform hbm.Platform, queries []walk.Query) (*core.Stats, error) {
+	cfg := core.DefaultConfig(platform, wcfg)
+	cfg.RecordPaths = false
+	a, err := core.New(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	_, st, err := a.Run(queries)
+	return st, err
+}
+
+// workload builds the standard query stream for an algorithm on a graph.
+// The paper streams queries continuously, so throughput must be measured at
+// steady state; a small pilot run estimates the mean walk length (early
+// termination on sinks, PPR teleports, schema misses) and the query count
+// scales to keep the total step volume at Queries × WalkLength.
+func (c *Context) workload(g *graph.CSR, alg walk.Algorithm) (walk.Config, []walk.Query, error) {
+	wcfg := walk.DefaultConfig(alg)
+	wcfg.WalkLength = c.Opts.WalkLength
+	wcfg.Seed = c.Opts.Seed
+	pilotN := 200
+	pilot, err := walk.RandomQueries(g, wcfg, pilotN, c.Opts.Seed^0x9e37)
+	if err != nil {
+		return wcfg, nil, err
+	}
+	pres, err := walk.Run(g, pilot, wcfg)
+	if err != nil {
+		return wcfg, nil, err
+	}
+	meanLen := float64(pres.Steps) / float64(pilotN)
+	if meanLen < 1 {
+		meanLen = 1
+	}
+	n := int(float64(c.Opts.Queries) * float64(c.Opts.WalkLength) / meanLen)
+	if n < c.Opts.Queries {
+		n = c.Opts.Queries
+	}
+	if limit := c.Opts.Queries * 20; n > limit {
+		// Cap the auto-scaling: very short walks (sink-heavy twins) would
+		// otherwise inflate static-baseline runtimes quadratically (zombie
+		// slots consume the full WalkLength schedule per query).
+		n = limit
+	}
+	qs, err := walk.RandomQueries(g, wcfg, n, c.Opts.Seed^0xabcd)
+	return wcfg, qs, err
+}
+
+// paperFootprint returns the ORIGINAL dataset's memory footprint (Table II
+// sizes), used to preserve cache-fit relationships when running on scaled
+// twins.
+func paperFootprint(name string, weighted bool) (int64, error) {
+	spec, err := graph.DatasetByName(name)
+	if err != nil {
+		return 0, err
+	}
+	b := spec.PaperVertices*8 + spec.PaperEdges*4
+	if weighted {
+		b += spec.PaperEdges * 4
+	}
+	return b, nil
+}

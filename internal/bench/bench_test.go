@@ -1,0 +1,105 @@
+package bench
+
+import (
+	"bytes"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// quickContext shrinks workloads so the full registry runs in test time.
+func quickContext() *Context {
+	return NewContext(Options{Shrink: 6, Queries: 250, WalkLength: 40, Seed: 42})
+}
+
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig3a", "fig8a", "fig8b", "fig8c", "fig8d",
+		"fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11",
+		"tab3", "tab4", "obs2", "micro",
+	}
+	have := map[string]bool{}
+	for _, e := range All() {
+		have[e.ID] = true
+	}
+	for _, id := range want {
+		if !have[id] {
+			t.Errorf("experiment %q missing from registry", id)
+		}
+	}
+	if len(All()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(All()), len(want))
+	}
+}
+
+func TestByID(t *testing.T) {
+	e, err := ByID("fig9a")
+	if err != nil || e.ID != "fig9a" {
+		t.Fatalf("ByID(fig9a) = %+v, %v", e, err)
+	}
+	if _, err := ByID("fig99"); err == nil {
+		t.Fatal("unknown id accepted")
+	}
+}
+
+// TestEveryExperimentRuns executes the entire registry at miniature scale —
+// the end-to-end integration test of the whole repository.
+func TestEveryExperimentRuns(t *testing.T) {
+	if testing.Short() {
+		t.Skip("experiments are slow in -short mode")
+	}
+	c := quickContext()
+	for _, e := range All() {
+		e := e
+		t.Run(e.ID, func(t *testing.T) {
+			var buf bytes.Buffer
+			if err := e.Run(c, &buf); err != nil {
+				t.Fatalf("%s: %v", e.ID, err)
+			}
+			out := buf.String()
+			if len(out) < 50 {
+				t.Fatalf("%s produced implausibly short output: %q", e.ID, out)
+			}
+			if !strings.Contains(out, "==") {
+				t.Fatalf("%s output missing table header", e.ID)
+			}
+		})
+	}
+}
+
+// TestFig9SpeedupDirections asserts the headline result's shape at small
+// scale: RidgeWalker beats the gSampler model on PPR for most graphs.
+func TestFig9SpeedupDirections(t *testing.T) {
+	if testing.Short() {
+		t.Skip("slow")
+	}
+	c := quickContext()
+	var buf bytes.Buffer
+	e, err := ByID("fig9a")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Run(c, &buf); err != nil {
+		t.Fatal(err)
+	}
+	// Count data rows where the speedup column shows >= 1x.
+	wins := 0
+	rows := 0
+	for _, line := range strings.Split(buf.String(), "\n") {
+		fields := strings.Fields(line)
+		if len(fields) < 5 || !strings.HasSuffix(fields[3], "x") {
+			continue
+		}
+		rows++
+		sp, err := strconv.ParseFloat(strings.TrimSuffix(fields[3], "x"), 64)
+		if err == nil && sp >= 1 {
+			wins++
+		}
+	}
+	if rows < 6 {
+		t.Fatalf("expected 6 graph rows, parsed %d:\n%s", rows, buf.String())
+	}
+	if wins < 4 {
+		t.Fatalf("RidgeWalker won only %d/%d PPR comparisons:\n%s", wins, rows, buf.String())
+	}
+}

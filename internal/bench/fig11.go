@@ -1,0 +1,179 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+
+	"ridgewalker/internal/baselines"
+	"ridgewalker/internal/core"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/queuing"
+	"ridgewalker/internal/resource"
+	"ridgewalker/internal/walk"
+)
+
+// Paper Fig. 11 speedups over the double-disabled baseline.
+var (
+	paperFig11Sched = map[string]float64{"WG": 3.6, "CP": 4.1, "AS": 4.8, "LJ": 1.6, "AB": 4.3, "UK": 4.7}
+	paperFig11Async = map[string]float64{"WG": 6.8, "CP": 7.1, "AS": 10.2, "LJ": 14.7, "AB": 6.9, "UK": 8.2}
+	paperFig11Full  = map[string]float64{"WG": 12.4, "CP": 14.1, "AS": 16.7, "LJ": 16.2, "AB": 16.7, "UK": 16.0}
+)
+
+func init() {
+	register(Experiment{ID: "fig11", Title: "Fig. 11: ablation breakdown (URW, U55C)", Run: runFig11})
+	register(Experiment{ID: "tab3", Title: "Table III: URW across FPGA platforms", Run: runTab3})
+	register(Experiment{ID: "tab4", Title: "Table IV: resource utilization and frequency (U55C)", Run: runTab4})
+	register(Experiment{ID: "obs2", Title: "Obs. #2: LightRW bubble ratio under early termination", Run: runObs2})
+	register(Experiment{ID: "micro", Title: "§VIII-D microbench: Theorem VI.1 queue-depth sweep", Run: runMicro})
+}
+
+func runFig11(c *Context, w io.Writer) error {
+	t := newTable(w, "Fig. 11 — breakdown of gains (URW, normalized to Eq.(1) peak, U55C)")
+	t.row("graph", "baseline", "+sched", "+async", "full",
+		"sched x (paper)", "async x (paper)", "full x (paper)")
+	for _, name := range []string{"WG", "CP", "AS", "LJ", "AB", "UK"} {
+		g, err := c.Twin(name)
+		if err != nil {
+			return err
+		}
+		wcfg, qs, err := c.workload(g, walk.URW)
+		if err != nil {
+			return err
+		}
+		var util [4]float64
+		for i, m := range []struct{ async, dyn bool }{
+			{false, false}, {false, true}, {true, false}, {true, true},
+		} {
+			cfg := core.DefaultConfig(hbm.U55C, wcfg)
+			cfg.Async = m.async
+			cfg.DynamicSched = m.dyn
+			cfg.RecordPaths = false
+			a, err := core.New(g, cfg)
+			if err != nil {
+				return err
+			}
+			_, st, err := a.Run(qs)
+			if err != nil {
+				return err
+			}
+			util[i] = st.Eq1Utilization()
+		}
+		t.row(name,
+			fmt.Sprintf("%.3f", util[0]), fmt.Sprintf("%.3f", util[1]),
+			fmt.Sprintf("%.3f", util[2]), fmt.Sprintf("%.3f", util[3]),
+			fmt.Sprintf("%.1fx (%.1fx)", util[1]/util[0], paperFig11Sched[name]),
+			fmt.Sprintf("%.1fx (%.1fx)", util[2]/util[0], paperFig11Async[name]),
+			fmt.Sprintf("%.1fx (%.1fx)", util[3]/util[0], paperFig11Full[name]))
+	}
+	return t.flush()
+}
+
+// paperTab3 holds Table III's published rows.
+var paperTab3 = map[string][2]float64{
+	"U250": {258, 81}, "VCK5000": {202, 87}, "U50": {1463, 88}, "U55C": {2098, 88},
+}
+
+func runTab3(c *Context, w io.Writer) error {
+	t := newTable(w, "Table III — average URW throughput across datasets by platform")
+	t.row("platform", "memory", "chans", "MStep/s", "BW util", "paper MStep/s", "paper util")
+	for _, p := range hbm.Platforms {
+		var sumT, sumU float64
+		n := 0
+		for _, name := range []string{"WG", "CP", "AS", "LJ", "AB", "UK"} {
+			g, err := c.Twin(name)
+			if err != nil {
+				return err
+			}
+			wcfg, qs, err := c.workload(g, walk.URW)
+			if err != nil {
+				return err
+			}
+			st, err := runRidgeWalker(g, wcfg, p, qs)
+			if err != nil {
+				return err
+			}
+			sumT += st.ThroughputMSteps()
+			sumU += st.Eq1Utilization()
+			n++
+		}
+		paper := paperTab3[p.Name]
+		t.row(p.Name, p.Memory, p.Channels,
+			sumT/float64(n), fmt.Sprintf("%.0f%%", 100*sumU/float64(n)),
+			paper[0], fmt.Sprintf("%.0f%%", paper[1]))
+	}
+	return t.flush()
+}
+
+func runTab4(c *Context, w io.Writer) error {
+	t := newTable(w, "Table IV — resource consumption and frequency on U55C (16 pipelines)")
+	t.row("app", "LUTs", "REGs", "BRAMs", "DSPs", "freq", "paper (LUT/REG/BRAM/DSP)")
+	paper := map[walk.Algorithm]string{
+		walk.PPR:      "61.1% / 29.8% / 19.5% / 2.2%",
+		walk.URW:      "50.1% / 24.0% / 19.5% / 2.2%",
+		walk.DeepWalk: "67.5% / 32.3% / 39.1% / 4.4%",
+		walk.Node2Vec: "79.1% / 41.6% / 36.0% / 7.3%",
+	}
+	for _, alg := range []walk.Algorithm{walk.PPR, walk.URW, walk.DeepWalk, walk.Node2Vec} {
+		u, err := resource.Estimate(alg, 16, resource.U55C)
+		if err != nil {
+			return err
+		}
+		lut, reg, bram, dsp := u.Percent(resource.U55C)
+		t.row(alg.String(),
+			fmt.Sprintf("%.1f%%", lut), fmt.Sprintf("%.1f%%", reg),
+			fmt.Sprintf("%.1f%%", bram), fmt.Sprintf("%.1f%%", dsp),
+			fmt.Sprintf("%dMHz", u.FrequencyMHz), paper[alg])
+	}
+	su := resource.SchedulerStandalone(16)
+	lut, _, _, _ := su.Percent(resource.U55C)
+	fmt.Fprintf(w, "standalone zero-bubble scheduler: %.1f%% LUTs at %d MHz (paper: 1.8%% at 450 MHz)\n",
+		lut, su.FrequencyMHz)
+	return t.flush()
+}
+
+// runObs2 measures LightRW's bubble ratio on an early-terminating workload
+// (§III Observation #2 reports up to 37%).
+func runObs2(c *Context, w io.Writer) error {
+	t := newTable(w, "Obs. #2 — LightRW bubble ratio under early termination (MetaPath, U250)")
+	t.row("graph", "bubble ratio", "paper bound")
+	for _, name := range []string{"WG", "CP"} {
+		g, err := c.Twin(name)
+		if err != nil {
+			return err
+		}
+		gw := Labeled(Weighted(g), 3)
+		wcfg, qs, err := c.workload(gw, walk.MetaPath)
+		if err != nil {
+			return err
+		}
+		lr, _, err := baselines.RunLightRW(gw, qs, wcfg, hbm.U250)
+		if err != nil {
+			return err
+		}
+		t.row(name, fmt.Sprintf("%.1f%%", 100*lr.BubbleRatio), "up to 37%")
+	}
+	return t.flush()
+}
+
+// runMicro sweeps queue depth in the delayed-feedback dispatch model,
+// validating Theorem VI.1's bound (§VIII-D).
+func runMicro(c *Context, w io.Writer) error {
+	t := newTable(w, "§VIII-D micro — bubbles vs per-pipeline queue depth (N=8, C=8, µ=0.5)")
+	t.row("depth", "bubble ratio", "Theorem VI.1 verdict")
+	need := queuing.MinDepth(8, 0.5, 8) / 8
+	for _, depth := range []int{1, 2, 3, need, need + 3, 17} {
+		res, err := queuing.SimulateFeedback(queuing.FeedbackSimConfig{
+			Servers: 8, Depth: depth, FeedbackDelay: 8,
+			MeanService: 2, Cycles: 60000, Backlogged: true, Seed: c.Opts.Seed,
+		})
+		if err != nil {
+			return err
+		}
+		verdict := "below bound"
+		if depth >= need {
+			verdict = "at/above bound (zero-bubble)"
+		}
+		t.row(depth, fmt.Sprintf("%.2f%%", 100*res.BubbleRatio()), verdict)
+	}
+	return t.flush()
+}

@@ -1,0 +1,99 @@
+package bench
+
+import (
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/walk"
+)
+
+func TestWeightedDoesNotMutateOriginal(t *testing.T) {
+	g := graph.SmallTestGraph()
+	gw := Weighted(g)
+	if g.Weighted() {
+		t.Fatal("Weighted mutated the original graph")
+	}
+	if !gw.Weighted() {
+		t.Fatal("copy not weighted")
+	}
+	// Topology is shared (shallow copy by design).
+	if gw.NumEdges() != g.NumEdges() {
+		t.Fatal("copy changed topology")
+	}
+}
+
+func TestLabeledDoesNotMutateOriginal(t *testing.T) {
+	g := graph.SmallTestGraph()
+	gl := Labeled(g, 3)
+	if g.Labels != nil {
+		t.Fatal("Labeled mutated the original graph")
+	}
+	if gl.Labels == nil {
+		t.Fatal("copy not labeled")
+	}
+}
+
+func TestTwinCaching(t *testing.T) {
+	c := NewContext(Options{Shrink: 7, Queries: 10, WalkLength: 5, Seed: 1})
+	a, err := c.Twin("WG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := c.Twin("WG")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a != b {
+		t.Fatal("Twin did not cache")
+	}
+	if _, err := c.Twin("nope"); err == nil {
+		t.Fatal("unknown twin accepted")
+	}
+}
+
+func TestWorkloadScalesShortWalks(t *testing.T) {
+	c := NewContext(Options{Shrink: 7, Queries: 100, WalkLength: 40, Seed: 1})
+	g, err := c.Twin("CP") // sink-heavy: short walks
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, qsShort, err := c.workload(g, walk.PPR)
+	if err != nil {
+		t.Fatal(err)
+	}
+	gSinkless := graph.SmallTestGraph()
+	_, qsLong, err := c.workload(gSinkless, walk.URW)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(qsShort) <= len(qsLong) {
+		t.Fatalf("short-walk workload (%d queries) not scaled above long-walk (%d)",
+			len(qsShort), len(qsLong))
+	}
+}
+
+func TestPaperFootprint(t *testing.T) {
+	// WG: 0.9M vertices × 8 + 5.1M edges × 4 ≈ 27.6 MB unweighted.
+	b, err := paperFootprint("WG", false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := int64(900000*8 + 5100000*4)
+	if b != want {
+		t.Fatalf("paperFootprint(WG) = %d, want %d", b, want)
+	}
+	bw, _ := paperFootprint("WG", true)
+	if bw <= b {
+		t.Fatal("weighted footprint not larger")
+	}
+	if _, err := paperFootprint("nope", false); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestNewContextDefaults(t *testing.T) {
+	c := NewContext(Options{})
+	if c.Opts.Queries == 0 || c.Opts.WalkLength == 0 || c.Opts.Seed == 0 {
+		t.Fatalf("defaults not applied: %+v", c.Opts)
+	}
+}

@@ -1,0 +1,418 @@
+package core
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/engine"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/hwsim"
+	"ridgewalker/internal/rng"
+	"ridgewalker/internal/sampling"
+	"ridgewalker/internal/sched"
+	"ridgewalker/internal/walk"
+)
+
+// Accelerator is one configured RidgeWalker instance bound to a graph.
+type Accelerator struct {
+	cfg     Config
+	g       *graph.CSR
+	sampler sampling.Sampler
+	layout  Layout
+
+	sim     *hwsim.Sim
+	rpChans []*hbm.Channel
+	clChans []*hbm.Channel
+
+	// Dynamic mode plumbing.
+	scheduler *sched.Scheduler[Task]
+	rowRouter *sched.Router[Task] // routes row-complete tasks to the CL pipeline
+	pipes     []*pipeline
+
+	// Static mode plumbing.
+	statics []*staticPipeline
+
+	// Query management.
+	queries   []walk.Query
+	nextQuery int
+	active    int
+	doneCount int
+
+	paths [][]graph.VertexID
+	steps int64
+}
+
+// New builds an accelerator for g under cfg. The graph must satisfy the
+// walk config's requirements (weights for DeepWalk, labels for MetaPath).
+func New(g *graph.CSR, cfg Config) (*Accelerator, error) {
+	cfg, err := cfg.withDefaults()
+	if err != nil {
+		return nil, err
+	}
+	sampler, err := walk.BuildSampler(g, cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	a := &Accelerator{
+		cfg:     cfg,
+		g:       g,
+		sampler: sampler,
+		layout:  Layout{Pipelines: cfg.Pipelines},
+		sim:     hwsim.NewSim(),
+	}
+	n := cfg.Pipelines
+	a.rpChans = make([]*hbm.Channel, n)
+	a.clChans = make([]*hbm.Channel, n)
+	for i := 0; i < n; i++ {
+		a.rpChans[i] = hbm.NewChannel(cfg.Platform.ChannelConfig(cfg.Seed ^ uint64(i)<<1))
+		a.clChans[i] = hbm.NewChannel(cfg.Platform.ChannelConfig(cfg.Seed ^ uint64(i)<<1 ^ 1))
+		a.sim.Register(a.rpChans[i])
+		a.sim.Register(a.clChans[i])
+	}
+	if cfg.DynamicSched {
+		if err := a.buildDynamic(); err != nil {
+			return nil, err
+		}
+	} else {
+		if err := a.buildStatic(); err != nil {
+			return nil, err
+		}
+	}
+	return a, nil
+}
+
+// engineConfig returns the access-engine sizing for the ablation mode.
+func (a *Accelerator) engineConfig() engine.Config {
+	if a.cfg.Async {
+		return engine.Config{MetaDepth: a.cfg.EngineDepth}
+	}
+	// Blocking design: metadata queue still covers latency, but only a few
+	// transactions may be in flight (shallow dataflow FIFOs, §VIII-D).
+	return engine.Config{MetaDepth: a.cfg.EngineDepth, MaxOutstanding: a.cfg.BlockingOutstanding}
+}
+
+func (a *Accelerator) buildDynamic() error {
+	n := a.cfg.Pipelines
+	var err error
+	a.scheduler, err = sched.NewScheduler[Task](a.sim, sched.SchedulerConfig{
+		Pipelines:          n,
+		OutputDepth:        a.cfg.SchedulerOutputDepth,
+		PrioritizeRecycled: true,
+	}, func(t Task) int { return a.layout.RowPipeline(t.VCur) })
+	if err != nil {
+		return err
+	}
+	a.rowRouter, err = sched.NewRouter[Task](a.sim, "core.rowcol", n, 4,
+		func(t Task) int { return a.layout.ColPipeline(t.VCur) })
+	if err != nil {
+		return err
+	}
+	rsrc := rng.NewSource(a.cfg.Seed + 0x9e3779b97f4a7c15)
+	a.pipes = make([]*pipeline, n)
+	for i := 0; i < n; i++ {
+		rowEng, err := engine.New[Task](a.rpChans[i], a.engineConfig())
+		if err != nil {
+			return err
+		}
+		colEng, err := engine.New[Task](a.clChans[i], a.engineConfig())
+		if err != nil {
+			return err
+		}
+		a.pipes[i] = &pipeline{
+			a: a, idx: i,
+			rowEng: rowEng, colEng: colEng,
+			in:      a.scheduler.Output(i),
+			routeIn: a.rowRouter.Inputs()[i],
+			sampIn:  a.rowRouter.Outputs()[i],
+			rng:     rsrc.Stream(uint64(i)),
+		}
+		a.sim.Register(a.pipes[i])
+	}
+	// Query loader: inject one pending query per cycle under the streaming
+	// window.
+	a.sim.Register(hwsim.ModuleFunc(func(now int64) {
+		if a.nextQuery >= len(a.queries) || a.active >= a.cfg.MaxQueriesInFlight {
+			return
+		}
+		q := a.queries[a.nextQuery]
+		if !a.scheduler.CanInject() {
+			return
+		}
+		if a.scheduler.Inject(Task{Query: q.ID, VCur: q.Start}) {
+			a.nextQuery++
+			a.active++
+		}
+	}))
+	return nil
+}
+
+// finishQuery retires a query.
+func (a *Accelerator) finishQuery(q uint32) {
+	a.doneCount++
+	a.active--
+}
+
+// recordHop appends a visited vertex and counts the step.
+func (a *Accelerator) recordHop(q uint32, v graph.VertexID) {
+	a.steps++
+	if a.cfg.RecordPaths {
+		a.paths[q] = append(a.paths[q], v)
+	}
+}
+
+// sampleCost converts a sampling decision into pipeline occupancy cycles
+// and column-channel transactions (see DESIGN.md):
+//
+//	uniform    1 cycle, 1 transaction (the chosen neighbor read)
+//	alias      1 cycle, 1 transaction (fused 128-bit alias+neighbor entry)
+//	rejection  t cycles, 2t−1 transactions (t candidate reads + t−1
+//	           membership probes against prev's list)
+//	reservoir  ⌈deg/8⌉ cycles (512-bit streaming scan), 1 transaction
+func (a *Accelerator) sampleCost(t *Task, res sampling.Result) (cost, txs int) {
+	switch a.sampler.Kind() {
+	case sampling.KindUniform, sampling.KindAlias:
+		return 1, 1
+	case sampling.KindRejection:
+		trips := res.Probes
+		txs = 2*trips - 1
+		// Bound by what the engine window can hold at once.
+		limit := a.cfg.EngineDepth
+		if !a.cfg.Async {
+			limit = a.cfg.BlockingOutstanding
+		}
+		if txs > limit {
+			txs = limit
+		}
+		return trips, txs
+	default: // reservoir, metapath
+		cost = (int(t.deg) + 7) / 8
+		if cost < 1 {
+			cost = 1
+		}
+		return cost, 1
+	}
+}
+
+// Run executes the query batch to completion (or the cycle budget) and
+// returns walk results plus simulated performance statistics.
+func (a *Accelerator) Run(queries []walk.Query) (*walk.Result, *Stats, error) {
+	if len(queries) == 0 {
+		return nil, nil, fmt.Errorf("core: no queries")
+	}
+	a.queries = queries
+	a.nextQuery = 0
+	a.active = 0
+	a.doneCount = 0
+	a.steps = 0
+	maxID := uint32(0)
+	seen := make(map[uint32]bool, len(queries))
+	for _, q := range queries {
+		if seen[q.ID] {
+			return nil, nil, fmt.Errorf("core: duplicate query ID %d (IDs key result tracking)", q.ID)
+		}
+		seen[q.ID] = true
+		if int(q.Start) >= a.g.NumVertices {
+			return nil, nil, fmt.Errorf("core: query %d starts at vertex %d, graph has %d", q.ID, q.Start, a.g.NumVertices)
+		}
+		if q.ID > maxID {
+			maxID = q.ID
+		}
+	}
+	a.paths = make([][]graph.VertexID, maxID+1)
+	if a.cfg.RecordPaths {
+		for _, q := range queries {
+			a.paths[q.ID] = append(a.paths[q.ID], q.Start)
+		}
+	}
+	if !a.cfg.DynamicSched {
+		a.assignStaticQueries()
+	}
+	// Generous budget: worst case every step serialized through latency.
+	budget := int64(len(queries))*int64(a.cfg.Walk.WalkLength)*int64(a.cfg.Platform.LatencyCycles)/int64(a.cfg.Pipelines) + 1_000_000
+	_, ok := a.sim.RunUntil(func() bool { return a.doneCount >= len(queries) }, budget)
+	if !ok {
+		return nil, nil, fmt.Errorf("core: simulation exceeded %d-cycle budget (%d/%d queries done)",
+			budget, a.doneCount, len(queries))
+	}
+	res := &walk.Result{Paths: a.paths, Steps: a.steps}
+	st := a.collectStats()
+	return res, st, nil
+}
+
+func (a *Accelerator) collectStats() *Stats {
+	st := &Stats{
+		Platform:    a.cfg.Platform,
+		Cycles:      a.sim.Now(),
+		Steps:       a.steps,
+		QueriesDone: a.doneCount,
+	}
+	util := 0.0
+	for i := range a.rpChans {
+		util += a.rpChans[i].Stats().Utilization()
+		util += a.clChans[i].Stats().Utilization()
+		st.RowTx += a.rpChans[i].Stats().Completed
+		st.ColTx += a.clChans[i].Stats().Completed
+	}
+	st.ChannelUtilization = util / float64(2*len(a.rpChans))
+	if a.cfg.DynamicSched {
+		st.SchedRecycles = a.scheduler.Recycled()
+		for _, p := range a.pipes {
+			st.PipelineBusy = append(st.PipelineBusy, p.busy)
+			st.RowEngine.Issued += p.rowEng.Stats().Issued
+			st.RowEngine.Completed += p.rowEng.Stats().Completed
+			st.ColEngine.Issued += p.colEng.Stats().Issued
+			st.ColEngine.Completed += p.colEng.Stats().Completed
+		}
+	} else {
+		for _, p := range a.statics {
+			st.PipelineBusy = append(st.PipelineBusy, p.busy)
+			st.RowEngine.Issued += p.rowEng.Stats().Issued
+			st.RowEngine.Completed += p.rowEng.Stats().Completed
+			st.ColEngine.Issued += p.colEng.Stats().Issued
+			st.ColEngine.Completed += p.colEng.Stats().Completed
+		}
+	}
+	return st
+}
+
+// pipeline is one asynchronous pipeline (dynamic mode): Row Access →
+// (router) → Sampling → Column Access, with completions recycled through
+// the Zero-Bubble Scheduler.
+type pipeline struct {
+	a   *Accelerator
+	idx int
+
+	rowEng *engine.Engine[Task]
+	colEng *engine.Engine[Task]
+
+	in      *hwsim.FIFO[Task] // scheduler output: tasks to row-access here
+	routeIn *hwsim.FIFO[Task] // row-complete tasks enter the col router
+	sampIn  *hwsim.FIFO[Task] // router output: tasks to sample/col-access here
+
+	// Sampling unit occupancy.
+	cur          *Task
+	curRemaining int
+	curTxs       int
+
+	// One-deep retry registers for backpressured handoffs.
+	rowDone    *Task // row-completed task waiting for router space
+	colDone    *Task // col-completed task waiting for recycle space
+	colDoneEnd bool  // termination decision for colDone (made exactly once)
+
+	rng  *rng.Stream
+	busy hwsim.BusyCounter
+}
+
+// Tick implements hwsim.Module. Stages drain downstream-first so a task can
+// advance one stage per cycle without slot conflicts.
+func (p *pipeline) Tick(now int64) {
+	a := p.a
+	p.rowEng.Tick(now)
+	p.colEng.Tick(now)
+	worked := false
+
+	// 1. Column-access completions: finalize the hop, then recycle or
+	// retire. One per cycle (module II=1).
+	if p.colDone == nil {
+		if t, _, ok := p.colEng.PopCompleted(); ok {
+			v := a.g.Col[t.colBase+int64(t.chosenIdx)]
+			a.recordHop(t.Query, v)
+			t.VPrev, t.VCur, t.HasPrev = t.VCur, v, true
+			t.Step++
+			// Decide termination exactly once; a backpressured recycle must
+			// not re-roll the PPR teleport coin.
+			p.colDoneEnd = int(t.Step) >= a.cfg.Walk.WalkLength
+			if !p.colDoneEnd && a.cfg.Walk.Algorithm == walk.PPR && p.rng.Float64() < a.cfg.Walk.Alpha {
+				p.colDoneEnd = true
+			}
+			p.colDone = &t
+		}
+	}
+	if p.colDone != nil {
+		t := *p.colDone
+		if p.colDoneEnd {
+			a.finishQuery(t.Query)
+			p.colDone = nil
+			worked = true
+		} else {
+			nt := Task{Query: t.Query, Step: t.Step, VCur: t.VCur, VPrev: t.VPrev, HasPrev: t.HasPrev}
+			if a.scheduler.Recycle(p.idx, nt) {
+				p.colDone = nil
+				worked = true
+			}
+		}
+	}
+
+	// 2. Sampling unit.
+	if p.cur != nil && p.curRemaining > 0 {
+		p.curRemaining--
+		worked = true
+	}
+	if p.cur != nil && p.curRemaining == 0 {
+		t := *p.cur
+		addr := a.layout.ColAddr(t.colBase, t.chosenIdx)
+		if p.colEng.CanAcceptN(p.curTxs) && p.colEng.PushN(addr, t, p.curTxs) {
+			p.cur = nil
+			worked = true
+		}
+	}
+	if p.cur == nil {
+		if t, ok := p.sampIn.Pop(); ok {
+			res := a.sampler.Sample(a.g, sampling.Context{
+				Cur: t.VCur, Prev: t.VPrev, HasPrev: t.HasPrev, Step: int(t.Step),
+			}, p.rng)
+			if res.Index < 0 {
+				// No selectable neighbor (MetaPath schema miss): early
+				// termination without a column access.
+				a.finishQuery(t.Query)
+			} else {
+				t.chosenIdx = int32(res.Index)
+				cost, txs := a.sampleCost(&t, res)
+				p.cur = &t
+				p.curRemaining = cost - 1
+				p.curTxs = txs
+				if p.curRemaining == 0 {
+					addr := a.layout.ColAddr(t.colBase, t.chosenIdx)
+					if p.colEng.CanAcceptN(txs) && p.colEng.PushN(addr, t, txs) {
+						p.cur = nil
+					}
+				}
+			}
+			worked = true
+		}
+	}
+
+	// 3. Row-access completions: learn the degree, terminate on sinks,
+	// otherwise route to the column pipeline.
+	if p.rowDone == nil {
+		if t, _, ok := p.rowEng.PopCompleted(); ok {
+			deg := a.g.Degree(t.VCur)
+			if deg == 0 {
+				a.finishQuery(t.Query)
+				worked = true
+			} else {
+				t.deg = int32(deg)
+				t.colBase = a.g.RowPtr[t.VCur]
+				p.rowDone = &t
+			}
+		}
+	}
+	if p.rowDone != nil {
+		if p.routeIn.Push(*p.rowDone) {
+			p.rowDone = nil
+			worked = true
+		}
+	}
+
+	// 4. Issue a new row access.
+	if p.rowEng.CanAccept() {
+		if t, ok := p.in.Pop(); ok {
+			if !p.rowEng.Push(a.layout.RowAddr(t.VCur), t) {
+				panic("core: row engine rejected pre-checked push")
+			}
+			worked = true
+		}
+	}
+
+	p.busy.Record(worked)
+}

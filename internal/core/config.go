@@ -1,0 +1,109 @@
+package core
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+// Config assembles an accelerator instance.
+type Config struct {
+	// Platform selects the memory system and clock (hbm.U55C etc.).
+	Platform hbm.Platform
+	// Walk selects the GRW algorithm and its parameters.
+	Walk walk.Config
+
+	// Pipelines overrides the platform's channel-derived pipeline count
+	// (Channels/2). It must be a power of two. 0 uses the platform value,
+	// rounded down to a power of two.
+	Pipelines int
+
+	// Async enables the asynchronous memory access engine (§V-B). When
+	// false, each engine allows only BlockingOutstanding in-flight
+	// transactions, modeling a conventional stalling dataflow design —
+	// ablation "w/o Async" of Fig. 11.
+	Async bool
+	// DynamicSched enables the Zero-Bubble Scheduler with per-hop task
+	// rerouting. When false, queries are statically bound to pipelines and
+	// executed in bulk-synchronous batches of BatchSize — ablation
+	// "w/o Scheduler" of Fig. 11.
+	DynamicSched bool
+
+	// BlockingOutstanding is the in-flight budget of the non-async
+	// configurations (shallow HLS dataflow FIFOs). Default 8.
+	BlockingOutstanding int
+	// BatchSize is the static mode's bulk-synchronous batch per pipeline
+	// (LightRW-style ring buffer). Default 256 — large enough to amortize the per-round drain tail, as real ring designs do.
+	BatchSize int
+	// EngineDepth is the async engine's metadata queue / outstanding window
+	// (paper: 128). Default 128.
+	EngineDepth int
+	// SchedulerOutputDepth is the per-pipeline task FIFO depth; 0 uses the
+	// paper's deployed 65 (§VIII-F).
+	SchedulerOutputDepth int
+
+	// MaxQueriesInFlight caps concurrently active queries (the streaming
+	// window of the Query Loader). Default 4 × Pipelines × 64.
+	MaxQueriesInFlight int
+
+	// RecordPaths keeps full per-query paths in the result. Disable for
+	// large benchmark runs to save memory; step counts are always kept.
+	RecordPaths bool
+
+	// Seed drives sampling and layout jitter.
+	Seed uint64
+}
+
+// DefaultConfig returns the full RidgeWalker configuration (both
+// optimizations on) for a platform and walk.
+func DefaultConfig(p hbm.Platform, w walk.Config) Config {
+	return Config{
+		Platform:     p,
+		Walk:         w,
+		Async:        true,
+		DynamicSched: true,
+		RecordPaths:  true,
+		Seed:         w.Seed,
+	}
+}
+
+// withDefaults fills zero fields and validates.
+func (c Config) withDefaults() (Config, error) {
+	if c.Pipelines == 0 {
+		n := c.Platform.Pipelines()
+		p := 1
+		for p*2 <= n {
+			p *= 2
+		}
+		c.Pipelines = p
+	}
+	if c.Pipelines < 1 || c.Pipelines&(c.Pipelines-1) != 0 {
+		return c, fmt.Errorf("core: pipelines %d must be a positive power of two", c.Pipelines)
+	}
+	if c.BlockingOutstanding == 0 {
+		c.BlockingOutstanding = 8
+	}
+	if c.BlockingOutstanding < 1 {
+		return c, fmt.Errorf("core: blocking outstanding %d, want >= 1", c.BlockingOutstanding)
+	}
+	if c.BatchSize == 0 {
+		c.BatchSize = 256
+	}
+	if c.BatchSize < 1 {
+		return c, fmt.Errorf("core: batch size %d, want >= 1", c.BatchSize)
+	}
+	if c.EngineDepth == 0 {
+		c.EngineDepth = 128
+	}
+	if c.EngineDepth < 1 {
+		return c, fmt.Errorf("core: engine depth %d, want >= 1", c.EngineDepth)
+	}
+	if c.SchedulerOutputDepth == 0 {
+		c.SchedulerOutputDepth = 65
+	}
+	if c.MaxQueriesInFlight == 0 {
+		c.MaxQueriesInFlight = 4 * c.Pipelines * 64
+	}
+	return c, nil
+}

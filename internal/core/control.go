@@ -1,0 +1,120 @@
+package core
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/walk"
+)
+
+// Control registers (§VII): the real design exposes memory-mapped AXI4-Lite
+// registers over PCIe so the host can program algorithm parameters — PPR's
+// teleport α, Node2Vec's p and q, walk length, and a sampling-mode selector
+// — as lightweight 32-bit writes, switching GRW variants without
+// resynthesis. This file reproduces that interface: registers are written
+// between runs and take effect on the next Run call.
+//
+// Fractional parameters use Q16.16 fixed point, as hardware registers
+// would.
+const (
+	// RegAlgorithm selects the GRW variant (walk.Algorithm value). Writing
+	// it rebuilds the sampling datapath (the "mode bit" of §VII); the
+	// target variant's graph requirements (weights, labels) must already
+	// be satisfied.
+	RegAlgorithm uint32 = 0x00
+	// RegWalkLength sets the maximum walk length.
+	RegWalkLength uint32 = 0x04
+	// RegAlpha sets PPR's teleport probability in Q16.16.
+	RegAlpha uint32 = 0x08
+	// RegP and RegQ set Node2Vec's bias factors in Q16.16.
+	RegP uint32 = 0x0C
+	RegQ uint32 = 0x10
+)
+
+// q16 converts Q16.16 fixed point to float64.
+func q16ToFloat(v uint32) float64 { return float64(v) / 65536 }
+
+// floatToQ16 converts float64 to Q16.16 (saturating at the register width).
+func floatToQ16(f float64) uint32 {
+	if f < 0 {
+		return 0
+	}
+	v := f * 65536
+	if v > float64(^uint32(0)) {
+		return ^uint32(0)
+	}
+	return uint32(v)
+}
+
+// WriteRegister programs one control register. Parameter registers take
+// effect on the next Run; writing RegAlgorithm re-validates the graph and
+// swaps the sampling module immediately.
+func (a *Accelerator) WriteRegister(addr, value uint32) error {
+	switch addr {
+	case RegAlgorithm:
+		alg := walk.Algorithm(value)
+		next := a.cfg.Walk
+		next.Algorithm = alg
+		if next.Alpha == 0 && alg == walk.PPR {
+			next.Alpha = 0.2
+		}
+		if (next.P == 0 || next.Q == 0) && alg == walk.Node2Vec {
+			next.P, next.Q = 2, 0.5
+		}
+		if len(next.Schema) == 0 && alg == walk.MetaPath {
+			next.Schema = []uint8{0, 1, 2}
+		}
+		sampler, err := walk.BuildSampler(a.g, next)
+		if err != nil {
+			return fmt.Errorf("core: mode switch rejected: %w", err)
+		}
+		a.cfg.Walk = next
+		a.sampler = sampler
+	case RegWalkLength:
+		if value == 0 {
+			return fmt.Errorf("core: walk length register must be >= 1")
+		}
+		a.cfg.Walk.WalkLength = int(value)
+	case RegAlpha:
+		f := q16ToFloat(value)
+		if f >= 1 {
+			return fmt.Errorf("core: alpha register %v, want < 1.0", f)
+		}
+		a.cfg.Walk.Alpha = f
+	case RegP, RegQ:
+		f := q16ToFloat(value)
+		if f <= 0 {
+			return fmt.Errorf("core: bias register must be positive")
+		}
+		if addr == RegP {
+			a.cfg.Walk.P = f
+		} else {
+			a.cfg.Walk.Q = f
+		}
+		// Bias changes require rebuilding the rejection/reservoir sampler.
+		sampler, err := walk.BuildSampler(a.g, a.cfg.Walk)
+		if err != nil {
+			return err
+		}
+		a.sampler = sampler
+	default:
+		return fmt.Errorf("core: unknown control register %#x", addr)
+	}
+	return nil
+}
+
+// ReadRegister returns a control register's current value.
+func (a *Accelerator) ReadRegister(addr uint32) (uint32, error) {
+	switch addr {
+	case RegAlgorithm:
+		return uint32(a.cfg.Walk.Algorithm), nil
+	case RegWalkLength:
+		return uint32(a.cfg.Walk.WalkLength), nil
+	case RegAlpha:
+		return floatToQ16(a.cfg.Walk.Alpha), nil
+	case RegP:
+		return floatToQ16(a.cfg.Walk.P), nil
+	case RegQ:
+		return floatToQ16(a.cfg.Walk.Q), nil
+	}
+	return 0, fmt.Errorf("core: unknown control register %#x", addr)
+}

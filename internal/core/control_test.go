@@ -1,0 +1,132 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/walk"
+)
+
+func controlAccel(t *testing.T) *Accelerator {
+	t.Helper()
+	g := graph.SmallTestGraph()
+	g.AttachWeights()
+	g.AttachLabels(3)
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 10, Seed: 1})
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return a
+}
+
+func TestControlRegisterRoundTrip(t *testing.T) {
+	a := controlAccel(t)
+	if err := a.WriteRegister(RegWalkLength, 33); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := a.ReadRegister(RegWalkLength); err != nil || v != 33 {
+		t.Fatalf("walk length register = (%d,%v)", v, err)
+	}
+	if err := a.WriteRegister(RegAlpha, floatToQ16(0.25)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.ReadRegister(RegAlpha); math.Abs(q16ToFloat(v)-0.25) > 1e-4 {
+		t.Fatalf("alpha register = %v", q16ToFloat(v))
+	}
+}
+
+func TestControlModeSwitchWithoutRebuild(t *testing.T) {
+	// §VII: switch URW → PPR → DeepWalk → Node2Vec on one accelerator
+	// instance and run each; queries must complete under every mode.
+	a := controlAccel(t)
+	qs := []walk.Query{{ID: 0, Start: 0}, {ID: 1, Start: 1}, {ID: 2, Start: 4}}
+	for _, alg := range []walk.Algorithm{walk.URW, walk.PPR, walk.DeepWalk, walk.Node2Vec, walk.MetaPath} {
+		if err := a.WriteRegister(RegAlgorithm, uint32(alg)); err != nil {
+			t.Fatalf("switch to %s: %v", alg, err)
+		}
+		res, st, err := a.Run(qs)
+		if err != nil {
+			t.Fatalf("%s run: %v", alg, err)
+		}
+		if st.QueriesDone != len(qs) {
+			t.Fatalf("%s: done %d/%d", alg, st.QueriesDone, len(qs))
+		}
+		_ = res
+		if got, _ := a.ReadRegister(RegAlgorithm); got != uint32(alg) {
+			t.Fatalf("mode register reads %d, want %d", got, uint32(alg))
+		}
+	}
+}
+
+func TestControlModeSwitchValidatesGraph(t *testing.T) {
+	// DeepWalk on an unweighted graph must be rejected at the register
+	// write, like the host driver would report a configuration error.
+	g := graph.SmallTestGraph()
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 5, Seed: 1})
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRegister(RegAlgorithm, uint32(walk.DeepWalk)); err == nil {
+		t.Fatal("DeepWalk mode accepted on unweighted graph")
+	}
+	// The failed switch must not corrupt the current mode.
+	if v, _ := a.ReadRegister(RegAlgorithm); v != uint32(walk.URW) {
+		t.Fatalf("mode register corrupted: %d", v)
+	}
+}
+
+func TestControlBiasChangesSampling(t *testing.T) {
+	a := controlAccel(t)
+	if err := a.WriteRegister(RegAlgorithm, uint32(walk.Node2Vec)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRegister(RegP, floatToQ16(4)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.WriteRegister(RegQ, floatToQ16(0.25)); err != nil {
+		t.Fatal(err)
+	}
+	if v, _ := a.ReadRegister(RegP); math.Abs(q16ToFloat(v)-4) > 1e-4 {
+		t.Fatalf("p register = %v", q16ToFloat(v))
+	}
+	qs := []walk.Query{{ID: 0, Start: 0}}
+	if _, st, err := a.Run(qs); err != nil || st.QueriesDone != 1 {
+		t.Fatalf("run after bias write: %v", err)
+	}
+}
+
+func TestControlRejectsBadWrites(t *testing.T) {
+	a := controlAccel(t)
+	if err := a.WriteRegister(0xFF, 1); err == nil {
+		t.Error("unknown register accepted")
+	}
+	if _, err := a.ReadRegister(0xFF); err == nil {
+		t.Error("unknown register read")
+	}
+	if err := a.WriteRegister(RegWalkLength, 0); err == nil {
+		t.Error("zero walk length accepted")
+	}
+	if err := a.WriteRegister(RegAlpha, floatToQ16(1.5)); err == nil {
+		t.Error("alpha >= 1 accepted")
+	}
+	if err := a.WriteRegister(RegP, 0); err == nil {
+		t.Error("zero bias accepted")
+	}
+}
+
+func TestQ16Conversions(t *testing.T) {
+	for _, f := range []float64{0, 0.2, 0.5, 1, 2, 100.25} {
+		if got := q16ToFloat(floatToQ16(f)); math.Abs(got-f) > 1e-4 {
+			t.Errorf("Q16 round trip %v → %v", f, got)
+		}
+	}
+	if floatToQ16(-1) != 0 {
+		t.Error("negative not clamped")
+	}
+	if floatToQ16(1e12) != ^uint32(0) {
+		t.Error("overflow not saturated")
+	}
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/walk"
+)
+
+// chiSquaredVisits compares per-vertex visit counts between the accelerator
+// and the golden engine on identical workloads.
+func chiSquaredVisits(t *testing.T, g *graph.CSR, wcfg walk.Config, nq int) float64 {
+	t.Helper()
+	qs, err := walk.RandomQueries(g, wcfg, nq, 13)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(smallPlatform(), wcfg)
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hwRes, _, err := a.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	swRes, err := walk.Run(g, qs, wcfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hw := walk.VisitCounts(g, hwRes)
+	sw := walk.VisitCounts(g, swRes)
+	var hwTotal, swTotal int64
+	for v := range hw {
+		hwTotal += hw[v]
+		swTotal += sw[v]
+	}
+	chi2 := 0.0
+	for v := range hw {
+		expect := float64(sw[v]) / float64(swTotal) * float64(hwTotal)
+		if expect < 5 {
+			continue
+		}
+		d := float64(hw[v]) - expect
+		chi2 += d * d / expect
+	}
+	return chi2
+}
+
+func TestDeepWalkDistributionMatchesGolden(t *testing.T) {
+	// Alias-sampled weighted walks: the accelerator's out-of-order
+	// execution must preserve the weight-proportional visit distribution.
+	g := graph.SmallTestGraph()
+	g.AttachWeights()
+	wcfg := walk.Config{Algorithm: walk.DeepWalk, WalkLength: 25, Seed: 17}
+	chi2 := chiSquaredVisits(t, g, wcfg, 2500)
+	// 4 dof; generous bound covering engine RNG differences.
+	if chi2 > 25 {
+		t.Fatalf("DeepWalk visit distribution diverges: chi2 = %v", chi2)
+	}
+}
+
+func TestNode2VecDistributionMatchesGolden(t *testing.T) {
+	// Second-order rejection sampling is the hardest case: the task tuple
+	// must carry VPrev correctly through routing and recycling.
+	g := graph.SmallTestGraph()
+	wcfg := walk.Config{Algorithm: walk.Node2Vec, WalkLength: 25, P: 2, Q: 0.5, Seed: 19}
+	chi2 := chiSquaredVisits(t, g, wcfg, 2500)
+	if chi2 > 25 {
+		t.Fatalf("Node2Vec visit distribution diverges: chi2 = %v", chi2)
+	}
+}
+
+func TestStaticModeDistributionMatchesGolden(t *testing.T) {
+	// The lockstep baseline reorders nothing, but zombie slots must never
+	// contaminate recorded paths.
+	g := graph.SmallTestGraph()
+	wcfg := walk.Config{Algorithm: walk.URW, WalkLength: 25, Seed: 23}
+	qs, err := walk.RandomQueries(g, wcfg, 2000, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := DefaultConfig(smallPlatform(), wcfg)
+	cfg.DynamicSched = false
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := a.Run(qs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesDone != len(qs) {
+		t.Fatalf("done %d/%d", st.QueriesDone, len(qs))
+	}
+	if err := walk.ValidatePaths(g, res, wcfg); err != nil {
+		t.Fatal(err)
+	}
+	// SmallTestGraph has no sinks: every walk must be full length (no
+	// zombie-truncated or zombie-extended paths).
+	for i, p := range res.Paths {
+		if len(p) != 26 {
+			t.Fatalf("query %d path length %d, want 26", i, len(p))
+		}
+	}
+}

@@ -1,0 +1,206 @@
+package core
+
+import (
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+func TestSimulationDeterministic(t *testing.T) {
+	// The whole simulation is a pure function of graph, queries, and seed:
+	// two runs must agree cycle for cycle and path for path.
+	g := testGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 25, Seed: 5}
+	qs, err := walk.RandomQueries(g, w, 200, 3)
+	if err != nil {
+		t.Fatal(err)
+	}
+	run := func() (*walk.Result, *Stats) {
+		a, err := New(g, DefaultConfig(smallPlatform(), w))
+		if err != nil {
+			t.Fatal(err)
+		}
+		res, st, err := a.Run(qs)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res, st
+	}
+	r1, s1 := run()
+	r2, s2 := run()
+	if s1.Cycles != s2.Cycles || s1.Steps != s2.Steps {
+		t.Fatalf("nondeterministic: (%d,%d) vs (%d,%d)", s1.Cycles, s1.Steps, s2.Cycles, s2.Steps)
+	}
+	for i := range r1.Paths {
+		if len(r1.Paths[i]) != len(r2.Paths[i]) {
+			t.Fatalf("path %d differs between runs", i)
+		}
+		for j := range r1.Paths[i] {
+			if r1.Paths[i][j] != r2.Paths[i][j] {
+				t.Fatalf("path %d position %d differs", i, j)
+			}
+		}
+	}
+}
+
+func TestDuplicateQueryIDsRejected(t *testing.T) {
+	g := graph.SmallTestGraph()
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 5, Seed: 1})
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Run([]walk.Query{{ID: 3, Start: 0}, {ID: 3, Start: 1}}); err == nil {
+		t.Fatal("duplicate query IDs accepted")
+	}
+}
+
+func TestOutOfRangeStartRejected(t *testing.T) {
+	g := graph.SmallTestGraph()
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 5, Seed: 1})
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := a.Run([]walk.Query{{ID: 0, Start: 99}}); err == nil {
+		t.Fatal("out-of-range start vertex accepted")
+	}
+}
+
+func TestWalkLengthOne(t *testing.T) {
+	g := graph.SmallTestGraph()
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 1, Seed: 2})
+	res, st := runAccel(t, g, cfg, 50)
+	if st.QueriesDone != 50 {
+		t.Fatalf("done %d/50", st.QueriesDone)
+	}
+	for i, p := range res.Paths {
+		if len(p) != 2 {
+			t.Fatalf("query %d: length-1 walk has path %v", i, p)
+		}
+	}
+}
+
+func TestSinglePipelineConfig(t *testing.T) {
+	// N=1 degenerates the butterfly to wires; everything must still work.
+	g := graph.SmallTestGraph()
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 10, Seed: 3})
+	cfg.Pipelines = 1
+	res, st := runAccel(t, g, cfg, 100)
+	if st.QueriesDone != 100 {
+		t.Fatalf("done %d/100", st.QueriesDone)
+	}
+	if err := walk.ValidatePaths(g, res, cfg.Walk); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestThrottledChannelStillCorrect(t *testing.T) {
+	// Failure injection: a memory system 20× slower must not corrupt walks,
+	// only slow them down.
+	g := graph.SmallTestGraph()
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 15, Seed: 4}
+	slow := smallPlatform()
+	slow.ServiceTxPerSecPerChan /= 20
+	fast := smallPlatform()
+
+	cfgSlow := DefaultConfig(slow, w)
+	cfgFast := DefaultConfig(fast, w)
+	resSlow, stSlow := runAccel(t, g, cfgSlow, 100)
+	_, stFast := runAccel(t, g, cfgFast, 100)
+
+	if err := walk.ValidatePaths(g, resSlow, w); err != nil {
+		t.Fatal(err)
+	}
+	if stSlow.QueriesDone != 100 {
+		t.Fatalf("throttled run incomplete: %d/100", stSlow.QueriesDone)
+	}
+	if stSlow.ThroughputMSteps() >= stFast.ThroughputMSteps() {
+		t.Fatalf("throttled channels not slower: %.1f vs %.1f",
+			stSlow.ThroughputMSteps(), stFast.ThroughputMSteps())
+	}
+}
+
+func TestAllSinksGraph(t *testing.T) {
+	// Every walk dies on its first row access; the accelerator must retire
+	// all queries without emitting steps beyond the starts.
+	g, err := graph.Build(4, []graph.Edge{{Src: 0, Dst: 1}, {Src: 2, Dst: 1}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Start at vertex 1 (a sink) explicitly.
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 10, Seed: 5})
+	a, err := New(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, st, err := a.Run([]walk.Query{{ID: 0, Start: 1}, {ID: 1, Start: 3}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if st.QueriesDone != 2 || res.Steps != 0 {
+		t.Fatalf("done=%d steps=%d, want 2 queries, 0 steps", st.QueriesDone, res.Steps)
+	}
+}
+
+func TestEveryPlatformRunsURW(t *testing.T) {
+	if testing.Short() {
+		t.Skip("platform sweep is slow")
+	}
+	g := testGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 20, Seed: 6}
+	qs, err := walk.RandomQueries(g, w, 300, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range hbm.Platforms {
+		p := p
+		t.Run(p.Name, func(t *testing.T) {
+			cfg := DefaultConfig(p, w)
+			cfg.RecordPaths = false
+			a, err := New(g, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			_, st, err := a.Run(qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if st.QueriesDone != len(qs) {
+				t.Fatalf("%s: done %d/%d", p.Name, st.QueriesDone, len(qs))
+			}
+			if u := st.Eq1Utilization(); u <= 0 || u > 1.1 {
+				t.Fatalf("%s: utilization %.3f out of range", p.Name, u)
+			}
+		})
+	}
+}
+
+func TestRecordPathsOffKeepsSteps(t *testing.T) {
+	g := graph.SmallTestGraph()
+	cfg := DefaultConfig(smallPlatform(), walk.Config{Algorithm: walk.URW, WalkLength: 10, Seed: 8})
+	cfg.RecordPaths = false
+	res, st := runAccel(t, g, cfg, 100)
+	if st.Steps != 100*10 {
+		t.Fatalf("steps = %d, want 1000", st.Steps)
+	}
+	for _, p := range res.Paths {
+		if len(p) != 0 {
+			t.Fatal("paths recorded despite RecordPaths=false")
+		}
+	}
+}
+
+func TestStepsPerQueryNeverExceedLength(t *testing.T) {
+	g := testGraph(t)
+	w := walk.Config{Algorithm: walk.URW, WalkLength: 7, Seed: 9}
+	cfg := DefaultConfig(smallPlatform(), w)
+	res, _ := runAccel(t, g, cfg, 200)
+	for i, p := range res.Paths {
+		if len(p) > 8 {
+			t.Fatalf("query %d walked %d hops, cap 7", i, len(p)-1)
+		}
+	}
+}

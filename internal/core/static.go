@@ -1,0 +1,302 @@
+package core
+
+import (
+	"ridgewalker/internal/engine"
+	"ridgewalker/internal/hwsim"
+	"ridgewalker/internal/rng"
+	"ridgewalker/internal/sampling"
+	"ridgewalker/internal/walk"
+)
+
+// Static mode: the Fig. 11 ablation baseline. Queries are statically bound
+// to pipelines, and each pipeline executes bulk-synchronous batches of
+// BatchSize walkers in per-step lockstep rounds: round k+1 begins only when
+// every live walker has finished step k. "Without early-termination
+// handling" (§VIII-D) means a walk that dies early — sink vertex, PPR
+// teleport, schema miss — does not free its reserved slot: the slot keeps
+// executing its fixed schedule (a row access per round against its final
+// vertex) until the full walk length elapses, producing no useful steps.
+// These zombie slots are the pipeline bubbles FastRW/LightRW suffer (§III,
+// Observation #2) and what the Zero-Bubble Scheduler reclaims. Memory
+// accesses go through the pipeline's own channel pair.
+
+// walkerPhase tracks a static walker's position in the step state machine.
+type walkerPhase uint8
+
+const (
+	phaseIdle walkerPhase = iota // slot empty (query finished or never loaded)
+	phaseNeedRow
+	phaseInRow
+	phaseNeedSample
+	phaseSampling
+	phaseNeedCol
+	phaseInCol
+	// phaseWaitRound parks a walker that finished the current lockstep
+	// round until every live walker has, too (the bulk-synchronous
+	// barrier).
+	phaseWaitRound
+)
+
+type staticWalker struct {
+	phase walkerPhase
+	task  Task
+	txs   int
+	// dead marks a zombie: the query has retired but the slot still runs
+	// its reserved schedule until the walk length elapses.
+	dead bool
+}
+
+type staticPipeline struct {
+	a   *Accelerator
+	idx int
+
+	rowEng *engine.Engine[int] // metadata: walker slot index
+	colEng *engine.Engine[int]
+
+	queries []walk.Query // statically assigned
+	next    int
+
+	slots  []staticWalker
+	alive  int
+	rrScan int // round-robin issue pointer
+	// waiting counts live walkers parked at the round barrier.
+	waiting int
+
+	// Sampling unit occupancy (II > 1 for reservoir scans).
+	sampSlot      int
+	sampRemaining int
+
+	rng  *rng.Stream
+	busy hwsim.BusyCounter
+}
+
+func (a *Accelerator) buildStatic() error {
+	n := a.cfg.Pipelines
+	rsrc := rng.NewSource(a.cfg.Seed + 0x517cc1b727220a95)
+	a.statics = make([]*staticPipeline, n)
+	for i := 0; i < n; i++ {
+		rowEng, err := engine.New[int](a.rpChans[i], a.engineConfig())
+		if err != nil {
+			return err
+		}
+		colEng, err := engine.New[int](a.clChans[i], a.engineConfig())
+		if err != nil {
+			return err
+		}
+		a.statics[i] = &staticPipeline{
+			a: a, idx: i,
+			rowEng: rowEng, colEng: colEng,
+			slots:    make([]staticWalker, a.cfg.BatchSize),
+			sampSlot: -1,
+			rng:      rsrc.Stream(uint64(i)),
+		}
+		a.sim.Register(a.statics[i])
+	}
+	return nil
+}
+
+// assignStaticQueries distributes the query batch round-robin across
+// pipelines (the fixed, input-order binding of static designs).
+func (a *Accelerator) assignStaticQueries() {
+	if a.statics == nil {
+		return
+	}
+	for _, p := range a.statics {
+		p.queries = p.queries[:0]
+		p.next = 0
+		p.alive = 0
+		for i := range p.slots {
+			p.slots[i] = staticWalker{}
+		}
+	}
+	for i, q := range a.queries {
+		p := a.statics[i%len(a.statics)]
+		p.queries = append(p.queries, q)
+	}
+}
+
+// refillBatch loads the next bulk-synchronous batch. Called only when every
+// slot is idle (the barrier).
+func (p *staticPipeline) refillBatch() {
+	for s := range p.slots {
+		if p.next >= len(p.queries) {
+			break
+		}
+		q := p.queries[p.next]
+		p.next++
+		p.slots[s] = staticWalker{
+			phase: phaseNeedRow,
+			task:  Task{Query: q.ID, VCur: q.Start},
+		}
+		p.alive++
+	}
+}
+
+// finishWalker retires slot s's query at the natural end of its schedule;
+// the slot goes idle until the batch barrier.
+func (p *staticPipeline) finishWalker(s int) {
+	if !p.slots[s].dead {
+		p.a.finishQuery(p.slots[s].task.Query)
+	}
+	p.slots[s] = staticWalker{}
+	p.alive--
+}
+
+// zombify retires slot s's query early but keeps the slot executing its
+// reserved schedule (no early-termination handling): the query's results
+// are final, yet the slot continues issuing a row access per round until
+// the walk length elapses.
+func (p *staticPipeline) zombify(s int) {
+	if p.slots[s].dead {
+		return
+	}
+	p.a.finishQuery(p.slots[s].task.Query)
+	p.slots[s].dead = true
+}
+
+// Tick implements hwsim.Module.
+func (p *staticPipeline) Tick(now int64) {
+	a := p.a
+	p.rowEng.Tick(now)
+	p.colEng.Tick(now)
+	worked := false
+
+	// Batch barrier: refill only when all slots are idle.
+	if p.alive == 0 {
+		if p.next < len(p.queries) {
+			p.refillBatch()
+			p.waiting = 0
+			worked = true
+		}
+	}
+	// Round barrier: when every live walker has completed the current step
+	// (bulk-synchronous execution), release them all into the next round.
+	if p.alive > 0 && p.waiting == p.alive {
+		for s := range p.slots {
+			if p.slots[s].phase == phaseWaitRound {
+				p.slots[s].phase = phaseNeedRow
+			}
+		}
+		p.waiting = 0
+		worked = true
+	}
+
+	// Column completions: finalize hops.
+	if s, _, ok := p.colEng.PopCompleted(); ok {
+		w := &p.slots[s]
+		t := &w.task
+		v := a.g.Col[t.colBase+int64(t.chosenIdx)]
+		a.recordHop(t.Query, v)
+		t.VPrev, t.VCur, t.HasPrev = t.VCur, v, true
+		t.Step++
+		if a.cfg.Walk.Algorithm == walk.PPR && int(t.Step) < a.cfg.Walk.WalkLength &&
+			p.rng.Float64() < a.cfg.Walk.Alpha {
+			// Teleport: the query is done, the slot is not.
+			p.zombify(s)
+		}
+		p.endOrWait(s)
+		worked = true
+	}
+
+	// Row completions: degree known; sinks retire the query but not the
+	// slot (zombie), and zombies burn their round here.
+	if s, _, ok := p.rowEng.PopCompleted(); ok {
+		w := &p.slots[s]
+		t := &w.task
+		deg := a.g.Degree(t.VCur)
+		if deg == 0 {
+			p.zombify(s)
+		}
+		if w.dead {
+			t.Step++
+			p.endOrWait(s)
+		} else {
+			t.deg = int32(deg)
+			t.colBase = a.g.RowPtr[t.VCur]
+			w.phase = phaseNeedSample
+		}
+		worked = true
+	}
+
+	// Sampling unit: one walker at a time, cost cycles each.
+	if p.sampSlot >= 0 {
+		if p.sampRemaining > 0 {
+			p.sampRemaining--
+			worked = true
+		}
+		if p.sampRemaining == 0 {
+			p.slots[p.sampSlot].phase = phaseNeedCol
+			p.sampSlot = -1
+		}
+	}
+	if p.sampSlot < 0 {
+		if s := p.findPhase(phaseNeedSample); s >= 0 {
+			w := &p.slots[s]
+			t := &w.task
+			res := a.sampler.Sample(a.g, sampling.Context{
+				Cur: t.VCur, Prev: t.VPrev, HasPrev: t.HasPrev, Step: int(t.Step),
+			}, p.rng)
+			if res.Index < 0 {
+				// Schema miss: query done, slot zombies on.
+				p.zombify(s)
+				t.Step++
+				p.endOrWait(s)
+			} else {
+				t.chosenIdx = int32(res.Index)
+				cost, txs := a.sampleCost(t, res)
+				w.txs = txs
+				if cost <= 1 {
+					w.phase = phaseNeedCol
+				} else {
+					w.phase = phaseSampling
+					p.sampSlot = s
+					p.sampRemaining = cost - 1
+				}
+			}
+			worked = true
+		}
+	}
+
+	// Issue memory accesses: one row and one column issue per cycle.
+	if s := p.findPhase(phaseNeedCol); s >= 0 {
+		t := &p.slots[s].task
+		addr := a.layout.ColAddr(t.colBase, t.chosenIdx)
+		if p.colEng.CanAcceptN(p.slots[s].txs) && p.colEng.PushN(addr, s, p.slots[s].txs) {
+			p.slots[s].phase = phaseInCol
+			worked = true
+		}
+	}
+	if s := p.findPhase(phaseNeedRow); s >= 0 {
+		t := &p.slots[s].task
+		if p.rowEng.CanAccept() && p.rowEng.Push(a.layout.RowAddr(t.VCur), s) {
+			p.slots[s].phase = phaseInRow
+			worked = true
+		}
+	}
+
+	p.busy.Record(worked)
+}
+
+// endOrWait parks slot s at the round barrier, or retires it once its full
+// schedule (WalkLength rounds) has elapsed.
+func (p *staticPipeline) endOrWait(s int) {
+	if int(p.slots[s].task.Step) >= p.a.cfg.Walk.WalkLength {
+		p.finishWalker(s)
+		return
+	}
+	p.slots[s].phase = phaseWaitRound
+	p.waiting++
+}
+
+// findPhase scans slots round-robin for the next walker in the given phase.
+func (p *staticPipeline) findPhase(ph walkerPhase) int {
+	n := len(p.slots)
+	for k := 0; k < n; k++ {
+		s := (p.rrScan + k) % n
+		if p.slots[s].phase == ph {
+			p.rrScan = (s + 1) % n
+			return s
+		}
+	}
+	return -1
+}

@@ -1,0 +1,75 @@
+package core
+
+import (
+	"ridgewalker/internal/engine"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/hwsim"
+)
+
+// Stats reports a run's simulated performance in the paper's metrics.
+type Stats struct {
+	Platform hbm.Platform
+	// Cycles is the simulated end-to-end duration at the platform clock.
+	Cycles int64
+	// Steps is the total count of visited vertices (hops) across queries —
+	// the numerator of the MStep/s metric (§VIII-A).
+	Steps int64
+	// QueriesDone counts completed queries.
+	QueriesDone int
+	// PipelineBusy tracks, per pipeline, cycles doing useful work vs idle.
+	PipelineBusy []hwsim.BusyCounter
+	// RowEngine / ColEngine aggregate access-engine counters (logical
+	// accesses; one access may span several memory transactions).
+	RowEngine, ColEngine engine.Stats
+	// RowTx / ColTx count actual memory transactions per channel group.
+	RowTx, ColTx int64
+	// ChannelUtilization is the mean service-unit utilization across all
+	// channels.
+	ChannelUtilization float64
+	// SchedRecycles counts tasks returned through the scheduler (dynamic
+	// mode only).
+	SchedRecycles int64
+}
+
+// Seconds converts simulated cycles to seconds at the platform clock.
+func (s Stats) Seconds() float64 {
+	return float64(s.Cycles) / s.Platform.CoreHz()
+}
+
+// ThroughputMSteps returns throughput in millions of steps per second,
+// the paper's primary metric.
+func (s Stats) ThroughputMSteps() float64 {
+	sec := s.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.Steps) / sec / 1e6
+}
+
+// EffectiveBandwidthGBs returns the paper's effective-bandwidth measure:
+// the memory footprint of traversed edges (8 bytes per step) over time.
+func (s Stats) EffectiveBandwidthGBs() float64 {
+	sec := s.Seconds()
+	if sec == 0 {
+		return 0
+	}
+	return float64(s.Steps) * 8 / sec / 1e9
+}
+
+// Eq1Utilization returns effective bandwidth normalized by the Equation-(1)
+// theoretical peak — the y-axis of Fig. 11 and the last row of Table III.
+func (s Stats) Eq1Utilization() float64 {
+	return s.EffectiveBandwidthGBs() * 1e9 / s.Platform.Eq1PeakBytesPerSec()
+}
+
+// MeanBubbleRatio averages the per-pipeline bubble ratios.
+func (s Stats) MeanBubbleRatio() float64 {
+	if len(s.PipelineBusy) == 0 {
+		return 0
+	}
+	t := 0.0
+	for _, b := range s.PipelineBusy {
+		t += b.BubbleRatio()
+	}
+	return t / float64(len(s.PipelineBusy))
+}

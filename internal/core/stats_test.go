@@ -1,0 +1,62 @@
+package core
+
+import (
+	"math"
+	"testing"
+
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/hwsim"
+)
+
+func TestStatsDerivedMetrics(t *testing.T) {
+	st := Stats{
+		Platform: hbm.U55C,
+		Cycles:   320_000_000, // exactly one second at 320 MHz
+		Steps:    2_000_000_000,
+	}
+	if got := st.Seconds(); math.Abs(got-1) > 1e-12 {
+		t.Fatalf("Seconds = %v, want 1", got)
+	}
+	if got := st.ThroughputMSteps(); math.Abs(got-2000) > 1e-6 {
+		t.Fatalf("ThroughputMSteps = %v, want 2000", got)
+	}
+	if got := st.EffectiveBandwidthGBs(); math.Abs(got-16) > 1e-9 {
+		t.Fatalf("EffectiveBandwidthGBs = %v, want 16", got)
+	}
+	// Eq.(1) peak for U55C: 74.5M × 32 × 8 B = 19.072 GB/s.
+	wantUtil := 16.0 / 19.072
+	if got := st.Eq1Utilization(); math.Abs(got-wantUtil) > 1e-6 {
+		t.Fatalf("Eq1Utilization = %v, want %v", got, wantUtil)
+	}
+}
+
+func TestStatsZeroCycles(t *testing.T) {
+	st := Stats{Platform: hbm.U55C}
+	if st.ThroughputMSteps() != 0 || st.EffectiveBandwidthGBs() != 0 {
+		t.Fatal("zero-cycle stats must report zero rates")
+	}
+	if st.MeanBubbleRatio() != 0 {
+		t.Fatal("no pipelines → zero bubble ratio")
+	}
+}
+
+func TestStatsMeanBubbleRatio(t *testing.T) {
+	var a, b hwsim.BusyCounter
+	for i := 0; i < 8; i++ {
+		a.Record(true)
+	}
+	for i := 0; i < 2; i++ {
+		a.Record(false)
+	}
+	for i := 0; i < 6; i++ {
+		b.Record(true)
+	}
+	for i := 0; i < 4; i++ {
+		b.Record(false)
+	}
+	st := Stats{PipelineBusy: []hwsim.BusyCounter{a, b}}
+	// Mean of 0.2 and 0.4.
+	if got := st.MeanBubbleRatio(); math.Abs(got-0.3) > 1e-12 {
+		t.Fatalf("MeanBubbleRatio = %v, want 0.3", got)
+	}
+}

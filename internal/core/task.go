@@ -1,0 +1,81 @@
+// Package core implements the RidgeWalker accelerator itself: Markov-based
+// task decomposition (§V-A), asynchronous Row-Access → Sampling →
+// Column-Access pipelines over per-pipeline HBM channels (§IV, §V), the
+// data-aware Task Router, and the Zero-Bubble Scheduler feeding it all
+// (§VI) — plus the ablation switches (§VIII-D) that turn the asynchronous
+// engine and the dynamic scheduler off independently to reproduce Fig. 11.
+//
+// The accelerator runs on the cycle-level kernel of internal/hwsim with the
+// memory model of internal/hbm. Data values (degrees, neighbor ids) are
+// read directly from the in-memory CSR at the moment the simulated
+// transaction completes; the channel model supplies the timing. Walk
+// statistics are therefore exact while performance is simulated.
+package core
+
+import (
+	"ridgewalker/internal/graph"
+)
+
+// Task is the stateless unit of work a GRW query decomposes into (paper
+// Fig. 5a): one hop of one walk, carrying everything the pipeline stages
+// need — ⟨v_last, query ID, step counter, …⟩ — in a single pipeline word
+// (≤512 bits in hardware).
+type Task struct {
+	// Query uniquely identifies the owning query for result tracking.
+	Query uint32
+	// Step is the hop index this task will execute (0-based).
+	Step uint16
+	// VCur is the vertex whose neighbor is sampled this hop.
+	VCur graph.VertexID
+	// VPrev is the previously visited vertex (second-order walks).
+	VPrev graph.VertexID
+	// HasPrev is false on a query's first hop.
+	HasPrev bool
+
+	// Fields below are stage scratch, filled as the task flows through the
+	// pipeline (they ride in the same pipeline word).
+
+	// deg and colBase are produced by Row Access.
+	deg     int32
+	colBase int64
+	// chosenIdx is produced by Sampling.
+	chosenIdx int32
+}
+
+// Layout maps graph data to memory channels (paper Fig. 4b): the row
+// pointer array is partitioned across the Row Access channels, and neighbor
+// lists are shuffled across the Column Access channels to spread load.
+type Layout struct {
+	// Pipelines is N; channel pairs (rp[i], cl[i]) belong to pipeline i.
+	Pipelines int
+}
+
+// RowPipeline returns the pipeline whose Row Access channel holds v's row
+// pointer entry. The paper randomly partitions the CSR across channels
+// (§IV-A); a multiplicative hash realizes that random partition — a plain
+// v mod N would inherit the per-bit skew of RMAT vertex ids and hot-spot
+// one channel.
+func (l Layout) RowPipeline(v graph.VertexID) int {
+	h := (uint64(v) + 0x632be59bd9b4e019) * 0xff51afd7ed558ccd
+	return int((h >> 33) % uint64(l.Pipelines))
+}
+
+// ColPipeline returns the pipeline whose Column Access channel holds v's
+// neighbor list. A different multiplicative hash decorrelates it from
+// RowPipeline, modeling the round-robin shuffle of Fig. 4b.
+func (l Layout) ColPipeline(v graph.VertexID) int {
+	h := uint64(v) * 0x9e3779b97f4a7c15
+	return int((h >> 32) % uint64(l.Pipelines))
+}
+
+// RowAddr returns the byte address of v's row-pointer entry within its
+// channel partition (8-byte entries).
+func (l Layout) RowAddr(v graph.VertexID) uint64 {
+	return uint64(v) / uint64(l.Pipelines) * 8
+}
+
+// ColAddr returns the byte address of the idx-th entry of a neighbor list
+// starting at colBase within its channel.
+func (l Layout) ColAddr(colBase int64, idx int32) uint64 {
+	return uint64(colBase+int64(idx)) * 8 / uint64(l.Pipelines)
+}

@@ -1,0 +1,209 @@
+// Package engine implements RidgeWalker's asynchronous memory access engine
+// (paper §V-B, Fig. 6), the microarchitectural core of the Row Access and
+// Column Access modules.
+//
+// An incoming task enters the Request Proxy, which forwards the address to
+// the memory channel and enqueues the task's metadata separately in a
+// Metadata Queue sized to cover the round-trip latency. The channel's AXI
+// responses may complete out of order across transaction IDs; a reorder
+// buffer reconstructs issue order, and the Response Proxy reunites each
+// response with its metadata before handing the completed task downstream.
+//
+// Unlike a conventional stalling pipeline, the engine never blocks on
+// response availability: as long as the metadata queue and the channel
+// window have room, a new request issues every cycle (II=1), keeping up to
+// MaxOutstanding transactions in flight and fully hiding memory latency.
+package engine
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/hbm"
+)
+
+// Stats counts engine activity.
+type Stats struct {
+	Issued    int64
+	Completed int64
+	// StallMetaFull counts cycles a request was ready but the metadata
+	// queue was full.
+	StallMetaFull int64
+	// StallChannelFull counts cycles the channel window was exhausted.
+	StallChannelFull int64
+}
+
+// Engine is the asynchronous access engine, generic over the metadata type
+// M that rides alongside each transaction.
+type Engine[M any] struct {
+	channel *hbm.Channel
+
+	// metaDepth bounds in-flight transactions; the paper sizes this BRAM
+	// queue to cover round-trip latency (up to 512 entries; 128 on U55C).
+	metaDepth int
+	meta      []metaEntry[M] // issue-order metadata queue
+
+	// Reorder buffer: responses arrive keyed by sequence number; delivery
+	// follows issue order so metadata reunification is a simple FIFO pop.
+	issueSeq uint64
+	popSeq   uint64
+	rob      map[uint64]hbm.Response
+
+	out   []completed[M]
+	stats Stats
+
+	// maxOutstanding additionally bounds in-flight requests; 1 models a
+	// blocking design (the ablation baseline), larger values model the
+	// paper's 128-deep non-blocking engine.
+	maxOutstanding int
+}
+
+type completed[M any] struct {
+	meta M
+	addr uint64
+}
+
+// metaEntry associates metadata with the number of transactions that must
+// complete before it is released (multi-beat accesses, e.g. the extra
+// probes of rejection sampling).
+type metaEntry[M any] struct {
+	meta      M
+	remaining int
+}
+
+// Config parameterizes an Engine.
+type Config struct {
+	// MetaDepth is the metadata queue depth (default 128).
+	MetaDepth int
+	// MaxOutstanding caps in-flight transactions; 1 = blocking access.
+	// Defaults to MetaDepth.
+	MaxOutstanding int
+}
+
+// New builds an engine over the given channel.
+func New[M any](ch *hbm.Channel, cfg Config) (*Engine[M], error) {
+	if cfg.MetaDepth == 0 {
+		cfg.MetaDepth = 128
+	}
+	if cfg.MetaDepth < 1 {
+		return nil, fmt.Errorf("engine: metadata depth %d, want >= 1", cfg.MetaDepth)
+	}
+	if cfg.MaxOutstanding == 0 {
+		cfg.MaxOutstanding = cfg.MetaDepth
+	}
+	if cfg.MaxOutstanding < 1 {
+		return nil, fmt.Errorf("engine: max outstanding %d, want >= 1", cfg.MaxOutstanding)
+	}
+	return &Engine[M]{
+		channel:        ch,
+		metaDepth:      cfg.MetaDepth,
+		rob:            make(map[uint64]hbm.Response),
+		maxOutstanding: cfg.MaxOutstanding,
+	}, nil
+}
+
+// InFlight returns the number of transactions between issue and completion.
+func (e *Engine[M]) InFlight() int { return int(e.issueSeq - e.popSeq) }
+
+// CanAccept reports whether a request can issue this cycle.
+func (e *Engine[M]) CanAccept() bool {
+	if e.InFlight() >= e.maxOutstanding {
+		return false
+	}
+	if len(e.meta) >= e.metaDepth {
+		return false
+	}
+	return e.channel.CanAccept()
+}
+
+// Push issues a request for addr carrying meta. It returns false when the
+// engine cannot accept (metadata queue or channel window full).
+func (e *Engine[M]) Push(addr uint64, meta M) bool {
+	return e.PushN(addr, meta, 1)
+}
+
+// CanAcceptN reports whether an n-transaction access can issue this cycle.
+func (e *Engine[M]) CanAcceptN(n int) bool {
+	if e.InFlight()+n > e.maxOutstanding {
+		return false
+	}
+	if len(e.meta) >= e.metaDepth {
+		return false
+	}
+	return e.channel.CanAcceptN(n)
+}
+
+// PushN issues one logical access of n >= 1 memory transactions (e.g. a
+// sampled read plus its rejection probes). The metadata is released once
+// after the n-th transaction completes. All n transactions issue together
+// or not at all.
+func (e *Engine[M]) PushN(addr uint64, meta M, n int) bool {
+	if n < 1 {
+		panic("engine: PushN with n < 1")
+	}
+	// Classify the more specific stall first: the metadata queue mirrors
+	// in-flight count, so when MetaDepth == MaxOutstanding both bounds trip
+	// together and the metadata queue is the architectural limiter.
+	if len(e.meta) >= e.metaDepth {
+		e.stats.StallMetaFull++
+		return false
+	}
+	if e.InFlight()+n > e.maxOutstanding || !e.channel.CanAcceptN(n) {
+		e.stats.StallChannelFull++
+		return false
+	}
+	for i := 0; i < n; i++ {
+		if !e.channel.Push(hbm.Request{Addr: addr + uint64(i)*8, Tag: e.issueSeq}) {
+			// CanAcceptN guaranteed room; a failure here is a model bug.
+			panic("engine: channel rejected a pre-checked transaction")
+		}
+		e.issueSeq++
+	}
+	e.meta = append(e.meta, metaEntry[M]{meta: meta, remaining: n})
+	e.stats.Issued++
+	return true
+}
+
+// Tick drains channel responses into the reorder buffer and releases
+// completed tasks in issue order. The channel itself must be ticked
+// separately (it is shared infrastructure registered with the simulator).
+func (e *Engine[M]) Tick(now int64) {
+	for {
+		resp, ok := e.channel.PopResponse()
+		if !ok {
+			break
+		}
+		e.rob[resp.Tag] = resp
+	}
+	for {
+		resp, ok := e.rob[e.popSeq]
+		if !ok {
+			break
+		}
+		delete(e.rob, e.popSeq)
+		e.popSeq++
+		e.meta[0].remaining--
+		if e.meta[0].remaining == 0 {
+			m := e.meta[0].meta
+			e.meta = e.meta[1:]
+			e.out = append(e.out, completed[M]{meta: m, addr: resp.Addr})
+			e.stats.Completed++
+		}
+	}
+}
+
+// PopCompleted returns the oldest completed task's metadata and address.
+func (e *Engine[M]) PopCompleted() (meta M, addr uint64, ok bool) {
+	var zero M
+	if len(e.out) == 0 {
+		return zero, 0, false
+	}
+	c := e.out[0]
+	e.out = e.out[1:]
+	return c.meta, c.addr, true
+}
+
+// PendingCompleted returns the number of completed tasks not yet popped.
+func (e *Engine[M]) PendingCompleted() int { return len(e.out) }
+
+// Stats returns a copy of the counters.
+func (e *Engine[M]) Stats() Stats { return e.stats }

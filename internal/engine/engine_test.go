@@ -1,0 +1,203 @@
+package engine
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/rng"
+)
+
+func newChan(outstanding, reorder int) *hbm.Channel {
+	return hbm.NewChannel(hbm.ChannelConfig{
+		ServiceInterval: 2,
+		Latency:         20,
+		MaxOutstanding:  outstanding,
+		ReorderWindow:   reorder,
+		Seed:            3,
+	})
+}
+
+// drive pushes n requests as fast as the engine accepts and returns the
+// metadata in completion order plus total cycles used.
+func drive(t *testing.T, e *Engine[int], ch *hbm.Channel, n int) ([]int, int64) {
+	t.Helper()
+	pushed := 0
+	var out []int
+	var now int64
+	for now = 0; now < int64(n)*200+1000 && len(out) < n; now++ {
+		if pushed < n && e.CanAccept() {
+			if e.Push(uint64(pushed)*8, pushed) {
+				pushed++
+			}
+		}
+		ch.Tick(now)
+		e.Tick(now)
+		for {
+			meta, addr, ok := e.PopCompleted()
+			if !ok {
+				break
+			}
+			if addr != uint64(meta)*8 {
+				t.Fatalf("metadata %d reunited with wrong address %#x", meta, addr)
+			}
+			out = append(out, meta)
+		}
+	}
+	return out, now
+}
+
+func TestEngineReunitesMetadataInOrder(t *testing.T) {
+	ch := newChan(64, 16) // out-of-order completions
+	e, err := New[int](ch, Config{MetaDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	out, _ := drive(t, e, ch, 200)
+	if len(out) != 200 {
+		t.Fatalf("completed %d/200", len(out))
+	}
+	for i, m := range out {
+		if m != i {
+			t.Fatalf("completion %d carries metadata %d; reorder buffer failed", i, m)
+		}
+	}
+}
+
+func TestEngineNonBlockingHidesLatency(t *testing.T) {
+	// Blocking engine (1 outstanding): each access pays full latency.
+	// Async engine (64 outstanding): throughput approaches the service rate.
+	const n = 300
+
+	chB := newChan(64, 0)
+	blocking, err := New[int](chB, Config{MetaDepth: 64, MaxOutstanding: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outB, cyclesBlocking := drive(t, blocking, chB, n)
+
+	chA := newChan(64, 0)
+	async, err := New[int](chA, Config{MetaDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	outA, cyclesAsync := drive(t, async, chA, n)
+
+	if len(outB) != n || len(outA) != n {
+		t.Fatalf("incomplete runs: %d %d", len(outB), len(outA))
+	}
+	// Latency 20 + service 2 ≈ 22+ cycles each when blocking; ~2 when
+	// pipelined. Expect at least 5× separation.
+	if cyclesBlocking < 5*cyclesAsync {
+		t.Fatalf("async %d cycles vs blocking %d: latency not hidden", cyclesAsync, cyclesBlocking)
+	}
+}
+
+func TestEngineMetadataQueueBound(t *testing.T) {
+	ch := newChan(1024, 0)
+	e, err := New[int](ch, Config{MetaDepth: 4})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if e.Push(uint64(i), i) {
+			accepted++
+		}
+	}
+	if accepted != 4 {
+		t.Fatalf("accepted %d pushes with MetaDepth=4", accepted)
+	}
+	if e.Stats().StallMetaFull == 0 {
+		t.Fatal("metadata-full stalls not counted")
+	}
+}
+
+func TestEngineChannelWindowStall(t *testing.T) {
+	ch := newChan(2, 0)
+	e, err := New[int](ch, Config{MetaDepth: 64})
+	if err != nil {
+		t.Fatal(err)
+	}
+	accepted := 0
+	for i := 0; i < 6; i++ {
+		if e.Push(uint64(i), i) {
+			accepted++
+		}
+	}
+	if accepted != 2 {
+		t.Fatalf("accepted %d pushes with channel window 2", accepted)
+	}
+	if e.Stats().StallChannelFull == 0 {
+		t.Fatal("channel-full stalls not counted")
+	}
+}
+
+func TestEngineConfigDefaults(t *testing.T) {
+	ch := newChan(8, 0)
+	e, err := New[string](ch, Config{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if e.metaDepth != 128 || e.maxOutstanding != 128 {
+		t.Fatalf("defaults = (%d,%d), want (128,128)", e.metaDepth, e.maxOutstanding)
+	}
+	if _, err := New[string](ch, Config{MetaDepth: -1}); err == nil {
+		t.Fatal("negative depth accepted")
+	}
+	if _, err := New[string](ch, Config{MaxOutstanding: -2}); err == nil {
+		t.Fatal("negative outstanding accepted")
+	}
+}
+
+// TestEngineConservationProperty: random arrival gaps and reorder windows;
+// every pushed item completes exactly once, in issue order, with its own
+// address.
+func TestEngineConservationProperty(t *testing.T) {
+	f := func(seed uint64, reorderRaw uint8, nRaw uint8) bool {
+		reorder := int(reorderRaw % 24)
+		n := int(nRaw%100) + 1
+		ch := hbm.NewChannel(hbm.ChannelConfig{
+			ServiceInterval: 1.7, Latency: 12, MaxOutstanding: 32,
+			ReorderWindow: reorder, Seed: seed,
+		})
+		e, err := New[uint64](ch, Config{MetaDepth: 32})
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		pushed := 0
+		var out []uint64
+		for now := int64(0); now < int64(n)*100+500 && len(out) < n; now++ {
+			if pushed < n && r.Intn(3) == 0 && e.CanAccept() {
+				if e.Push(uint64(pushed)*16, uint64(pushed)) {
+					pushed++
+				}
+			}
+			ch.Tick(now)
+			e.Tick(now)
+			for {
+				meta, addr, ok := e.PopCompleted()
+				if !ok {
+					break
+				}
+				if addr != meta*16 {
+					return false
+				}
+				out = append(out, meta)
+			}
+		}
+		if len(out) != n {
+			return false
+		}
+		for i, m := range out {
+			if m != uint64(i) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 80}); err != nil {
+		t.Fatal(err)
+	}
+}

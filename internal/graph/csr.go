@@ -1,0 +1,254 @@
+// Package graph provides the compressed sparse row (CSR) graph
+// representation used by every GRW engine in this repository, plus
+// generators for synthetic graphs (RMAT) and scaled twins of the paper's
+// evaluation datasets, and a compact binary serialization.
+//
+// CSR (paper §II-A) stores two arrays: RowPtr, where RowPtr[v] is the offset
+// of vertex v's neighbor list, and Col, the concatenated neighbor lists.
+// Optional parallel arrays carry edge weights (weighted GRWs) and vertex
+// labels (MetaPath walks over heterogeneous graphs).
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// VertexID identifies a vertex. 32 bits match the paper's task tuple, which
+// packs the current vertex into a single pipeline word.
+type VertexID = uint32
+
+// CSR is an immutable graph in compressed sparse row form.
+//
+// Invariants (checked by Validate):
+//   - len(RowPtr) == NumVertices+1, RowPtr[0] == 0, nondecreasing,
+//     RowPtr[NumVertices] == len(Col)
+//   - every Col entry < NumVertices
+//   - Weights is nil or len(Weights) == len(Col), all weights > 0
+//   - Labels is nil or len(Labels) == NumVertices
+type CSR struct {
+	NumVertices int
+	RowPtr      []int64
+	Col         []VertexID
+	// Weights holds per-edge weights for weighted GRWs (DeepWalk with alias
+	// sampling, weighted Node2Vec, MetaPath). Nil for unweighted graphs.
+	Weights []float32
+	// Labels holds per-vertex type labels for heterogeneous graphs
+	// (MetaPath). Nil for homogeneous graphs.
+	Labels []uint8
+	// Directed records whether the graph was built as directed. Undirected
+	// graphs store each edge in both directions.
+	Directed bool
+}
+
+// Degree returns the out-degree of v.
+func (g *CSR) Degree(v VertexID) int {
+	return int(g.RowPtr[v+1] - g.RowPtr[v])
+}
+
+// Neighbors returns the neighbor list of v. The returned slice aliases the
+// graph's storage and must not be modified.
+func (g *CSR) Neighbors(v VertexID) []VertexID {
+	return g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// NeighborWeights returns the edge-weight list parallel to Neighbors(v).
+// It panics if the graph is unweighted.
+func (g *CSR) NeighborWeights(v VertexID) []float32 {
+	if g.Weights == nil {
+		panic("graph: NeighborWeights on unweighted graph")
+	}
+	return g.Weights[g.RowPtr[v]:g.RowPtr[v+1]]
+}
+
+// NumEdges returns the number of stored directed edges (an undirected edge
+// counts twice).
+func (g *CSR) NumEdges() int64 { return int64(len(g.Col)) }
+
+// HasEdge reports whether the directed edge u→v is present. Neighbor lists
+// are sorted by Build, so this is a binary search.
+func (g *CSR) HasEdge(u, v VertexID) bool {
+	ns := g.Neighbors(u)
+	i := sort.Search(len(ns), func(i int) bool { return ns[i] >= v })
+	return i < len(ns) && ns[i] == v
+}
+
+// Weighted reports whether per-edge weights are present.
+func (g *CSR) Weighted() bool { return g.Weights != nil }
+
+// Label returns the label of v, or 0 for homogeneous graphs.
+func (g *CSR) Label(v VertexID) uint8 {
+	if g.Labels == nil {
+		return 0
+	}
+	return g.Labels[v]
+}
+
+// ZeroOutDegreeCount returns the number of vertices with no outgoing edges
+// (walks terminate immediately on reaching one — paper Fig. 1b).
+func (g *CSR) ZeroOutDegreeCount() int {
+	n := 0
+	for v := 0; v < g.NumVertices; v++ {
+		if g.RowPtr[v+1] == g.RowPtr[v] {
+			n++
+		}
+	}
+	return n
+}
+
+// MaxDegree returns the largest out-degree in the graph.
+func (g *CSR) MaxDegree() int {
+	maxDeg := 0
+	for v := 0; v < g.NumVertices; v++ {
+		if d := int(g.RowPtr[v+1] - g.RowPtr[v]); d > maxDeg {
+			maxDeg = d
+		}
+	}
+	return maxDeg
+}
+
+// MemoryFootprintBytes returns the size of the CSR arrays as laid out in
+// accelerator memory: 8-byte row-pointer entries and 4-byte column entries,
+// plus 4-byte weights when present. Used for cache-fit decisions in the
+// FastRW and gSampler models.
+func (g *CSR) MemoryFootprintBytes() int64 {
+	b := int64(len(g.RowPtr))*8 + int64(len(g.Col))*4
+	if g.Weights != nil {
+		b += int64(len(g.Weights)) * 4
+	}
+	return b
+}
+
+// RowPointerBytes returns the size of just the row-pointer array, the
+// structure FastRW tries to keep in on-chip memory.
+func (g *CSR) RowPointerBytes() int64 { return int64(len(g.RowPtr)) * 8 }
+
+// Validate checks the CSR invariants, returning a descriptive error for the
+// first violation found.
+func (g *CSR) Validate() error {
+	if g.NumVertices < 0 {
+		return fmt.Errorf("graph: negative vertex count %d", g.NumVertices)
+	}
+	if len(g.RowPtr) != g.NumVertices+1 {
+		return fmt.Errorf("graph: len(RowPtr)=%d, want %d", len(g.RowPtr), g.NumVertices+1)
+	}
+	if g.NumVertices == 0 {
+		return nil
+	}
+	if g.RowPtr[0] != 0 {
+		return fmt.Errorf("graph: RowPtr[0]=%d, want 0", g.RowPtr[0])
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if g.RowPtr[v+1] < g.RowPtr[v] {
+			return fmt.Errorf("graph: RowPtr decreases at vertex %d", v)
+		}
+	}
+	if g.RowPtr[g.NumVertices] != int64(len(g.Col)) {
+		return fmt.Errorf("graph: RowPtr[n]=%d, want len(Col)=%d", g.RowPtr[g.NumVertices], len(g.Col))
+	}
+	for i, c := range g.Col {
+		if int(c) >= g.NumVertices {
+			return fmt.Errorf("graph: Col[%d]=%d out of range (n=%d)", i, c, g.NumVertices)
+		}
+	}
+	if g.Weights != nil {
+		if len(g.Weights) != len(g.Col) {
+			return fmt.Errorf("graph: len(Weights)=%d, want %d", len(g.Weights), len(g.Col))
+		}
+		for i, w := range g.Weights {
+			if !(w > 0) {
+				return fmt.Errorf("graph: Weights[%d]=%v, want > 0", i, w)
+			}
+		}
+	}
+	if g.Labels != nil && len(g.Labels) != g.NumVertices {
+		return fmt.Errorf("graph: len(Labels)=%d, want %d", len(g.Labels), g.NumVertices)
+	}
+	return nil
+}
+
+// Edge is a directed edge for graph construction.
+type Edge struct {
+	Src, Dst VertexID
+}
+
+// Build constructs a CSR from an edge list. Duplicate edges and self-loops
+// are kept (GRW engines treat them as ordinary transitions, matching how
+// ThunderRW and gSampler consume raw SNAP edge lists). Neighbor lists are
+// sorted by destination so HasEdge can binary-search — the order of
+// neighbors never affects walk statistics.
+//
+// If directed is false, every edge is mirrored.
+func Build(numVertices int, edges []Edge, directed bool) (*CSR, error) {
+	for _, e := range edges {
+		if int(e.Src) >= numVertices || int(e.Dst) >= numVertices {
+			return nil, fmt.Errorf("graph: edge %d→%d out of range (n=%d)", e.Src, e.Dst, numVertices)
+		}
+	}
+	m := len(edges)
+	if !directed {
+		m *= 2
+	}
+	deg := make([]int64, numVertices+1)
+	for _, e := range edges {
+		deg[e.Src+1]++
+		if !directed {
+			deg[e.Dst+1]++
+		}
+	}
+	rowPtr := make([]int64, numVertices+1)
+	for v := 1; v <= numVertices; v++ {
+		rowPtr[v] = rowPtr[v-1] + deg[v]
+	}
+	col := make([]VertexID, m)
+	next := make([]int64, numVertices)
+	copy(next, rowPtr[:numVertices])
+	for _, e := range edges {
+		col[next[e.Src]] = e.Dst
+		next[e.Src]++
+		if !directed {
+			col[next[e.Dst]] = e.Src
+			next[e.Dst]++
+		}
+	}
+	g := &CSR{NumVertices: numVertices, RowPtr: rowPtr, Col: col, Directed: directed}
+	g.sortNeighborLists()
+	if err := g.Validate(); err != nil {
+		return nil, err
+	}
+	return g, nil
+}
+
+// sortNeighborLists sorts each vertex's neighbors ascending.
+func (g *CSR) sortNeighborLists() {
+	for v := 0; v < g.NumVertices; v++ {
+		ns := g.Col[g.RowPtr[v]:g.RowPtr[v+1]]
+		sort.Slice(ns, func(i, j int) bool { return ns[i] < ns[j] })
+	}
+}
+
+// AttachWeights sets per-edge weights following the ThunderRW recipe the
+// paper uses for weighted workloads: weight(u→v) = 1 + (v mod 5), a
+// deterministic, strictly positive assignment that spreads mass unevenly
+// enough to exercise weighted samplers.
+func (g *CSR) AttachWeights() {
+	w := make([]float32, len(g.Col))
+	for i, c := range g.Col {
+		w[i] = float32(1 + c%5)
+	}
+	g.Weights = w
+}
+
+// AttachLabels assigns each vertex a label in [0, numTypes) by hashing the
+// vertex id, giving heterogeneous graphs for MetaPath walks.
+func (g *CSR) AttachLabels(numTypes int) {
+	if numTypes <= 0 || numTypes > 256 {
+		panic("graph: numTypes must be in (0, 256]")
+	}
+	ls := make([]uint8, g.NumVertices)
+	for v := range ls {
+		h := uint64(v) * 0x9e3779b97f4a7c15
+		ls[v] = uint8((h >> 32) % uint64(numTypes))
+	}
+	g.Labels = ls
+}

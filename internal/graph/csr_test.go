@@ -1,0 +1,324 @@
+package graph
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ridgewalker/internal/rng"
+)
+
+func TestBuildSmallGraph(t *testing.T) {
+	g := SmallTestGraph()
+	if g.NumVertices != 5 {
+		t.Fatalf("NumVertices = %d, want 5", g.NumVertices)
+	}
+	if g.NumEdges() != 12 {
+		t.Fatalf("NumEdges = %d, want 12", g.NumEdges())
+	}
+	wantDeg := []int{3, 3, 1, 2, 3}
+	for v, want := range wantDeg {
+		if got := g.Degree(VertexID(v)); got != want {
+			t.Errorf("Degree(%d) = %d, want %d", v, got, want)
+		}
+	}
+	wantNbrs := map[VertexID][]VertexID{
+		0: {1, 3, 4}, 1: {0, 3, 4}, 2: {4}, 3: {0, 1}, 4: {0, 1, 3},
+	}
+	for v, want := range wantNbrs {
+		got := g.Neighbors(v)
+		if len(got) != len(want) {
+			t.Fatalf("Neighbors(%d) = %v, want %v", v, got, want)
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("Neighbors(%d) = %v, want %v", v, got, want)
+			}
+		}
+	}
+}
+
+func TestHasEdge(t *testing.T) {
+	g := SmallTestGraph()
+	cases := []struct {
+		u, v VertexID
+		want bool
+	}{
+		{0, 1, true}, {0, 2, false}, {2, 4, true}, {4, 2, false}, {3, 0, true},
+	}
+	for _, c := range cases {
+		if got := g.HasEdge(c.u, c.v); got != c.want {
+			t.Errorf("HasEdge(%d,%d) = %v, want %v", c.u, c.v, got, c.want)
+		}
+	}
+}
+
+func TestBuildUndirectedMirrors(t *testing.T) {
+	g, err := Build(3, []Edge{{0, 1}, {1, 2}}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumEdges() != 4 {
+		t.Fatalf("NumEdges = %d, want 4", g.NumEdges())
+	}
+	for _, pair := range [][2]VertexID{{0, 1}, {1, 0}, {1, 2}, {2, 1}} {
+		if !g.HasEdge(pair[0], pair[1]) {
+			t.Errorf("missing mirrored edge %d→%d", pair[0], pair[1])
+		}
+	}
+}
+
+func TestBuildRejectsOutOfRange(t *testing.T) {
+	if _, err := Build(2, []Edge{{0, 5}}, true); err == nil {
+		t.Fatal("Build accepted out-of-range edge")
+	}
+}
+
+func TestValidateCatchesCorruption(t *testing.T) {
+	mk := func() *CSR { return SmallTestGraph() }
+
+	g := mk()
+	g.RowPtr[2] = 100
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted non-monotone RowPtr")
+	}
+
+	g = mk()
+	g.Col[0] = 99
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted out-of-range Col entry")
+	}
+
+	g = mk()
+	g.Weights = []float32{1}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted mis-sized Weights")
+	}
+
+	g = mk()
+	g.Weights = make([]float32, len(g.Col))
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted zero weight")
+	}
+
+	g = mk()
+	g.Labels = []uint8{1, 2}
+	if err := g.Validate(); err == nil {
+		t.Error("Validate accepted mis-sized Labels")
+	}
+}
+
+func TestZeroOutDegreeCount(t *testing.T) {
+	g, err := Build(4, []Edge{{0, 1}, {1, 0}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := g.ZeroOutDegreeCount(); got != 2 {
+		t.Fatalf("ZeroOutDegreeCount = %d, want 2", got)
+	}
+}
+
+func TestAttachWeights(t *testing.T) {
+	g := SmallTestGraph()
+	g.AttachWeights()
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i, c := range g.Col {
+		want := float32(1 + c%5)
+		if g.Weights[i] != want {
+			t.Fatalf("weight[%d] = %v, want %v", i, g.Weights[i], want)
+		}
+	}
+}
+
+func TestAttachLabels(t *testing.T) {
+	g := SmallTestGraph()
+	g.AttachLabels(3)
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if g.Label(VertexID(v)) > 2 {
+			t.Fatalf("label out of range: %d", g.Label(VertexID(v)))
+		}
+	}
+}
+
+func TestBuildPropertyConservesEdges(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawM uint16) bool {
+		n := int(rawN%50) + 1
+		m := int(rawM % 500)
+		r := rng.New(seed)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{Src: VertexID(r.Intn(n)), Dst: VertexID(r.Intn(n))}
+		}
+		g, err := Build(n, edges, true)
+		if err != nil {
+			return false
+		}
+		if g.Validate() != nil {
+			return false
+		}
+		if int(g.NumEdges()) != m {
+			return false
+		}
+		// Every input edge must appear (multiplicity preserved).
+		count := map[Edge]int{}
+		for _, e := range edges {
+			count[e]++
+		}
+		for v := 0; v < n; v++ {
+			for _, w := range g.Neighbors(VertexID(v)) {
+				count[Edge{VertexID(v), w}]--
+			}
+		}
+		for _, c := range count {
+			if c != 0 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATBalanced(t *testing.T) {
+	g, err := GenerateRMAT(Balanced(10, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 1024 {
+		t.Fatalf("NumVertices = %d, want 1024", g.NumVertices)
+	}
+	// Undirected: edges mirrored.
+	if g.NumEdges() != 2*8*1024 {
+		t.Fatalf("NumEdges = %d, want %d", g.NumEdges(), 2*8*1024)
+	}
+	if err := g.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRMATGraph500Skewed(t *testing.T) {
+	bal, err := GenerateRMAT(RMATConfig{Scale: 12, EdgeFactor: 8, A: 0.25, B: 0.25, C: 0.25, D: 0.25, Directed: true, Seed: 2})
+	if err != nil {
+		t.Fatal(err)
+	}
+	skew, err := GenerateRMAT(Graph500(12, 8, 2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	sb, ss := Stats(bal), Stats(skew)
+	if ss.MaxDegree <= 2*sb.MaxDegree {
+		t.Fatalf("Graph500 max degree %d not clearly more skewed than balanced %d", ss.MaxDegree, sb.MaxDegree)
+	}
+	// Skewed RMAT leaves many vertices with no out-edges.
+	if ss.ZeroOutFrac <= sb.ZeroOutFrac {
+		t.Fatalf("Graph500 zero-out fraction %v <= balanced %v", ss.ZeroOutFrac, sb.ZeroOutFrac)
+	}
+}
+
+func TestRMATDeterministic(t *testing.T) {
+	a, err := GenerateRMAT(Graph500(10, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := GenerateRMAT(Graph500(10, 4, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.NumEdges() != b.NumEdges() {
+		t.Fatal("same seed produced different edge counts")
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			t.Fatal("same seed produced different graphs")
+		}
+	}
+}
+
+func TestRMATRejectsBadConfig(t *testing.T) {
+	bad := []RMATConfig{
+		{Scale: 0, EdgeFactor: 1, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 5, EdgeFactor: 0, A: 0.25, B: 0.25, C: 0.25, D: 0.25},
+		{Scale: 5, EdgeFactor: 1, A: 0.9, B: 0.3, C: 0.25, D: 0.25},
+		{Scale: 5, EdgeFactor: 1, A: 1.0, B: 0, C: 0, D: 0},
+	}
+	for i, cfg := range bad {
+		if _, err := GenerateRMAT(cfg); err == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+}
+
+func TestDatasetTwinsHaveDeclaredTraits(t *testing.T) {
+	if testing.Short() {
+		t.Skip("dataset generation is slow in -short mode")
+	}
+	for _, spec := range Datasets {
+		spec := spec
+		t.Run(spec.Name, func(t *testing.T) {
+			g, err := spec.Generate(42)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := g.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if g.Directed != spec.Directed {
+				t.Errorf("directed = %v, want %v", g.Directed, spec.Directed)
+			}
+			st := Stats(g)
+			if spec.DanglingFraction > 0 {
+				if st.ZeroOutFrac < spec.DanglingFraction*0.8 {
+					t.Errorf("zero-out fraction %v, want >= %v", st.ZeroOutFrac, spec.DanglingFraction*0.8)
+				}
+			} else {
+				// Undirected twins may contain isolated vertices from the
+				// RMAT draw, but no *reachable* sinks: a vertex with an
+				// incoming edge must have an outgoing one (symmetry), so
+				// walks never terminate early.
+				inDeg := make([]int, g.NumVertices)
+				for _, c := range g.Col {
+					inDeg[c]++
+				}
+				for v := 0; v < g.NumVertices; v++ {
+					if inDeg[v] > 0 && g.Degree(VertexID(v)) == 0 {
+						t.Fatalf("undirected twin %s has reachable sink %d", spec.Name, v)
+					}
+				}
+			}
+			if st.MeanDegree < 1 {
+				t.Errorf("mean degree %v too small", st.MeanDegree)
+			}
+		})
+	}
+}
+
+func TestDatasetByName(t *testing.T) {
+	d, err := DatasetByName("LJ")
+	if err != nil || d.FullName != "soc-LiveJournal" {
+		t.Fatalf("DatasetByName(LJ) = %+v, %v", d, err)
+	}
+	if _, err := DatasetByName("nope"); err == nil {
+		t.Fatal("unknown dataset accepted")
+	}
+}
+
+func TestStatsOnSmallGraph(t *testing.T) {
+	g := SmallTestGraph()
+	st := Stats(g)
+	if st.Vertices != 5 || st.Edges != 12 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if math.Abs(st.MeanDegree-2.4) > 1e-9 {
+		t.Fatalf("mean degree = %v, want 2.4", st.MeanDegree)
+	}
+	if st.MaxDegree != 3 {
+		t.Fatalf("max degree = %v, want 3", st.MaxDegree)
+	}
+}

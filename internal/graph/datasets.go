@@ -1,0 +1,193 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+
+	"ridgewalker/internal/rng"
+)
+
+// DatasetSpec describes a scaled synthetic twin of one of the paper's
+// evaluation graphs (Table II). The twins preserve the structural traits the
+// experiments depend on — direction, mean degree, degree skew, and the
+// fraction of zero-out-degree ("dangling") vertices that forces early walk
+// termination — at roughly 1/20 of the original edge count so cycle-level
+// simulation stays tractable.
+type DatasetSpec struct {
+	// Name is the paper's abbreviation (WG, CP, AS, LJ, AB, UK).
+	Name string
+	// FullName is the original dataset this twin models.
+	FullName string
+	// Scale and EdgeFactor parameterize the underlying RMAT draw.
+	Scale      int
+	EdgeFactor int
+	// SkewA is the dominant RMAT quadrant probability; the rest is split as
+	// b = c = (1-a)/2 - d/2 with d chosen small for skewed graphs.
+	SkewA float64
+	// Directed mirrors the original graph's direction.
+	Directed bool
+	// DanglingFraction is the fraction of vertices whose outgoing edges are
+	// removed, modeling web/citation sinks (paper Fig. 1b case II).
+	DanglingFraction float64
+	// PaperVertices / PaperEdges record the original sizes for reporting.
+	PaperVertices, PaperEdges int64
+	// PaperDiameter is Table II's δ column.
+	PaperDiameter int
+}
+
+// Datasets lists the six twins in the paper's order (Table II).
+var Datasets = []DatasetSpec{
+	{Name: "WG", FullName: "web-Google", Scale: 15, EdgeFactor: 6, SkewA: 0.57, Directed: true,
+		DanglingFraction: 0.12, PaperVertices: 900000, PaperEdges: 5100000, PaperDiameter: 21},
+	{Name: "CP", FullName: "cit-Patents", Scale: 17, EdgeFactor: 5, SkewA: 0.45, Directed: true,
+		DanglingFraction: 0.22, PaperVertices: 3800000, PaperEdges: 16500000, PaperDiameter: 26},
+	// AS is kept directed with dangling sinks: the paper's Fig. 11 shows
+	// as-Skitter with the *largest* early-termination scheduling gain
+	// (4.8×), i.e. its edge list is consumed as directed.
+	{Name: "AS", FullName: "as-Skitter", Scale: 16, EdgeFactor: 9, SkewA: 0.57, Directed: true,
+		DanglingFraction: 0.10, PaperVertices: 1700000, PaperEdges: 22200000, PaperDiameter: 31},
+	{Name: "LJ", FullName: "soc-LiveJournal", Scale: 17, EdgeFactor: 14, SkewA: 0.45, Directed: false,
+		DanglingFraction: 0, PaperVertices: 4900000, PaperEdges: 69000000, PaperDiameter: 28},
+	{Name: "AB", FullName: "arabic-2005", Scale: 18, EdgeFactor: 15, SkewA: 0.62, Directed: true,
+		DanglingFraction: 0.15, PaperVertices: 22700000, PaperEdges: 600000000, PaperDiameter: 133},
+	{Name: "UK", FullName: "uk-2005", Scale: 18, EdgeFactor: 13, SkewA: 0.60, Directed: true,
+		DanglingFraction: 0.10, PaperVertices: 39600000, PaperEdges: 800000000, PaperDiameter: 45},
+}
+
+// DatasetByName returns the spec with the given paper abbreviation.
+func DatasetByName(name string) (DatasetSpec, error) {
+	for _, d := range Datasets {
+		if d.Name == name {
+			return d, nil
+		}
+	}
+	return DatasetSpec{}, fmt.Errorf("graph: unknown dataset %q", name)
+}
+
+// Generate materializes the twin. The same spec and seed always produce the
+// same graph.
+func (d DatasetSpec) Generate(seed uint64) (*CSR, error) {
+	a := d.SkewA
+	var b, c, dd float64
+	if a <= 0.26 {
+		b, c, dd = 0.25, 0.25, 1-a-0.5
+	} else {
+		// Skewed: small d, remainder split between b and c.
+		dd = 0.05
+		b = (1 - a - dd) / 2
+		c = b
+	}
+	cfg := RMATConfig{
+		Scale: d.Scale, EdgeFactor: d.EdgeFactor,
+		A: a, B: b, C: c, D: dd,
+		Directed: d.Directed, Seed: seed, NoiseAmplitude: 0.1,
+	}
+	g, err := GenerateRMAT(cfg)
+	if err != nil {
+		return nil, err
+	}
+	if d.DanglingFraction > 0 {
+		g = removeOutEdges(g, d.DanglingFraction, seed^0xda41)
+	}
+	return g, nil
+}
+
+// removeOutEdges strips all outgoing edges from the given fraction of
+// vertices (chosen uniformly), producing dangling sinks. Incoming edges to
+// those vertices are kept, so walks still reach them and terminate — the
+// early-termination behavior the zero-bubble scheduler targets.
+func removeOutEdges(g *CSR, fraction float64, seed uint64) *CSR {
+	r := rng.New(seed)
+	drop := make([]bool, g.NumVertices)
+	target := int(float64(g.NumVertices) * fraction)
+	for n := 0; n < target; {
+		v := r.Intn(g.NumVertices)
+		if !drop[v] {
+			drop[v] = true
+			n++
+		}
+	}
+	rowPtr := make([]int64, g.NumVertices+1)
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.RowPtr[v+1] - g.RowPtr[v]
+		if drop[v] {
+			d = 0
+		}
+		rowPtr[v+1] = rowPtr[v] + d
+	}
+	col := make([]VertexID, rowPtr[g.NumVertices])
+	for v := 0; v < g.NumVertices; v++ {
+		if !drop[v] {
+			copy(col[rowPtr[v]:rowPtr[v+1]], g.Neighbors(VertexID(v)))
+		}
+	}
+	return &CSR{NumVertices: g.NumVertices, RowPtr: rowPtr, Col: col, Directed: g.Directed}
+}
+
+// DegreeStats summarizes a graph's degree distribution for reporting and
+// for validating that generated twins have the intended traits.
+type DegreeStats struct {
+	Vertices    int
+	Edges       int64
+	MeanDegree  float64
+	MaxDegree   int
+	ZeroOutFrac float64
+	P99Degree   int
+}
+
+// Stats computes DegreeStats for g.
+func Stats(g *CSR) DegreeStats {
+	degs := make([]int, g.NumVertices)
+	zero := 0
+	maxDeg := 0
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.Degree(VertexID(v))
+		degs[v] = d
+		if d == 0 {
+			zero++
+		}
+		if d > maxDeg {
+			maxDeg = d
+		}
+	}
+	sort.Ints(degs)
+	p99 := 0
+	if g.NumVertices > 0 {
+		p99 = degs[(g.NumVertices-1)*99/100]
+	}
+	mean := 0.0
+	if g.NumVertices > 0 {
+		mean = float64(len(g.Col)) / float64(g.NumVertices)
+	}
+	return DegreeStats{
+		Vertices:    g.NumVertices,
+		Edges:       int64(len(g.Col)),
+		MeanDegree:  mean,
+		MaxDegree:   maxDeg,
+		ZeroOutFrac: float64(zero) / float64(max(1, g.NumVertices)),
+		P99Degree:   p99,
+	}
+}
+
+// SmallTestGraph returns a tiny deterministic graph used across unit tests:
+// the 5-vertex example of the paper's Fig. 2.
+//
+//	v0 → v1, v3, v4
+//	v1 → v0, v3, v4
+//	v2 → v4
+//	v3 → v0, v1
+//	v4 → v0, v1, v3
+func SmallTestGraph() *CSR {
+	edges := []Edge{
+		{0, 1}, {0, 3}, {0, 4},
+		{1, 0}, {1, 3}, {1, 4},
+		{2, 4},
+		{3, 0}, {3, 1},
+		{4, 0}, {4, 1}, {4, 3},
+	}
+	g, err := Build(5, edges, true)
+	if err != nil {
+		panic(err)
+	}
+	return g
+}

@@ -1,0 +1,182 @@
+package graph
+
+import (
+	"bufio"
+	"encoding/binary"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+)
+
+// Binary format: a small header followed by the raw arrays, little-endian.
+// magic | version | flags | numVertices | numEdges | RowPtr | Col
+// [| Weights][| Labels]
+const (
+	binMagic   = 0x52574752 // "RWGR"
+	binVersion = 1
+
+	flagDirected = 1 << 0
+	flagWeighted = 1 << 1
+	flagLabeled  = 1 << 2
+)
+
+// WriteBinary serializes g in the package's binary format.
+func WriteBinary(w io.Writer, g *CSR) error {
+	if err := g.Validate(); err != nil {
+		return fmt.Errorf("graph: refusing to serialize invalid graph: %w", err)
+	}
+	bw := bufio.NewWriterSize(w, 1<<20)
+	var flags uint32
+	if g.Directed {
+		flags |= flagDirected
+	}
+	if g.Weights != nil {
+		flags |= flagWeighted
+	}
+	if g.Labels != nil {
+		flags |= flagLabeled
+	}
+	hdr := []uint64{binMagic, binVersion, uint64(flags), uint64(g.NumVertices), uint64(len(g.Col))}
+	for _, h := range hdr {
+		if err := binary.Write(bw, binary.LittleEndian, h); err != nil {
+			return err
+		}
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.RowPtr); err != nil {
+		return err
+	}
+	if err := binary.Write(bw, binary.LittleEndian, g.Col); err != nil {
+		return err
+	}
+	if g.Weights != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Weights); err != nil {
+			return err
+		}
+	}
+	if g.Labels != nil {
+		if err := binary.Write(bw, binary.LittleEndian, g.Labels); err != nil {
+			return err
+		}
+	}
+	return bw.Flush()
+}
+
+// ReadBinary deserializes a graph written by WriteBinary.
+func ReadBinary(r io.Reader) (*CSR, error) {
+	br := bufio.NewReaderSize(r, 1<<20)
+	hdr := make([]uint64, 5)
+	for i := range hdr {
+		if err := binary.Read(br, binary.LittleEndian, &hdr[i]); err != nil {
+			return nil, fmt.Errorf("graph: short header: %w", err)
+		}
+	}
+	if hdr[0] != binMagic {
+		return nil, fmt.Errorf("graph: bad magic %#x", hdr[0])
+	}
+	if hdr[1] != binVersion {
+		return nil, fmt.Errorf("graph: unsupported version %d", hdr[1])
+	}
+	flags := uint32(hdr[2])
+	n := int(hdr[3])
+	m := int(hdr[4])
+	if n < 0 || m < 0 || n > 1<<31 || m > 1<<33 {
+		return nil, fmt.Errorf("graph: implausible sizes n=%d m=%d", n, m)
+	}
+	g := &CSR{
+		NumVertices: n,
+		RowPtr:      make([]int64, n+1),
+		Col:         make([]VertexID, m),
+		Directed:    flags&flagDirected != 0,
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.RowPtr); err != nil {
+		return nil, err
+	}
+	if err := binary.Read(br, binary.LittleEndian, g.Col); err != nil {
+		return nil, err
+	}
+	if flags&flagWeighted != 0 {
+		g.Weights = make([]float32, m)
+		if err := binary.Read(br, binary.LittleEndian, g.Weights); err != nil {
+			return nil, err
+		}
+	}
+	if flags&flagLabeled != 0 {
+		g.Labels = make([]uint8, n)
+		if err := binary.Read(br, binary.LittleEndian, g.Labels); err != nil {
+			return nil, err
+		}
+	}
+	if err := g.Validate(); err != nil {
+		return nil, fmt.Errorf("graph: deserialized graph invalid: %w", err)
+	}
+	return g, nil
+}
+
+// SaveFile writes g to path in binary format.
+func SaveFile(path string, g *CSR) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	if err := WriteBinary(f, g); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a graph from path.
+func LoadFile(path string) (*CSR, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadBinary(f)
+}
+
+// ParseEdgeList reads a SNAP-style whitespace-separated edge list ("src dst"
+// per line; '#' comments allowed). Vertex ids may be sparse; they are kept
+// as-is and numVertices is max(id)+1.
+func ParseEdgeList(r io.Reader, directed bool) (*CSR, error) {
+	sc := bufio.NewScanner(r)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	var edges []Edge
+	maxID := int64(-1)
+	lineNo := 0
+	for sc.Scan() {
+		lineNo++
+		line := strings.TrimSpace(sc.Text())
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return nil, fmt.Errorf("graph: line %d: want 2 fields, got %d", lineNo, len(fields))
+		}
+		s, err := strconv.ParseInt(fields[0], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		d, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			return nil, fmt.Errorf("graph: line %d: %w", lineNo, err)
+		}
+		if s < 0 || d < 0 || s > 1<<31 || d > 1<<31 {
+			return nil, fmt.Errorf("graph: line %d: vertex id out of range", lineNo)
+		}
+		if s > maxID {
+			maxID = s
+		}
+		if d > maxID {
+			maxID = d
+		}
+		edges = append(edges, Edge{Src: VertexID(s), Dst: VertexID(d)})
+	}
+	if err := sc.Err(); err != nil {
+		return nil, err
+	}
+	return Build(int(maxID+1), edges, directed)
+}

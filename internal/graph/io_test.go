@@ -1,0 +1,158 @@
+package graph
+
+import (
+	"bytes"
+	"path/filepath"
+	"strings"
+	"testing"
+	"testing/quick"
+
+	"ridgewalker/internal/rng"
+)
+
+func TestBinaryRoundTrip(t *testing.T) {
+	g := SmallTestGraph()
+	g.AttachWeights()
+	g.AttachLabels(4)
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphEqual(t, g, got)
+}
+
+func assertGraphEqual(t *testing.T, want, got *CSR) {
+	t.Helper()
+	if got.NumVertices != want.NumVertices || got.Directed != want.Directed {
+		t.Fatalf("header mismatch: got (%d,%v) want (%d,%v)",
+			got.NumVertices, got.Directed, want.NumVertices, want.Directed)
+	}
+	for i := range want.RowPtr {
+		if got.RowPtr[i] != want.RowPtr[i] {
+			t.Fatalf("RowPtr[%d] = %d, want %d", i, got.RowPtr[i], want.RowPtr[i])
+		}
+	}
+	for i := range want.Col {
+		if got.Col[i] != want.Col[i] {
+			t.Fatalf("Col[%d] = %d, want %d", i, got.Col[i], want.Col[i])
+		}
+	}
+	if (want.Weights == nil) != (got.Weights == nil) {
+		t.Fatal("weights presence mismatch")
+	}
+	for i := range want.Weights {
+		if got.Weights[i] != want.Weights[i] {
+			t.Fatalf("Weights[%d] mismatch", i)
+		}
+	}
+	if (want.Labels == nil) != (got.Labels == nil) {
+		t.Fatal("labels presence mismatch")
+	}
+	for i := range want.Labels {
+		if got.Labels[i] != want.Labels[i] {
+			t.Fatalf("Labels[%d] mismatch", i)
+		}
+	}
+}
+
+func TestBinaryRoundTripProperty(t *testing.T) {
+	f := func(seed uint64, rawN uint8, rawM uint16, weighted, labeled bool) bool {
+		n := int(rawN%40) + 1
+		m := int(rawM % 300)
+		r := rng.New(seed)
+		edges := make([]Edge, m)
+		for i := range edges {
+			edges[i] = Edge{Src: VertexID(r.Intn(n)), Dst: VertexID(r.Intn(n))}
+		}
+		g, err := Build(n, edges, seed%2 == 0)
+		if err != nil {
+			return false
+		}
+		if weighted {
+			g.AttachWeights()
+		}
+		if labeled {
+			g.AttachLabels(3)
+		}
+		var buf bytes.Buffer
+		if err := WriteBinary(&buf, g); err != nil {
+			return false
+		}
+		got, err := ReadBinary(&buf)
+		if err != nil {
+			return false
+		}
+		if got.NumVertices != g.NumVertices || got.NumEdges() != g.NumEdges() {
+			return false
+		}
+		for i := range g.Col {
+			if got.Col[i] != g.Col[i] {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadBinaryRejectsGarbage(t *testing.T) {
+	if _, err := ReadBinary(bytes.NewReader([]byte("not a graph file at all......"))); err == nil {
+		t.Fatal("garbage accepted")
+	}
+	// Truncated valid prefix.
+	g := SmallTestGraph()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	trunc := buf.Bytes()[:buf.Len()/2]
+	if _, err := ReadBinary(bytes.NewReader(trunc)); err == nil {
+		t.Fatal("truncated file accepted")
+	}
+}
+
+func TestSaveLoadFile(t *testing.T) {
+	g := SmallTestGraph()
+	path := filepath.Join(t.TempDir(), "g.rwg")
+	if err := SaveFile(path, g); err != nil {
+		t.Fatal(err)
+	}
+	got, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	assertGraphEqual(t, g, got)
+}
+
+func TestParseEdgeList(t *testing.T) {
+	input := `# comment line
+0 1
+1 2
+
+2 0
+`
+	g, err := ParseEdgeList(strings.NewReader(input), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != 3 || g.NumEdges() != 3 {
+		t.Fatalf("parsed n=%d m=%d, want 3/3", g.NumVertices, g.NumEdges())
+	}
+	if !g.HasEdge(2, 0) {
+		t.Fatal("missing edge 2→0")
+	}
+}
+
+func TestParseEdgeListErrors(t *testing.T) {
+	for _, bad := range []string{"0", "a b", "0 -1", "1 999999999999999"} {
+		if _, err := ParseEdgeList(strings.NewReader(bad), true); err == nil {
+			t.Errorf("ParseEdgeList accepted %q", bad)
+		}
+	}
+}

@@ -1,0 +1,102 @@
+package graph
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/rng"
+)
+
+// RMATConfig parameterizes the recursive-matrix (R-MAT) generator of
+// Chakrabarti et al. (SDM'04), the generator the paper uses for its
+// synthetic-graph study (Fig. 10).
+type RMATConfig struct {
+	// Scale: the graph has 2^Scale vertices.
+	Scale int
+	// EdgeFactor: edges = EdgeFactor * 2^Scale (before any mirroring).
+	EdgeFactor int
+	// A, B, C, D are the recursive quadrant probabilities; they must be
+	// positive and sum to ~1. Balanced: 0.25 each. Graph500: a=0.57,
+	// b=c=0.19, d=0.05.
+	A, B, C, D float64
+	// Directed selects whether the edge list is kept directed or mirrored.
+	Directed bool
+	// Seed drives the generator deterministically.
+	Seed uint64
+	// NoiseAmplitude perturbs the quadrant probabilities per level
+	// (smoothing parameter "b" in Graph500 implementations); 0 disables.
+	NoiseAmplitude float64
+}
+
+// Balanced returns the balanced undirected RMAT initiator used in Fig. 10
+// (a=b=c=d=0.25).
+func Balanced(scale, edgeFactor int, seed uint64) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: edgeFactor, A: 0.25, B: 0.25, C: 0.25, D: 0.25, Directed: false, Seed: seed}
+}
+
+// Graph500 returns the skewed Graph500 initiator used in Fig. 10
+// (a=0.57, b=c=0.19, d=0.05).
+func Graph500(scale, edgeFactor int, seed uint64) RMATConfig {
+	return RMATConfig{Scale: scale, EdgeFactor: edgeFactor, A: 0.57, B: 0.19, C: 0.19, D: 0.05, Directed: true, Seed: seed}
+}
+
+// GenerateRMAT produces a CSR graph from the config.
+func GenerateRMAT(cfg RMATConfig) (*CSR, error) {
+	if cfg.Scale < 1 || cfg.Scale > 30 {
+		return nil, fmt.Errorf("graph: RMAT scale %d out of range [1,30]", cfg.Scale)
+	}
+	if cfg.EdgeFactor < 1 {
+		return nil, fmt.Errorf("graph: RMAT edge factor %d < 1", cfg.EdgeFactor)
+	}
+	sum := cfg.A + cfg.B + cfg.C + cfg.D
+	if sum < 0.999 || sum > 1.001 || cfg.A <= 0 || cfg.B <= 0 || cfg.C <= 0 || cfg.D <= 0 {
+		return nil, fmt.Errorf("graph: RMAT probabilities (%v,%v,%v,%v) must be positive and sum to 1",
+			cfg.A, cfg.B, cfg.C, cfg.D)
+	}
+	n := 1 << cfg.Scale
+	m := cfg.EdgeFactor * n
+	edges := make([]Edge, 0, m)
+	r := rng.New(cfg.Seed)
+	for i := 0; i < m; i++ {
+		src, dst := rmatEdge(cfg, r)
+		edges = append(edges, Edge{Src: src, Dst: dst})
+	}
+	return Build(n, edges, cfg.Directed)
+}
+
+// rmatEdge descends the 2^Scale × 2^Scale adjacency matrix, choosing a
+// quadrant per level according to (A,B,C,D), optionally noised.
+func rmatEdge(cfg RMATConfig, r *rng.Stream) (src, dst VertexID) {
+	var row, col uint32
+	a, b, c := cfg.A, cfg.B, cfg.C
+	for level := 0; level < cfg.Scale; level++ {
+		pa, pb, pc := a, b, c
+		if cfg.NoiseAmplitude > 0 {
+			// Multiplicative noise keeps probabilities positive and
+			// renormalizes implicitly via threshold comparison.
+			na := 1 + cfg.NoiseAmplitude*(2*r.Float64()-1)
+			nb := 1 + cfg.NoiseAmplitude*(2*r.Float64()-1)
+			nc := 1 + cfg.NoiseAmplitude*(2*r.Float64()-1)
+			nd := 1 + cfg.NoiseAmplitude*(2*r.Float64()-1)
+			d := cfg.D * nd
+			total := cfg.A*na + cfg.B*nb + cfg.C*nc + d
+			pa = cfg.A * na / total
+			pb = cfg.B * nb / total
+			pc = cfg.C * nc / total
+		}
+		u := r.Float64()
+		row <<= 1
+		col <<= 1
+		switch {
+		case u < pa:
+			// top-left: nothing set
+		case u < pa+pb:
+			col |= 1
+		case u < pa+pb+pc:
+			row |= 1
+		default:
+			row |= 1
+			col |= 1
+		}
+	}
+	return row, col
+}

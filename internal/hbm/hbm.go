@@ -1,0 +1,194 @@
+// Package hbm models the random-access behavior of HBM2 and DDR4 memory
+// channels as seen by a GRW accelerator, plus the paper's Equation (1)
+// theoretical-peak calculator.
+//
+// Each GRW step issues 64-bit transactions at effectively random addresses,
+// so nearly every access opens a new DRAM row. The model therefore reduces
+// a channel to three parameters:
+//
+//   - a service interval (core cycles between random-transaction
+//     completions, set by row-cycling limits),
+//   - a round-trip latency (request to response), and
+//   - a bounded outstanding-request window (controller queue).
+//
+// Responses can optionally complete out of order within the window (bank
+// interleaving), which is what forces the access engine's reorder buffer to
+// exist (paper §V-B).
+package hbm
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/rng"
+)
+
+// Request is one 64-bit random-access transaction. Tag is an opaque value
+// the issuer uses to reunite responses with metadata.
+type Request struct {
+	Addr uint64
+	Tag  uint64
+}
+
+// Response reports completion of the transaction with the same Tag.
+type Response struct {
+	Addr uint64
+	Tag  uint64
+}
+
+// ChannelConfig sets a channel's timing.
+type ChannelConfig struct {
+	// ServiceInterval is the mean number of core cycles between random
+	// transaction completions (fractional values accumulate exactly).
+	ServiceInterval float64
+	// Latency is the round-trip cycles from issue to response availability.
+	Latency int
+	// MaxOutstanding bounds in-flight transactions (controller queue).
+	MaxOutstanding int
+	// ReorderWindow > 0 lets responses complete out of order within a
+	// window of that many in-flight transactions, seeded by Seed. 0 keeps
+	// responses strictly in issue order.
+	ReorderWindow int
+	Seed          uint64
+}
+
+// Validate checks config sanity.
+func (c ChannelConfig) Validate() error {
+	if c.ServiceInterval <= 0 {
+		return fmt.Errorf("hbm: service interval %v, want > 0", c.ServiceInterval)
+	}
+	if c.Latency < 1 {
+		return fmt.Errorf("hbm: latency %d, want >= 1", c.Latency)
+	}
+	if c.MaxOutstanding < 1 {
+		return fmt.Errorf("hbm: max outstanding %d, want >= 1", c.MaxOutstanding)
+	}
+	if c.ReorderWindow < 0 {
+		return fmt.Errorf("hbm: reorder window %d, want >= 0", c.ReorderWindow)
+	}
+	return nil
+}
+
+// ChannelStats counts a channel's lifetime activity.
+type ChannelStats struct {
+	Issued    int64
+	Completed int64
+	// RejectedFull counts Push attempts beyond the outstanding window.
+	RejectedFull int64
+	// BusyCycles counts cycles in which the service unit was occupied.
+	BusyCycles int64
+	Cycles     int64
+}
+
+// Utilization returns the fraction of cycles the channel was servicing a
+// transaction.
+func (s ChannelStats) Utilization() float64 {
+	if s.Cycles == 0 {
+		return 0
+	}
+	return float64(s.BusyCycles) / float64(s.Cycles)
+}
+
+type inflight struct {
+	resp  Response
+	ready int64
+}
+
+// Channel is one memory channel. It is a hwsim.Module.
+type Channel struct {
+	cfg ChannelConfig
+
+	queue []Request // accepted, not yet serviced
+	// inflight holds serviced transactions waiting out their latency.
+	inflight []inflight
+	done     []Response // completed, ready for PopResponse
+
+	// credit accumulates service opportunities: each cycle adds
+	// 1/ServiceInterval; a transaction starts when credit >= 1.
+	credit float64
+	jitter *rng.Stream
+	stats  ChannelStats
+}
+
+// NewChannel builds a channel; panics on invalid config (configuration is
+// programmer error, not runtime input).
+func NewChannel(cfg ChannelConfig) *Channel {
+	if err := cfg.Validate(); err != nil {
+		panic(err)
+	}
+	return &Channel{cfg: cfg, jitter: rng.New(cfg.Seed)}
+}
+
+// CanAccept reports whether the outstanding window has room.
+func (c *Channel) CanAccept() bool { return c.CanAcceptN(1) }
+
+// CanAcceptN reports whether the window has room for n more transactions.
+func (c *Channel) CanAcceptN(n int) bool {
+	return len(c.queue)+len(c.inflight)+len(c.done)+n <= c.cfg.MaxOutstanding
+}
+
+// Push submits a transaction. It returns false when the window is full.
+func (c *Channel) Push(req Request) bool {
+	if !c.CanAccept() {
+		c.stats.RejectedFull++
+		return false
+	}
+	c.queue = append(c.queue, req)
+	c.stats.Issued++
+	return true
+}
+
+// Outstanding returns the number of transactions inside the channel.
+func (c *Channel) Outstanding() int {
+	return len(c.queue) + len(c.inflight) + len(c.done)
+}
+
+// Tick implements hwsim.Module: accrues service credit, starts transactions,
+// and retires those whose latency has elapsed.
+func (c *Channel) Tick(now int64) {
+	c.stats.Cycles++
+	if len(c.queue) > 0 || len(c.inflight) > 0 {
+		c.stats.BusyCycles++
+	}
+	c.credit += 1 / c.cfg.ServiceInterval
+	for c.credit >= 1 && len(c.queue) > 0 {
+		c.credit--
+		req := c.queue[0]
+		c.queue = c.queue[1:]
+		ready := now + int64(c.cfg.Latency)
+		if c.cfg.ReorderWindow > 0 {
+			// Bank interleaving: a uniformly jittered completion within
+			// [0, ReorderWindow) extra cycles makes responses complete out
+			// of issue order.
+			ready += int64(c.jitter.Intn(c.cfg.ReorderWindow))
+		}
+		c.inflight = append(c.inflight, inflight{resp: Response{Addr: req.Addr, Tag: req.Tag}, ready: ready})
+	}
+	// Cap unused credit so an idle channel cannot bank unbounded bursts.
+	if c.credit > 1 {
+		c.credit = 1
+	}
+	// Retire completed transactions.
+	kept := c.inflight[:0]
+	for _, f := range c.inflight {
+		if f.ready <= now {
+			c.done = append(c.done, f.resp)
+			c.stats.Completed++
+		} else {
+			kept = append(kept, f)
+		}
+	}
+	c.inflight = kept
+}
+
+// PopResponse removes one completed response, if any.
+func (c *Channel) PopResponse() (Response, bool) {
+	if len(c.done) == 0 {
+		return Response{}, false
+	}
+	r := c.done[0]
+	c.done = c.done[1:]
+	return r, true
+}
+
+// Stats returns a copy of the channel counters.
+func (c *Channel) Stats() ChannelStats { return c.stats }

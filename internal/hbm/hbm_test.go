@@ -1,0 +1,273 @@
+package hbm
+
+import (
+	"math"
+	"testing"
+)
+
+func basicCfg() ChannelConfig {
+	return ChannelConfig{ServiceInterval: 2, Latency: 10, MaxOutstanding: 8}
+}
+
+func TestChannelSingleRequestLatency(t *testing.T) {
+	c := NewChannel(basicCfg())
+	if !c.Push(Request{Addr: 0x100, Tag: 1}) {
+		t.Fatal("push rejected")
+	}
+	var got Response
+	var when int64 = -1
+	for now := int64(0); now < 40; now++ {
+		c.Tick(now)
+		if r, ok := c.PopResponse(); ok {
+			got = r
+			when = now
+			break
+		}
+	}
+	if when < 0 {
+		t.Fatal("request never completed")
+	}
+	if got.Tag != 1 || got.Addr != 0x100 {
+		t.Fatalf("response = %+v", got)
+	}
+	// Service starts at cycle 0 (credit 1/2 at t=0... reaches 1 at t=1) and
+	// completes latency cycles later; exact cycle depends on credit
+	// accumulation, so just bound it.
+	if when < 10 || when > 14 {
+		t.Fatalf("completion at cycle %d, want ~latency (10..14)", when)
+	}
+}
+
+func TestChannelServiceRate(t *testing.T) {
+	// Interval 2 → ~0.5 transactions per cycle in steady state.
+	cfg := basicCfg()
+	cfg.MaxOutstanding = 1024
+	c := NewChannel(cfg)
+	const n = 500
+	pushed := 0
+	completed := 0
+	var lastCycle int64
+	for now := int64(0); now < 5000 && completed < n; now++ {
+		if pushed < n {
+			if c.Push(Request{Tag: uint64(pushed)}) {
+				pushed++
+			}
+		}
+		c.Tick(now)
+		for {
+			if _, ok := c.PopResponse(); !ok {
+				break
+			}
+			completed++
+			lastCycle = now
+		}
+	}
+	if completed != n {
+		t.Fatalf("completed %d/%d", completed, n)
+	}
+	want := float64(n)*2 + 10
+	if math.Abs(float64(lastCycle)-want) > want*0.05 {
+		t.Fatalf("drained %d transactions at interval 2 in %d cycles, want ~%v", n, lastCycle, want)
+	}
+}
+
+func TestChannelFractionalInterval(t *testing.T) {
+	// Interval 1.5 → 2 transactions every 3 cycles.
+	cfg := ChannelConfig{ServiceInterval: 1.5, Latency: 5, MaxOutstanding: 4096}
+	c := NewChannel(cfg)
+	const n = 3000
+	pushed, completed := 0, 0
+	var lastCycle int64
+	for now := int64(0); now < 20000 && completed < n; now++ {
+		for pushed < n && c.Push(Request{Tag: uint64(pushed)}) {
+			pushed++
+		}
+		c.Tick(now)
+		for {
+			if _, ok := c.PopResponse(); !ok {
+				break
+			}
+			completed++
+			lastCycle = now
+		}
+	}
+	want := float64(n) * 1.5
+	if math.Abs(float64(lastCycle)-want) > want*0.02 {
+		t.Fatalf("%d tx at interval 1.5 took %d cycles, want ~%v", n, lastCycle, want)
+	}
+}
+
+func TestChannelOutstandingWindow(t *testing.T) {
+	cfg := basicCfg()
+	cfg.MaxOutstanding = 3
+	c := NewChannel(cfg)
+	accepted := 0
+	for i := 0; i < 10; i++ {
+		if c.Push(Request{Tag: uint64(i)}) {
+			accepted++
+		}
+	}
+	if accepted != 3 {
+		t.Fatalf("accepted %d, want 3 (window)", accepted)
+	}
+	if c.Stats().RejectedFull != 7 {
+		t.Fatalf("RejectedFull = %d, want 7", c.Stats().RejectedFull)
+	}
+}
+
+func TestChannelInOrderWithoutReorderWindow(t *testing.T) {
+	cfg := basicCfg()
+	cfg.MaxOutstanding = 64
+	c := NewChannel(cfg)
+	for i := 0; i < 20; i++ {
+		c.Push(Request{Tag: uint64(i)})
+	}
+	var next uint64
+	for now := int64(0); now < 200 && next < 20; now++ {
+		c.Tick(now)
+		for {
+			r, ok := c.PopResponse()
+			if !ok {
+				break
+			}
+			if r.Tag != next {
+				t.Fatalf("out-of-order response %d, want %d", r.Tag, next)
+			}
+			next++
+		}
+	}
+	if next != 20 {
+		t.Fatalf("only %d responses", next)
+	}
+}
+
+func TestChannelReorderWindowReorders(t *testing.T) {
+	cfg := basicCfg()
+	cfg.MaxOutstanding = 64
+	cfg.ReorderWindow = 12
+	cfg.Seed = 7
+	c := NewChannel(cfg)
+	for i := 0; i < 50; i++ {
+		c.Push(Request{Tag: uint64(i)})
+	}
+	var order []uint64
+	for now := int64(0); now < 2000 && len(order) < 50; now++ {
+		c.Tick(now)
+		for {
+			r, ok := c.PopResponse()
+			if !ok {
+				break
+			}
+			order = append(order, r.Tag)
+		}
+	}
+	if len(order) != 50 {
+		t.Fatalf("only %d responses", len(order))
+	}
+	inversions := 0
+	for i := 1; i < len(order); i++ {
+		if order[i] < order[i-1] {
+			inversions++
+		}
+	}
+	if inversions == 0 {
+		t.Fatal("reorder window produced perfectly ordered responses")
+	}
+	// All tags present exactly once.
+	seen := map[uint64]bool{}
+	for _, tag := range order {
+		if seen[tag] {
+			t.Fatalf("tag %d delivered twice", tag)
+		}
+		seen[tag] = true
+	}
+}
+
+func TestChannelUtilizationCounting(t *testing.T) {
+	c := NewChannel(ChannelConfig{ServiceInterval: 1, Latency: 2, MaxOutstanding: 16})
+	// 10 busy cycles then idle.
+	for i := 0; i < 10; i++ {
+		c.Push(Request{Tag: uint64(i)})
+	}
+	for now := int64(0); now < 40; now++ {
+		c.Tick(now)
+		for {
+			if _, ok := c.PopResponse(); !ok {
+				break
+			}
+		}
+	}
+	st := c.Stats()
+	if st.Completed != 10 {
+		t.Fatalf("completed %d", st.Completed)
+	}
+	if st.Utilization() <= 0 || st.Utilization() >= 1 {
+		t.Fatalf("utilization = %v, want in (0,1)", st.Utilization())
+	}
+}
+
+func TestConfigValidate(t *testing.T) {
+	bad := []ChannelConfig{
+		{ServiceInterval: 0, Latency: 1, MaxOutstanding: 1},
+		{ServiceInterval: 1, Latency: 0, MaxOutstanding: 1},
+		{ServiceInterval: 1, Latency: 1, MaxOutstanding: 0},
+		{ServiceInterval: 1, Latency: 1, MaxOutstanding: 1, ReorderWindow: -1},
+	}
+	for i, cfg := range bad {
+		if cfg.Validate() == nil {
+			t.Errorf("config %d accepted: %+v", i, cfg)
+		}
+	}
+	if err := basicCfg().Validate(); err != nil {
+		t.Errorf("valid config rejected: %v", err)
+	}
+}
+
+func TestPlatformEq1Peak(t *testing.T) {
+	// U55C: 74.5M tx/s × 32 channels × 8 B = 19.07 GB/s.
+	got := U55C.Eq1PeakBytesPerSec()
+	want := 74.5e6 * 32 * 8
+	if math.Abs(got-want) > 1 {
+		t.Fatalf("Eq1PeakBytesPerSec = %v, want %v", got, want)
+	}
+	if U55C.Eq1PeakStepsPerSec() != want/8 {
+		t.Fatal("Eq1PeakStepsPerSec inconsistent with bytes")
+	}
+}
+
+func TestPlatformServiceInterval(t *testing.T) {
+	// U55C: 320 MHz core, 133M tx/s per channel → ~2.4 cycles per tx.
+	got := U55C.ServiceIntervalCycles()
+	if got < 2.3 || got > 2.5 {
+		t.Fatalf("ServiceIntervalCycles = %v, want ~2.4", got)
+	}
+}
+
+func TestPlatformPipelines(t *testing.T) {
+	if U55C.Pipelines() != 16 {
+		t.Fatalf("U55C pipelines = %d, want 16 (32 channels / 2)", U55C.Pipelines())
+	}
+	if U250.Pipelines() != 2 {
+		t.Fatalf("U250 pipelines = %d, want 2", U250.Pipelines())
+	}
+}
+
+func TestPlatformByName(t *testing.T) {
+	for _, name := range []string{"U55C", "U50", "U250", "VCK5000", "U280"} {
+		p, err := PlatformByName(name)
+		if err != nil || p.Name != name {
+			t.Errorf("PlatformByName(%q) = %+v, %v", name, p, err)
+		}
+	}
+	if _, err := PlatformByName("U9000"); err == nil {
+		t.Error("unknown platform accepted")
+	}
+}
+
+func TestPlatformChannelConfigValid(t *testing.T) {
+	for _, p := range Platforms {
+		if err := p.ChannelConfig(1).Validate(); err != nil {
+			t.Errorf("%s channel config invalid: %v", p.Name, err)
+		}
+	}
+}

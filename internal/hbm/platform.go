@@ -1,0 +1,120 @@
+package hbm
+
+import "fmt"
+
+// Platform describes one evaluation board's memory system and clocking
+// (paper Table III and §VIII-A). Two transaction rates matter:
+//
+//   - ServiceTxPerSecPerChan: what a channel can actually sustain for
+//     random 64-bit transactions with bank-level parallelism — this drives
+//     the simulator.
+//   - Eq1TxPerSecPerChan: fmem/tRRD, the conservative row-activation-limited
+//     rate Equation (1) uses as the *metric denominator* for bandwidth
+//     utilization. The paper normalizes measured throughput against this.
+type Platform struct {
+	Name     string
+	Memory   string
+	Channels int
+	// CoreMHz is the accelerator clock (paper: 300–320 MHz designs).
+	CoreMHz float64
+	// ServiceTxPerSecPerChan is the sustainable random transaction rate.
+	ServiceTxPerSecPerChan float64
+	// Eq1TxPerSecPerChan is fmem/tRRD in Equation (1).
+	Eq1TxPerSecPerChan float64
+	// SequentialGBs is the datasheet sequential bandwidth (reporting only).
+	SequentialGBs float64
+	// LatencyCycles is the random-access round-trip in core cycles.
+	LatencyCycles int
+	// MaxOutstanding is the per-channel controller window.
+	MaxOutstanding int
+}
+
+// Predefined platforms. Service rates are set so that a pipeline-per-two-
+// channels design saturates at throughputs scaling like Table III; Eq.(1)
+// rates follow the paper's utilization accounting (§III, §VIII-D).
+var (
+	// U55C: the primary evaluation board (HBM2, 32 channels, 460 GB/s).
+	U55C = Platform{
+		Name: "U55C", Memory: "HBM2", Channels: 32, CoreMHz: 320,
+		ServiceTxPerSecPerChan: 133e6, Eq1TxPerSecPerChan: 74.5e6,
+		SequentialGBs: 460, LatencyCycles: 96, MaxOutstanding: 128,
+	}
+	// U50: FastRW's board (HBM2, 32 channels, 316 GB/s).
+	U50 = Platform{
+		Name: "U50", Memory: "HBM2", Channels: 32, CoreMHz: 300,
+		ServiceTxPerSecPerChan: 92e6, Eq1TxPerSecPerChan: 52e6,
+		SequentialGBs: 316, LatencyCycles: 100, MaxOutstanding: 128,
+	}
+	// U280: Su et al.'s board (HBM2, 32 channels), approximated between U50
+	// and U55C (DESIGN.md §8).
+	U280 = Platform{
+		Name: "U280", Memory: "HBM2", Channels: 32, CoreMHz: 300,
+		ServiceTxPerSecPerChan: 100e6, Eq1TxPerSecPerChan: 56e6,
+		SequentialGBs: 460, LatencyCycles: 100, MaxOutstanding: 128,
+	}
+	// U250: LightRW's board (DDR4, 4 channels, 77 GB/s).
+	U250 = Platform{
+		Name: "U250", Memory: "DDR4", Channels: 4, CoreMHz: 320,
+		ServiceTxPerSecPerChan: 130e6, Eq1TxPerSecPerChan: 80e6,
+		SequentialGBs: 77, LatencyCycles: 110, MaxOutstanding: 64,
+	}
+	// VCK5000: Versal with a hardened NoC in front of 4 DDR4 channels
+	// (102 GB/s aggregate); NoC arbitration lowers the sustainable random
+	// rate (paper §VIII-E disables NoC interleaving).
+	VCK5000 = Platform{
+		Name: "VCK5000", Memory: "DDR4-NoC", Channels: 4, CoreMHz: 320,
+		ServiceTxPerSecPerChan: 101e6, Eq1TxPerSecPerChan: 58e6,
+		SequentialGBs: 102, LatencyCycles: 130, MaxOutstanding: 64,
+	}
+)
+
+// Platforms lists all FPGA platforms in Table III order.
+var Platforms = []Platform{U250, VCK5000, U50, U55C}
+
+// PlatformByName looks a platform up by name.
+func PlatformByName(name string) (Platform, error) {
+	for _, p := range append([]Platform{U280}, Platforms...) {
+		if p.Name == name {
+			return p, nil
+		}
+	}
+	return Platform{}, fmt.Errorf("hbm: unknown platform %q", name)
+}
+
+// CoreHz returns the accelerator clock in Hz.
+func (p Platform) CoreHz() float64 { return p.CoreMHz * 1e6 }
+
+// ServiceIntervalCycles converts the per-channel service rate into core
+// cycles per transaction for the channel model.
+func (p Platform) ServiceIntervalCycles() float64 {
+	return p.CoreHz() / p.ServiceTxPerSecPerChan
+}
+
+// Eq1PeakBytesPerSec is Equation (1): Bpeak = fmem/tRRD × Nchn × 64bit/8,
+// the theoretical peak 64-bit random-access bandwidth across all channels.
+func (p Platform) Eq1PeakBytesPerSec() float64 {
+	return p.Eq1TxPerSecPerChan * float64(p.Channels) * 8
+}
+
+// Eq1PeakStepsPerSec converts Equation (1) into the GRW step rate the
+// paper's normalized-throughput figures use (8 bytes of traversed-edge
+// footprint per step).
+func (p Platform) Eq1PeakStepsPerSec() float64 {
+	return p.Eq1PeakBytesPerSec() / 8
+}
+
+// ChannelConfig derives the channel model parameters for this platform.
+func (p Platform) ChannelConfig(seed uint64) ChannelConfig {
+	return ChannelConfig{
+		ServiceInterval: p.ServiceIntervalCycles(),
+		Latency:         p.LatencyCycles,
+		MaxOutstanding:  p.MaxOutstanding,
+		ReorderWindow:   8,
+		Seed:            seed,
+	}
+}
+
+// Pipelines returns the number of asynchronous pipelines this platform
+// supports: each pipeline occupies two channels (one row-access, one
+// column-access; paper §VIII-A says 32/2 = 16 on U55C).
+func (p Platform) Pipelines() int { return p.Channels / 2 }

@@ -1,0 +1,318 @@
+// Package hwsim is a deterministic cycle-level hardware simulation kernel.
+//
+// It is the substitute for the FPGA fabric the paper prototypes on: modules
+// with an initiation interval and fixed latency, bounded FIFOs with
+// backpressure, and a global clock. The semantics mirror registered
+// hardware:
+//
+//   - All modules observe the FIFO state committed at the end of the
+//     previous cycle. Pushes performed during cycle t become visible to
+//     consumers at cycle t+1 (one register stage per FIFO hop).
+//   - Pops take effect immediately, so two consumers draining one FIFO in
+//     the same cycle receive distinct items.
+//   - A Pipe models a fully pipelined datapath of fixed latency L with
+//     II=1: up to L items in flight, each emerging exactly L cycles after
+//     insertion.
+//
+// Determinism: modules tick in registration order and nothing depends on
+// map iteration or wall time, so a simulation is a pure function of its
+// inputs and seeds.
+package hwsim
+
+import "fmt"
+
+// Module is a clocked hardware block. Tick is called once per cycle with
+// the current cycle number.
+type Module interface {
+	Tick(now int64)
+}
+
+// committer is implemented by FIFOs and other stateful elements that defer
+// visibility of writes to the end of the cycle.
+type committer interface {
+	commit()
+}
+
+// Sim drives a set of modules and FIFOs with a shared clock.
+type Sim struct {
+	now        int64
+	modules    []Module
+	committers []committer
+}
+
+// NewSim returns an empty simulator at cycle 0.
+func NewSim() *Sim { return &Sim{} }
+
+// Register adds a module; modules tick in registration order.
+func (s *Sim) Register(m Module) { s.modules = append(s.modules, m) }
+
+// Track adds a FIFO (or Pipe) so its writes commit at the end of each
+// cycle. NewFIFO and NewPipe call this automatically when given a non-nil
+// Sim.
+func (s *Sim) track(c committer) { s.committers = append(s.committers, c) }
+
+// Now returns the current cycle.
+func (s *Sim) Now() int64 { return s.now }
+
+// Step advances one cycle: every module ticks, then all pending FIFO
+// writes commit.
+func (s *Sim) Step() {
+	for _, m := range s.modules {
+		m.Tick(s.now)
+	}
+	for _, c := range s.committers {
+		c.commit()
+	}
+	s.now++
+}
+
+// RunUntil steps until done() reports true or maxCycles elapse. It returns
+// the number of cycles executed and whether done() was reached.
+func (s *Sim) RunUntil(done func() bool, maxCycles int64) (cycles int64, ok bool) {
+	start := s.now
+	for s.now-start < maxCycles {
+		if done() {
+			return s.now - start, true
+		}
+		s.Step()
+	}
+	return s.now - start, done()
+}
+
+// FIFOStats aggregates a FIFO's lifetime counters for utilization and
+// bubble analysis.
+type FIFOStats struct {
+	Pushes int64
+	Pops   int64
+	// FullStalls counts Push attempts rejected because the FIFO was full —
+	// the backpressure signal the zero-bubble scheduler feeds on.
+	FullStalls int64
+	// EmptyCycles counts cycles that ended with the FIFO empty.
+	EmptyCycles int64
+	// OccupancySum accumulates end-of-cycle occupancy for mean-depth
+	// reporting.
+	OccupancySum int64
+	// Cycles counts committed cycles.
+	Cycles int64
+}
+
+// MeanOccupancy returns the average end-of-cycle occupancy.
+func (st FIFOStats) MeanOccupancy() float64 {
+	if st.Cycles == 0 {
+		return 0
+	}
+	return float64(st.OccupancySum) / float64(st.Cycles)
+}
+
+// FIFO is a bounded queue with hardware register semantics (see package
+// comment). The zero value is unusable; construct with NewFIFO.
+type FIFO[T any] struct {
+	name    string
+	cap     int
+	buf     []T
+	head    int
+	count   int
+	pending []T
+	stats   FIFOStats
+}
+
+// NewFIFO creates a FIFO with the given capacity and registers it with s
+// (s may be nil for FIFOs stepped manually via CommitNow).
+func NewFIFO[T any](s *Sim, name string, capacity int) *FIFO[T] {
+	if capacity <= 0 {
+		panic(fmt.Sprintf("hwsim: FIFO %q capacity %d, want > 0", name, capacity))
+	}
+	f := &FIFO[T]{name: name, cap: capacity, buf: make([]T, capacity)}
+	if s != nil {
+		s.track(f)
+	}
+	return f
+}
+
+// Name returns the FIFO's diagnostic name.
+func (f *FIFO[T]) Name() string { return f.name }
+
+// Cap returns the capacity.
+func (f *FIFO[T]) Cap() int { return f.cap }
+
+// Len returns the committed occupancy (items poppable this cycle).
+func (f *FIFO[T]) Len() int { return f.count }
+
+// Empty reports whether no committed items are available.
+func (f *FIFO[T]) Empty() bool { return f.count == 0 }
+
+// Full reports whether a push this cycle would exceed capacity, counting
+// both committed items and writes already pending this cycle.
+func (f *FIFO[T]) Full() bool { return f.count+len(f.pending) >= f.cap }
+
+// Push enqueues v for visibility next cycle. It returns false (and counts
+// a full-stall) when the FIFO cannot accept the item.
+func (f *FIFO[T]) Push(v T) bool {
+	if f.Full() {
+		f.stats.FullStalls++
+		return false
+	}
+	f.pending = append(f.pending, v)
+	f.stats.Pushes++
+	return true
+}
+
+// Peek returns the oldest committed item without removing it.
+func (f *FIFO[T]) Peek() (T, bool) {
+	var zero T
+	if f.count == 0 {
+		return zero, false
+	}
+	return f.buf[f.head], true
+}
+
+// Pop removes and returns the oldest committed item.
+func (f *FIFO[T]) Pop() (T, bool) {
+	var zero T
+	if f.count == 0 {
+		return zero, false
+	}
+	v := f.buf[f.head]
+	f.buf[f.head] = zero
+	f.head = (f.head + 1) % f.cap
+	f.count--
+	f.stats.Pops++
+	return v, true
+}
+
+// commit publishes this cycle's pushes and updates occupancy statistics.
+func (f *FIFO[T]) commit() {
+	for _, v := range f.pending {
+		tail := (f.head + f.count) % f.cap
+		f.buf[tail] = v
+		f.count++
+	}
+	f.pending = f.pending[:0]
+	f.stats.Cycles++
+	f.stats.OccupancySum += int64(f.count)
+	if f.count == 0 {
+		f.stats.EmptyCycles++
+	}
+}
+
+// CommitNow forces an immediate commit; intended for tests and for use
+// outside a Sim.
+func (f *FIFO[T]) CommitNow() { f.commit() }
+
+// Stats returns a copy of the FIFO's counters.
+func (f *FIFO[T]) Stats() FIFOStats { return f.stats }
+
+// Pipe is a fully pipelined fixed-latency datapath: an item pushed at cycle
+// t pops at cycle t+latency, with one new item accepted per cycle (II=1).
+// To sustain II=1 a module must drain the pipe before filling it within a
+// cycle (pop, then push), matching how a shift register advances.
+type Pipe[T any] struct {
+	latency int64
+	slots   []pipeSlot[T]
+	head    int
+	count   int
+	pending []pipeSlot[T]
+}
+
+type pipeSlot[T any] struct {
+	v     T
+	ready int64
+}
+
+// NewPipe creates a Pipe with the given latency (>= 1) and registers it
+// with s (may be nil).
+func NewPipe[T any](s *Sim, latency int) *Pipe[T] {
+	if latency < 1 {
+		panic(fmt.Sprintf("hwsim: pipe latency %d, want >= 1", latency))
+	}
+	p := &Pipe[T]{latency: int64(latency), slots: make([]pipeSlot[T], latency)}
+	if s != nil {
+		s.track(p)
+	}
+	return p
+}
+
+// CanPush reports whether the pipe can accept an item this cycle.
+func (p *Pipe[T]) CanPush() bool { return p.count+len(p.pending) < len(p.slots) }
+
+// Push inserts v at cycle now; it emerges at now+latency.
+func (p *Pipe[T]) Push(v T, now int64) bool {
+	if !p.CanPush() {
+		return false
+	}
+	p.pending = append(p.pending, pipeSlot[T]{v: v, ready: now + p.latency})
+	return true
+}
+
+// Ready reports whether the head item has completed its traversal.
+func (p *Pipe[T]) Ready(now int64) bool {
+	return p.count > 0 && p.slots[p.head].ready <= now
+}
+
+// Pop removes the head item if ready.
+func (p *Pipe[T]) Pop(now int64) (T, bool) {
+	var zero T
+	if !p.Ready(now) {
+		return zero, false
+	}
+	v := p.slots[p.head].v
+	p.slots[p.head] = pipeSlot[T]{}
+	p.head = (p.head + 1) % len(p.slots)
+	p.count--
+	return v, true
+}
+
+// Len returns the number of items in flight (committed).
+func (p *Pipe[T]) Len() int { return p.count }
+
+func (p *Pipe[T]) commit() {
+	for _, s := range p.pending {
+		tail := (p.head + p.count) % len(p.slots)
+		p.slots[tail] = s
+		p.count++
+	}
+	p.pending = p.pending[:0]
+}
+
+// CommitNow forces an immediate commit for manual stepping.
+func (p *Pipe[T]) CommitNow() { p.commit() }
+
+// ModuleFunc adapts a function to the Module interface.
+type ModuleFunc func(now int64)
+
+// Tick implements Module.
+func (f ModuleFunc) Tick(now int64) { f(now) }
+
+// BusyCounter tracks per-cycle busy/idle state of a module for bubble-ratio
+// reporting (paper §III, Observation #2).
+type BusyCounter struct {
+	Busy int64
+	Idle int64
+}
+
+// Record notes one cycle of activity (busy) or a bubble (idle).
+func (b *BusyCounter) Record(busy bool) {
+	if busy {
+		b.Busy++
+	} else {
+		b.Idle++
+	}
+}
+
+// BubbleRatio returns idle/(busy+idle), the fraction of cycles wasted.
+func (b *BusyCounter) BubbleRatio() float64 {
+	total := b.Busy + b.Idle
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Idle) / float64(total)
+}
+
+// Utilization returns busy/(busy+idle).
+func (b *BusyCounter) Utilization() float64 {
+	total := b.Busy + b.Idle
+	if total == 0 {
+		return 0
+	}
+	return float64(b.Busy) / float64(total)
+}

@@ -1,0 +1,276 @@
+package hwsim
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ridgewalker/internal/rng"
+)
+
+func TestFIFORegisterSemantics(t *testing.T) {
+	f := NewFIFO[int](nil, "f", 4)
+	if !f.Push(1) {
+		t.Fatal("push rejected on empty FIFO")
+	}
+	// Same cycle: not yet visible.
+	if _, ok := f.Pop(); ok {
+		t.Fatal("item visible in the cycle it was pushed")
+	}
+	f.CommitNow()
+	v, ok := f.Pop()
+	if !ok || v != 1 {
+		t.Fatalf("Pop = (%v,%v), want (1,true)", v, ok)
+	}
+}
+
+func TestFIFOOrderingAndCapacity(t *testing.T) {
+	f := NewFIFO[int](nil, "f", 3)
+	for i := 0; i < 3; i++ {
+		if !f.Push(i) {
+			t.Fatalf("push %d rejected below capacity", i)
+		}
+	}
+	if f.Push(99) {
+		t.Fatal("push accepted beyond capacity")
+	}
+	if f.Stats().FullStalls != 1 {
+		t.Fatalf("FullStalls = %d, want 1", f.Stats().FullStalls)
+	}
+	f.CommitNow()
+	for i := 0; i < 3; i++ {
+		v, ok := f.Pop()
+		if !ok || v != i {
+			t.Fatalf("pop %d = (%v,%v)", i, v, ok)
+		}
+	}
+	if _, ok := f.Pop(); ok {
+		t.Fatal("pop succeeded on empty FIFO")
+	}
+}
+
+func TestFIFOFullCountsPending(t *testing.T) {
+	f := NewFIFO[int](nil, "f", 2)
+	f.Push(1)
+	f.Push(2)
+	if !f.Full() {
+		t.Fatal("FIFO with pending writes at capacity should report Full")
+	}
+}
+
+func TestFIFOPeekDoesNotConsume(t *testing.T) {
+	f := NewFIFO[int](nil, "f", 2)
+	f.Push(7)
+	f.CommitNow()
+	v, ok := f.Peek()
+	if !ok || v != 7 {
+		t.Fatalf("Peek = (%v,%v)", v, ok)
+	}
+	if f.Len() != 1 {
+		t.Fatal("Peek consumed the item")
+	}
+}
+
+// TestFIFOConservationProperty drives a FIFO with a random push/pop schedule
+// and checks that every pushed value pops exactly once, in order.
+func TestFIFOConservationProperty(t *testing.T) {
+	f := func(seed uint64, capRaw uint8, ops uint16) bool {
+		capacity := int(capRaw%16) + 1
+		fifo := NewFIFO[int](nil, "p", capacity)
+		r := rng.New(seed)
+		next := 0
+		var popped []int
+		for i := 0; i < int(ops%800); i++ {
+			// Each iteration is one "cycle" with up to 2 pushes and pops.
+			for j := 0; j < r.Intn(3); j++ {
+				if fifo.Push(next) {
+					next++
+				}
+			}
+			for j := 0; j < r.Intn(3); j++ {
+				if v, ok := fifo.Pop(); ok {
+					popped = append(popped, v)
+				}
+			}
+			fifo.CommitNow()
+			if fifo.Len() > capacity {
+				return false
+			}
+		}
+		// Drain.
+		fifo.CommitNow()
+		for {
+			v, ok := fifo.Pop()
+			if !ok {
+				break
+			}
+			popped = append(popped, v)
+		}
+		if len(popped) != next {
+			return false
+		}
+		for i, v := range popped {
+			if v != i {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPipeLatencyExact(t *testing.T) {
+	p := NewPipe[string](nil, 3)
+	now := int64(10)
+	if !p.Push("x", now) {
+		t.Fatal("push rejected")
+	}
+	p.CommitNow()
+	for c := now; c < now+3; c++ {
+		if p.Ready(c) {
+			t.Fatalf("item ready at cycle %d, latency 3 pushed at %d", c, now)
+		}
+	}
+	v, ok := p.Pop(now + 3)
+	if !ok || v != "x" {
+		t.Fatalf("Pop = (%v,%v)", v, ok)
+	}
+}
+
+func TestPipeIIOne(t *testing.T) {
+	// With latency L, L items can be in flight; pushing one per cycle pops
+	// one per cycle after the fill.
+	const L = 4
+	p := NewPipe[int](nil, L)
+	pushed, popped := 0, 0
+	for now := int64(0); now < 100; now++ {
+		// Drain before fill, the discipline modules follow (see Pipe docs).
+		if v, ok := p.Pop(now); ok {
+			if v != popped {
+				t.Fatalf("out of order: got %d want %d", v, popped)
+			}
+			popped++
+		}
+		if p.Push(pushed, now) {
+			pushed++
+		}
+		p.CommitNow()
+	}
+	if pushed < 90 || popped < 90 {
+		t.Fatalf("pipe did not sustain II=1: pushed %d popped %d in 100 cycles", pushed, popped)
+	}
+}
+
+func TestPipeBackpressureWhenFull(t *testing.T) {
+	p := NewPipe[int](nil, 2)
+	if !p.Push(1, 0) || !p.Push(2, 0) {
+		t.Fatal("pipe rejected pushes below capacity")
+	}
+	if p.Push(3, 0) {
+		t.Fatal("pipe accepted push beyond latency-many in flight")
+	}
+}
+
+func TestSimRunUntil(t *testing.T) {
+	s := NewSim()
+	count := 0
+	s.Register(ModuleFunc(func(now int64) { count++ }))
+	cycles, ok := s.RunUntil(func() bool { return count >= 10 }, 100)
+	if !ok || cycles != 10 {
+		t.Fatalf("RunUntil = (%d,%v), want (10,true)", cycles, ok)
+	}
+	if s.Now() != 10 {
+		t.Fatalf("Now = %d, want 10", s.Now())
+	}
+}
+
+func TestSimRunUntilTimeout(t *testing.T) {
+	s := NewSim()
+	cycles, ok := s.RunUntil(func() bool { return false }, 50)
+	if ok || cycles != 50 {
+		t.Fatalf("RunUntil = (%d,%v), want (50,false)", cycles, ok)
+	}
+}
+
+func TestSimTicksInRegistrationOrder(t *testing.T) {
+	s := NewSim()
+	var order []int
+	for i := 0; i < 3; i++ {
+		i := i
+		s.Register(ModuleFunc(func(now int64) { order = append(order, i) }))
+	}
+	s.Step()
+	if len(order) != 3 || order[0] != 0 || order[1] != 1 || order[2] != 2 {
+		t.Fatalf("tick order = %v", order)
+	}
+}
+
+func TestSimCommitsFIFOsEachStep(t *testing.T) {
+	s := NewSim()
+	f := NewFIFO[int](s, "f", 4)
+	s.Register(ModuleFunc(func(now int64) {
+		if now == 0 {
+			f.Push(42)
+		}
+	}))
+	s.Step()
+	if v, ok := f.Pop(); !ok || v != 42 {
+		t.Fatalf("after step, Pop = (%v,%v)", v, ok)
+	}
+}
+
+func TestBusyCounter(t *testing.T) {
+	var b BusyCounter
+	for i := 0; i < 60; i++ {
+		b.Record(true)
+	}
+	for i := 0; i < 40; i++ {
+		b.Record(false)
+	}
+	if r := b.BubbleRatio(); r != 0.4 {
+		t.Fatalf("BubbleRatio = %v, want 0.4", r)
+	}
+	if u := b.Utilization(); u != 0.6 {
+		t.Fatalf("Utilization = %v, want 0.6", u)
+	}
+}
+
+func TestFIFOStatsOccupancy(t *testing.T) {
+	f := NewFIFO[int](nil, "f", 8)
+	f.Push(1)
+	f.Push(2)
+	f.CommitNow() // occupancy 2
+	f.CommitNow() // occupancy 2
+	f.Pop()
+	f.Pop()
+	f.CommitNow() // occupancy 0 → empty cycle
+	st := f.Stats()
+	if st.Cycles != 3 {
+		t.Fatalf("Cycles = %d, want 3", st.Cycles)
+	}
+	if st.EmptyCycles != 1 {
+		t.Fatalf("EmptyCycles = %d, want 1", st.EmptyCycles)
+	}
+	if got := st.MeanOccupancy(); got < 1.3 || got > 1.4 {
+		t.Fatalf("MeanOccupancy = %v, want 4/3", got)
+	}
+}
+
+func TestNewFIFOPanicsOnBadCapacity(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for capacity 0")
+		}
+	}()
+	NewFIFO[int](nil, "bad", 0)
+}
+
+func TestNewPipePanicsOnBadLatency(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic for latency 0")
+		}
+	}()
+	NewPipe[int](nil, 0)
+}

@@ -1,0 +1,164 @@
+// Package queuing implements the analytic machinery behind the Zero-Bubble
+// Scheduler (paper §VI): the M/M/1[N] bulk-service queuing model used to
+// reason about dispatching to N parallel pipelines, and Theorem VI.1's
+// minimum buffer depth under delayed feedback.
+//
+// The continuous-time Markov chain for the bulk-service queue is solved
+// numerically on a truncated state space, which keeps the code free of
+// closed-form fragility and lets tests cross-validate against discrete-event
+// simulation.
+package queuing
+
+import (
+	"fmt"
+	"math"
+)
+
+// MinDepth is Theorem VI.1: the minimum total queue depth D between a
+// scheduler and N downstream servers, each consuming up to mu tasks per
+// cycle, when availability feedback is delayed by at most cMax cycles:
+//
+//	D = N + ⌈mu·cMax⌉·N
+//
+// (the concrete instantiation of D = N + O(mu·cMax·N) the paper deploys).
+func MinDepth(n int, mu float64, cMax int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("queuing: n=%d, want >= 1", n))
+	}
+	if mu <= 0 || cMax < 0 {
+		panic(fmt.Sprintf("queuing: mu=%v cMax=%d invalid", mu, cMax))
+	}
+	return n + int(math.Ceil(mu*float64(cMax)))*n
+}
+
+// FeedbackDelay returns the paper's bound on scheduler round-trip feedback
+// delay for N pipelines: tasks cross log2(N) Dispatchers and log2(N)
+// Mergers at ≤2 cycles each (balancer ≤ 2·log2 N), and the full
+// scheduler-to-pipeline round trip is ≤ 4·log2 N cycles.
+func FeedbackDelay(n int) int {
+	if n < 1 {
+		panic(fmt.Sprintf("queuing: n=%d, want >= 1", n))
+	}
+	return 4 * log2Ceil(n)
+}
+
+// PerPipelineDepth is the per-pipeline FIFO depth implied by Theorem VI.1
+// with mu = 1 task/cycle and C = FeedbackDelay(n): depth 1 + 4·log2(N).
+func PerPipelineDepth(n int) int {
+	return MinDepth(n, 1, FeedbackDelay(n)) / n
+}
+
+func log2Ceil(n int) int {
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k
+}
+
+// BulkQueue is the M/M/1[N] bulk-service model: Poisson task arrivals at
+// rate Lambda, a single scheduler/server that, at exponential rate Mu,
+// dispatches a batch of up to Batch tasks at once (one decision epoch
+// serving up to N pipelines).
+type BulkQueue struct {
+	Lambda float64
+	Mu     float64
+	Batch  int
+}
+
+// Stable reports whether the queue has a stationary distribution
+// (offered load below batch service capacity).
+func (q BulkQueue) Stable() bool { return q.Lambda < q.Mu*float64(q.Batch) }
+
+// Utilization returns the offered load ρ = λ/(N·µ).
+func (q BulkQueue) Utilization() float64 { return q.Lambda / (q.Mu * float64(q.Batch)) }
+
+// Solve computes the stationary distribution of the queue length on the
+// truncated state space [0, maxStates). It returns an error for invalid or
+// unstable configurations.
+//
+// Transition structure: n → n+1 at rate λ; n → max(0, n−Batch) at rate µ
+// for n ≥ 1. The truncated chain is solved by Gauss–Seidel sweeps on the
+// balance equations, which converges quickly because the chain is a
+// skip-free-to-the-right birth process with bulk downward jumps.
+func (q BulkQueue) Solve(maxStates int) ([]float64, error) {
+	if q.Lambda <= 0 || q.Mu <= 0 || q.Batch < 1 {
+		return nil, fmt.Errorf("queuing: invalid bulk queue %+v", q)
+	}
+	if !q.Stable() {
+		return nil, fmt.Errorf("queuing: unstable queue: lambda=%v >= batch capacity %v",
+			q.Lambda, q.Mu*float64(q.Batch))
+	}
+	if maxStates < q.Batch*4 {
+		return nil, fmt.Errorf("queuing: maxStates=%d too small for batch %d", maxStates, q.Batch)
+	}
+	n := maxStates
+	p := make([]float64, n)
+	for i := range p {
+		p[i] = 1 / float64(n)
+	}
+	// Build per-state outflow rates: state 0 flows out at λ only; others at
+	// λ+µ (the last state's arrival edge is truncated but keeping λ in the
+	// denominator just biases mass slightly downward, vanishing as n grows).
+	for iter := 0; iter < 20000; iter++ {
+		delta := 0.0
+		for i := 0; i < n; i++ {
+			// Inflow to state i.
+			in := 0.0
+			if i > 0 {
+				in += q.Lambda * p[i-1]
+			}
+			if i == 0 {
+				// Service from any state 1..Batch empties the queue.
+				for j := 1; j <= q.Batch && j < n; j++ {
+					in += q.Mu * p[j]
+				}
+			} else if i+q.Batch < n {
+				in += q.Mu * p[i+q.Batch]
+			}
+			out := q.Lambda
+			if i > 0 {
+				out += q.Mu
+			}
+			if i == n-1 {
+				out = q.Mu // no arrival edge out of the truncated top state
+			}
+			newP := in / out
+			delta += math.Abs(newP - p[i])
+			p[i] = newP
+		}
+		// Normalize each sweep to keep the iteration bounded.
+		sum := 0.0
+		for _, v := range p {
+			sum += v
+		}
+		if sum == 0 {
+			return nil, fmt.Errorf("queuing: solver degenerated")
+		}
+		for i := range p {
+			p[i] /= sum
+		}
+		if delta < 1e-13 {
+			break
+		}
+	}
+	return p, nil
+}
+
+// MeanQueueLength returns Σ n·P(n) for a solved distribution.
+func MeanQueueLength(p []float64) float64 {
+	m := 0.0
+	for i, v := range p {
+		m += float64(i) * v
+	}
+	return m
+}
+
+// TailProbability returns P(queue length >= k).
+func TailProbability(p []float64, k int) float64 {
+	s := 0.0
+	for i := k; i < len(p); i++ {
+		s += p[i]
+	}
+	return s
+}

@@ -1,0 +1,205 @@
+package queuing
+
+import (
+	"math"
+	"testing"
+)
+
+func TestMinDepthMatchesPaper(t *testing.T) {
+	// µ=1, C=4·log2(N): D = N + 4·N·log2(N) (paper §VI-D).
+	for _, n := range []int{2, 4, 8, 16, 32} {
+		log := int(math.Log2(float64(n)))
+		want := n + 4*n*log
+		if got := MinDepth(n, 1, FeedbackDelay(n)); got != want {
+			t.Errorf("MinDepth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestPerPipelineDepth(t *testing.T) {
+	// Paper: "a FIFO per pipeline with a depth of 1 + 4·log N".
+	for n, want := range map[int]int{2: 5, 4: 9, 16: 17} {
+		if got := PerPipelineDepth(n); got != want {
+			t.Errorf("PerPipelineDepth(%d) = %d, want %d", n, got, want)
+		}
+	}
+}
+
+func TestFeedbackDelay(t *testing.T) {
+	// 16 pipelines → 4·log2(16) = 16 cycle round trip; the one-way balancer
+	// latency is half that (the paper's "eight cycles for 16 pipelines").
+	if got := FeedbackDelay(16); got != 16 {
+		t.Fatalf("FeedbackDelay(16) = %d, want 16", got)
+	}
+	if got := FeedbackDelay(2); got != 4 {
+		t.Fatalf("FeedbackDelay(2) = %d, want 4", got)
+	}
+}
+
+func TestMinDepthPanicsOnBadInput(t *testing.T) {
+	for _, f := range []func(){
+		func() { MinDepth(0, 1, 1) },
+		func() { MinDepth(4, 0, 1) },
+		func() { MinDepth(4, 1, -1) },
+		func() { FeedbackDelay(0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("no panic")
+				}
+			}()
+			f()
+		}()
+	}
+}
+
+func TestBulkQueueBatchOneMatchesMM1(t *testing.T) {
+	// Batch=1 reduces to M/M/1: P(n) = (1-ρ)ρ^n, mean = ρ/(1-ρ).
+	q := BulkQueue{Lambda: 0.6, Mu: 1.0, Batch: 1}
+	p, err := q.Solve(400)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rho := 0.6
+	for n := 0; n < 10; n++ {
+		want := (1 - rho) * math.Pow(rho, float64(n))
+		if math.Abs(p[n]-want) > 1e-4 {
+			t.Fatalf("P(%d) = %v, want %v", n, p[n], want)
+		}
+	}
+	wantMean := rho / (1 - rho)
+	if m := MeanQueueLength(p); math.Abs(m-wantMean) > 0.01 {
+		t.Fatalf("mean = %v, want %v", m, wantMean)
+	}
+}
+
+func TestBulkQueueBatchReducesBacklog(t *testing.T) {
+	// Same arrival rate; larger service batches drain faster → shorter
+	// queue.
+	p1, err := (BulkQueue{Lambda: 1.5, Mu: 1, Batch: 2}).Solve(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p2, err := (BulkQueue{Lambda: 1.5, Mu: 1, Batch: 8}).Solve(600)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m1, m2 := MeanQueueLength(p1), MeanQueueLength(p2)
+	if m2 >= m1 {
+		t.Fatalf("batch 8 mean %v >= batch 2 mean %v", m2, m1)
+	}
+}
+
+func TestBulkQueueDistributionSums(t *testing.T) {
+	q := BulkQueue{Lambda: 2.5, Mu: 1, Batch: 4}
+	p, err := q.Solve(500)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := 0.0
+	for _, v := range p {
+		if v < 0 {
+			t.Fatal("negative probability")
+		}
+		s += v
+	}
+	if math.Abs(s-1) > 1e-9 {
+		t.Fatalf("distribution sums to %v", s)
+	}
+	if TailProbability(p, 0) < 0.999999 {
+		t.Fatal("tail from 0 must be ~1")
+	}
+	if TailProbability(p, len(p)/2) > 0.01 {
+		t.Fatal("truncation point carries visible mass; enlarge state space")
+	}
+}
+
+func TestBulkQueueRejectsUnstable(t *testing.T) {
+	if _, err := (BulkQueue{Lambda: 5, Mu: 1, Batch: 4}).Solve(100); err == nil {
+		t.Error("unstable queue solved")
+	}
+	if _, err := (BulkQueue{Lambda: -1, Mu: 1, Batch: 4}).Solve(100); err == nil {
+		t.Error("negative lambda accepted")
+	}
+	if _, err := (BulkQueue{Lambda: 1, Mu: 1, Batch: 4}).Solve(3); err == nil {
+		t.Error("tiny state space accepted")
+	}
+}
+
+func TestBulkQueueStableUtilization(t *testing.T) {
+	q := BulkQueue{Lambda: 3, Mu: 1, Batch: 4}
+	if !q.Stable() {
+		t.Fatal("q should be stable")
+	}
+	if u := q.Utilization(); math.Abs(u-0.75) > 1e-12 {
+		t.Fatalf("utilization = %v, want 0.75", u)
+	}
+}
+
+func TestSimulateFeedbackZeroBubblesAtTheoremDepth(t *testing.T) {
+	// Backlogged source, stochastic service (mean 2 → µ=0.5), delay C=8.
+	// Theorem VI.1 per-server depth: 1 + ceil(0.5·8) = 5.
+	cfg := FeedbackSimConfig{
+		Servers: 8, Depth: 5, FeedbackDelay: 8,
+		MeanService: 2, Cycles: 40000, Backlogged: true, Seed: 5,
+	}
+	res, err := SimulateFeedback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Completed < 1000 {
+		t.Fatalf("only %d completions", res.Completed)
+	}
+	if r := res.BubbleRatio(); r > 0.01 {
+		t.Fatalf("bubble ratio %.4f at theorem depth, want ~0", r)
+	}
+}
+
+func TestSimulateFeedbackShallowDepthBubbles(t *testing.T) {
+	cfg := FeedbackSimConfig{
+		Servers: 8, Depth: 1, FeedbackDelay: 8,
+		MeanService: 2, Cycles: 40000, Backlogged: true, Seed: 5,
+	}
+	res, err := SimulateFeedback(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r := res.BubbleRatio(); r < 0.05 {
+		t.Fatalf("bubble ratio %.4f with depth 1 and delay 8; expected starvation", r)
+	}
+}
+
+func TestSimulateFeedbackDepthSweepMonotone(t *testing.T) {
+	// Bubble ratio must not increase with depth (within noise).
+	prev := math.Inf(1)
+	for _, depth := range []int{1, 2, 3, 5, 8} {
+		res, err := SimulateFeedback(FeedbackSimConfig{
+			Servers: 4, Depth: depth, FeedbackDelay: 8,
+			MeanService: 2, Cycles: 30000, Backlogged: true, Seed: 7,
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+		r := res.BubbleRatio()
+		if r > prev+0.02 {
+			t.Fatalf("bubble ratio rose from %.4f to %.4f at depth %d", prev, r, depth)
+		}
+		prev = r
+	}
+}
+
+func TestSimulateFeedbackValidation(t *testing.T) {
+	bad := []FeedbackSimConfig{
+		{Servers: 0, Depth: 1, Cycles: 10, MeanService: 1},
+		{Servers: 1, Depth: 0, Cycles: 10, MeanService: 1},
+		{Servers: 1, Depth: 1, Cycles: 0, MeanService: 1},
+		{Servers: 1, Depth: 1, Cycles: 10, MeanService: 0.5},
+		{Servers: 1, Depth: 1, Cycles: 10, MeanService: 1, FeedbackDelay: -1},
+	}
+	for i, cfg := range bad {
+		if _, err := SimulateFeedback(cfg); err == nil {
+			t.Errorf("config %d accepted", i)
+		}
+	}
+}

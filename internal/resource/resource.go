@@ -1,0 +1,125 @@
+// Package resource is an analytic FPGA resource and frequency model for
+// RidgeWalker configurations, reproducing Table IV. There is no synthesis
+// in this repository, so the model is structural: each hardware unit
+// (access engine, sampler, scheduler element, RNG) contributes a calibrated
+// footprint, scaled by instance counts and data widths; the calibration
+// constants were fitted to the paper's published U55C utilization numbers.
+package resource
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/walk"
+)
+
+// Device describes an FPGA's available resources.
+type Device struct {
+	Name  string
+	LUTs  int64
+	REGs  int64
+	BRAMs int64 // 36 Kb blocks
+	DSPs  int64
+}
+
+// U55C is the primary evaluation device (XCU55C: ~1.3M LUTs, ~2.6M REGs,
+// 2016 BRAM36, 9024 DSPs).
+var U55C = Device{Name: "U55C", LUTs: 1_303_680, REGs: 2_607_360, BRAMs: 2016, DSPs: 9024}
+
+// Utilization is a design's resource consumption.
+type Utilization struct {
+	LUTs, REGs, BRAMs, DSPs int64
+	// FrequencyMHz is the achievable clock.
+	FrequencyMHz int
+}
+
+// Percent returns utilization as percentages of the device.
+func (u Utilization) Percent(d Device) (lut, reg, bram, dsp float64) {
+	return 100 * float64(u.LUTs) / float64(d.LUTs),
+		100 * float64(u.REGs) / float64(d.REGs),
+		100 * float64(u.BRAMs) / float64(d.BRAMs),
+		100 * float64(u.DSPs) / float64(d.DSPs)
+}
+
+// unit footprints (calibrated to Table IV; one asynchronous pipeline is a
+// Row Access engine + Sampling module + Column Access engine + RNG).
+type unitCost struct {
+	luts, regs, brams, dsps int64
+}
+
+var (
+	// accessEngine: request/response proxies, metadata queue (BRAM),
+	// transaction-ID reorder buffer.
+	accessEngine = unitCost{luts: 9200, regs: 8800, brams: 6, dsps: 0}
+	// rngUnit is one ThundeRiNG instance.
+	rngUnit = unitCost{luts: 1400, regs: 2600, brams: 0, dsps: 2}
+	// schedulerPerPipe covers the per-pipeline share of the butterfly
+	// balancer, dispatchers/mergers, and the Theorem-VI.1 FIFOs. The
+	// standalone scheduler is tiny (1.8% of LUTs at 450 MHz, §VIII-F).
+	schedulerPerPipe = unitCost{luts: 1500, regs: 2200, brams: 2, dsps: 0}
+	// infrastructure: PCIe/XDMA shell share, AXI interconnect, control
+	// registers, query loader/writer.
+	infrastructure = unitCost{luts: 228_000, regs: 180_000, brams: 140, dsps: 40}
+)
+
+// samplerCost returns the per-pipeline sampler footprint for an algorithm
+// (Table I: wider RP entries and heavier arithmetic cost more).
+func samplerCost(alg walk.Algorithm) unitCost {
+	switch alg {
+	case walk.URW:
+		return unitCost{luts: 6000, regs: 3700, brams: 2, dsps: 8}
+	case walk.PPR:
+		// Teleport comparison and α registers on top of uniform.
+		return unitCost{luts: 15000, regs: 13000, brams: 2, dsps: 8}
+	case walk.DeepWalk:
+		// Alias tables: 256-bit RP entries and fused alias/neighbor reads
+		// buffer in BRAM; extra comparators.
+		return unitCost{luts: 20200, regs: 17000, brams: 27, dsps: 20}
+	case walk.Node2Vec:
+		// Rejection sampling: bias evaluation, membership probes, floating
+		// point compare — the heaviest sampler.
+		return unitCost{luts: 29700, regs: 24200, brams: 23, dsps: 37}
+	case walk.MetaPath:
+		// Reservoir with label matching, 128-bit entries.
+		return unitCost{luts: 18500, regs: 16000, brams: 20, dsps: 24}
+	default:
+		return unitCost{}
+	}
+}
+
+// Estimate computes the utilization of a RidgeWalker build with the given
+// pipeline count for one GRW algorithm on the device.
+func Estimate(alg walk.Algorithm, pipelines int, d Device) (Utilization, error) {
+	if pipelines < 1 {
+		return Utilization{}, fmt.Errorf("resource: pipelines %d, want >= 1", pipelines)
+	}
+	sc := samplerCost(alg)
+	var u Utilization
+	perPipe := unitCost{
+		luts:  2*accessEngine.luts + rngUnit.luts + schedulerPerPipe.luts + sc.luts,
+		regs:  2*accessEngine.regs + rngUnit.regs + schedulerPerPipe.regs + sc.regs,
+		brams: 2*accessEngine.brams + rngUnit.brams + schedulerPerPipe.brams + sc.brams,
+		dsps:  2*accessEngine.dsps + rngUnit.dsps + schedulerPerPipe.dsps + sc.dsps,
+	}
+	u.LUTs = infrastructure.luts + int64(pipelines)*perPipe.luts
+	u.REGs = infrastructure.regs + int64(pipelines)*perPipe.regs
+	u.BRAMs = infrastructure.brams + int64(pipelines)*perPipe.brams
+	u.DSPs = infrastructure.dsps + int64(pipelines)*perPipe.dsps
+	// The asynchronous, free-running design closes timing at 320 MHz on
+	// every variant (§VIII-F); the scheduler alone reaches 450 MHz.
+	u.FrequencyMHz = 320
+	if u.LUTs > d.LUTs || u.REGs > d.REGs || u.BRAMs > d.BRAMs || u.DSPs > d.DSPs {
+		return u, fmt.Errorf("resource: %s with %d pipelines exceeds %s", alg, pipelines, d.Name)
+	}
+	return u, nil
+}
+
+// SchedulerStandalone reports the zero-bubble scheduler profiled alone
+// (§VIII-F): 450 MHz, 1.8% of U55C LUTs at 16 pipelines.
+func SchedulerStandalone(pipelines int) Utilization {
+	return Utilization{
+		LUTs:         int64(pipelines) * schedulerPerPipe.luts,
+		REGs:         int64(pipelines) * schedulerPerPipe.regs,
+		BRAMs:        int64(pipelines) * schedulerPerPipe.brams,
+		FrequencyMHz: 450,
+	}
+}

@@ -1,0 +1,92 @@
+package resource
+
+import (
+	"testing"
+
+	"ridgewalker/internal/walk"
+)
+
+// paperTableIV holds the published utilization (LUT%, REG%, BRAM%, DSP%)
+// for 16 pipelines on U55C.
+var paperTableIV = map[walk.Algorithm][4]float64{
+	walk.PPR:      {61.1, 29.8, 19.5, 2.2},
+	walk.URW:      {50.1, 24.0, 19.5, 2.2},
+	walk.DeepWalk: {67.5, 32.3, 39.1, 4.4},
+	walk.Node2Vec: {79.1, 41.6, 36.0, 7.3},
+}
+
+func TestEstimateTracksTableIV(t *testing.T) {
+	for alg, want := range paperTableIV {
+		u, err := Estimate(alg, 16, U55C)
+		if err != nil {
+			t.Fatalf("%s: %v", alg, err)
+		}
+		lut, reg, bram, dsp := u.Percent(U55C)
+		got := [4]float64{lut, reg, bram, dsp}
+		for i := range got {
+			// Within 30% relative or 3 points absolute of the paper.
+			diff := got[i] - want[i]
+			if diff < 0 {
+				diff = -diff
+			}
+			if diff > 3 && diff > 0.3*want[i] {
+				t.Errorf("%s metric %d: got %.1f%%, paper %.1f%%", alg, i, got[i], want[i])
+			}
+		}
+		if u.FrequencyMHz != 320 {
+			t.Errorf("%s frequency %d, want 320", alg, u.FrequencyMHz)
+		}
+	}
+}
+
+func TestOrderingAcrossAlgorithms(t *testing.T) {
+	// Node2Vec > DeepWalk > PPR > URW in LUTs (Table IV's ordering).
+	var luts []int64
+	for _, alg := range []walk.Algorithm{walk.URW, walk.PPR, walk.DeepWalk, walk.Node2Vec} {
+		u, err := Estimate(alg, 16, U55C)
+		if err != nil {
+			t.Fatal(err)
+		}
+		luts = append(luts, u.LUTs)
+	}
+	for i := 1; i < len(luts); i++ {
+		if luts[i] <= luts[i-1] {
+			t.Fatalf("LUT ordering violated: %v", luts)
+		}
+	}
+}
+
+func TestScalesWithPipelines(t *testing.T) {
+	u8, err := Estimate(walk.URW, 8, U55C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	u16, err := Estimate(walk.URW, 16, U55C)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u16.LUTs <= u8.LUTs || u16.BRAMs <= u8.BRAMs {
+		t.Fatal("doubling pipelines did not grow the design")
+	}
+}
+
+func TestOverflowRejected(t *testing.T) {
+	if _, err := Estimate(walk.Node2Vec, 1024, U55C); err == nil {
+		t.Fatal("1024 pipelines fit on U55C; model broken")
+	}
+	if _, err := Estimate(walk.URW, 0, U55C); err == nil {
+		t.Fatal("0 pipelines accepted")
+	}
+}
+
+func TestSchedulerStandalone(t *testing.T) {
+	u := SchedulerStandalone(16)
+	if u.FrequencyMHz != 450 {
+		t.Fatalf("scheduler frequency %d, want 450", u.FrequencyMHz)
+	}
+	lut, _, _, _ := u.Percent(U55C)
+	// §VIII-F: ~1.8% of LUTs.
+	if lut < 0.5 || lut > 4 {
+		t.Fatalf("standalone scheduler %.2f%% LUTs, paper ~1.8%%", lut)
+	}
+}

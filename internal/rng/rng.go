@@ -1,0 +1,136 @@
+// Package rng provides many independent, deterministic, high-throughput
+// pseudo-random number streams.
+//
+// It is the software substitute for ThundeRiNG (Tan et al., ICS'21), the
+// FPGA random-number generator RidgeWalker pairs with every sampling module.
+// The contract it preserves is ThundeRiNG's: an arbitrary number of
+// decorrelated uniform streams, each with O(1) state and one output per
+// cycle, cheap enough to instantiate per pipeline.
+//
+// The generator is xoshiro256** seeded through splitmix64, the standard
+// recipe for producing well-separated streams from a single master seed.
+package rng
+
+import (
+	"math"
+	"math/bits"
+)
+
+// splitmix64 advances *s and returns the next output of the splitmix64
+// sequence. It is used only for seeding.
+func splitmix64(s *uint64) uint64 {
+	*s += 0x9e3779b97f4a7c15
+	z := *s
+	z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+	z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+	return z ^ (z >> 31)
+}
+
+// Stream is a single xoshiro256** pseudo-random stream. The zero value is
+// not valid; construct streams with New or Source.Stream.
+type Stream struct {
+	s0, s1, s2, s3 uint64
+}
+
+// New returns a stream derived from seed. Streams created from different
+// seeds, or from the same Source with different indices, are decorrelated.
+func New(seed uint64) *Stream {
+	var st Stream
+	st.Reseed(seed)
+	return &st
+}
+
+// Reseed resets the stream to the deterministic state derived from seed.
+func (r *Stream) Reseed(seed uint64) {
+	sm := seed
+	r.s0 = splitmix64(&sm)
+	r.s1 = splitmix64(&sm)
+	r.s2 = splitmix64(&sm)
+	r.s3 = splitmix64(&sm)
+	// xoshiro256** is ill-defined at the all-zero state; splitmix64 cannot
+	// produce four consecutive zeros, but guard anyway.
+	if r.s0|r.s1|r.s2|r.s3 == 0 {
+		r.s0 = 1
+	}
+}
+
+func rotl(x uint64, k uint) uint64 { return (x << k) | (x >> (64 - k)) }
+
+// Uint64 returns the next 64 uniformly random bits.
+func (r *Stream) Uint64() uint64 {
+	result := rotl(r.s1*5, 7) * 9
+	t := r.s1 << 17
+	r.s2 ^= r.s0
+	r.s3 ^= r.s1
+	r.s1 ^= r.s2
+	r.s0 ^= r.s3
+	r.s2 ^= t
+	r.s3 = rotl(r.s3, 45)
+	return result
+}
+
+// Uint32 returns the next 32 uniformly random bits.
+func (r *Stream) Uint32() uint32 { return uint32(r.Uint64() >> 32) }
+
+// Float64 returns a uniform float64 in [0, 1).
+func (r *Stream) Float64() float64 {
+	return float64(r.Uint64()>>11) * (1.0 / (1 << 53))
+}
+
+// Intn returns a uniform int in [0, n). It panics if n <= 0.
+//
+// It uses Lemire's multiply-shift rejection method, which needs on average
+// barely more than one 64-bit draw.
+func (r *Stream) Intn(n int) int {
+	if n <= 0 {
+		panic("rng: Intn called with n <= 0")
+	}
+	return int(r.Uint64n(uint64(n)))
+}
+
+// Uint64n returns a uniform uint64 in [0, n). It panics if n == 0.
+func (r *Stream) Uint64n(n uint64) uint64 {
+	if n == 0 {
+		panic("rng: Uint64n called with n == 0")
+	}
+	// Lemire's nearly-divisionless bounded generation.
+	x := r.Uint64()
+	hi, lo := bits.Mul64(x, n)
+	if lo < n {
+		thresh := -n % n
+		for lo < thresh {
+			x = r.Uint64()
+			hi, lo = bits.Mul64(x, n)
+		}
+	}
+	return hi
+}
+
+// Exp returns an exponentially distributed float64 with rate lambda
+// (mean 1/lambda). It panics if lambda <= 0.
+func (r *Stream) Exp(lambda float64) float64 {
+	if lambda <= 0 {
+		panic("rng: Exp called with lambda <= 0")
+	}
+	// -ln(1-U) with U in [0,1) avoids log(0).
+	return -math.Log(1-r.Float64()) / lambda
+}
+
+// Source produces decorrelated streams from a master seed, mirroring
+// ThundeRiNG's "one root state, many independent sequences" structure.
+type Source struct {
+	master uint64
+}
+
+// NewSource returns a stream factory rooted at the master seed.
+func NewSource(master uint64) *Source { return &Source{master: master} }
+
+// Stream returns the idx-th derived stream. The same (master, idx) pair
+// always yields the same sequence.
+func (s *Source) Stream(idx uint64) *Stream {
+	// Mix the index through splitmix64 twice so adjacent indices land far
+	// apart in seed space.
+	sm := s.master ^ (idx+1)*0x9e3779b97f4a7c15
+	a := splitmix64(&sm)
+	return New(a)
+}

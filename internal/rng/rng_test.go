@@ -1,0 +1,182 @@
+package rng
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestDeterminism(t *testing.T) {
+	a, b := New(42), New(42)
+	for i := 0; i < 1000; i++ {
+		if x, y := a.Uint64(), b.Uint64(); x != y {
+			t.Fatalf("draw %d: streams with equal seed diverge: %d vs %d", i, x, y)
+		}
+	}
+}
+
+func TestReseedRestoresSequence(t *testing.T) {
+	s := New(7)
+	first := make([]uint64, 64)
+	for i := range first {
+		first[i] = s.Uint64()
+	}
+	s.Reseed(7)
+	for i := range first {
+		if got := s.Uint64(); got != first[i] {
+			t.Fatalf("draw %d after reseed: got %d want %d", i, got, first[i])
+		}
+	}
+}
+
+func TestSeedsDiverge(t *testing.T) {
+	a, b := New(1), New(2)
+	same := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			same++
+		}
+	}
+	if same > 0 {
+		t.Fatalf("streams with different seeds collided %d/1000 times", same)
+	}
+}
+
+func TestFloat64Range(t *testing.T) {
+	s := New(3)
+	for i := 0; i < 100000; i++ {
+		f := s.Float64()
+		if f < 0 || f >= 1 {
+			t.Fatalf("Float64 out of [0,1): %v", f)
+		}
+	}
+}
+
+func TestFloat64Mean(t *testing.T) {
+	s := New(11)
+	const n = 200000
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Float64()
+	}
+	mean := sum / n
+	if math.Abs(mean-0.5) > 0.005 {
+		t.Fatalf("mean of %d uniforms = %v, want ~0.5", n, mean)
+	}
+}
+
+func TestIntnBounds(t *testing.T) {
+	s := New(5)
+	for _, n := range []int{1, 2, 3, 7, 64, 1000, 1 << 30} {
+		for i := 0; i < 2000; i++ {
+			v := s.Intn(n)
+			if v < 0 || v >= n {
+				t.Fatalf("Intn(%d) = %d out of range", n, v)
+			}
+		}
+	}
+}
+
+func TestIntnPanicsOnNonPositive(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Intn(0) did not panic")
+		}
+	}()
+	New(1).Intn(0)
+}
+
+func TestIntnUniform(t *testing.T) {
+	// Chi-squared goodness of fit over 16 buckets.
+	s := New(99)
+	const buckets = 16
+	const draws = 160000
+	var counts [buckets]int
+	for i := 0; i < draws; i++ {
+		counts[s.Intn(buckets)]++
+	}
+	expect := float64(draws) / buckets
+	chi2 := 0.0
+	for _, c := range counts {
+		d := float64(c) - expect
+		chi2 += d * d / expect
+	}
+	// 15 dof, p=0.001 critical value ~37.7.
+	if chi2 > 37.7 {
+		t.Fatalf("chi2 = %v exceeds 37.7; counts %v", chi2, counts)
+	}
+}
+
+func TestExpMean(t *testing.T) {
+	s := New(123)
+	const n = 200000
+	const lambda = 2.5
+	sum := 0.0
+	for i := 0; i < n; i++ {
+		sum += s.Exp(lambda)
+	}
+	mean := sum / n
+	if math.Abs(mean-1/lambda) > 0.01 {
+		t.Fatalf("Exp(%v) mean = %v, want ~%v", lambda, mean, 1/lambda)
+	}
+}
+
+func TestSourceStreamsIndependent(t *testing.T) {
+	src := NewSource(1234)
+	a, b := src.Stream(0), src.Stream(1)
+	matches := 0
+	for i := 0; i < 1000; i++ {
+		if a.Uint64() == b.Uint64() {
+			matches++
+		}
+	}
+	if matches > 0 {
+		t.Fatalf("adjacent source streams collided %d/1000 times", matches)
+	}
+}
+
+func TestSourceReproducible(t *testing.T) {
+	a := NewSource(9).Stream(5)
+	b := NewSource(9).Stream(5)
+	for i := 0; i < 100; i++ {
+		if a.Uint64() != b.Uint64() {
+			t.Fatal("same (master, idx) produced different sequences")
+		}
+	}
+}
+
+func TestUint64nNeverExceedsBound(t *testing.T) {
+	f := func(seed uint64, n uint64) bool {
+		if n == 0 {
+			n = 1
+		}
+		s := New(seed)
+		for i := 0; i < 32; i++ {
+			if s.Uint64n(n) >= n {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func BenchmarkUint64(b *testing.B) {
+	s := New(1)
+	var sink uint64
+	for i := 0; i < b.N; i++ {
+		sink += s.Uint64()
+	}
+	_ = sink
+}
+
+func BenchmarkIntn(b *testing.B) {
+	s := New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += s.Intn(1000003)
+	}
+	_ = sink
+}

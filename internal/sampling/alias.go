@@ -1,0 +1,135 @@
+package sampling
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// AliasTable is a Walker alias structure over n weighted outcomes,
+// supporting O(1) draws after O(n) construction. DeepWalk on weighted
+// graphs keeps one table per neighbor list (paper Table I; the RP entry
+// grows to 256 bits to carry the table pointer and size).
+type AliasTable struct {
+	prob  []float64
+	alias []int32
+}
+
+// NewAliasTable builds a table for the given positive weights.
+func NewAliasTable(weights []float32) (*AliasTable, error) {
+	n := len(weights)
+	if n == 0 {
+		return nil, fmt.Errorf("sampling: alias table over empty weight set")
+	}
+	total := 0.0
+	for i, w := range weights {
+		if !(w > 0) {
+			return nil, fmt.Errorf("sampling: weight[%d]=%v, want > 0", i, w)
+		}
+		total += float64(w)
+	}
+	t := &AliasTable{prob: make([]float64, n), alias: make([]int32, n)}
+	// Scaled probabilities; Vose's stable two-worklist construction.
+	scaled := make([]float64, n)
+	small := make([]int32, 0, n)
+	large := make([]int32, 0, n)
+	for i, w := range weights {
+		scaled[i] = float64(w) * float64(n) / total
+		if scaled[i] < 1 {
+			small = append(small, int32(i))
+		} else {
+			large = append(large, int32(i))
+		}
+	}
+	for len(small) > 0 && len(large) > 0 {
+		s := small[len(small)-1]
+		small = small[:len(small)-1]
+		l := large[len(large)-1]
+		large = large[:len(large)-1]
+		t.prob[s] = scaled[s]
+		t.alias[s] = l
+		scaled[l] -= 1 - scaled[s]
+		if scaled[l] < 1 {
+			small = append(small, l)
+		} else {
+			large = append(large, l)
+		}
+	}
+	for _, i := range large {
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	for _, i := range small {
+		// Only numerically-rounded leftovers end up here.
+		t.prob[i] = 1
+		t.alias[i] = i
+	}
+	return t, nil
+}
+
+// Len returns the number of outcomes.
+func (t *AliasTable) Len() int { return len(t.prob) }
+
+// Draw returns an outcome index distributed proportionally to the weights.
+func (t *AliasTable) Draw(r *rng.Stream) int {
+	i := r.Intn(len(t.prob))
+	if r.Float64() < t.prob[i] {
+		return i
+	}
+	return int(t.alias[i])
+}
+
+// AliasSampler implements DeepWalk's weighted neighbor selection with
+// per-vertex alias tables, prebuilt from the graph's edge weights.
+type AliasSampler struct {
+	tables []*AliasTable
+}
+
+// NewAliasSampler precomputes alias tables for every vertex of g with
+// degree > 0. The graph must be weighted.
+func NewAliasSampler(g *graph.CSR) (*AliasSampler, error) {
+	if !g.Weighted() {
+		return nil, fmt.Errorf("sampling: alias sampler requires a weighted graph")
+	}
+	s := &AliasSampler{tables: make([]*AliasTable, g.NumVertices)}
+	for v := 0; v < g.NumVertices; v++ {
+		ws := g.NeighborWeights(graph.VertexID(v))
+		if len(ws) == 0 {
+			continue
+		}
+		t, err := NewAliasTable(ws)
+		if err != nil {
+			return nil, fmt.Errorf("sampling: vertex %d: %w", v, err)
+		}
+		s.tables[v] = t
+	}
+	return s, nil
+}
+
+// TableBytes reports the alias-table memory footprint (8-byte prob + 4-byte
+// alias per slot), the auxiliary structure the 256-bit RP entry points at.
+func (s *AliasSampler) TableBytes() int64 {
+	var b int64
+	for _, t := range s.tables {
+		if t != nil {
+			b += int64(t.Len()) * 12
+		}
+	}
+	return b
+}
+
+// Sample implements Sampler.
+func (s *AliasSampler) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	t := s.tables[ctx.Cur]
+	if t == nil {
+		return Result{Index: -1, Probes: 1}
+	}
+	return Result{Index: t.Draw(r), Probes: 1}
+}
+
+// Kind implements Sampler.
+func (s *AliasSampler) Kind() Kind { return KindAlias }
+
+// RPEntryBits implements Sampler.
+func (s *AliasSampler) RPEntryBits() int { return 256 }

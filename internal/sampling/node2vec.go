@@ -1,0 +1,180 @@
+package sampling
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// node2vecBias returns the second-order bias node2vec applies to candidate
+// next-vertex v given the previous vertex prev:
+//
+//	1/p if v == prev           (return)
+//	1   if prev has edge to v  (stay near)
+//	1/q otherwise              (explore)
+func node2vecBias(g *graph.CSR, prev, v graph.VertexID, p, q float64) float64 {
+	switch {
+	case v == prev:
+		return 1 / p
+	case g.HasEdge(prev, v):
+		return 1
+	default:
+		return 1 / q
+	}
+}
+
+// Rejection implements node2vec's neighbor selection on unweighted graphs by
+// rejection sampling (the scheme gSampler and the paper use): draw a
+// candidate uniformly, accept with probability bias/maxBias. Each loop trip
+// costs one neighbor-list probe plus an adjacency check against prev.
+type Rejection struct {
+	P, Q float64
+	// maxBias = max(1/p, 1, 1/q), the acceptance envelope.
+	maxBias float64
+	// MaxTrips bounds the rejection loop; on exhaustion the last candidate
+	// is accepted (bias toward exact sampling is negligible for sane p,q and
+	// the bound keeps hardware service time finite, as real designs do).
+	MaxTrips int
+}
+
+// NewRejection validates p and q and returns the sampler.
+func NewRejection(p, q float64) (*Rejection, error) {
+	if p <= 0 || q <= 0 {
+		return nil, fmt.Errorf("sampling: node2vec p=%v q=%v must be > 0", p, q)
+	}
+	m := 1.0
+	if 1/p > m {
+		m = 1 / p
+	}
+	if 1/q > m {
+		m = 1 / q
+	}
+	return &Rejection{P: p, Q: q, maxBias: m, MaxTrips: 64}, nil
+}
+
+// Sample implements Sampler.
+func (s *Rejection) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	deg := g.Degree(ctx.Cur)
+	if !ctx.HasPrev {
+		// First hop is unbiased.
+		return Result{Index: r.Intn(deg), Probes: 1}
+	}
+	ns := g.Neighbors(ctx.Cur)
+	trips := 0
+	for {
+		trips++
+		idx := r.Intn(deg)
+		bias := node2vecBias(g, ctx.Prev, ns[idx], s.P, s.Q)
+		if r.Float64()*s.maxBias < bias || trips >= s.MaxTrips {
+			return Result{Index: idx, Probes: trips}
+		}
+	}
+}
+
+// Kind implements Sampler.
+func (s *Rejection) Kind() Kind { return KindRejection }
+
+// RPEntryBits implements Sampler.
+func (s *Rejection) RPEntryBits() int { return 64 }
+
+// Reservoir implements weighted second-order selection by a one-pass
+// weighted reservoir over the neighbor list — the scheme LightRW uses for
+// weighted node2vec and MetaPath. Cost is one probe per neighbor.
+type Reservoir struct {
+	// P, Q are node2vec bias factors; set both to 1 for plain weighted
+	// selection.
+	P, Q float64
+}
+
+// NewReservoir validates p and q and returns the sampler.
+func NewReservoir(p, q float64) (*Reservoir, error) {
+	if p <= 0 || q <= 0 {
+		return nil, fmt.Errorf("sampling: node2vec p=%v q=%v must be > 0", p, q)
+	}
+	return &Reservoir{P: p, Q: q}, nil
+}
+
+// Sample implements Sampler.
+func (s *Reservoir) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	ns := g.Neighbors(ctx.Cur)
+	var ws []float32
+	if g.Weighted() {
+		ws = g.NeighborWeights(ctx.Cur)
+	}
+	chosen := -1
+	cum := 0.0
+	for i, v := range ns {
+		w := 1.0
+		if ws != nil {
+			w = float64(ws[i])
+		}
+		if ctx.HasPrev {
+			w *= node2vecBias(g, ctx.Prev, v, s.P, s.Q)
+		}
+		cum += w
+		// A-Chao weighted reservoir of size 1: replace the incumbent with
+		// probability w/cum; the final winner is exactly w-proportional.
+		if r.Float64()*cum < w {
+			chosen = i
+		}
+	}
+	return Result{Index: chosen, Probes: len(ns)}
+}
+
+// Kind implements Sampler.
+func (s *Reservoir) Kind() Kind { return KindReservoir }
+
+// RPEntryBits implements Sampler.
+func (s *Reservoir) RPEntryBits() int { return 128 }
+
+// MetaPath selects the next vertex among neighbors whose label matches the
+// walk's schema (metapath2vec), weighted when the graph is weighted. A walk
+// terminates early when no neighbor matches — the irregularity Fig. 8d
+// exercises.
+type MetaPath struct {
+	// Schema is the cyclic sequence of vertex types; hop i must land on a
+	// vertex labeled Schema[(i+1) % len(Schema)].
+	Schema []uint8
+}
+
+// NewMetaPath validates the schema.
+func NewMetaPath(schema []uint8) (*MetaPath, error) {
+	if len(schema) == 0 {
+		return nil, fmt.Errorf("sampling: empty metapath schema")
+	}
+	return &MetaPath{Schema: schema}, nil
+}
+
+// Sample implements Sampler. Index is -1 when no neighbor matches the
+// required type.
+func (s *MetaPath) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	want := s.Schema[(ctx.Step+1)%len(s.Schema)]
+	ns := g.Neighbors(ctx.Cur)
+	var ws []float32
+	if g.Weighted() {
+		ws = g.NeighborWeights(ctx.Cur)
+	}
+	chosen := -1
+	cum := 0.0
+	for i, v := range ns {
+		if g.Label(v) != want {
+			continue
+		}
+		w := 1.0
+		if ws != nil {
+			w = float64(ws[i])
+		}
+		cum += w
+		if r.Float64()*cum < w {
+			chosen = i
+		}
+	}
+	return Result{Index: chosen, Probes: len(ns)}
+}
+
+// Kind implements Sampler.
+func (s *MetaPath) Kind() Kind { return KindMetaPath }
+
+// RPEntryBits implements Sampler.
+func (s *MetaPath) RPEntryBits() int { return 128 }

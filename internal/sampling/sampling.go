@@ -1,0 +1,102 @@
+// Package sampling implements the neighbor-sampling algorithms RidgeWalker
+// supports (paper Table I):
+//
+//	GRW                    sampling algorithm    RP entry
+//	URW, PPR               uniform               64-bit
+//	DeepWalk (weighted)    alias                 256-bit
+//	Node2Vec (unweighted)  rejection             64-bit
+//	Node2Vec (weighted)    reservoir             128-bit
+//	MetaPath (weighted)    reservoir             128-bit
+//
+// Samplers are stateless between calls — all walk state arrives in the
+// Context, mirroring the paper's stateless task decomposition. Each result
+// reports the number of probes (sampling iterations touching neighbor-list
+// memory) so cycle-level models can charge the right service time.
+package sampling
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// Kind enumerates the sampling algorithms of Table I.
+type Kind int
+
+const (
+	KindUniform Kind = iota
+	KindAlias
+	KindRejection
+	KindReservoir
+	KindMetaPath
+)
+
+// String returns the paper's name for the sampling algorithm.
+func (k Kind) String() string {
+	switch k {
+	case KindUniform:
+		return "uniform"
+	case KindAlias:
+		return "alias"
+	case KindRejection:
+		return "rejection"
+	case KindReservoir:
+		return "reservoir"
+	case KindMetaPath:
+		return "metapath-reservoir"
+	default:
+		return fmt.Sprintf("Kind(%d)", int(k))
+	}
+}
+
+// Context carries the walk state a sampler may condition on. First-order
+// walks use only Cur; second-order walks (Node2Vec) also use Prev; MetaPath
+// uses Step to index its schema.
+type Context struct {
+	Cur  graph.VertexID
+	Prev graph.VertexID
+	// HasPrev is false on the first hop, before any previous vertex exists.
+	HasPrev bool
+	// Step is the hop index within the walk (0-based).
+	Step int
+}
+
+// Result is the outcome of one sampling decision.
+type Result struct {
+	// Index is the chosen position within Neighbors(Cur), or -1 when no
+	// neighbor is selectable (e.g. no neighbor matches the MetaPath schema).
+	Index int
+	// Probes counts sampling iterations that touched neighbor-list memory:
+	// 1 for uniform/alias, the rejection-loop trip count for rejection, and
+	// the neighbor-list length for reservoir scans. Hardware models convert
+	// probes into cycles.
+	Probes int
+}
+
+// Sampler chooses a neighbor index for the current vertex.
+type Sampler interface {
+	// Sample picks a neighbor of ctx.Cur. The caller guarantees
+	// g.Degree(ctx.Cur) > 0.
+	Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result
+	// Kind identifies the algorithm.
+	Kind() Kind
+	// RPEntryBits is the row-pointer entry width this sampler needs
+	// (Table I): wider entries carry alias-table or weight-prefix pointers.
+	RPEntryBits() int
+}
+
+// Uniform selects neighbors uniformly at random; used by URW and PPR.
+type Uniform struct{}
+
+// Sample implements Sampler.
+func (Uniform) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	deg := g.Degree(ctx.Cur)
+	return Result{Index: r.Intn(deg), Probes: 1}
+}
+
+// Kind implements Sampler.
+func (Uniform) Kind() Kind { return KindUniform }
+
+// RPEntryBits implements Sampler.
+func (Uniform) RPEntryBits() int { return 64 }

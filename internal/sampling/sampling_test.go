@@ -1,0 +1,379 @@
+package sampling
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// chi2 computes the chi-squared statistic of observed counts against
+// expected probabilities over the same index set.
+func chi2(counts []int, probs []float64, draws int) float64 {
+	s := 0.0
+	for i, c := range counts {
+		e := probs[i] * float64(draws)
+		if e == 0 {
+			if c != 0 {
+				return math.Inf(1)
+			}
+			continue
+		}
+		d := float64(c) - e
+		s += d * d / e
+	}
+	return s
+}
+
+// chi2Critical999 is a conservative p=0.001 critical value lookup for small
+// degrees of freedom.
+var chi2Critical999 = []float64{0, 10.83, 13.82, 16.27, 18.47, 20.52, 22.46, 24.32, 26.12, 27.88, 29.59}
+
+func TestAliasTableExactness(t *testing.T) {
+	weights := []float32{1, 2, 3, 4}
+	tab, err := NewAliasTable(weights)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(1)
+	const draws = 200000
+	counts := make([]int, len(weights))
+	for i := 0; i < draws; i++ {
+		counts[tab.Draw(r)]++
+	}
+	probs := []float64{0.1, 0.2, 0.3, 0.4}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[3] {
+		t.Fatalf("alias distribution off: chi2=%v counts=%v", c, counts)
+	}
+}
+
+func TestAliasTableSingleOutcome(t *testing.T) {
+	tab, err := NewAliasTable([]float32{7})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(2)
+	for i := 0; i < 100; i++ {
+		if tab.Draw(r) != 0 {
+			t.Fatal("single-outcome table drew nonzero index")
+		}
+	}
+}
+
+func TestAliasTableRejectsBadWeights(t *testing.T) {
+	if _, err := NewAliasTable(nil); err == nil {
+		t.Error("empty weights accepted")
+	}
+	if _, err := NewAliasTable([]float32{1, 0}); err == nil {
+		t.Error("zero weight accepted")
+	}
+	if _, err := NewAliasTable([]float32{1, -2}); err == nil {
+		t.Error("negative weight accepted")
+	}
+}
+
+func TestAliasTablePropertyTotalProbability(t *testing.T) {
+	// For any weight vector, empirical frequencies must track weights to
+	// within a loose tolerance (checked on modest sample sizes to keep the
+	// property test fast).
+	f := func(seed uint64, raw []uint8) bool {
+		if len(raw) == 0 {
+			return true
+		}
+		if len(raw) > 12 {
+			raw = raw[:12]
+		}
+		weights := make([]float32, len(raw))
+		total := 0.0
+		for i, b := range raw {
+			weights[i] = float32(b%17) + 1
+			total += float64(weights[i])
+		}
+		tab, err := NewAliasTable(weights)
+		if err != nil {
+			return false
+		}
+		r := rng.New(seed)
+		const draws = 30000
+		counts := make([]int, len(weights))
+		for i := 0; i < draws; i++ {
+			counts[tab.Draw(r)]++
+		}
+		for i, c := range counts {
+			want := float64(weights[i]) / total
+			got := float64(c) / draws
+			if math.Abs(got-want) > 0.03 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestUniformSampler(t *testing.T) {
+	g := graph.SmallTestGraph()
+	r := rng.New(3)
+	const draws = 60000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		res := Uniform{}.Sample(g, Context{Cur: 0}, r)
+		if res.Probes != 1 {
+			t.Fatal("uniform sampler should cost one probe")
+		}
+		counts[res.Index]++
+	}
+	probs := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[2] {
+		t.Fatalf("uniform distribution off: chi2=%v counts=%v", c, counts)
+	}
+}
+
+func TestAliasSamplerMatchesWeights(t *testing.T) {
+	g := graph.SmallTestGraph()
+	g.AttachWeights()
+	s, err := NewAliasSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.RPEntryBits() != 256 {
+		t.Fatalf("RPEntryBits = %d, want 256", s.RPEntryBits())
+	}
+	cur := graph.VertexID(0)
+	ws := g.NeighborWeights(cur)
+	total := 0.0
+	for _, w := range ws {
+		total += float64(w)
+	}
+	probs := make([]float64, len(ws))
+	for i, w := range ws {
+		probs[i] = float64(w) / total
+	}
+	r := rng.New(4)
+	const draws = 100000
+	counts := make([]int, len(ws))
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(g, Context{Cur: cur}, r).Index]++
+	}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[len(ws)-1] {
+		t.Fatalf("alias sampler off: chi2=%v counts=%v probs=%v", c, counts, probs)
+	}
+}
+
+func TestAliasSamplerRequiresWeights(t *testing.T) {
+	if _, err := NewAliasSampler(graph.SmallTestGraph()); err == nil {
+		t.Fatal("unweighted graph accepted")
+	}
+}
+
+// exactNode2VecProbs enumerates the exact node2vec transition distribution
+// from cur given prev on an optionally weighted graph.
+func exactNode2VecProbs(g *graph.CSR, prev, cur graph.VertexID, p, q float64) []float64 {
+	ns := g.Neighbors(cur)
+	var ws []float32
+	if g.Weighted() {
+		ws = g.NeighborWeights(cur)
+	}
+	probs := make([]float64, len(ns))
+	total := 0.0
+	for i, v := range ns {
+		w := 1.0
+		if ws != nil {
+			w = float64(ws[i])
+		}
+		w *= node2vecBias(g, prev, v, p, q)
+		probs[i] = w
+		total += w
+	}
+	for i := range probs {
+		probs[i] /= total
+	}
+	return probs
+}
+
+func TestRejectionMatchesExactNode2Vec(t *testing.T) {
+	g := graph.SmallTestGraph()
+	s, err := NewRejection(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Walk arrived at 4 from 0; neighbors of 4 are {0,1,3}.
+	ctx := Context{Cur: 4, Prev: 0, HasPrev: true}
+	probs := exactNode2VecProbs(g, 0, 4, 2, 0.5)
+	r := rng.New(5)
+	const draws = 120000
+	counts := make([]int, len(probs))
+	probesTotal := 0
+	for i := 0; i < draws; i++ {
+		res := s.Sample(g, ctx, r)
+		counts[res.Index]++
+		probesTotal += res.Probes
+	}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[len(probs)-1] {
+		t.Fatalf("rejection sampler off: chi2=%v counts=%v probs=%v", c, counts, probs)
+	}
+	if probesTotal <= draws {
+		t.Fatal("rejection sampler reported impossible probe counts")
+	}
+}
+
+func TestRejectionFirstHopUniform(t *testing.T) {
+	g := graph.SmallTestGraph()
+	s, _ := NewRejection(2, 0.5)
+	r := rng.New(6)
+	const draws = 60000
+	counts := make([]int, 3)
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(g, Context{Cur: 0}, r).Index]++
+	}
+	probs := []float64{1.0 / 3, 1.0 / 3, 1.0 / 3}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[2] {
+		t.Fatalf("first hop not uniform: chi2=%v", c)
+	}
+}
+
+func TestRejectionRejectsBadParams(t *testing.T) {
+	if _, err := NewRejection(0, 1); err == nil {
+		t.Error("p=0 accepted")
+	}
+	if _, err := NewRejection(1, -1); err == nil {
+		t.Error("q<0 accepted")
+	}
+}
+
+func TestReservoirMatchesExactWeightedNode2Vec(t *testing.T) {
+	g := graph.SmallTestGraph()
+	g.AttachWeights()
+	s, err := NewReservoir(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{Cur: 4, Prev: 0, HasPrev: true}
+	probs := exactNode2VecProbs(g, 0, 4, 2, 0.5)
+	r := rng.New(7)
+	const draws = 120000
+	counts := make([]int, len(probs))
+	for i := 0; i < draws; i++ {
+		res := s.Sample(g, ctx, r)
+		if res.Probes != len(probs) {
+			t.Fatalf("reservoir probes = %d, want degree %d", res.Probes, len(probs))
+		}
+		counts[res.Index]++
+	}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[len(probs)-1] {
+		t.Fatalf("reservoir sampler off: chi2=%v counts=%v probs=%v", c, counts, probs)
+	}
+}
+
+func TestReservoirPlainWeighted(t *testing.T) {
+	// p=q=1 with no prev reduces to plain weight-proportional selection.
+	g := graph.SmallTestGraph()
+	g.AttachWeights()
+	s, _ := NewReservoir(1, 1)
+	cur := graph.VertexID(1)
+	ws := g.NeighborWeights(cur)
+	total := 0.0
+	for _, w := range ws {
+		total += float64(w)
+	}
+	probs := make([]float64, len(ws))
+	for i, w := range ws {
+		probs[i] = float64(w) / total
+	}
+	r := rng.New(8)
+	const draws = 100000
+	counts := make([]int, len(ws))
+	for i := 0; i < draws; i++ {
+		counts[s.Sample(g, Context{Cur: cur}, r).Index]++
+	}
+	if c := chi2(counts, probs, draws); c > chi2Critical999[len(ws)-1] {
+		t.Fatalf("weighted reservoir off: chi2=%v counts=%v", c, counts)
+	}
+}
+
+func TestMetaPathOnlyMatchingLabels(t *testing.T) {
+	g := graph.SmallTestGraph()
+	g.AttachLabels(2)
+	s, err := NewMetaPath([]uint8{0, 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(9)
+	for step := 0; step < 2; step++ {
+		want := s.Schema[(step+1)%2]
+		for i := 0; i < 2000; i++ {
+			res := s.Sample(g, Context{Cur: 0, Step: step}, r)
+			if res.Index < 0 {
+				continue
+			}
+			chosen := g.Neighbors(0)[res.Index]
+			if g.Label(chosen) != want {
+				t.Fatalf("step %d chose label %d, want %d", step, g.Label(chosen), want)
+			}
+		}
+	}
+}
+
+func TestMetaPathNoMatchTerminates(t *testing.T) {
+	g := graph.SmallTestGraph()
+	// All labels 0; schema demands type 5, which nothing has.
+	g.Labels = make([]uint8, g.NumVertices)
+	s, _ := NewMetaPath([]uint8{0, 5})
+	r := rng.New(10)
+	res := s.Sample(g, Context{Cur: 0, Step: 0}, r)
+	if res.Index != -1 {
+		t.Fatalf("expected no selectable neighbor, got index %d", res.Index)
+	}
+}
+
+func TestMetaPathRejectsEmptySchema(t *testing.T) {
+	if _, err := NewMetaPath(nil); err == nil {
+		t.Fatal("empty schema accepted")
+	}
+}
+
+func TestKindStrings(t *testing.T) {
+	for k, want := range map[Kind]string{
+		KindUniform: "uniform", KindAlias: "alias", KindRejection: "rejection",
+		KindReservoir: "reservoir", KindMetaPath: "metapath-reservoir",
+	} {
+		if k.String() != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), k.String(), want)
+		}
+	}
+}
+
+func BenchmarkAliasDraw(b *testing.B) {
+	ws := make([]float32, 64)
+	for i := range ws {
+		ws[i] = float32(i + 1)
+	}
+	tab, _ := NewAliasTable(ws)
+	r := rng.New(1)
+	var sink int
+	for i := 0; i < b.N; i++ {
+		sink += tab.Draw(r)
+	}
+	_ = sink
+}
+
+func BenchmarkReservoirSample(b *testing.B) {
+	g, err := graph.GenerateRMAT(graph.Balanced(12, 8, 3))
+	if err != nil {
+		b.Fatal(err)
+	}
+	g.AttachWeights()
+	s, _ := NewReservoir(2, 0.5)
+	r := rng.New(1)
+	ctx := Context{Cur: 1, Prev: 0, HasPrev: true}
+	if g.Degree(1) == 0 {
+		b.Skip("vertex 1 has no neighbors in this draw")
+	}
+	for i := 0; i < b.N; i++ {
+		s.Sample(g, ctx, r)
+	}
+}

@@ -1,0 +1,188 @@
+package sched
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/hwsim"
+)
+
+// Balancer is the N-to-N load-balancing butterfly of Fig. 7b: log N stages,
+// each pairing wires that differ in one index bit through a 2×2 balancing
+// switch built from two Dispatchers feeding two Mergers. Local congestion
+// on any output propagates upstream through back-pressure and is averaged
+// pairwise at every stage, keeping earlier stages uniformly loaded even
+// when a single downstream channel is throttled.
+type Balancer[T any] struct {
+	n   int
+	in  []*hwsim.FIFO[T]
+	out []*hwsim.FIFO[T]
+}
+
+// NewBalancer builds a balancer over n wires (power of two). stageDepth is
+// the capacity of the inter-stage FIFOs (the paper's shallow LUT FIFOs).
+// Inputs() and Outputs() expose the edge FIFOs.
+func NewBalancer[T any](s *hwsim.Sim, name string, n, stageDepth int) (*Balancer[T], error) {
+	stages, err := log2(n)
+	if err != nil {
+		return nil, err
+	}
+	if stageDepth < 1 {
+		return nil, fmt.Errorf("sched: stage depth %d, want >= 1", stageDepth)
+	}
+	b := &Balancer[T]{n: n}
+	cur := make([]*hwsim.FIFO[T], n)
+	for i := range cur {
+		cur[i] = hwsim.NewFIFO[T](s, fmt.Sprintf("%s.in%d", name, i), stageDepth)
+	}
+	b.in = cur
+	if stages == 0 {
+		// Single wire: input is output.
+		b.out = cur
+		return b, nil
+	}
+	for st := 0; st < stages; st++ {
+		next := make([]*hwsim.FIFO[T], n)
+		for i := range next {
+			next[i] = hwsim.NewFIFO[T](s, fmt.Sprintf("%s.s%d.%d", name, st, i), stageDepth)
+		}
+		bit := 1 << st
+		// One 2×2 switch per wire pair (i, i|bit) with i's bit clear.
+		for i := 0; i < n; i++ {
+			if i&bit != 0 {
+				continue
+			}
+			j := i | bit
+			// Dispatcher outputs cross into per-merger FIFOs.
+			di1 := hwsim.NewFIFO[T](s, fmt.Sprintf("%s.s%d.d%d.a", name, st, i), stageDepth)
+			di2 := hwsim.NewFIFO[T](s, fmt.Sprintf("%s.s%d.d%d.b", name, st, i), stageDepth)
+			dj1 := hwsim.NewFIFO[T](s, fmt.Sprintf("%s.s%d.d%d.a", name, st, j), stageDepth)
+			dj2 := hwsim.NewFIFO[T](s, fmt.Sprintf("%s.s%d.d%d.b", name, st, j), stageDepth)
+			NewDispatcher(s, cur[i], di1, di2)
+			NewDispatcher(s, cur[j], dj1, dj2)
+			// Merger for wire i takes the straight leg of i and the cross
+			// leg of j; symmetrically for wire j.
+			NewMerger(s, di1, dj2, next[i])
+			NewMerger(s, dj1, di2, next[j])
+		}
+		cur = next
+	}
+	b.out = cur
+	return b, nil
+}
+
+// Inputs returns the N input FIFOs.
+func (b *Balancer[T]) Inputs() []*hwsim.FIFO[T] { return b.in }
+
+// Outputs returns the N output FIFOs.
+func (b *Balancer[T]) Outputs() []*hwsim.FIFO[T] { return b.out }
+
+// routerSwitch is a 2×2 destination-routed crossbar: each input's task goes
+// straight or crosses depending on one bit of its destination. Contention
+// for an output is resolved by round-robin grant.
+type routerSwitch[T any] struct {
+	inA, inB   *hwsim.FIFO[T]
+	outA, outB *hwsim.FIFO[T]
+	// wantB reports whether a task must leave on the B (bit-set) wire.
+	wantB func(T) bool
+	// grantB alternates arbitration priority between inputs.
+	grantB bool
+}
+
+// Tick implements hwsim.Module: route up to one task from each input,
+// arbitrating output conflicts fairly.
+func (r *routerSwitch[T]) Tick(now int64) {
+	// Determine requests.
+	type req struct {
+		in   *hwsim.FIFO[T]
+		outB bool
+	}
+	var reqs []req
+	first, second := r.inA, r.inB
+	if r.grantB {
+		first, second = r.inB, r.inA
+	}
+	for _, in := range []*hwsim.FIFO[T]{first, second} {
+		if v, ok := in.Peek(); ok {
+			reqs = append(reqs, req{in: in, outB: r.wantB(v)})
+		}
+	}
+	taken := map[bool]bool{}
+	for _, q := range reqs {
+		if taken[q.outB] {
+			continue // output already granted this cycle
+		}
+		out := r.outA
+		if q.outB {
+			out = r.outB
+		}
+		if out.Full() {
+			continue
+		}
+		v, _ := q.in.Pop()
+		out.Push(v)
+		taken[q.outB] = true
+	}
+	r.grantB = !r.grantB
+}
+
+// Router is a destination-routed butterfly: a task entering on any wire
+// leaves on the wire Dest(task). It is the Task Router of §IV-A, which
+// sends each task to the pipeline owning the memory channel that stores the
+// data the task needs.
+type Router[T any] struct {
+	n    int
+	in   []*hwsim.FIFO[T]
+	out  []*hwsim.FIFO[T]
+	dest func(T) int
+}
+
+// NewRouter builds a router over n wires (power of two). dest must return a
+// value in [0, n) for every task.
+func NewRouter[T any](s *hwsim.Sim, name string, n, stageDepth int, dest func(T) int) (*Router[T], error) {
+	stages, err := log2(n)
+	if err != nil {
+		return nil, err
+	}
+	if stageDepth < 1 {
+		return nil, fmt.Errorf("sched: stage depth %d, want >= 1", stageDepth)
+	}
+	r := &Router[T]{n: n, dest: dest}
+	cur := make([]*hwsim.FIFO[T], n)
+	for i := range cur {
+		cur[i] = hwsim.NewFIFO[T](s, fmt.Sprintf("%s.in%d", name, i), stageDepth)
+	}
+	r.in = cur
+	if stages == 0 {
+		r.out = cur
+		return r, nil
+	}
+	for st := 0; st < stages; st++ {
+		next := make([]*hwsim.FIFO[T], n)
+		for i := range next {
+			next[i] = hwsim.NewFIFO[T](s, fmt.Sprintf("%s.s%d.%d", name, st, i), stageDepth)
+		}
+		bit := 1 << st
+		for i := 0; i < n; i++ {
+			if i&bit != 0 {
+				continue
+			}
+			j := i | bit
+			sw := &routerSwitch[T]{
+				inA: cur[i], inB: cur[j],
+				outA: next[i], outB: next[j],
+				wantB: func(v T) bool { return dest(v)&bit != 0 },
+			}
+			s.Register(sw)
+		}
+		cur = next
+	}
+	r.out = cur
+	return r, nil
+}
+
+// Inputs returns the N input FIFOs.
+func (r *Router[T]) Inputs() []*hwsim.FIFO[T] { return r.in }
+
+// Outputs returns the N output FIFOs; a task with Dest d emerges from
+// Outputs()[d].
+func (r *Router[T]) Outputs() []*hwsim.FIFO[T] { return r.out }

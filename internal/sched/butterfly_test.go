@@ -1,0 +1,249 @@
+package sched
+
+import (
+	"testing"
+	"testing/quick"
+
+	"ridgewalker/internal/hwsim"
+	"ridgewalker/internal/rng"
+)
+
+type task struct {
+	id   int
+	dest int
+}
+
+func TestBalancerConservation(t *testing.T) {
+	sim := hwsim.NewSim()
+	const n = 4
+	b, err := NewBalancer[int](sim, "bal", n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const total = 400
+	pushed := 0
+	var got []int
+	for cycle := 0; cycle < 40*total; cycle++ {
+		if pushed < total {
+			// Feed round-robin across inputs.
+			if b.Inputs()[pushed%n].Push(pushed) {
+				pushed++
+			}
+		}
+		sim.Step()
+		for _, out := range b.Outputs() {
+			for {
+				v, ok := out.Pop()
+				if !ok {
+					break
+				}
+				got = append(got, v)
+			}
+		}
+		if len(got) == total {
+			break
+		}
+	}
+	if len(got) != total {
+		t.Fatalf("delivered %d/%d", len(got), total)
+	}
+	seen := make([]bool, total)
+	for _, v := range got {
+		if seen[v] {
+			t.Fatalf("task %d duplicated", v)
+		}
+		seen[v] = true
+	}
+}
+
+func TestBalancerSpreadsSingleHotInput(t *testing.T) {
+	sim := hwsim.NewSim()
+	const n = 8
+	b, err := NewBalancer[int](sim, "bal", n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	counts := make([]int, n)
+	const total = 800
+	pushed := 0
+	for cycle := 0; cycle < 20*total && sum(counts) < total; cycle++ {
+		if pushed < total && b.Inputs()[0].Push(pushed) {
+			pushed++
+		}
+		sim.Step()
+		for i, out := range b.Outputs() {
+			for {
+				if _, ok := out.Pop(); !ok {
+					break
+				}
+				counts[i]++
+			}
+		}
+	}
+	if sum(counts) != total {
+		t.Fatalf("delivered %d/%d", sum(counts), total)
+	}
+	// All traffic entered on wire 0; the butterfly must spread it across
+	// all outputs within ~2x of even.
+	want := total / n
+	for i, c := range counts {
+		if c < want/2 || c > want*2 {
+			t.Fatalf("output %d got %d, want ~%d (counts %v)", i, c, want, counts)
+		}
+	}
+}
+
+func TestBalancerRoutesAroundThrottledOutput(t *testing.T) {
+	// Fig. 7b scenario: one slow output; the network must keep total
+	// throughput high by shifting load to fast outputs.
+	sim := hwsim.NewSim()
+	const n = 4
+	b, err := NewBalancer[int](sim, "bal", n, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	delivered := 0
+	slowDelivered := 0
+	pushed := 0
+	const cycles = 2000
+	for cycle := 0; cycle < cycles; cycle++ {
+		for i := 0; i < n; i++ {
+			if b.Inputs()[i].Push(pushed) {
+				pushed++
+			}
+		}
+		sim.Step()
+		for i, out := range b.Outputs() {
+			// Output 2 drains once every 25 cycles; others every cycle.
+			if i == 2 && cycle%25 != 0 {
+				continue
+			}
+			if _, ok := out.Pop(); ok {
+				delivered++
+				if i == 2 {
+					slowDelivered++
+				}
+			}
+		}
+	}
+	// Fast outputs sustain close to 1/cycle each: ≥ 2.5 of 3 fast wires.
+	if float64(delivered-slowDelivered) < 0.8*3*cycles {
+		t.Fatalf("fast outputs delivered %d in %d cycles; load not rebalanced", delivered-slowDelivered, cycles)
+	}
+}
+
+func sum(xs []int) int {
+	s := 0
+	for _, x := range xs {
+		s += x
+	}
+	return s
+}
+
+func TestRouterDeliversToDestination(t *testing.T) {
+	sim := hwsim.NewSim()
+	const n = 8
+	r, err := NewRouter[task](sim, "rt", n, 4, func(v task) int { return v.dest })
+	if err != nil {
+		t.Fatal(err)
+	}
+	src := rng.New(11)
+	const total = 600
+	pushed := 0
+	received := make(map[int]int) // id → output wire
+	for cycle := 0; cycle < 100*total && len(received) < total; cycle++ {
+		if pushed < total {
+			in := src.Intn(n)
+			if r.Inputs()[in].Push(task{id: pushed, dest: src.Intn(n)}) {
+				pushed++
+			}
+		}
+		sim.Step()
+		for i, out := range r.Outputs() {
+			for {
+				v, ok := out.Pop()
+				if !ok {
+					break
+				}
+				if v.dest != i {
+					t.Fatalf("task %d with dest %d emerged on wire %d", v.id, v.dest, i)
+				}
+				if _, dup := received[v.id]; dup {
+					t.Fatalf("task %d duplicated", v.id)
+				}
+				received[v.id] = i
+			}
+		}
+	}
+	if len(received) != total {
+		t.Fatalf("delivered %d/%d", len(received), total)
+	}
+}
+
+// TestRouterPropertyAllSizes checks destination routing and conservation
+// across network sizes and random workloads.
+func TestRouterPropertyAllSizes(t *testing.T) {
+	f := func(seed uint64, sizeRaw, nRaw uint8) bool {
+		n := 1 << (sizeRaw%4 + 1) // 2,4,8,16
+		total := int(nRaw%60) + 1
+		sim := hwsim.NewSim()
+		r, err := NewRouter[task](sim, "rt", n, 4, func(v task) int { return v.dest })
+		if err != nil {
+			return false
+		}
+		src := rng.New(seed)
+		pushed := 0
+		delivered := 0
+		ok := true
+		for cycle := 0; cycle < 200*total+500 && delivered < total; cycle++ {
+			if pushed < total {
+				if r.Inputs()[src.Intn(n)].Push(task{id: pushed, dest: src.Intn(n)}) {
+					pushed++
+				}
+			}
+			sim.Step()
+			for i, out := range r.Outputs() {
+				for {
+					v, popOK := out.Pop()
+					if !popOK {
+						break
+					}
+					if v.dest != i {
+						ok = false
+					}
+					delivered++
+				}
+			}
+		}
+		return ok && delivered == total
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestRouterSingleWire(t *testing.T) {
+	sim := hwsim.NewSim()
+	r, err := NewRouter[task](sim, "rt", 1, 2, func(v task) int { return 0 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r.Inputs()[0].Push(task{id: 1})
+	sim.Step()
+	if v, ok := r.Outputs()[0].Pop(); !ok || v.id != 1 {
+		t.Fatalf("single-wire router failed: (%v,%v)", v, ok)
+	}
+}
+
+func TestNetworksRejectNonPowerOfTwo(t *testing.T) {
+	sim := hwsim.NewSim()
+	if _, err := NewBalancer[int](sim, "b", 3, 4); err == nil {
+		t.Error("balancer accepted n=3")
+	}
+	if _, err := NewRouter[int](sim, "r", 6, 4, func(int) int { return 0 }); err == nil {
+		t.Error("router accepted n=6")
+	}
+	if _, err := NewBalancer[int](sim, "b", 4, 0); err == nil {
+		t.Error("balancer accepted depth 0")
+	}
+}

@@ -1,0 +1,178 @@
+// Package sched implements RidgeWalker's Zero-Bubble Query Scheduler
+// (paper §VI): O(1) Dispatcher and Merger elements (Algorithms VI.1 and
+// VI.2), butterfly networks built from them — a load Balancer (Fig. 7b) and
+// a destination-aware Router — and the composed Scheduler that feeds N
+// asynchronous pipelines through FIFOs provisioned per Theorem VI.1.
+//
+// Every element is fully pipelined with a one-cycle initiation interval and
+// a fixed two-cycle latency (one FIFO register hop plus one internal stage
+// register), matching the paper's timing analysis: a task traverses log N
+// Dispatchers and log N Mergers, ≤ 2 cycles each, so the balancer delay is
+// bounded by 2·log N and the total scheduling round trip by 4·log N cycles.
+package sched
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/hwsim"
+)
+
+// Dispatcher routes tasks from one input stream to two output channels
+// while honoring back-pressure and preserving fairness (Algorithm VI.1).
+//
+// Policy, decoded from scode = {out2.full, out1.full, last_selection}:
+//   - both outputs free → pick the not-last-served output (alternation)
+//   - one output free → pick it (never stall when progress is possible)
+//   - both full → block on the not-last-served output (fairness under
+//     worst-case congestion; in hardware a blocking write, here a retry
+//     every cycle until that output drains)
+type Dispatcher[T any] struct {
+	in         *hwsim.FIFO[T]
+	out1, out2 *hwsim.FIFO[T]
+
+	reg      T
+	regValid bool
+	// last is 0 when out1 was served most recently, 1 for out2.
+	last int
+
+	busy hwsim.BusyCounter
+}
+
+// NewDispatcher wires a dispatcher between the given FIFOs and registers it
+// with the simulator.
+func NewDispatcher[T any](s *hwsim.Sim, in, out1, out2 *hwsim.FIFO[T]) *Dispatcher[T] {
+	d := &Dispatcher[T]{in: in, out1: out1, out2: out2}
+	s.Register(d)
+	return d
+}
+
+// Tick implements hwsim.Module.
+func (d *Dispatcher[T]) Tick(now int64) {
+	progressed := false
+	if d.regValid {
+		full1, full2 := d.out1.Full(), d.out2.Full()
+		var target *hwsim.FIFO[T]
+		var sel int
+		switch {
+		case !full1 && !full2:
+			// Alternate: serve the not-last-served channel.
+			if d.last == 0 {
+				target, sel = d.out2, 1
+			} else {
+				target, sel = d.out1, 0
+			}
+		case !full1:
+			target, sel = d.out1, 0
+		case !full2:
+			target, sel = d.out2, 1
+		default:
+			// Both full: block on the not-last-served channel; it is not
+			// writable this cycle, so wait.
+		}
+		if target != nil && target.Push(d.reg) {
+			var zero T
+			d.reg = zero
+			d.regValid = false
+			d.last = sel
+			progressed = true
+		}
+	}
+	if !d.regValid {
+		if v, ok := d.in.Pop(); ok {
+			d.reg = v
+			d.regValid = true
+			progressed = true
+		}
+	}
+	d.busy.Record(progressed)
+}
+
+// Busy returns the element's activity counters.
+func (d *Dispatcher[T]) Busy() hwsim.BusyCounter { return d.busy }
+
+// Merger combines two input streams into one output while maintaining
+// balanced service under back-pressure (Algorithm VI.2).
+//
+// Policy, decoded from scode = {in2.empty, in1.empty, last_selection}:
+//   - both empty → nothing
+//   - exactly one input valid → forward it
+//   - both valid → pick the not-last-served input (starvation freedom), or
+//     always in1 when Prioritize is set (the paper's module ➋ gives
+//     in-flight unfinished queries priority over newly injected ones)
+type Merger[T any] struct {
+	in1, in2 *hwsim.FIFO[T]
+	out      *hwsim.FIFO[T]
+
+	// Prioritize makes in1 win every contention instead of alternating.
+	Prioritize bool
+
+	reg      T
+	regValid bool
+	last     int
+
+	busy hwsim.BusyCounter
+}
+
+// NewMerger wires a merger and registers it with the simulator.
+func NewMerger[T any](s *hwsim.Sim, in1, in2, out *hwsim.FIFO[T]) *Merger[T] {
+	m := &Merger[T]{in1: in1, in2: in2, out: out}
+	s.Register(m)
+	return m
+}
+
+// Tick implements hwsim.Module.
+func (m *Merger[T]) Tick(now int64) {
+	progressed := false
+	if m.regValid && !m.out.Full() {
+		if m.out.Push(m.reg) {
+			var zero T
+			m.reg = zero
+			m.regValid = false
+			progressed = true
+		}
+	}
+	if !m.regValid {
+		empty1, empty2 := m.in1.Empty(), m.in2.Empty()
+		var src *hwsim.FIFO[T]
+		var sel int
+		switch {
+		case empty1 && empty2:
+			// Nothing to do.
+		case !empty1 && empty2:
+			src, sel = m.in1, 0
+		case empty1 && !empty2:
+			src, sel = m.in2, 1
+		default:
+			// Both valid: priority or alternation.
+			if m.Prioritize || m.last == 1 {
+				src, sel = m.in1, 0
+			} else {
+				src, sel = m.in2, 1
+			}
+		}
+		if src != nil {
+			if v, ok := src.Pop(); ok {
+				m.reg = v
+				m.regValid = true
+				m.last = sel
+				progressed = true
+			}
+		}
+	}
+	m.busy.Record(progressed)
+}
+
+// Busy returns the element's activity counters.
+func (m *Merger[T]) Busy() hwsim.BusyCounter { return m.busy }
+
+// log2 returns log2(n) for a positive power of two, or an error otherwise.
+func log2(n int) (int, error) {
+	if n <= 0 || n&(n-1) != 0 {
+		return 0, fmt.Errorf("sched: size %d is not a positive power of two", n)
+	}
+	k := 0
+	for 1<<k < n {
+		k++
+	}
+	return k, nil
+}

@@ -1,0 +1,148 @@
+package sched
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/hwsim"
+	"ridgewalker/internal/queuing"
+)
+
+// SchedulerConfig parameterizes the composed Zero-Bubble Scheduler.
+type SchedulerConfig struct {
+	// Pipelines is N, the number of asynchronous pipelines (power of two).
+	Pipelines int
+	// StageDepth is the capacity of inter-element FIFOs (shallow LUT FIFOs
+	// in the paper; they only need to sustain pipelining).
+	StageDepth int
+	// OutputDepth is the per-pipeline FIFO depth between scheduler and
+	// pipeline. Zero selects Theorem VI.1's minimum, 1 + 4·log2(N).
+	OutputDepth int
+	// PrioritizeRecycled makes module ➋'s mergers always prefer in-flight
+	// unfinished queries over new injections (the paper's policy).
+	PrioritizeRecycled bool
+}
+
+// Scheduler is the composed Zero-Bubble Query Scheduler of Fig. 7a:
+//
+//	query loader → ➊ spread tree of Dispatchers (adaptive initial balance)
+//	             → ➋ per-path Mergers joining recycled in-flight tasks
+//	             → ➌ destination-routed butterfly (back-pressure aware)
+//	             → per-pipeline FIFOs of depth ≥ 1 + 4·log2(N)
+//
+// Tasks carry their own destination (the pipeline owning the memory channel
+// with their vertex's data); the scheduler's job is to keep every pipeline
+// FIFO non-empty whenever matching work exists anywhere upstream.
+type Scheduler[T any] struct {
+	cfg SchedulerConfig
+
+	loader   *hwsim.FIFO[T]
+	recycled []*hwsim.FIFO[T]
+	outputs  []*hwsim.FIFO[T]
+
+	injected int64
+	recycles int64
+}
+
+// NewScheduler builds the scheduler inside sim. dest maps a task to its
+// required pipeline in [0, Pipelines).
+func NewScheduler[T any](sim *hwsim.Sim, cfg SchedulerConfig, dest func(T) int) (*Scheduler[T], error) {
+	n := cfg.Pipelines
+	if _, err := log2(n); err != nil {
+		return nil, err
+	}
+	if cfg.StageDepth == 0 {
+		cfg.StageDepth = 4
+	}
+	if cfg.StageDepth < 1 {
+		return nil, fmt.Errorf("sched: stage depth %d, want >= 1", cfg.StageDepth)
+	}
+	if cfg.OutputDepth == 0 {
+		cfg.OutputDepth = queuing.PerPipelineDepth(n)
+	}
+	s := &Scheduler[T]{cfg: cfg}
+
+	// ➊ Spread tree: 1 → N through log2(N) levels of Dispatchers.
+	s.loader = hwsim.NewFIFO[T](sim, "sched.loader", cfg.StageDepth*2)
+	level := []*hwsim.FIFO[T]{s.loader}
+	for len(level) < n {
+		next := make([]*hwsim.FIFO[T], 0, len(level)*2)
+		for i, f := range level {
+			o1 := hwsim.NewFIFO[T](sim, fmt.Sprintf("sched.spread%d.%d", len(level), 2*i), cfg.StageDepth)
+			o2 := hwsim.NewFIFO[T](sim, fmt.Sprintf("sched.spread%d.%d", len(level), 2*i+1), cfg.StageDepth)
+			NewDispatcher(sim, f, o1, o2)
+			next = append(next, o1, o2)
+		}
+		level = next
+	}
+
+	// ➌ Destination router feeding the per-pipeline output FIFOs.
+	router, err := NewRouter[T](sim, "sched.route", n, cfg.StageDepth, dest)
+	if err != nil {
+		return nil, err
+	}
+
+	// ➋ Per-path mergers: recycled tasks (in1, prioritized) join newly
+	// spread tasks (in2) and enter the router.
+	s.recycled = make([]*hwsim.FIFO[T], n)
+	for i := 0; i < n; i++ {
+		s.recycled[i] = hwsim.NewFIFO[T](sim, fmt.Sprintf("sched.recycle%d", i), cfg.StageDepth*2)
+		m := NewMerger(sim, s.recycled[i], level[i], router.Inputs()[i])
+		m.Prioritize = cfg.PrioritizeRecycled
+	}
+
+	// Output FIFOs sized per Theorem VI.1: drain the router into them.
+	s.outputs = make([]*hwsim.FIFO[T], n)
+	for i := 0; i < n; i++ {
+		s.outputs[i] = hwsim.NewFIFO[T](sim, fmt.Sprintf("sched.out%d", i), cfg.OutputDepth)
+		in := router.Outputs()[i]
+		out := s.outputs[i]
+		sim.Register(hwsim.ModuleFunc(func(now int64) {
+			if !out.Full() {
+				if v, ok := in.Pop(); ok {
+					out.Push(v)
+				}
+			}
+		}))
+	}
+	return s, nil
+}
+
+// Inject offers a new task from the query loader. It returns false under
+// back-pressure (loader FIFO full this cycle).
+func (s *Scheduler[T]) Inject(v T) bool {
+	if s.loader.Push(v) {
+		s.injected++
+		return true
+	}
+	return false
+}
+
+// CanInject reports whether the loader FIFO has room this cycle.
+func (s *Scheduler[T]) CanInject() bool { return !s.loader.Full() }
+
+// Recycle returns an unfinished task from pipeline src back into the
+// scheduler. It returns false under back-pressure; callers must retry next
+// cycle (the paper sizes recycle paths so this cannot deadlock: a pipeline
+// only recycles after popping, freeing a slot).
+func (s *Scheduler[T]) Recycle(src int, v T) bool {
+	if s.recycled[src].Push(v) {
+		s.recycles++
+		return true
+	}
+	return false
+}
+
+// Output returns pipeline i's task FIFO.
+func (s *Scheduler[T]) Output(i int) *hwsim.FIFO[T] { return s.outputs[i] }
+
+// Outputs returns all pipeline FIFOs.
+func (s *Scheduler[T]) Outputs() []*hwsim.FIFO[T] { return s.outputs }
+
+// OutputDepth reports the provisioned per-pipeline FIFO depth.
+func (s *Scheduler[T]) OutputDepth() int { return s.cfg.OutputDepth }
+
+// Injected returns the count of accepted loader injections.
+func (s *Scheduler[T]) Injected() int64 { return s.injected }
+
+// Recycled returns the count of accepted recycle returns.
+func (s *Scheduler[T]) Recycled() int64 { return s.recycles }

@@ -1,0 +1,184 @@
+package sched
+
+import (
+	"testing"
+
+	"ridgewalker/internal/hwsim"
+	"ridgewalker/internal/queuing"
+	"ridgewalker/internal/rng"
+)
+
+// runClosedLoop drives a Scheduler with K circulating tasks: each consumer
+// pops from its pipeline FIFO at the given service interval (in cycles),
+// then recycles the task with a fresh uniform destination, for the given
+// number of hops before the task retires. Returns per-consumer busy
+// counters and total completed hops.
+func runClosedLoop(t *testing.T, n, outputDepth, circulating, hopsPerTask, cycles, serviceInterval int) ([]hwsim.BusyCounter, int64) {
+	t.Helper()
+	sim := hwsim.NewSim()
+	s, err := NewScheduler[task](sim, SchedulerConfig{
+		Pipelines:          n,
+		OutputDepth:        outputDepth,
+		PrioritizeRecycled: true,
+	}, func(v task) int { return v.dest })
+	if err != nil {
+		t.Fatal(err)
+	}
+	r := rng.New(99)
+	injected := 0
+	var hops int64
+	remaining := make(map[int]int) // task id → hops left
+	busy := make([]hwsim.BusyCounter, n)
+	inFlight := 0
+	type pend struct {
+		src int
+		v   task
+	}
+	var retries []pend
+
+	for cycle := 0; cycle < cycles; cycle++ {
+		if injected < circulating && s.CanInject() {
+			if s.Inject(task{id: injected, dest: r.Intn(n)}) {
+				remaining[injected] = hopsPerTask
+				injected++
+				inFlight++
+			}
+		}
+		// Retry recycles rejected in earlier cycles.
+		kept := retries[:0]
+		for _, p := range retries {
+			if !s.Recycle(p.src, p.v) {
+				kept = append(kept, p)
+			}
+		}
+		retries = kept
+
+		sim.Step()
+		warm := cycle > cycles/4
+		for i := 0; i < n; i++ {
+			if cycle%serviceInterval != 0 {
+				continue // consumer busy with previous task
+			}
+			v, ok := s.Output(i).Pop()
+			if warm {
+				busy[i].Record(ok)
+			}
+			if !ok {
+				continue
+			}
+			hops++
+			remaining[v.id]--
+			if remaining[v.id] > 0 {
+				nv := task{id: v.id, dest: r.Intn(n)}
+				if !s.Recycle(i, nv) {
+					retries = append(retries, pend{src: i, v: nv})
+				}
+			} else {
+				inFlight--
+			}
+		}
+		if inFlight == 0 && injected == circulating {
+			break
+		}
+	}
+	return busy, hops
+}
+
+func TestSchedulerHighUtilizationAtProvisionedDepth(t *testing.T) {
+	// N=4 pipelines at the paper's deployed per-pipeline FIFO depth (65,
+	// §VIII-F), abundant circulating tasks, consumers at service interval 2
+	// (memory-bound pipelines). Destination-constrained routing leaves a
+	// small residual imbalance — the paper's own measured utilization is
+	// 81–88%, not 100% — so assert bubbles stay in single digits.
+	const n = 4
+	busy, hops := runClosedLoop(t, n, 65, 256, 1<<30, 8000, 2)
+	if hops < 1000 {
+		t.Fatalf("only %d hops completed; scheduler not flowing", hops)
+	}
+	total := 0.0
+	for _, b := range busy {
+		total += b.BubbleRatio()
+	}
+	if mean := total / n; mean > 0.06 {
+		t.Errorf("mean bubble ratio %.3f at deployed depth, want < 0.06", mean)
+	}
+}
+
+func TestSchedulerDepthMonotonicallyRemovesBubbles(t *testing.T) {
+	// Sweeping the per-pipeline FIFO from starved (1) through Theorem VI.1
+	// minimum (9 for N=4) to the deployed 65 must monotonically (within
+	// noise) reduce bubbles, and the starved configuration must be clearly
+	// worse — the mechanism Theorem VI.1 formalizes.
+	const n = 4
+	ratios := make([]float64, 0, 3)
+	for _, depth := range []int{1, 9, 65} {
+		busy, _ := runClosedLoop(t, n, depth, 256, 1<<30, 8000, 2)
+		total := 0.0
+		for _, b := range busy {
+			total += b.BubbleRatio()
+		}
+		ratios = append(ratios, total/n)
+	}
+	if ratios[0] < ratios[1] || ratios[1] < ratios[2] {
+		t.Fatalf("bubble ratios %v not decreasing with depth", ratios)
+	}
+	if ratios[0] < 1.5*ratios[2] {
+		t.Fatalf("starved depth (%.3f) not clearly worse than deployed depth (%.3f)", ratios[0], ratios[2])
+	}
+}
+
+func TestSchedulerDefaultDepthMatchesTheorem(t *testing.T) {
+	sim := hwsim.NewSim()
+	s, err := NewScheduler[task](sim, SchedulerConfig{Pipelines: 16}, func(v task) int { return v.dest })
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := queuing.PerPipelineDepth(16) // 1 + 4·log2(16) = 17
+	if s.OutputDepth() != want {
+		t.Fatalf("OutputDepth = %d, want %d", s.OutputDepth(), want)
+	}
+}
+
+func TestSchedulerAllTasksRetire(t *testing.T) {
+	// Closed loop with finite hops: every injected task must complete all
+	// its hops (conservation through spread tree + mergers + router).
+	const n = 8
+	const circulating = 64
+	const hopsPerTask = 20
+	busy, hops := runClosedLoop(t, n, 0, circulating, hopsPerTask, 200000, 1)
+	_ = busy
+	if hops != circulating*hopsPerTask {
+		t.Fatalf("completed %d hops, want %d", hops, circulating*hopsPerTask)
+	}
+}
+
+func TestSchedulerRejectsBadConfig(t *testing.T) {
+	sim := hwsim.NewSim()
+	if _, err := NewScheduler[task](sim, SchedulerConfig{Pipelines: 3}, func(v task) int { return 0 }); err == nil {
+		t.Error("accepted non-power-of-two pipelines")
+	}
+	if _, err := NewScheduler[task](sim, SchedulerConfig{Pipelines: 4, StageDepth: -1}, func(v task) int { return 0 }); err == nil {
+		t.Error("accepted negative stage depth")
+	}
+}
+
+func TestSchedulerInjectBackpressure(t *testing.T) {
+	sim := hwsim.NewSim()
+	s, err := NewScheduler[task](sim, SchedulerConfig{Pipelines: 2}, func(v task) int { return v.dest })
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Without stepping the sim, the loader FIFO fills and rejects.
+	accepted := 0
+	for i := 0; i < 100; i++ {
+		if s.Inject(task{id: i}) {
+			accepted++
+		}
+	}
+	if accepted >= 100 {
+		t.Fatal("loader accepted unbounded injections without backpressure")
+	}
+	if s.Injected() != int64(accepted) {
+		t.Fatalf("Injected() = %d, want %d", s.Injected(), accepted)
+	}
+}

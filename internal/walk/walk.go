@@ -1,0 +1,307 @@
+// Package walk is the software reference GRW engine: a straightforward,
+// correct implementation of Algorithm II.1 for every GRW variant the paper
+// evaluates (URW, PPR, DeepWalk, Node2Vec, MetaPath).
+//
+// It serves three roles:
+//   - the golden model against which the cycle-level accelerator's walk
+//     statistics are validated,
+//   - the workload/query substrate shared by the accelerator and all
+//     baseline models, and
+//   - a ThunderRW-style multi-core CPU engine in its own right
+//     (RunParallel), usable by downstream applications directly.
+package walk
+
+import (
+	"fmt"
+	"sync"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+	"ridgewalker/internal/sampling"
+)
+
+// Algorithm enumerates the GRW variants of the paper's evaluation (§VIII-A).
+type Algorithm int
+
+const (
+	// URW is the unbiased uniform random walk.
+	URW Algorithm = iota
+	// PPR is the personalized-PageRank walk: uniform steps with teleport
+	// termination probability Alpha per hop.
+	PPR
+	// DeepWalk uses weight-proportional (alias-sampled) neighbor selection.
+	DeepWalk
+	// Node2Vec uses second-order biased selection with parameters P and Q;
+	// rejection sampling on unweighted graphs, reservoir on weighted.
+	Node2Vec
+	// MetaPath constrains each hop to a vertex-type schema on labeled
+	// graphs, terminating early when no neighbor matches.
+	MetaPath
+)
+
+// String returns the paper's name for the algorithm.
+func (a Algorithm) String() string {
+	switch a {
+	case URW:
+		return "URW"
+	case PPR:
+		return "PPR"
+	case DeepWalk:
+		return "DeepWalk"
+	case Node2Vec:
+		return "Node2Vec"
+	case MetaPath:
+		return "MetaPath"
+	default:
+		return fmt.Sprintf("Algorithm(%d)", int(a))
+	}
+}
+
+// Algorithms lists all supported variants.
+var Algorithms = []Algorithm{URW, PPR, DeepWalk, Node2Vec, MetaPath}
+
+// Config selects the GRW variant and its parameters.
+type Config struct {
+	Algorithm Algorithm
+	// WalkLength is the maximum number of hops per query (paper: 80).
+	WalkLength int
+	// Alpha is PPR's per-hop teleport (termination) probability.
+	Alpha float64
+	// P, Q are Node2Vec's return and in-out bias factors (paper: 2, 0.5).
+	P, Q float64
+	// Schema is MetaPath's cyclic vertex-type sequence.
+	Schema []uint8
+	// Seed drives all sampling deterministically.
+	Seed uint64
+}
+
+// DefaultConfig returns the paper's standard configuration for alg.
+func DefaultConfig(alg Algorithm) Config {
+	cfg := Config{Algorithm: alg, WalkLength: 80, Seed: 1}
+	switch alg {
+	case PPR:
+		cfg.Alpha = 0.2
+	case Node2Vec:
+		cfg.P, cfg.Q = 2, 0.5
+	case MetaPath:
+		cfg.Schema = []uint8{0, 1, 2}
+	}
+	return cfg
+}
+
+// Validate checks parameter sanity against the target graph.
+func (c Config) Validate(g *graph.CSR) error {
+	if c.WalkLength < 1 {
+		return fmt.Errorf("walk: walk length %d, want >= 1", c.WalkLength)
+	}
+	switch c.Algorithm {
+	case URW:
+	case PPR:
+		if c.Alpha < 0 || c.Alpha >= 1 {
+			return fmt.Errorf("walk: PPR alpha %v, want [0,1)", c.Alpha)
+		}
+	case DeepWalk:
+		if !g.Weighted() {
+			return fmt.Errorf("walk: DeepWalk requires a weighted graph (alias sampling)")
+		}
+	case Node2Vec:
+		if c.P <= 0 || c.Q <= 0 {
+			return fmt.Errorf("walk: Node2Vec p=%v q=%v, want > 0", c.P, c.Q)
+		}
+	case MetaPath:
+		if g.Labels == nil {
+			return fmt.Errorf("walk: MetaPath requires a labeled graph")
+		}
+		if len(c.Schema) == 0 {
+			return fmt.Errorf("walk: MetaPath requires a schema")
+		}
+	default:
+		return fmt.Errorf("walk: unknown algorithm %d", int(c.Algorithm))
+	}
+	return nil
+}
+
+// BuildSampler constructs the Table-I sampler for the configured algorithm.
+func BuildSampler(g *graph.CSR, cfg Config) (sampling.Sampler, error) {
+	if err := cfg.Validate(g); err != nil {
+		return nil, err
+	}
+	switch cfg.Algorithm {
+	case URW, PPR:
+		return sampling.Uniform{}, nil
+	case DeepWalk:
+		return sampling.NewAliasSampler(g)
+	case Node2Vec:
+		if g.Weighted() {
+			return sampling.NewReservoir(cfg.P, cfg.Q)
+		}
+		return sampling.NewRejection(cfg.P, cfg.Q)
+	case MetaPath:
+		return sampling.NewMetaPath(cfg.Schema)
+	}
+	return nil, fmt.Errorf("walk: unknown algorithm %d", int(cfg.Algorithm))
+}
+
+// Query is one random-walk request.
+type Query struct {
+	ID    uint32
+	Start graph.VertexID
+}
+
+// RandomQueries draws n start vertices uniformly from vertices with
+// outgoing edges (for MetaPath, from vertices labeled Schema[0]).
+func RandomQueries(g *graph.CSR, cfg Config, n int, seed uint64) ([]Query, error) {
+	if n < 1 {
+		return nil, fmt.Errorf("walk: query count %d, want >= 1", n)
+	}
+	var pool []graph.VertexID
+	for v := 0; v < g.NumVertices; v++ {
+		id := graph.VertexID(v)
+		if g.Degree(id) == 0 {
+			continue
+		}
+		if cfg.Algorithm == MetaPath && g.Label(id) != cfg.Schema[0] {
+			continue
+		}
+		pool = append(pool, id)
+	}
+	if len(pool) == 0 {
+		return nil, fmt.Errorf("walk: no eligible start vertices")
+	}
+	r := rng.New(seed)
+	qs := make([]Query, n)
+	for i := range qs {
+		qs[i] = Query{ID: uint32(i), Start: pool[r.Intn(len(pool))]}
+	}
+	return qs, nil
+}
+
+// Result aggregates the outcome of a query batch.
+type Result struct {
+	// Paths[i] is query i's visited-vertex sequence, starting with the
+	// start vertex.
+	Paths [][]graph.VertexID
+	// Steps is the total number of hops taken across all queries — the
+	// numerator of the paper's MStep/s metric.
+	Steps int64
+}
+
+// Run executes all queries sequentially and deterministically.
+func Run(g *graph.CSR, queries []Query, cfg Config) (*Result, error) {
+	s, err := BuildSampler(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Paths: make([][]graph.VertexID, len(queries))}
+	src := rng.NewSource(cfg.Seed)
+	for i, q := range queries {
+		r := src.Stream(uint64(q.ID))
+		path, steps := walkOne(g, s, cfg, q, r)
+		res.Paths[i] = path
+		res.Steps += steps
+	}
+	return res, nil
+}
+
+// RunParallel executes queries across the given number of goroutines. The
+// per-query RNG streams make the result independent of scheduling: the
+// output equals Run's output for the same seed.
+func RunParallel(g *graph.CSR, queries []Query, cfg Config, workers int) (*Result, error) {
+	if workers < 1 {
+		return nil, fmt.Errorf("walk: workers %d, want >= 1", workers)
+	}
+	s, err := BuildSampler(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	res := &Result{Paths: make([][]graph.VertexID, len(queries))}
+	var steps int64
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	chunk := (len(queries) + workers - 1) / workers
+	src := rng.NewSource(cfg.Seed)
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, len(queries))
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			var local int64
+			for i := lo; i < hi; i++ {
+				r := src.Stream(uint64(queries[i].ID))
+				path, st := walkOne(g, s, cfg, queries[i], r)
+				res.Paths[i] = path
+				local += st
+			}
+			mu.Lock()
+			steps += local
+			mu.Unlock()
+		}(lo, hi)
+	}
+	wg.Wait()
+	res.Steps = steps
+	return res, nil
+}
+
+// walkOne runs a single query, returning the visited path (including the
+// start vertex) and the number of hops taken.
+func walkOne(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Stream) ([]graph.VertexID, int64) {
+	path := make([]graph.VertexID, 0, cfg.WalkLength+1)
+	cur := q.Start
+	path = append(path, cur)
+	var prev graph.VertexID
+	hasPrev := false
+	var steps int64
+	for step := 0; step < cfg.WalkLength; step++ {
+		if g.Degree(cur) == 0 {
+			break // zero outgoing edges: immediate termination (Fig. 1b)
+		}
+		res := s.Sample(g, sampling.Context{Cur: cur, Prev: prev, HasPrev: hasPrev, Step: step}, r)
+		if res.Index < 0 {
+			break // no selectable neighbor (MetaPath schema miss)
+		}
+		next := g.Neighbors(cur)[res.Index]
+		prev, hasPrev = cur, true
+		cur = next
+		path = append(path, cur)
+		steps++
+		if cfg.Algorithm == PPR && r.Float64() < cfg.Alpha {
+			break // teleport: the walk restarts, ending this query
+		}
+	}
+	return path, steps
+}
+
+// VisitCounts tallies how often each vertex appears across all paths —
+// the statistic used to compare engines for distributional equivalence.
+func VisitCounts(g *graph.CSR, res *Result) []int64 {
+	counts := make([]int64, g.NumVertices)
+	for _, p := range res.Paths {
+		for _, v := range p {
+			counts[v]++
+		}
+	}
+	return counts
+}
+
+// ValidatePaths checks that every consecutive pair in every path is an edge
+// of g and that no path exceeds the configured length.
+func ValidatePaths(g *graph.CSR, res *Result, cfg Config) error {
+	for i, p := range res.Paths {
+		if len(p) == 0 {
+			return fmt.Errorf("walk: query %d has empty path", i)
+		}
+		if len(p) > cfg.WalkLength+1 {
+			return fmt.Errorf("walk: query %d path length %d exceeds %d", i, len(p), cfg.WalkLength+1)
+		}
+		for j := 1; j < len(p); j++ {
+			if !g.HasEdge(p[j-1], p[j]) {
+				return fmt.Errorf("walk: query %d hop %d: %d→%d is not an edge", i, j, p[j-1], p[j])
+			}
+		}
+	}
+	return nil
+}

@@ -1,0 +1,187 @@
+// Package ridgewalker is a library for high-throughput graph random walks
+// (GRWs), reproducing "RidgeWalker: Perfectly Pipelined Graph Random Walks
+// on FPGAs" (HPCA 2026).
+//
+// It provides three layers:
+//
+//   - A graph substrate: CSR graphs, RMAT and dataset-twin generators,
+//     binary serialization, and SNAP edge-list parsing.
+//   - A software GRW engine (Walk, WalkParallel) implementing URW, PPR,
+//     DeepWalk, Node2Vec and MetaPath with the paper's sampling algorithms
+//     (uniform, alias, rejection, reservoir — Table I).
+//   - A cycle-level simulation of the RidgeWalker accelerator (Simulate):
+//     asynchronous Row-Access/Sampling/Column-Access pipelines over an
+//     HBM/DDR channel model, the data-aware task router, and the
+//     zero-bubble scheduler, with ablation switches for the paper's
+//     Fig. 11 breakdown.
+//
+// Quick start:
+//
+//	g, _ := ridgewalker.GenerateRMAT(ridgewalker.Balanced(14, 8, 1))
+//	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+//	qs, _ := ridgewalker.RandomQueries(g, cfg, 1000, 7)
+//	res, stats, _ := ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{
+//		Platform: ridgewalker.U55C, Walk: cfg,
+//	})
+//	fmt.Printf("%.0f MStep/s (%.0f%% of Eq.(1) peak)\n",
+//		stats.ThroughputMSteps(), 100*stats.Eq1Utilization())
+//	_ = res.Paths
+package ridgewalker
+
+import (
+	"io"
+
+	"ridgewalker/internal/core"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+// Graph is a compressed-sparse-row graph (see internal/graph for methods:
+// Degree, Neighbors, HasEdge, Validate, AttachWeights, AttachLabels, ...).
+type Graph = graph.CSR
+
+// Edge is a directed edge for graph construction.
+type Edge = graph.Edge
+
+// VertexID identifies a vertex.
+type VertexID = graph.VertexID
+
+// RMATConfig parameterizes the RMAT generator.
+type RMATConfig = graph.RMATConfig
+
+// DatasetSpec describes a scaled twin of one of the paper's datasets.
+type DatasetSpec = graph.DatasetSpec
+
+// NewGraph builds a CSR graph from an edge list.
+func NewGraph(numVertices int, edges []Edge, directed bool) (*Graph, error) {
+	return graph.Build(numVertices, edges, directed)
+}
+
+// GenerateRMAT produces an RMAT graph.
+func GenerateRMAT(cfg RMATConfig) (*Graph, error) { return graph.GenerateRMAT(cfg) }
+
+// Balanced returns the balanced RMAT initiator (a=b=c=d=0.25).
+func Balanced(scale, edgeFactor int, seed uint64) RMATConfig {
+	return graph.Balanced(scale, edgeFactor, seed)
+}
+
+// Graph500 returns the skewed Graph500 RMAT initiator.
+func Graph500(scale, edgeFactor int, seed uint64) RMATConfig {
+	return graph.Graph500(scale, edgeFactor, seed)
+}
+
+// Datasets lists the scaled twins of the paper's Table II datasets.
+func Datasets() []DatasetSpec { return graph.Datasets }
+
+// DatasetByName returns a twin spec by its paper abbreviation (WG, CP, AS,
+// LJ, AB, UK).
+func DatasetByName(name string) (DatasetSpec, error) { return graph.DatasetByName(name) }
+
+// LoadGraph reads a graph in the package binary format.
+func LoadGraph(path string) (*Graph, error) { return graph.LoadFile(path) }
+
+// SaveGraph writes a graph in the package binary format.
+func SaveGraph(path string, g *Graph) error { return graph.SaveFile(path, g) }
+
+// ParseEdgeList reads a SNAP-style whitespace edge list.
+func ParseEdgeList(r io.Reader, directed bool) (*Graph, error) {
+	return graph.ParseEdgeList(r, directed)
+}
+
+// Algorithm selects the GRW variant.
+type Algorithm = walk.Algorithm
+
+// GRW algorithm variants (paper §VIII-A4).
+const (
+	URW      = walk.URW
+	PPR      = walk.PPR
+	DeepWalk = walk.DeepWalk
+	Node2Vec = walk.Node2Vec
+	MetaPath = walk.MetaPath
+)
+
+// WalkConfig selects the GRW algorithm and parameters.
+type WalkConfig = walk.Config
+
+// Query is one random-walk request.
+type Query = walk.Query
+
+// Result carries walk paths and the total step count.
+type Result = walk.Result
+
+// DefaultWalkConfig returns the paper's standard configuration for alg
+// (length 80; α=0.2 for PPR; p=2, q=0.5 for Node2Vec).
+func DefaultWalkConfig(alg Algorithm) WalkConfig { return walk.DefaultConfig(alg) }
+
+// RandomQueries draws start vertices uniformly from eligible vertices.
+func RandomQueries(g *Graph, cfg WalkConfig, n int, seed uint64) ([]Query, error) {
+	return walk.RandomQueries(g, cfg, n, seed)
+}
+
+// Walk runs the software reference engine sequentially.
+func Walk(g *Graph, queries []Query, cfg WalkConfig) (*Result, error) {
+	return walk.Run(g, queries, cfg)
+}
+
+// WalkParallel runs the software engine across worker goroutines; the
+// result is identical to Walk for the same seed.
+func WalkParallel(g *Graph, queries []Query, cfg WalkConfig, workers int) (*Result, error) {
+	return walk.RunParallel(g, queries, cfg, workers)
+}
+
+// VisitCounts tallies per-vertex visit counts over a result.
+func VisitCounts(g *Graph, res *Result) []int64 { return walk.VisitCounts(g, res) }
+
+// Platform describes an accelerator board's memory system and clock.
+type Platform = hbm.Platform
+
+// Evaluation platforms (paper §VIII-A, Table III).
+var (
+	U55C    = hbm.U55C
+	U50     = hbm.U50
+	U280    = hbm.U280
+	U250    = hbm.U250
+	VCK5000 = hbm.VCK5000
+)
+
+// PlatformByName looks up a platform ("U55C", "U50", "U280", "U250",
+// "VCK5000").
+func PlatformByName(name string) (Platform, error) { return hbm.PlatformByName(name) }
+
+// SimOptions configures an accelerator simulation.
+type SimOptions struct {
+	// Platform selects the memory system (default U55C).
+	Platform Platform
+	// Walk selects the GRW algorithm (required).
+	Walk WalkConfig
+	// Async and DynamicSched are the Fig. 11 ablation switches; both
+	// default to true (full RidgeWalker). Set DisableAsync /
+	// DisableDynamicSched to turn one off.
+	DisableAsync        bool
+	DisableDynamicSched bool
+	// RecordPaths keeps full paths in the result (default true). Disable
+	// for throughput studies on large workloads.
+	DiscardPaths bool
+}
+
+// SimStats reports simulated accelerator performance.
+type SimStats = core.Stats
+
+// Simulate runs the query batch on the cycle-level RidgeWalker model and
+// returns the walks plus simulated performance statistics.
+func Simulate(g *Graph, queries []Query, opts SimOptions) (*Result, *SimStats, error) {
+	p := opts.Platform
+	if p.Name == "" {
+		p = hbm.U55C
+	}
+	cfg := core.DefaultConfig(p, opts.Walk)
+	cfg.Async = !opts.DisableAsync
+	cfg.DynamicSched = !opts.DisableDynamicSched
+	cfg.RecordPaths = !opts.DiscardPaths
+	a, err := core.New(g, cfg)
+	if err != nil {
+		return nil, nil, err
+	}
+	return a.Run(queries)
+}

@@ -1,0 +1,128 @@
+package ridgewalker_test
+
+import (
+	"strings"
+	"testing"
+
+	"ridgewalker"
+)
+
+func TestPublicQuickstartFlow(t *testing.T) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Balanced(10, 8, 1))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 20
+	qs, err := ridgewalker.RandomQueries(g, cfg, 200, 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, stats, err := ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{Walk: cfg})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if stats.QueriesDone != 200 || res.Steps == 0 {
+		t.Fatalf("done=%d steps=%d", stats.QueriesDone, res.Steps)
+	}
+	if stats.ThroughputMSteps() <= 0 {
+		t.Fatal("no throughput reported")
+	}
+}
+
+func TestPublicSoftwareEngineMatchesParallel(t *testing.T) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Graph500(10, 6, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 15
+	qs, err := ridgewalker.RandomQueries(g, cfg, 100, 9)
+	if err != nil {
+		t.Fatal(err)
+	}
+	seq, err := ridgewalker.Walk(g, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	par, err := ridgewalker.WalkParallel(g, qs, cfg, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Steps != par.Steps {
+		t.Fatalf("sequential %d steps vs parallel %d", seq.Steps, par.Steps)
+	}
+	counts := ridgewalker.VisitCounts(g, seq)
+	var total int64
+	for _, c := range counts {
+		total += c
+	}
+	if total == 0 {
+		t.Fatal("no visits counted")
+	}
+}
+
+func TestPublicGraphIO(t *testing.T) {
+	g, err := ridgewalker.NewGraph(3, []ridgewalker.Edge{{Src: 0, Dst: 1}, {Src: 1, Dst: 2}}, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	path := t.TempDir() + "/g.rwg"
+	if err := ridgewalker.SaveGraph(path, g); err != nil {
+		t.Fatal(err)
+	}
+	g2, err := ridgewalker.LoadGraph(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumVertices != 3 || g2.NumEdges() != 2 {
+		t.Fatalf("round trip lost data: %d vertices %d edges", g2.NumVertices, g2.NumEdges())
+	}
+	g3, err := ridgewalker.ParseEdgeList(strings.NewReader("0 1\n1 2\n"), true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g3.NumEdges() != 2 {
+		t.Fatal("edge list parse failed")
+	}
+}
+
+func TestPublicPlatforms(t *testing.T) {
+	p, err := ridgewalker.PlatformByName("U55C")
+	if err != nil || p.Channels != 32 {
+		t.Fatalf("U55C lookup: %+v %v", p, err)
+	}
+	if len(ridgewalker.Datasets()) != 6 {
+		t.Fatalf("want 6 dataset twins, got %d", len(ridgewalker.Datasets()))
+	}
+	if _, err := ridgewalker.DatasetByName("WG"); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPublicAblationSwitches(t *testing.T) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Graph500(10, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 20
+	qs, err := ridgewalker.RandomQueries(g, cfg, 300, 11)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, full, err := ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{Walk: cfg, DiscardPaths: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, base, err := ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{
+		Walk: cfg, DiscardPaths: true, DisableAsync: true, DisableDynamicSched: true,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if full.ThroughputMSteps() <= base.ThroughputMSteps() {
+		t.Fatalf("full (%.1f) not faster than baseline (%.1f)",
+			full.ThroughputMSteps(), base.ThroughputMSteps())
+	}
+}
