@@ -6,12 +6,17 @@
 package ridgewalker_test
 
 import (
+	"context"
 	"io"
 	"runtime"
+	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"ridgewalker"
 	"ridgewalker/internal/bench"
+	"ridgewalker/internal/walk"
 )
 
 // benchOptions keeps individual iterations around a second.
@@ -80,6 +85,82 @@ func BenchmarkSimulatorThroughput(b *testing.B) {
 		steps += st.Steps
 	}
 	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "simsteps/s")
+}
+
+// BenchmarkServiceThroughput measures end-to-end serving throughput:
+// concurrent requests coalesced into shared batches on the cpu backend,
+// reported as served GRW steps per wall-second.
+func BenchmarkServiceThroughput(b *testing.B) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Balanced(14, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 80
+	qs, err := ridgewalker.RandomQueries(g, cfg, 4096, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{
+		Backend:  "cpu",
+		MaxBatch: 4096,
+		Linger:   200 * time.Microsecond,
+	})
+	if err != nil {
+		b.Fatal(err)
+	}
+	defer svc.Close()
+	const requests = 16
+	chunk := len(qs) / requests
+	var steps atomic.Int64
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		var wg sync.WaitGroup
+		for r := 0; r < requests; r++ {
+			wg.Add(1)
+			go func(r int) {
+				defer wg.Done()
+				res, err := svc.Submit(context.Background(), cfg, qs[r*chunk:(r+1)*chunk])
+				if err != nil {
+					b.Error(err)
+					return
+				}
+				steps.Add(res.Steps)
+			}(r)
+		}
+		wg.Wait()
+	}
+	b.ReportMetric(float64(steps.Load())/b.Elapsed().Seconds(), "steps/s")
+}
+
+// BenchmarkWalkAllocsPerStep pins the zero-allocation claim of the serving
+// hot path (run with -benchmem): one op is one full walk on a reused
+// Walker, so allocs/op is allocations per walk — it must be 0, and per-step
+// allocations are bounded above by it.
+func BenchmarkWalkAllocsPerStep(b *testing.B) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Balanced(14, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 80
+	qs, err := ridgewalker.RandomQueries(g, cfg, 4096, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	w, err := walk.NewWalker(g, cfg)
+	if err != nil {
+		b.Fatal(err)
+	}
+	var steps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, st := w.Walk(qs[i%len(qs)])
+		steps += st
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
 }
 
 // BenchmarkSoftwareEngine measures the multi-core CPU engine (the

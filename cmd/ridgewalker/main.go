@@ -1,11 +1,17 @@
-// Command ridgewalker runs graph random walks on the cycle-level
-// RidgeWalker accelerator model or the multi-core software engine.
+// Command ridgewalker runs graph random walks on any of the repository's
+// execution backends — the cycle-level RidgeWalker accelerator model, the
+// multi-core software engine, or the modeled baseline systems — selected
+// by name, either as a one-shot batch or through the batched serving
+// frontend.
 //
 // Usage:
 //
 //	ridgewalker -graph WG -alg urw -queries 2000 -len 80
 //	ridgewalker -graph rmat:14,8,graph500 -alg ppr -platform U250
-//	ridgewalker -graph /path/to/graph.rwg -alg node2vec -engine cpu
+//	ridgewalker -graph /path/to/graph.rwg -alg node2vec -backend cpu
+//	ridgewalker -graph WG -alg urw -backend lightrw
+//	ridgewalker -graph WG -alg ppr -backend cpu -serve -requests 32
+//	ridgewalker -list-backends
 //
 // The -graph argument accepts a dataset twin name (WG, CP, AS, LJ, AB, UK),
 // an inline RMAT spec "rmat:scale,edgefactor[,balanced|graph500]", or a
@@ -13,12 +19,14 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
 	"runtime"
 	"strconv"
 	"strings"
+	"sync"
 	"time"
 
 	"ridgewalker"
@@ -37,7 +45,9 @@ func run() error {
 	queries := flag.Int("queries", 2000, "number of walk queries")
 	length := flag.Int("len", 80, "maximum walk length")
 	platform := flag.String("platform", "U55C", "U55C | U50 | U280 | U250 | VCK5000")
-	engine := flag.String("engine", "sim", "sim (accelerator model) | cpu (software engine)")
+	backendName := flag.String("backend", "", "execution backend: "+strings.Join(ridgewalker.Backends(), " | ")+" (overrides -engine)")
+	engine := flag.String("engine", "sim", "deprecated alias: sim (accelerator model) | cpu (software engine)")
+	listBackends := flag.Bool("list-backends", false, "list execution backends and exit")
 	alpha := flag.Float64("alpha", 0.2, "PPR teleport probability")
 	p := flag.Float64("p", 2, "Node2Vec return parameter")
 	q := flag.Float64("q", 0.5, "Node2Vec in-out parameter")
@@ -46,7 +56,35 @@ func run() error {
 	pathsOut := flag.String("paths", "", "write one walk per line to this file")
 	noAsync := flag.Bool("no-async", false, "disable the asynchronous access engine (ablation)")
 	noSched := flag.Bool("no-sched", false, "disable the zero-bubble scheduler (ablation)")
+	workers := flag.Int("workers", 0, "cpu backend worker-pool size (0 = GOMAXPROCS)")
+	serve := flag.Bool("serve", false, "run the workload through the batched serving frontend")
+	requests := flag.Int("requests", 16, "serve mode: concurrent requests the workload is split into")
+	maxBatch := flag.Int("max-batch", 4096, "serve mode: max queries coalesced per backend dispatch")
+	linger := flag.Duration("linger", 500*time.Microsecond, "serve mode: max wait for co-batched work")
 	flag.Parse()
+
+	if *listBackends {
+		for _, name := range ridgewalker.Backends() {
+			b, err := ridgewalker.BackendByName(name)
+			if err != nil {
+				return err
+			}
+			fmt.Printf("%-12s %s\n", name, b.Description())
+		}
+		return nil
+	}
+
+	backend := *backendName
+	if backend == "" {
+		switch *engine {
+		case "sim":
+			backend = "ridgewalker"
+		case "cpu":
+			backend = "cpu"
+		default:
+			return fmt.Errorf("unknown engine %q (use -backend)", *engine)
+		}
+	}
 
 	alg, err := parseAlg(*algName)
 	if err != nil {
@@ -67,62 +105,154 @@ func run() error {
 	if alg == ridgewalker.MetaPath {
 		g.AttachLabels(3)
 	}
+	plat, err := ridgewalker.PlatformByName(*platform)
+	if err != nil {
+		return err
+	}
 	qs, err := ridgewalker.RandomQueries(g, cfg, *queries, *seed^0xfeed)
 	if err != nil {
 		return err
 	}
-	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s; %d queries × len %d\n",
-		g.NumVertices, g.NumEdges(), alg, len(qs), *length)
+	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s; backend: %s; %d queries × len %d\n",
+		g.NumVertices, g.NumEdges(), alg, backend, len(qs), *length)
 
-	var res *ridgewalker.Result
+	if *serve {
+		return runServe(g, cfg, qs, ridgewalker.ServiceConfig{
+			Backend:             backend,
+			Platform:            plat,
+			Workers:             *workers,
+			MaxBatch:            *maxBatch,
+			Linger:              *linger,
+			DisableAsync:        *noAsync,
+			DisableDynamicSched: *noSched,
+		}, *requests, *pathsOut)
+	}
+
+	ses, err := ridgewalker.OpenBackend(backend, g, ridgewalker.BackendConfig{
+		Walk:                cfg,
+		Platform:            plat,
+		Workers:             *workers,
+		DisableAsync:        *noAsync,
+		DisableDynamicSched: *noSched,
+	})
+	if err != nil {
+		return err
+	}
+	defer ses.Close()
 	start := time.Now()
-	switch *engine {
-	case "cpu":
-		res, err = ridgewalker.WalkParallel(g, qs, cfg, runtime.GOMAXPROCS(0))
-		if err != nil {
-			return err
-		}
-		el := time.Since(start)
-		fmt.Printf("cpu engine: %d steps in %v (%.1f MStep/s wall)\n",
-			res.Steps, el.Round(time.Millisecond), float64(res.Steps)/el.Seconds()/1e6)
-	case "sim":
-		plat, err := ridgewalker.PlatformByName(*platform)
-		if err != nil {
-			return err
-		}
-		var stats *ridgewalker.SimStats
-		res, stats, err = ridgewalker.Simulate(g, qs, ridgewalker.SimOptions{
-			Platform: plat, Walk: cfg,
-			DisableAsync: *noAsync, DisableDynamicSched: *noSched,
-		})
-		if err != nil {
-			return err
-		}
+	res, err := ses.Run(context.Background(), ridgewalker.Batch{Queries: qs})
+	if err != nil {
+		return err
+	}
+	el := time.Since(start)
+	if res.Sim != nil {
+		st := res.Sim
 		fmt.Printf("simulated %s: %d steps in %d cycles (%.3f ms at %v MHz)\n",
-			plat.Name, stats.Steps, stats.Cycles, 1e3*stats.Seconds(), plat.CoreMHz)
+			st.Platform.Name, st.Steps, st.Cycles, 1e3*st.Seconds(), st.Platform.CoreMHz)
 		fmt.Printf("throughput: %.0f MStep/s  effective bw: %.2f GB/s  Eq.(1) utilization: %.0f%%\n",
-			stats.ThroughputMSteps(), stats.EffectiveBandwidthGBs(), 100*stats.Eq1Utilization())
-		fmt.Printf("wall time: %v  (simulation, not hardware)\n", time.Since(start).Round(time.Millisecond))
-	default:
-		return fmt.Errorf("unknown engine %q", *engine)
+			st.ThroughputMSteps(), st.EffectiveBandwidthGBs(), 100*st.Eq1Utilization())
+		fmt.Printf("wall time: %v  (simulation, not hardware)\n", el.Round(time.Millisecond))
 	}
-	if *pathsOut != "" {
-		f, err := os.Create(*pathsOut)
+	if res.Model != nil {
+		m := res.Model
+		fmt.Printf("modeled %s: %.0f MStep/s  effective bw: %.2f GB/s  bubble ratio: %.1f%%\n",
+			m.System, m.ThroughputMSteps, m.EffectiveBandwidthGBs, 100*m.BubbleRatio)
+	}
+	if res.Sim == nil && res.Model == nil {
+		fmt.Printf("cpu engine (%d workers): %d steps in %v (%.1f MStep/s wall)\n",
+			effectiveWorkers(*workers), res.Steps, el.Round(time.Millisecond),
+			float64(res.Steps)/el.Seconds()/1e6)
+	}
+	return writePaths(*pathsOut, res.Paths)
+}
+
+// runServe splits the workload into concurrent requests against a batched
+// Service and reports the served-query metrics.
+func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker.Query,
+	scfg ridgewalker.ServiceConfig, requests int, pathsOut string) error {
+	if requests < 1 {
+		return fmt.Errorf("serve: requests %d, want >= 1", requests)
+	}
+	svc, err := ridgewalker.NewService(g, scfg)
+	if err != nil {
+		return err
+	}
+	defer svc.Close()
+	chunk := (len(qs) + requests - 1) / requests
+	results := make([]*ridgewalker.Result, requests)
+	errs := make([]error, requests)
+	var wg sync.WaitGroup
+	start := time.Now()
+	served := 0
+	for r := 0; r < requests; r++ {
+		lo := r * chunk
+		hi := min(lo+chunk, len(qs))
+		if lo >= hi {
+			break
+		}
+		served++
+		wg.Add(1)
+		go func(r, lo, hi int) {
+			defer wg.Done()
+			results[r], errs[r] = svc.Submit(context.Background(), cfg, qs[lo:hi])
+		}(r, lo, hi)
+	}
+	wg.Wait()
+	el := time.Since(start)
+	for r, err := range errs {
 		if err != nil {
-			return err
+			return fmt.Errorf("request %d: %w", r, err)
 		}
-		defer f.Close()
-		for _, path := range res.Paths {
-			for i, v := range path {
-				if i > 0 {
-					fmt.Fprint(f, " ")
-				}
-				fmt.Fprint(f, v)
-			}
-			fmt.Fprintln(f)
-		}
-		fmt.Printf("wrote %d walks to %s\n", len(res.Paths), *pathsOut)
 	}
+	var steps int64
+	var paths [][]ridgewalker.VertexID
+	for _, res := range results[:served] {
+		steps += res.Steps
+		if pathsOut != "" {
+			paths = append(paths, res.Paths...)
+		}
+	}
+	fmt.Printf("served %d requests (%d queries, %d steps) in %v — %.1f MStep/s wall\n",
+		served, len(qs), steps, el.Round(time.Millisecond),
+		float64(steps)/el.Seconds()/1e6)
+	m := svc.Metrics()
+	for name, c := range m.PerBackend {
+		fmt.Printf("backend %-12s requests=%d queries=%d steps=%d batches=%d\n",
+			name, c.Requests, c.Queries, c.Steps, c.Batches)
+	}
+	for name, c := range m.PerAlgorithm {
+		fmt.Printf("algorithm %-10s requests=%d queries=%d steps=%d batches=%d\n",
+			name, c.Requests, c.Queries, c.Steps, c.Batches)
+	}
+	return writePaths(pathsOut, paths)
+}
+
+func effectiveWorkers(w int) int {
+	if w == 0 {
+		return runtime.GOMAXPROCS(0)
+	}
+	return w
+}
+
+func writePaths(pathsOut string, paths [][]ridgewalker.VertexID) error {
+	if pathsOut == "" {
+		return nil
+	}
+	f, err := os.Create(pathsOut)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	for _, path := range paths {
+		for i, v := range path {
+			if i > 0 {
+				fmt.Fprint(f, " ")
+			}
+			fmt.Fprint(f, v)
+		}
+		fmt.Fprintln(f)
+	}
+	fmt.Printf("wrote %d walks to %s\n", len(paths), pathsOut)
 	return nil
 }
 

@@ -3,10 +3,16 @@
 // teleport termination), then report the top-ranked vertices for a seed
 // vertex.
 //
+// The ranking only needs visit counts, so the walks are streamed through
+// the serving layer: each finished walk is folded into the counters and
+// its buffer recycled — memory stays O(queries) no matter how many steps
+// the workload takes.
+//
 //	go run ./examples/pprrank
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -41,17 +47,25 @@ func main() {
 		queries[i] = ridgewalker.Query{ID: uint32(i), Start: seed}
 	}
 
-	res, stats, err := ridgewalker.Simulate(g, queries, ridgewalker.SimOptions{
-		Platform: ridgewalker.U55C,
-		Walk:     cfg,
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Backend: "cpu"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	counts := make([]int64, g.NumVertices)
+	var steps int64
+	err = svc.Stream(context.Background(), cfg, queries, func(w ridgewalker.WalkOutput) error {
+		for _, v := range w.Path {
+			counts[v]++
+		}
+		steps += w.Steps
+		return nil
 	})
 	if err != nil {
 		log.Fatal(err)
 	}
-	fmt.Printf("simulated %d PPR walks (%d steps) at %.0f MStep/s\n",
-		walks, res.Steps, stats.ThroughputMSteps())
-
-	counts := ridgewalker.VisitCounts(g, res)
+	fmt.Printf("streamed %d PPR walks (%d steps) without materializing any path\n",
+		walks, steps)
 	type ranked struct {
 		v ridgewalker.VertexID
 		c int64

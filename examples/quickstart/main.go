@@ -1,12 +1,15 @@
 // Quickstart: build a small graph, run uniform random walks on the
-// cycle-level RidgeWalker model, and inspect the results.
+// cycle-level RidgeWalker model, and serve the same workload through the
+// batched walk service.
 //
 //	go run ./examples/quickstart
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
+	"sync"
 
 	"ridgewalker"
 )
@@ -53,4 +56,32 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("software engine took %d steps across the same %d queries\n", sw.Steps, len(queries))
+
+	// Serving mode: a Service coalesces concurrent requests into shared
+	// backend batches. Every engine is available by name ("cpu" here;
+	// "ridgewalker", "lightrw", ... — see ridgewalker.Backends()), and each
+	// requester gets exactly the walks it asked for, byte-identical to a
+	// solo run.
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Backend: "cpu"})
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer svc.Close()
+	var wg sync.WaitGroup
+	for r := 0; r < 4; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			part := queries[r*250 : (r+1)*250]
+			res, err := svc.Submit(context.Background(), cfg, part)
+			if err != nil {
+				log.Fatal(err)
+			}
+			fmt.Printf("request %d: %d walks, %d steps\n", r, len(res.Paths), res.Steps)
+		}(r)
+	}
+	wg.Wait()
+	m := svc.Metrics()
+	fmt.Printf("service metrics: %+v over %d batches\n",
+		m.PerAlgorithm["URW"], m.PerBackend["cpu"].Batches)
 }

@@ -1,0 +1,3 @@
+module ridgewalker
+
+go 1.22

@@ -40,50 +40,106 @@ type Result struct {
 	BubbleRatio float64
 }
 
-// trace summarizes a golden-engine run for the analytic models.
-type trace struct {
-	steps     int64
-	queries   int
-	lengths   []int
-	meanLen   float64
-	maxLen    int
-	sumDeg    float64 // mean degree along visited vertices
-	graph     *graph.CSR
-	footprint int64
+// Trace summarizes a walk workload for the analytic models (FastRW,
+// gSampler). It accumulates one walk at a time, so execution layers can
+// stream walks through AddWalk without materializing the full path set; the
+// per-walk path is only read, never retained.
+type Trace struct {
+	// Steps is the total hop count across all walks.
+	Steps int64
+	// Lengths holds each walk's hop count in completion order (warp
+	// assignment for the GPU model).
+	Lengths []int
+	// MaxLen is the longest walk's hop count.
+	MaxLen int
+	// Footprint is the graph's memory footprint in bytes.
+	Footprint int64
+
+	sumDeg float64
+	visits int64
+}
+
+// NewTrace returns an empty trace bound to g's footprint.
+func NewTrace(g *graph.CSR) *Trace {
+	return &Trace{Footprint: g.MemoryFootprintBytes()}
+}
+
+// AddWalk folds one completed walk path (start vertex included) into the
+// trace.
+func (t *Trace) AddWalk(g *graph.CSR, path []graph.VertexID) {
+	hops := len(path) - 1
+	if hops < 0 {
+		return
+	}
+	t.Steps += int64(hops)
+	t.Lengths = append(t.Lengths, hops)
+	if hops > t.MaxLen {
+		t.MaxLen = hops
+	}
+	for _, v := range path {
+		t.sumDeg += float64(g.Degree(v))
+		t.visits++
+	}
+}
+
+// SetWalks installs a pre-aggregated walk summary: per-walk hop counts in
+// input order plus the degree sum and visit count along all paths. It is
+// the bulk alternative to AddWalk for engines that stream walks out of
+// input order but track indices.
+func (t *Trace) SetWalks(hops []int, sumDeg float64, visits int64) {
+	t.Lengths = hops
+	t.Steps = 0
+	t.MaxLen = 0
+	for _, h := range hops {
+		t.Steps += int64(h)
+		if h > t.MaxLen {
+			t.MaxLen = h
+		}
+	}
+	t.sumDeg = sumDeg
+	t.visits = visits
+}
+
+// MeanLen returns the mean hop count per walk.
+func (t *Trace) MeanLen() float64 {
+	if len(t.Lengths) == 0 {
+		return 0
+	}
+	return float64(t.Steps) / float64(len(t.Lengths))
+}
+
+// MeanDegree returns the mean out-degree along visited vertices.
+func (t *Trace) MeanDegree() float64 {
+	if t.visits == 0 {
+		return 0
+	}
+	return t.sumDeg / float64(t.visits)
 }
 
 // runTrace executes the workload on the golden engine and summarizes it.
-func runTrace(g *graph.CSR, queries []walk.Query, cfg walk.Config) (*trace, error) {
+func runTrace(g *graph.CSR, queries []walk.Query, cfg walk.Config) (*Trace, error) {
 	res, err := walk.Run(g, queries, cfg)
 	if err != nil {
 		return nil, err
 	}
-	t := &trace{
-		steps:     res.Steps,
-		queries:   len(queries),
-		graph:     g,
-		footprint: g.MemoryFootprintBytes(),
-	}
-	var sumDeg float64
-	var visits int64
+	t := NewTrace(g)
 	for _, p := range res.Paths {
-		hops := len(p) - 1
-		t.lengths = append(t.lengths, hops)
-		if hops > t.maxLen {
-			t.maxLen = hops
-		}
-		for _, v := range p {
-			sumDeg += float64(g.Degree(v))
-			visits++
-		}
-	}
-	if len(t.lengths) > 0 {
-		t.meanLen = float64(t.steps) / float64(len(t.lengths))
-	}
-	if visits > 0 {
-		t.sumDeg = sumDeg / float64(visits)
+		t.AddWalk(g, p)
 	}
 	return t, nil
+}
+
+// ResultFromStats converts simulator statistics into the uniform baseline
+// Result shape (used for the simulator-backed baselines LightRW and
+// Su et al.).
+func ResultFromStats(system string, st *core.Stats) Result {
+	return Result{
+		System:                system,
+		ThroughputMSteps:      st.ThroughputMSteps(),
+		EffectiveBandwidthGBs: st.EffectiveBandwidthGBs(),
+		Steps:                 st.Steps,
+		BubbleRatio:           st.MeanBubbleRatio(),
+	}
 }
 
 // RunLightRW models LightRW (Tan et al., SIGMOD'23): an HBM/DDR dataflow
@@ -92,10 +148,7 @@ func runTrace(g *graph.CSR, queries []walk.Query, cfg walk.Config) (*trace, erro
 // reserved slots empty (§III Observation #2 reports bubble ratios up to
 // 37%). That is exactly the simulator's async+static configuration.
 func RunLightRW(g *graph.CSR, queries []walk.Query, wcfg walk.Config, platform hbm.Platform) (Result, *core.Stats, error) {
-	cfg := core.DefaultConfig(platform, wcfg)
-	cfg.Async = true
-	cfg.DynamicSched = false
-	cfg.BatchSize = 256
+	cfg := LightRWCoreConfig(platform, wcfg)
 	cfg.RecordPaths = false
 	a, err := core.New(g, cfg)
 	if err != nil {
@@ -105,24 +158,25 @@ func RunLightRW(g *graph.CSR, queries []walk.Query, wcfg walk.Config, platform h
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return Result{
-		System:                "LightRW",
-		ThroughputMSteps:      st.ThroughputMSteps(),
-		EffectiveBandwidthGBs: st.EffectiveBandwidthGBs(),
-		Steps:                 st.Steps,
-		BubbleRatio:           st.MeanBubbleRatio(),
-	}, st, nil
+	return ResultFromStats("LightRW", st), st, nil
+}
+
+// LightRWCoreConfig returns the cycle-level simulator configuration that
+// models LightRW's architecture on platform: asynchronous access with a
+// static ring schedule.
+func LightRWCoreConfig(platform hbm.Platform, wcfg walk.Config) core.Config {
+	cfg := core.DefaultConfig(platform, wcfg)
+	cfg.Async = true
+	cfg.DynamicSched = false
+	cfg.BatchSize = 256
+	return cfg
 }
 
 // RunSuEtAl models Su et al. (FPL'21): a multi-walker HBM sampler whose
 // walkers issue blocking accesses in a fixed schedule — the simulator's
 // blocking+static configuration with a modest outstanding budget.
 func RunSuEtAl(g *graph.CSR, queries []walk.Query, wcfg walk.Config, platform hbm.Platform) (Result, *core.Stats, error) {
-	cfg := core.DefaultConfig(platform, wcfg)
-	cfg.Async = false
-	cfg.DynamicSched = false
-	cfg.BlockingOutstanding = 8
-	cfg.BatchSize = 256
+	cfg := SuEtAlCoreConfig(platform, wcfg)
 	cfg.RecordPaths = false
 	a, err := core.New(g, cfg)
 	if err != nil {
@@ -132,13 +186,19 @@ func RunSuEtAl(g *graph.CSR, queries []walk.Query, wcfg walk.Config, platform hb
 	if err != nil {
 		return Result{}, nil, err
 	}
-	return Result{
-		System:                "SuEtAl",
-		ThroughputMSteps:      st.ThroughputMSteps(),
-		EffectiveBandwidthGBs: st.EffectiveBandwidthGBs(),
-		Steps:                 st.Steps,
-		BubbleRatio:           st.MeanBubbleRatio(),
-	}, st, nil
+	return ResultFromStats("SuEtAl", st), st, nil
+}
+
+// SuEtAlCoreConfig returns the cycle-level simulator configuration that
+// models Su et al.'s architecture on platform: blocking multi-walker access
+// with a fixed static schedule.
+func SuEtAlCoreConfig(platform hbm.Platform, wcfg walk.Config) core.Config {
+	cfg := core.DefaultConfig(platform, wcfg)
+	cfg.Async = false
+	cfg.DynamicSched = false
+	cfg.BlockingOutstanding = 8
+	cfg.BatchSize = 256
+	return cfg
 }
 
 // clamp bounds x to [lo, hi].

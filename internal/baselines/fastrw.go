@@ -73,8 +73,14 @@ func RunFastRW(g *graph.CSR, queries []walk.Query, wcfg walk.Config, cfg FastRWC
 	if err != nil {
 		return Result{}, err
 	}
+	return EstimateFastRW(tr, cfg), nil
+}
+
+// EstimateFastRW prices an already-collected walk trace under the FastRW
+// model (the pricing half of RunFastRW, usable with streamed traces).
+func EstimateFastRW(tr *Trace, cfg FastRWConfig) Result {
 	p := cfg.Platform
-	footprint := tr.footprint
+	footprint := tr.Footprint
 	if cfg.WorkingSetBytes > 0 {
 		footprint = cfg.WorkingSetBytes
 	}
@@ -93,7 +99,7 @@ func RunFastRW(g *graph.CSR, queries []walk.Query, wcfg walk.Config, cfg FastRWC
 		System:                "FastRW",
 		ThroughputMSteps:      rate / 1e6,
 		EffectiveBandwidthGBs: rate * 8 / 1e9,
-		Steps:                 tr.steps,
+		Steps:                 tr.Steps,
 		BubbleRatio:           1 - hitFrac,
-	}, nil
+	}
 }

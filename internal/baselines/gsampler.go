@@ -134,17 +134,23 @@ func RunGSampler(g *graph.CSR, queries []walk.Query, wcfg walk.Config, cfg GPUCo
 	if err != nil {
 		return Result{}, err
 	}
+	return EstimateGSampler(g, tr, wcfg, cfg), nil
+}
+
+// EstimateGSampler prices an already-collected walk trace under the GPU
+// model (the pricing half of RunGSampler, usable with streamed traces).
+func EstimateGSampler(g *graph.CSR, tr *Trace, wcfg walk.Config, cfg GPUConfig) Result {
 	// Warp divergence from the actual length distribution: walks are
 	// assigned to warps in input order, as gSampler's super-batching does.
 	w := cfg.WarpSize
 	var usefulSlots, totalSlots int64
-	for i := 0; i < len(tr.lengths); i += w {
+	for i := 0; i < len(tr.Lengths); i += w {
 		maxLen := 0
 		sum := 0
-		for j := i; j < min(i+w, len(tr.lengths)); j++ {
-			sum += tr.lengths[j]
-			if tr.lengths[j] > maxLen {
-				maxLen = tr.lengths[j]
+		for j := i; j < min(i+w, len(tr.Lengths)); j++ {
+			sum += tr.Lengths[j]
+			if tr.Lengths[j] > maxLen {
+				maxLen = tr.Lengths[j]
 			}
 		}
 		usefulSlots += int64(sum)
@@ -158,7 +164,7 @@ func RunGSampler(g *graph.CSR, queries []walk.Query, wcfg walk.Config, cfg GPUCo
 	// their warp slots and re-pay kernel-round costs.
 	divEff := 1.0
 	if cfg.DivergeK > 0 {
-		divEff = tr.meanLen / (tr.meanLen + cfg.DivergeK)
+		divEff = tr.MeanLen() / (tr.MeanLen() + cfg.DivergeK)
 	}
 	// Degree-uniformity efficiency: balanced RMAT graphs have near-constant
 	// degrees and coalesce beautifully (gSampler approaches the measured
@@ -173,7 +179,7 @@ func RunGSampler(g *graph.CSR, queries []walk.Query, wcfg walk.Config, cfg GPUCo
 	}
 	skewEff := clamp(1/(1+cv2), cfg.MinSkewEff, 1)
 
-	footprint := tr.footprint
+	footprint := tr.Footprint
 	if cfg.WorkingSetBytes > 0 {
 		footprint = cfg.WorkingSetBytes
 	}
@@ -187,7 +193,7 @@ func RunGSampler(g *graph.CSR, queries []walk.Query, wcfg walk.Config, cfg GPUCo
 		System:                cfg.Name,
 		ThroughputMSteps:      rate / 1e6,
 		EffectiveBandwidthGBs: rate * 8 / 1e9,
-		Steps:                 tr.steps,
+		Steps:                 tr.Steps,
 		BubbleRatio:           1 - warpEff,
-	}, nil
+	}
 }

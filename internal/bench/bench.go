@@ -11,12 +11,16 @@
 package bench
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"sort"
+	"sync"
 	"text/tabwriter"
 
+	"ridgewalker/internal/baselines"
 	"ridgewalker/internal/core"
+	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
 	"ridgewalker/internal/walk"
@@ -46,8 +50,10 @@ func DefaultOptions() Options {
 }
 
 // Context caches generated graphs across experiments in one invocation.
+// It is safe for concurrent use, so experiments can run in parallel.
 type Context struct {
 	Opts   Options
+	mu     sync.Mutex
 	graphs map[string]*graph.CSR
 }
 
@@ -67,6 +73,8 @@ func NewContext(opts Options) *Context {
 
 // Twin returns the (cached) scaled twin of a Table-II dataset.
 func (c *Context) Twin(name string) (*graph.CSR, error) {
+	c.mu.Lock()
+	defer c.mu.Unlock()
 	if g, ok := c.graphs[name]; ok {
 		return g, nil
 	}
@@ -174,16 +182,51 @@ func (t *table) row(cells ...any) {
 
 func (t *table) flush() error { return t.w.Flush() }
 
-// runRidgeWalker runs the full accelerator and returns its stats.
-func runRidgeWalker(g *graph.CSR, wcfg walk.Config, platform hbm.Platform, queries []walk.Query) (*core.Stats, error) {
-	cfg := core.DefaultConfig(platform, wcfg)
-	cfg.RecordPaths = false
-	a, err := core.New(g, cfg)
+// Every experiment runs its engines through the unified execution layer:
+// figure drivers name a backend ("ridgewalker", "lightrw", "suetal",
+// "fastrw", "gsampler") and the layer does the rest.
+
+// runSim executes the workload on a simulator-hosted backend and returns
+// its cycle-level statistics.
+func runSim(backend string, g *graph.CSR, wcfg walk.Config, platform hbm.Platform, queries []walk.Query, ablate func(*exec.Config)) (*core.Stats, error) {
+	cfg := exec.Config{Walk: wcfg, Platform: platform, DiscardPaths: true}
+	if ablate != nil {
+		ablate(&cfg)
+	}
+	ses, err := exec.Open(backend, g, cfg)
 	if err != nil {
 		return nil, err
 	}
-	_, st, err := a.Run(queries)
-	return st, err
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), exec.Batch{Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	return res.Sim, nil
+}
+
+// runModel executes the workload on a baseline backend and returns its
+// modeled performance result.
+func runModel(backend string, g *graph.CSR, queries []walk.Query, cfg exec.Config) (baselines.Result, error) {
+	cfg.DiscardPaths = true
+	ses, err := exec.Open(backend, g, cfg)
+	if err != nil {
+		return baselines.Result{}, err
+	}
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), exec.Batch{Queries: queries})
+	if err != nil {
+		return baselines.Result{}, err
+	}
+	if res.Model == nil {
+		return baselines.Result{}, fmt.Errorf("bench: backend %q reported no model result", backend)
+	}
+	return *res.Model, nil
+}
+
+// runRidgeWalker runs the full accelerator and returns its stats.
+func runRidgeWalker(g *graph.CSR, wcfg walk.Config, platform hbm.Platform, queries []walk.Query) (*core.Stats, error) {
+	return runSim("ridgewalker", g, wcfg, platform, queries, nil)
 }
 
 // workload builds the standard query stream for an algorithm on a graph.

@@ -43,15 +43,24 @@ func TestByID(t *testing.T) {
 }
 
 // TestEveryExperimentRuns executes the entire registry at miniature scale —
-// the end-to-end integration test of the whole repository.
+// the end-to-end integration test of the whole repository. Experiments run
+// in parallel (Context is concurrency-safe) to keep the default test loop
+// fast; pass -short to skip them entirely.
 func TestEveryExperimentRuns(t *testing.T) {
 	if testing.Short() {
 		t.Skip("experiments are slow in -short mode")
 	}
 	c := quickContext()
+	// Pre-generate the shared twins so parallel subtests start hot.
+	for _, name := range []string{"WG", "CP", "AS", "LJ", "AB", "UK"} {
+		if _, err := c.Twin(name); err != nil {
+			t.Fatal(err)
+		}
+	}
 	for _, e := range All() {
 		e := e
 		t.Run(e.ID, func(t *testing.T) {
+			t.Parallel()
 			var buf bytes.Buffer
 			if err := e.Run(c, &buf); err != nil {
 				t.Fatalf("%s: %v", e.ID, err)

@@ -4,8 +4,7 @@ import (
 	"fmt"
 	"io"
 
-	"ridgewalker/internal/baselines"
-	"ridgewalker/internal/core"
+	"ridgewalker/internal/exec"
 	"ridgewalker/internal/hbm"
 	"ridgewalker/internal/queuing"
 	"ridgewalker/internal/resource"
@@ -44,15 +43,11 @@ func runFig11(c *Context, w io.Writer) error {
 		for i, m := range []struct{ async, dyn bool }{
 			{false, false}, {false, true}, {true, false}, {true, true},
 		} {
-			cfg := core.DefaultConfig(hbm.U55C, wcfg)
-			cfg.Async = m.async
-			cfg.DynamicSched = m.dyn
-			cfg.RecordPaths = false
-			a, err := core.New(g, cfg)
-			if err != nil {
-				return err
-			}
-			_, st, err := a.Run(qs)
+			m := m
+			st, err := runSim("ridgewalker", g, wcfg, hbm.U55C, qs, func(cfg *exec.Config) {
+				cfg.DisableAsync = !m.async
+				cfg.DisableDynamicSched = !m.dyn
+			})
 			if err != nil {
 				return err
 			}
@@ -146,7 +141,7 @@ func runObs2(c *Context, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		lr, _, err := baselines.RunLightRW(gw, qs, wcfg, hbm.U250)
+		lr, err := runModel("lightrw", gw, qs, exec.Config{Walk: wcfg, Platform: hbm.U250})
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"ridgewalker/internal/baselines"
+	"ridgewalker/internal/exec"
 	"ridgewalker/internal/hbm"
 	"ridgewalker/internal/walk"
 )
@@ -69,7 +70,7 @@ func runFig3a(c *Context, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		r, err := baselines.RunFastRW(gw, qs, wcfg, fcfg)
+		r, err := runModel("fastrw", gw, qs, exec.Config{Walk: wcfg, FastRW: &fcfg})
 		if err != nil {
 			return err
 		}
@@ -106,7 +107,7 @@ func runFig8a(c *Context, w io.Writer) error {
 		if err2 != nil {
 			return err2
 		}
-		fr, err := baselines.RunFastRW(gw, qs, wcfg, fc)
+		fr, err := runModel("fastrw", gw, qs, exec.Config{Walk: wcfg, FastRW: &fc})
 		if err != nil {
 			return err
 		}
@@ -133,7 +134,7 @@ func runFig8b(c *Context, w io.Writer) error {
 		if err != nil {
 			return err
 		}
-		su, _, err := baselines.RunSuEtAl(g, qs, wcfg, hbm.U280)
+		su, err := runModel("suetal", g, qs, exec.Config{Walk: wcfg, Platform: hbm.U280})
 		if err != nil {
 			return err
 		}
@@ -169,7 +170,7 @@ func lightRWComparison(c *Context, w io.Writer, title string, alg walk.Algorithm
 		if err != nil {
 			return err
 		}
-		lr, _, err := baselines.RunLightRW(gw, qs, wcfg, hbm.U250)
+		lr, err := runModel("lightrw", gw, qs, exec.Config{Walk: wcfg, Platform: hbm.U250})
 		if err != nil {
 			return err
 		}

@@ -5,6 +5,7 @@ import (
 	"io"
 
 	"ridgewalker/internal/baselines"
+	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
 	"ridgewalker/internal/walk"
@@ -64,7 +65,7 @@ func gSamplerComparison(c *Context, w io.Writer, title string, alg walk.Algorith
 			return err
 		}
 		gpu.SkewCV2Override = 20
-		gr, err := baselines.RunGSampler(gg, qs, wcfg, gpu)
+		gr, err := runModel("gsampler", gg, qs, exec.Config{Walk: wcfg, GPU: &gpu})
 		if err != nil {
 			return err
 		}
@@ -122,7 +123,7 @@ func runFig10(c *Context, w io.Writer) error {
 		if pt.scale == large {
 			gpu.WorkingSetBytes <<= 6
 		}
-		gr, err := baselines.RunGSampler(gw, qs, wcfg, gpu)
+		gr, err := runModel("gsampler", gw, qs, exec.Config{Walk: wcfg, GPU: &gpu})
 		if err != nil {
 			return err
 		}

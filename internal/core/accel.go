@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"ridgewalker/internal/engine"
@@ -40,6 +41,25 @@ type Accelerator struct {
 
 	paths [][]graph.VertexID
 	steps int64
+
+	// Streaming delivery (SetOnWalk).
+	onWalk  func(query uint32, path []graph.VertexID) bool
+	stopped bool
+}
+
+// ErrStopped is returned by Run when the OnWalk callback requested an early
+// stop by returning false.
+var ErrStopped = errors.New("core: run stopped by OnWalk callback")
+
+// SetOnWalk installs (or, with nil, clears) a per-walk delivery callback.
+// When set — and RecordPaths is enabled — each query's completed path is
+// handed to fn the cycle the query retires and then released, so a run
+// streams walks out without materializing the full path set. The path slice
+// is owned by the accelerator only until fn returns; fn may retain it (it is
+// never reused). Returning false stops the simulation; Run then reports
+// ErrStopped. Takes effect on the next Run call.
+func (a *Accelerator) SetOnWalk(fn func(query uint32, path []graph.VertexID) bool) {
+	a.onWalk = fn
 }
 
 // New builds an accelerator for g under cfg. The graph must satisfy the
@@ -49,8 +69,13 @@ func New(g *graph.CSR, cfg Config) (*Accelerator, error) {
 	if err != nil {
 		return nil, err
 	}
-	sampler, err := walk.BuildSampler(g, cfg.Walk)
-	if err != nil {
+	sampler := cfg.Sampler
+	if sampler == nil {
+		sampler, err = walk.BuildSampler(g, cfg.Walk)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := cfg.Walk.Validate(g); err != nil {
 		return nil, err
 	}
 	a := &Accelerator{
@@ -146,10 +171,20 @@ func (a *Accelerator) buildDynamic() error {
 	return nil
 }
 
-// finishQuery retires a query.
+// finishQuery retires a query, streaming its path out when a delivery
+// callback is installed.
 func (a *Accelerator) finishQuery(q uint32) {
 	a.doneCount++
 	a.active--
+	if a.onWalk != nil && !a.stopped {
+		// Once stopped, no further deliveries: queries retiring later in
+		// the same cycle (the stop condition is only checked between
+		// cycles) must not reach a callback that already returned false.
+		if !a.onWalk(q, a.paths[q]) {
+			a.stopped = true
+		}
+		a.paths[q] = nil // streamed out; do not accumulate
+	}
 }
 
 // recordHop appends a visited vertex and counts the step.
@@ -204,6 +239,7 @@ func (a *Accelerator) Run(queries []walk.Query) (*walk.Result, *Stats, error) {
 	a.active = 0
 	a.doneCount = 0
 	a.steps = 0
+	a.stopped = false
 	maxID := uint32(0)
 	seen := make(map[uint32]bool, len(queries))
 	for _, q := range queries {
@@ -229,7 +265,10 @@ func (a *Accelerator) Run(queries []walk.Query) (*walk.Result, *Stats, error) {
 	}
 	// Generous budget: worst case every step serialized through latency.
 	budget := int64(len(queries))*int64(a.cfg.Walk.WalkLength)*int64(a.cfg.Platform.LatencyCycles)/int64(a.cfg.Pipelines) + 1_000_000
-	_, ok := a.sim.RunUntil(func() bool { return a.doneCount >= len(queries) }, budget)
+	_, ok := a.sim.RunUntil(func() bool { return a.doneCount >= len(queries) || a.stopped }, budget)
+	if a.stopped {
+		return nil, nil, ErrStopped
+	}
 	if !ok {
 		return nil, nil, fmt.Errorf("core: simulation exceeded %d-cycle budget (%d/%d queries done)",
 			budget, a.doneCount, len(queries))

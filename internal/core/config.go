@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
 )
 
@@ -50,6 +51,13 @@ type Config struct {
 	// RecordPaths keeps full per-query paths in the result. Disable for
 	// large benchmark runs to save memory; step counts are always kept.
 	RecordPaths bool
+
+	// Sampler, when non-nil, is used instead of building a sampler from
+	// Walk. Execution layers that instantiate accelerators repeatedly for
+	// the same workload pass a prebuilt sampler so alias tables are not
+	// reconstructed per batch; the walk config is still validated against
+	// the graph.
+	Sampler sampling.Sampler
 
 	// Seed drives sampling and layout jitter.
 	Seed uint64

@@ -1,0 +1,170 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/walk"
+)
+
+func init() {
+	Register(cpuBackend{})
+}
+
+// cpuBackend is the ThunderRW-style multi-core software engine. It is the
+// serving hot path: a fixed pool of walkers, each owning a reused path
+// buffer and RNG stream, walks queries with zero allocations per step.
+type cpuBackend struct{}
+
+func (cpuBackend) Name() string { return "cpu" }
+
+func (cpuBackend) Description() string {
+	return "multi-core software engine (ThunderRW-style), allocation-free hot path"
+}
+
+func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("exec: cpu workers %d, want >= 0", cfg.Workers)
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	// One sampler (alias tables, schema state) shared read-only by all
+	// workers; one walker — reused buffer + RNG — per worker.
+	sampler, err := walk.BuildSampler(g, cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	s := &cpuSession{g: g, discard: cfg.DiscardPaths}
+	s.walkers = make([]*walk.Walker, workers)
+	for i := range s.walkers {
+		s.walkers[i] = walk.NewWalkerWithSampler(g, cfg.Walk, sampler)
+	}
+	return s, nil
+}
+
+type cpuSession struct {
+	mu      sync.Mutex // serializes Run/Stream: walkers are single-batch state
+	g       *graph.CSR
+	discard bool
+	walkers []*walk.Walker
+}
+
+// forEachWalk partitions the batch into contiguous chunks, one per worker,
+// and invokes each worker's emit for every finished walk. The path passed
+// to emit aliases the worker's reused buffer.
+func (s *cpuSession) forEachWalk(ctx context.Context, batch Batch,
+	emit func(worker, index int, q walk.Query, path []graph.VertexID, steps int64) error) error {
+	var (
+		stop     atomic.Bool
+		firstErr error
+		errMu    sync.Mutex
+		wg       sync.WaitGroup
+	)
+	fail := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
+		}
+		errMu.Unlock()
+		stop.Store(true)
+	}
+	n := len(batch.Queries)
+	workers := len(s.walkers)
+	if workers == 0 {
+		return fmt.Errorf("exec: session is closed")
+	}
+	chunk := (n + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := w * chunk
+		hi := min(lo+chunk, n)
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(w, lo, hi int) {
+			defer wg.Done()
+			walker := s.walkers[w]
+			for i := lo; i < hi; i++ {
+				if i&0xff == 0 && (stop.Load() || ctx.Err() != nil) {
+					if err := ctx.Err(); err != nil {
+						fail(err)
+					}
+					return
+				}
+				q := batch.Queries[i]
+				path, steps := walker.Walk(q)
+				if err := emit(w, i, q, path, steps); err != nil {
+					fail(err)
+					return
+				}
+			}
+		}(w, lo, hi)
+	}
+	wg.Wait()
+	if firstErr != nil {
+		return firstErr
+	}
+	return ctx.Err()
+}
+
+func (s *cpuSession) Run(ctx context.Context, batch Batch) (*BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &BatchResult{}
+	if !s.discard {
+		res.Paths = make([][]graph.VertexID, len(batch.Queries))
+	}
+	var steps atomic.Int64
+	err := s.forEachWalk(ctx, batch, func(_, i int, _ walk.Query, path []graph.VertexID, st int64) error {
+		if !s.discard {
+			cp := make([]graph.VertexID, len(path))
+			copy(cp, path)
+			res.Paths[i] = cp
+		}
+		steps.Add(st)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps.Load()
+	return res, nil
+}
+
+func (s *cpuSession) Stream(ctx context.Context, batch Batch, fn func(WalkOutput) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var outMu sync.Mutex // fn contract: never called concurrently
+	return s.forEachWalk(ctx, batch, func(_, _ int, q walk.Query, path []graph.VertexID, st int64) error {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return fn(WalkOutput{Query: q.ID, Path: path, Steps: st})
+	})
+}
+
+// streamIndexed is Stream plus the query's batch index — used by the
+// analytic backends, whose pricing models need walk lengths in input order.
+// Like Stream, fn is never called concurrently and the path is reused.
+func (s *cpuSession) streamIndexed(ctx context.Context, batch Batch, fn func(index int, w WalkOutput) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var outMu sync.Mutex
+	return s.forEachWalk(ctx, batch, func(_, i int, q walk.Query, path []graph.VertexID, st int64) error {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return fn(i, WalkOutput{Query: q.ID, Path: path, Steps: st})
+	})
+}
+
+func (s *cpuSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.walkers = nil
+	return nil
+}

@@ -1,0 +1,143 @@
+// Package exec is the unified execution layer: every way this repository
+// can run a graph-random-walk workload — the multi-core CPU engine, the
+// cycle-level RidgeWalker accelerator simulator, and the modeled baseline
+// systems — is exposed behind one Backend interface and selected by a
+// string key.
+//
+// The layer has three concepts:
+//
+//   - A Backend is a named engine factory. Open binds it to a graph and a
+//     configuration, performing all per-workload setup (sampler and alias
+//     table construction, simulator instantiation, worker allocation) once.
+//   - A Session is a bound, reusable executor. Run executes a query batch
+//     and returns the accumulated BatchResult; Stream executes the batch
+//     and delivers each finished walk through a callback instead, so
+//     arbitrarily large workloads run without materializing all paths.
+//   - The registry maps backend names ("cpu", "ridgewalker", "lightrw",
+//     "suetal", "fastrw", "gsampler") to Backend values; higher layers —
+//     the public ridgewalker.Service, the cmd/ridgewalker CLI, and the
+//     internal/bench figure drivers — select engines by name only.
+//
+// Sessions are safe for concurrent use: calls on one Session are
+// serialized internally, so a service layer can cache and share them.
+package exec
+
+import (
+	"context"
+
+	"ridgewalker/internal/baselines"
+	"ridgewalker/internal/core"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+// Config configures a Session at Open time. Only Walk is required; every
+// other field has a backend-appropriate default and fields irrelevant to
+// the selected backend are ignored.
+type Config struct {
+	// Walk selects the GRW algorithm and its parameters (required).
+	Walk walk.Config
+
+	// Platform selects the accelerator memory system for simulator-backed
+	// and analytic backends. The zero value uses each backend's published
+	// platform (U55C for ridgewalker/lightrw/suetal; FastRW and gSampler
+	// carry their own platform in their model configs).
+	Platform hbm.Platform
+
+	// Workers sets the CPU backend's worker-pool size. 0 means
+	// runtime.GOMAXPROCS(0). Each worker owns a reused path buffer and RNG
+	// stream, so the hot path allocates nothing per step.
+	Workers int
+
+	// DiscardPaths drops per-query paths from Run results (throughput
+	// studies on large workloads). Stream never accumulates paths.
+	DiscardPaths bool
+
+	// DisableAsync and DisableDynamicSched are the RidgeWalker backend's
+	// Fig. 11 ablation switches.
+	DisableAsync        bool
+	DisableDynamicSched bool
+
+	// FastRW overrides the FastRW backend's model parameters
+	// (default baselines.DefaultFastRW).
+	FastRW *baselines.FastRWConfig
+
+	// GPU overrides the gSampler backend's model parameters
+	// (default baselines.DefaultH100).
+	GPU *baselines.GPUConfig
+}
+
+// platform returns the configured platform or the given default.
+func (c Config) platform(def hbm.Platform) hbm.Platform {
+	if c.Platform.Name == "" {
+		return def
+	}
+	return c.Platform
+}
+
+// Batch is one unit of submitted work: a set of walk queries executed
+// under the Session's configuration. Query IDs key the deterministic
+// per-query RNG streams; batches merged from several requests may repeat
+// IDs on the CPU backend (each query's walk depends only on its own ID),
+// while simulator backends require unique IDs within a batch.
+type Batch struct {
+	Queries []walk.Query
+}
+
+// WalkOutput is one finished walk delivered through Session.Stream.
+type WalkOutput struct {
+	// Query is the originating query's ID.
+	Query uint32
+	// Path is the visited-vertex sequence including the start vertex. It
+	// is valid only for the duration of the callback; callers that retain
+	// paths must copy them (backends recycle the buffer).
+	Path []graph.VertexID
+	// Steps is the number of hops taken (len(Path)-1).
+	Steps int64
+}
+
+// BatchResult aggregates a Run call.
+type BatchResult struct {
+	// Paths holds each query's path in batch order (nil when the session
+	// was opened with DiscardPaths).
+	Paths [][]graph.VertexID
+	// Steps is the total hop count across the batch.
+	Steps int64
+	// Sim carries cycle-level performance statistics for simulator-backed
+	// backends (ridgewalker, lightrw, suetal); nil otherwise.
+	Sim *core.Stats
+	// Model carries modeled performance for baseline backends (lightrw,
+	// suetal, fastrw, gsampler); nil otherwise.
+	Model *baselines.Result
+}
+
+// Session is a backend bound to one graph and configuration, reusable
+// across batches. Implementations serialize Run/Stream internally, so a
+// Session may be shared between goroutines.
+type Session interface {
+	// Run executes the batch to completion and returns the accumulated
+	// result. The output is deterministic in the configured seed.
+	Run(ctx context.Context, batch Batch) (*BatchResult, error)
+	// Stream executes the batch, delivering each finished walk to fn as it
+	// completes instead of accumulating paths — the whole-workload memory
+	// footprint stays O(queries), not O(steps). Delivery order is
+	// unspecified; fn is never called concurrently. A non-nil error from
+	// fn stops the run and is returned.
+	Stream(ctx context.Context, batch Batch, fn func(WalkOutput) error) error
+	// Close releases session resources. The session must not be used
+	// afterwards.
+	Close() error
+}
+
+// Backend is a named execution engine.
+type Backend interface {
+	// Name is the registry key ("cpu", "ridgewalker", ...).
+	Name() string
+	// Description is a one-line summary for CLI listings.
+	Description() string
+	// Open binds the backend to a graph and configuration, performing all
+	// per-workload setup. The graph must satisfy the walk config's
+	// requirements (weights for DeepWalk, labels for MetaPath).
+	Open(g *graph.CSR, cfg Config) (Session, error)
+}

@@ -1,0 +1,62 @@
+package exec
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+
+	"ridgewalker/internal/graph"
+)
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Backend{}
+)
+
+// Register adds a backend under its Name. Registering a duplicate name
+// panics: backend names are API surface and collisions are programmer
+// error.
+func Register(b Backend) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[b.Name()]; dup {
+		panic(fmt.Sprintf("exec: duplicate backend %q", b.Name()))
+	}
+	registry[b.Name()] = b
+}
+
+// Lookup returns the backend registered under name.
+func Lookup(name string) (Backend, error) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	b, ok := registry[name]
+	if !ok {
+		return nil, fmt.Errorf("exec: unknown backend %q (have: %v)", name, namesLocked())
+	}
+	return b, nil
+}
+
+// Names lists the registered backend names, sorted.
+func Names() []string {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	return namesLocked()
+}
+
+func namesLocked() []string {
+	out := make([]string, 0, len(registry))
+	for n := range registry {
+		out = append(out, n)
+	}
+	sort.Strings(out)
+	return out
+}
+
+// Open is the one-call convenience: look up a backend by name and bind it.
+func Open(name string, g *graph.CSR, cfg Config) (Session, error) {
+	b, err := Lookup(name)
+	if err != nil {
+		return nil, err
+	}
+	return b.Open(g, cfg)
+}

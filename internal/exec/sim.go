@@ -1,0 +1,167 @@
+package exec
+
+import (
+	"context"
+	"errors"
+	"sync"
+
+	"ridgewalker/internal/baselines"
+	"ridgewalker/internal/core"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/walk"
+)
+
+func init() {
+	Register(simBackend{
+		name: "ridgewalker",
+		desc: "cycle-level RidgeWalker accelerator simulator (async engine + zero-bubble scheduler)",
+		configure: func(cfg Config, ccfg *core.Config) {
+			ccfg.Async = !cfg.DisableAsync
+			ccfg.DynamicSched = !cfg.DisableDynamicSched
+		},
+	})
+	Register(simBackend{
+		name:   "lightrw",
+		desc:   "LightRW baseline model (async access, static ring schedule) on the cycle-level simulator",
+		system: "LightRW",
+		configure: func(cfg Config, ccfg *core.Config) {
+			lr := baselines.LightRWCoreConfig(ccfg.Platform, cfg.Walk)
+			ccfg.Async = lr.Async
+			ccfg.DynamicSched = lr.DynamicSched
+			ccfg.BatchSize = lr.BatchSize
+		},
+	})
+	Register(simBackend{
+		name:   "suetal",
+		desc:   "Su et al. baseline model (blocking multi-walker, static schedule) on the cycle-level simulator",
+		system: "SuEtAl",
+		configure: func(cfg Config, ccfg *core.Config) {
+			su := baselines.SuEtAlCoreConfig(ccfg.Platform, cfg.Walk)
+			ccfg.Async = su.Async
+			ccfg.DynamicSched = su.DynamicSched
+			ccfg.BlockingOutstanding = su.BlockingOutstanding
+			ccfg.BatchSize = su.BatchSize
+		},
+	})
+}
+
+// simBackend adapts the cycle-level accelerator simulator (internal/core)
+// to the Backend interface. The same simulator hosts RidgeWalker itself and
+// the two architecture-twin baselines; configure applies the per-system
+// ablation switches.
+type simBackend struct {
+	name string
+	desc string
+	// system, when non-empty, labels a baselines.Result built from the run
+	// statistics (the simulator-hosted baselines report through both Sim
+	// and Model).
+	system    string
+	configure func(cfg Config, ccfg *core.Config)
+}
+
+func (b simBackend) Name() string        { return b.name }
+func (b simBackend) Description() string { return b.desc }
+
+func (b simBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
+	ccfg := core.DefaultConfig(cfg.platform(hbm.U55C), cfg.Walk)
+	b.configure(cfg, &ccfg)
+	// Run records paths inside the accelerator and reindexes them into
+	// batch order unless DiscardPaths; Stream re-enables recording per call
+	// and hands each path out the cycle its query retires. Recording is
+	// host-side bookkeeping and does not affect simulated timing.
+	ccfg.RecordPaths = !cfg.DiscardPaths
+	// Build the sampler (alias tables are O(E)) once here; each batch gets
+	// a fresh accelerator so its cycle counters, channel statistics, and
+	// RNG streams start from reset — batches are reproducible and an
+	// aborted stream cannot leak in-flight state into the next run.
+	sampler, err := walk.BuildSampler(g, ccfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	ccfg.Sampler = sampler
+	// Validate eagerly so Open reports configuration errors.
+	if _, err := core.New(g, ccfg); err != nil {
+		return nil, err
+	}
+	return &simSession{backend: b, g: g, ccfg: ccfg, discard: cfg.DiscardPaths}, nil
+}
+
+type simSession struct {
+	mu      sync.Mutex // one simulator run at a time
+	backend simBackend
+	g       *graph.CSR
+	ccfg    core.Config
+	discard bool
+}
+
+// result assembles the uniform BatchResult from a finished simulator run.
+func (s *simSession) result(st *core.Stats, paths [][]graph.VertexID, steps int64) *BatchResult {
+	res := &BatchResult{Paths: paths, Steps: steps, Sim: st}
+	if s.backend.system != "" {
+		model := baselines.ResultFromStats(s.backend.system, st)
+		res.Model = &model
+	}
+	return res
+}
+
+func (s *simSession) Run(ctx context.Context, batch Batch) (*BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	a, err := core.New(s.g, s.ccfg)
+	if err != nil {
+		return nil, err
+	}
+	res, st, err := a.Run(batch.Queries)
+	if err != nil {
+		return nil, err
+	}
+	var paths [][]graph.VertexID
+	if !s.discard {
+		// The accelerator keys paths by query ID; reindex to batch order.
+		paths = make([][]graph.VertexID, len(batch.Queries))
+		for i, q := range batch.Queries {
+			paths[i] = res.Paths[q.ID]
+		}
+	}
+	return s.result(st, paths, res.Steps), nil
+}
+
+func (s *simSession) Stream(ctx context.Context, batch Batch, fn func(WalkOutput) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	ccfg := s.ccfg
+	ccfg.RecordPaths = true
+	a, err := core.New(s.g, ccfg)
+	if err != nil {
+		return err
+	}
+	// The simulator is single-threaded; the callback runs on its goroutine,
+	// so fn is never called concurrently. ctx is observed at walk
+	// granularity (the simulator cannot be preempted mid-cycle).
+	var fnErr error
+	a.SetOnWalk(func(q uint32, path []graph.VertexID) bool {
+		if err := ctx.Err(); err != nil {
+			fnErr = err
+			return false
+		}
+		if err := fn(WalkOutput{Query: q, Path: path, Steps: int64(len(path) - 1)}); err != nil {
+			fnErr = err
+			return false
+		}
+		return true
+	})
+	_, _, err = a.Run(batch.Queries)
+	if errors.Is(err, core.ErrStopped) && fnErr != nil {
+		return fnErr
+	}
+	return err
+}
+
+func (s *simSession) Close() error { return nil }

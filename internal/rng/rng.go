@@ -128,9 +128,19 @@ func NewSource(master uint64) *Source { return &Source{master: master} }
 // Stream returns the idx-th derived stream. The same (master, idx) pair
 // always yields the same sequence.
 func (s *Source) Stream(idx uint64) *Stream {
+	var st Stream
+	s.StreamInto(idx, &st)
+	return &st
+}
+
+// StreamInto reseeds st in place to the idx-th derived stream, avoiding the
+// allocation of Stream. It is the hot-path variant used by engines that keep
+// one Stream value per worker and reseed it for every query: the resulting
+// sequence is identical to Stream(idx)'s.
+func (s *Source) StreamInto(idx uint64, st *Stream) {
 	// Mix the index through splitmix64 twice so adjacent indices land far
 	// apart in seed space.
 	sm := s.master ^ (idx+1)*0x9e3779b97f4a7c15
 	a := splitmix64(&sm)
-	return New(a)
+	st.Reseed(a)
 }

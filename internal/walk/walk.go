@@ -249,7 +249,14 @@ func RunParallel(g *graph.CSR, queries []Query, cfg Config, workers int) (*Resul
 // walkOne runs a single query, returning the visited path (including the
 // start vertex) and the number of hops taken.
 func walkOne(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Stream) ([]graph.VertexID, int64) {
-	path := make([]graph.VertexID, 0, cfg.WalkLength+1)
+	return walkInto(g, s, cfg, q, r, make([]graph.VertexID, 0, cfg.WalkLength+1))
+}
+
+// walkInto runs a single query, appending the visited path (including the
+// start vertex) to path[:0] and returning it with the number of hops taken.
+// Passing a buffer with capacity WalkLength+1 makes the walk allocation-free.
+func walkInto(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Stream, path []graph.VertexID) ([]graph.VertexID, int64) {
+	path = path[:0]
 	cur := q.Start
 	path = append(path, cur)
 	var prev graph.VertexID
@@ -272,6 +279,56 @@ func walkOne(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Strea
 			break // teleport: the walk restarts, ending this query
 		}
 	}
+	return path, steps
+}
+
+// Walker is a reusable single-walk executor: it owns a path buffer and an
+// RNG stream that are recycled across queries, so the steady-state hot path
+// performs zero allocations per step (and zero per query). One Walker serves
+// one goroutine; create one per worker and share the sampler, which is safe
+// for concurrent use.
+//
+// The slice returned by Walk aliases the internal buffer and is only valid
+// until the next Walk call; callers that retain paths must copy them.
+type Walker struct {
+	g       *graph.CSR
+	sampler sampling.Sampler
+	cfg     Config
+	src     *rng.Source
+	r       rng.Stream
+	buf     []graph.VertexID
+}
+
+// NewWalker builds a walker for g under cfg, constructing its own sampler.
+func NewWalker(g *graph.CSR, cfg Config) (*Walker, error) {
+	s, err := BuildSampler(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return NewWalkerWithSampler(g, cfg, s), nil
+}
+
+// NewWalkerWithSampler builds a walker sharing a previously built sampler
+// (alias tables and schema state are read-only and safe to share across
+// walkers).
+func NewWalkerWithSampler(g *graph.CSR, cfg Config, s sampling.Sampler) *Walker {
+	return &Walker{
+		g:       g,
+		sampler: s,
+		cfg:     cfg,
+		src:     rng.NewSource(cfg.Seed),
+		buf:     make([]graph.VertexID, 0, cfg.WalkLength+1),
+	}
+}
+
+// Walk executes one query. The per-query RNG stream is derived from the
+// query ID exactly as Run does, so a Walker's output is byte-identical to
+// Run's for the same seed regardless of execution order. The returned path
+// is reused by the next call.
+func (w *Walker) Walk(q Query) ([]graph.VertexID, int64) {
+	w.src.StreamInto(uint64(q.ID), &w.r)
+	path, steps := walkInto(w.g, w.sampler, w.cfg, q, &w.r, w.buf)
+	w.buf = path
 	return path, steps
 }
 

@@ -2,7 +2,7 @@
 // (GRWs), reproducing "RidgeWalker: Perfectly Pipelined Graph Random Walks
 // on FPGAs" (HPCA 2026).
 //
-// It provides three layers:
+// It provides four layers:
 //
 //   - A graph substrate: CSR graphs, RMAT and dataset-twin generators,
 //     binary serialization, and SNAP edge-list parsing.
@@ -14,6 +14,16 @@
 //     HBM/DDR channel model, the data-aware task router, and the
 //     zero-bubble scheduler, with ablation switches for the paper's
 //     Fig. 11 breakdown.
+//   - A unified execution layer and serving frontend. Every engine — the
+//     CPU engine, the accelerator simulator, and the modeled baseline
+//     systems (LightRW, Su et al., FastRW, gSampler) — sits behind one
+//     Backend interface and is selected by name (Backends, OpenBackend).
+//     Sessions run query batches (Session.Run) or stream each finished
+//     walk through a callback without materializing all paths
+//     (Session.Stream). Service adds request coalescing (max batch size +
+//     linger), cached sessions with a fixed worker pool whose reused path
+//     buffers and RNG streams make the CPU hot path allocation-free, and
+//     per-backend/per-algorithm served-query metrics.
 //
 // Quick start:
 //
@@ -26,12 +36,24 @@
 //	fmt.Printf("%.0f MStep/s (%.0f%% of Eq.(1) peak)\n",
 //		stats.ThroughputMSteps(), 100*stats.Eq1Utilization())
 //	_ = res.Paths
+//
+// Serving:
+//
+//	svc, _ := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Backend: "cpu"})
+//	defer svc.Close()
+//	res, _ := svc.Submit(ctx, cfg, qs)        // batched with concurrent callers
+//	_ = svc.Stream(ctx, cfg, qs, func(w ridgewalker.WalkOutput) error {
+//		return nil // w.Path is valid during the callback only
+//	})
 package ridgewalker
 
 import (
+	"context"
+	"fmt"
 	"io"
 
 	"ridgewalker/internal/core"
+	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
 	"ridgewalker/internal/walk"
@@ -119,15 +141,32 @@ func RandomQueries(g *Graph, cfg WalkConfig, n int, seed uint64) ([]Query, error
 	return walk.RandomQueries(g, cfg, n, seed)
 }
 
-// Walk runs the software reference engine sequentially.
+// Walk runs the software reference engine sequentially. It is a thin
+// wrapper over the "cpu" execution backend with one worker.
 func Walk(g *Graph, queries []Query, cfg WalkConfig) (*Result, error) {
-	return walk.Run(g, queries, cfg)
+	return runCPU(g, queries, cfg, 1)
 }
 
 // WalkParallel runs the software engine across worker goroutines; the
-// result is identical to Walk for the same seed.
+// result is byte-identical to Walk for the same seed.
 func WalkParallel(g *Graph, queries []Query, cfg WalkConfig, workers int) (*Result, error) {
-	return walk.RunParallel(g, queries, cfg, workers)
+	if workers < 1 {
+		return nil, fmt.Errorf("ridgewalker: workers %d, want >= 1", workers)
+	}
+	return runCPU(g, queries, cfg, workers)
+}
+
+func runCPU(g *Graph, queries []Query, cfg WalkConfig, workers int) (*Result, error) {
+	ses, err := exec.Open("cpu", g, exec.Config{Walk: cfg, Workers: workers})
+	if err != nil {
+		return nil, err
+	}
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), Batch{Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Paths: res.Paths, Steps: res.Steps}, nil
 }
 
 // VisitCounts tallies per-vertex visit counts over a result.
@@ -169,19 +208,59 @@ type SimOptions struct {
 type SimStats = core.Stats
 
 // Simulate runs the query batch on the cycle-level RidgeWalker model and
-// returns the walks plus simulated performance statistics.
+// returns the walks plus simulated performance statistics. It is a thin
+// wrapper over the "ridgewalker" execution backend; paths come back in
+// query order.
 func Simulate(g *Graph, queries []Query, opts SimOptions) (*Result, *SimStats, error) {
-	p := opts.Platform
-	if p.Name == "" {
-		p = hbm.U55C
-	}
-	cfg := core.DefaultConfig(p, opts.Walk)
-	cfg.Async = !opts.DisableAsync
-	cfg.DynamicSched = !opts.DisableDynamicSched
-	cfg.RecordPaths = !opts.DiscardPaths
-	a, err := core.New(g, cfg)
+	ses, err := exec.Open("ridgewalker", g, exec.Config{
+		Walk:                opts.Walk,
+		Platform:            opts.Platform,
+		DisableAsync:        opts.DisableAsync,
+		DisableDynamicSched: opts.DisableDynamicSched,
+		DiscardPaths:        opts.DiscardPaths,
+	})
 	if err != nil {
 		return nil, nil, err
 	}
-	return a.Run(queries)
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), Batch{Queries: queries})
+	if err != nil {
+		return nil, nil, err
+	}
+	return &Result{Paths: res.Paths, Steps: res.Steps}, res.Sim, nil
+}
+
+// Execution layer: every engine in the repository behind one interface.
+// See internal/exec for the contract; Service for the serving frontend.
+type (
+	// Backend is a named execution engine ("cpu", "ridgewalker",
+	// "lightrw", "suetal", "fastrw", "gsampler").
+	Backend = exec.Backend
+	// Session is a backend bound to a graph and configuration, reusable
+	// across batches and safe for concurrent use.
+	Session = exec.Session
+	// Batch is one unit of submitted work.
+	Batch = exec.Batch
+	// BatchResult aggregates a Session.Run call; simulator-backed
+	// backends attach cycle-level stats (Sim) and baseline backends
+	// attach modeled performance (Model).
+	BatchResult = exec.BatchResult
+	// WalkOutput is one finished walk delivered through a Stream
+	// callback; its Path is valid only during the callback.
+	WalkOutput = exec.WalkOutput
+	// BackendConfig configures OpenBackend.
+	BackendConfig = exec.Config
+)
+
+// Backends lists the registered execution backend names.
+func Backends() []string { return exec.Names() }
+
+// BackendByName returns a registered execution backend.
+func BackendByName(name string) (Backend, error) { return exec.Lookup(name) }
+
+// OpenBackend binds a named execution backend to a graph, performing all
+// per-workload setup (sampler construction, simulator instantiation,
+// worker allocation) once; the session then runs any number of batches.
+func OpenBackend(name string, g *Graph, cfg BackendConfig) (Session, error) {
+	return exec.Open(name, g, cfg)
 }

@@ -1,0 +1,504 @@
+package ridgewalker
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sort"
+	"sync"
+	"time"
+
+	"ridgewalker/internal/exec"
+	"ridgewalker/internal/walk"
+)
+
+// ServiceConfig configures a Service.
+type ServiceConfig struct {
+	// Backend names the execution engine serving requests (see Backends);
+	// default "cpu".
+	Backend string
+	// Platform selects the accelerator memory system for simulator-backed
+	// backends; ignored by the cpu backend.
+	Platform Platform
+	// Workers sizes the cpu backend's worker pool — each worker owns a
+	// reused path buffer and RNG stream, so the serving hot path allocates
+	// nothing per step. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// MaxBatch is the flush threshold for request coalescing: a pending
+	// group is dispatched as soon as its accumulated queries reach this
+	// size instead of waiting out the linger. It bounds how much
+	// co-batched work a request can pick up, not the size of a backend
+	// dispatch — a single request larger than MaxBatch is dispatched
+	// whole. Default 4096.
+	MaxBatch int
+	// MaxSessions caps the cached backend sessions (one per distinct walk
+	// configuration, each holding samplers and worker buffers). The least
+	// recently used idle session is evicted and closed when the cap is
+	// exceeded. Default 16.
+	MaxSessions int
+	// Linger bounds how long a submitted request may wait for co-batched
+	// work before its group is flushed anyway. Default 500µs.
+	Linger time.Duration
+	// DisableAsync and DisableDynamicSched are the "ridgewalker" backend's
+	// Fig. 11 ablation switches; other backends ignore them.
+	DisableAsync        bool
+	DisableDynamicSched bool
+}
+
+// Counter is a served-work tally (see Service.Metrics).
+type Counter struct {
+	// Requests counts Submit/Stream calls.
+	Requests int64
+	// Queries counts walk queries served.
+	Queries int64
+	// Steps counts GRW hops taken.
+	Steps int64
+	// Batches counts backend dispatches (several requests can share one).
+	Batches int64
+}
+
+func (c *Counter) add(d Counter) {
+	c.Requests += d.Requests
+	c.Queries += d.Queries
+	c.Steps += d.Steps
+	c.Batches += d.Batches
+}
+
+// ServiceMetrics is a point-in-time snapshot of served work, keyed by
+// backend name and by GRW algorithm.
+type ServiceMetrics struct {
+	PerBackend   map[string]Counter
+	PerAlgorithm map[string]Counter
+}
+
+// Service is a long-lived walk-serving frontend over one graph and one
+// execution backend. Concurrent Submit calls with the same walk
+// configuration are coalesced into shared backend batches (bounded by
+// MaxBatch and Linger), sessions are cached per configuration so samplers
+// and worker state are reused across requests, and per-backend /
+// per-algorithm served-query metrics are tracked.
+//
+// Results are deterministic per request: each query's walk depends only on
+// the configured seed, the query ID, and the start vertex — never on how
+// requests were batched together — so a Submit returns byte-identical paths
+// to Walk for the same configuration.
+type Service struct {
+	g   *Graph
+	cfg ServiceConfig
+
+	mu       sync.Mutex
+	sessions map[string]*sessionEntry
+	seq      int64 // LRU clock for session eviction
+	pending  map[string]*batchGroup
+	closed   bool
+	inflight sync.WaitGroup
+
+	metricsMu sync.Mutex
+	metrics   ServiceMetrics
+}
+
+// sessionEntry is a cached backend session with a reference count (in-use
+// entries are never evicted) and an LRU stamp. The session is opened
+// outside the service lock — Open can build O(E) alias tables, and holding
+// s.mu through that would stall every concurrent submission.
+type sessionEntry struct {
+	once    sync.Once
+	ses     exec.Session
+	err     error
+	refs    int
+	lastUse int64
+}
+
+// batchGroup accumulates compatible requests awaiting a flush.
+type batchGroup struct {
+	cfg      WalkConfig
+	requests []*request
+	queries  int
+	timer    *time.Timer
+}
+
+// request is one Submit call's share of a batch group.
+type request struct {
+	queries []Query
+	done    chan reply
+}
+
+type reply struct {
+	res *Result
+	err error
+}
+
+// NewService builds a serving frontend for g. Close releases it.
+func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
+	if cfg.Backend == "" {
+		cfg.Backend = "cpu"
+	}
+	if _, err := exec.Lookup(cfg.Backend); err != nil {
+		return nil, err
+	}
+	if cfg.Workers == 0 {
+		cfg.Workers = runtime.GOMAXPROCS(0)
+	}
+	if cfg.Workers < 1 {
+		return nil, fmt.Errorf("ridgewalker: service workers %d, want >= 1", cfg.Workers)
+	}
+	if cfg.MaxBatch == 0 {
+		cfg.MaxBatch = 4096
+	}
+	if cfg.MaxBatch < 1 {
+		return nil, fmt.Errorf("ridgewalker: service max batch %d, want >= 1", cfg.MaxBatch)
+	}
+	if cfg.Linger == 0 {
+		cfg.Linger = 500 * time.Microsecond
+	}
+	if cfg.MaxSessions == 0 {
+		cfg.MaxSessions = 16
+	}
+	if cfg.MaxSessions < 1 {
+		return nil, fmt.Errorf("ridgewalker: service max sessions %d, want >= 1", cfg.MaxSessions)
+	}
+	return &Service{
+		g:        g,
+		cfg:      cfg,
+		sessions: map[string]*sessionEntry{},
+		pending:  map[string]*batchGroup{},
+		metrics: ServiceMetrics{
+			PerBackend:   map[string]Counter{},
+			PerAlgorithm: map[string]Counter{},
+		},
+	}, nil
+}
+
+// cfgKey canonicalizes a walk configuration for session caching and
+// request coalescing.
+func cfgKey(cfg WalkConfig) string {
+	return fmt.Sprintf("%d|%d|%g|%g|%g|%v|%d",
+		cfg.Algorithm, cfg.WalkLength, cfg.Alpha, cfg.P, cfg.Q, cfg.Schema, cfg.Seed)
+}
+
+// acquireSession returns the cached session for a walk configuration,
+// opening it on first use, and pins it against eviction until
+// releaseSession. Sessions serialize their own batches, so sharing is
+// safe. Deliberately usable while closing: Close drains pending groups
+// through it.
+func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, error) {
+	s.mu.Lock()
+	e := s.sessions[key]
+	if e == nil {
+		e = &sessionEntry{}
+		s.sessions[key] = e
+	}
+	e.refs++ // pin before evicting so the new entry cannot be the victim
+	s.evictLocked()
+	s.mu.Unlock()
+	// First user opens the session; everyone else waits here. The service
+	// lock is not held, so submissions for other configurations proceed.
+	e.once.Do(func() {
+		e.ses, e.err = exec.Open(s.cfg.Backend, s.g, exec.Config{
+			Walk:                cfg,
+			Platform:            s.cfg.Platform,
+			Workers:             s.cfg.Workers,
+			DisableAsync:        s.cfg.DisableAsync,
+			DisableDynamicSched: s.cfg.DisableDynamicSched,
+		})
+	})
+	if e.err != nil {
+		s.mu.Lock()
+		e.refs--
+		if s.sessions[key] == e {
+			delete(s.sessions, key) // failed open: allow a later retry
+		}
+		s.mu.Unlock()
+		return nil, e.err
+	}
+	return e, nil
+}
+
+// releaseSession unpins an acquired session and stamps its recency.
+func (s *Service) releaseSession(e *sessionEntry) {
+	s.mu.Lock()
+	e.refs--
+	s.seq++
+	e.lastUse = s.seq
+	s.mu.Unlock()
+}
+
+// evictLocked enforces MaxSessions by closing the least recently used idle
+// session. In-use sessions are skipped (the cap is soft while everything
+// is busy). Called with s.mu held.
+func (s *Service) evictLocked() {
+	for len(s.sessions) > s.cfg.MaxSessions {
+		var victimKey string
+		var victim *sessionEntry
+		for k, e := range s.sessions {
+			if e.refs > 0 {
+				continue
+			}
+			if victim == nil || e.lastUse < victim.lastUse {
+				victimKey, victim = k, e
+			}
+		}
+		if victim == nil {
+			return
+		}
+		delete(s.sessions, victimKey)
+		// refs==0 and the entry is out of the map, so nobody else can
+		// reach it; Close is safe here (sessions serialize internally and
+		// an idle session closes without blocking).
+		if victim.ses != nil {
+			victim.ses.Close()
+		}
+	}
+}
+
+// record folds served work into the metric maps.
+func (s *Service) record(alg Algorithm, d Counter) {
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	b := s.metrics.PerBackend[s.cfg.Backend]
+	b.add(d)
+	s.metrics.PerBackend[s.cfg.Backend] = b
+	a := s.metrics.PerAlgorithm[alg.String()]
+	a.add(d)
+	s.metrics.PerAlgorithm[alg.String()] = a
+}
+
+// Metrics returns a snapshot of served-work counters.
+func (s *Service) Metrics() ServiceMetrics {
+	s.metricsMu.Lock()
+	defer s.metricsMu.Unlock()
+	out := ServiceMetrics{
+		PerBackend:   make(map[string]Counter, len(s.metrics.PerBackend)),
+		PerAlgorithm: make(map[string]Counter, len(s.metrics.PerAlgorithm)),
+	}
+	for k, v := range s.metrics.PerBackend {
+		out.PerBackend[k] = v
+	}
+	for k, v := range s.metrics.PerAlgorithm {
+		out.PerAlgorithm[k] = v
+	}
+	return out
+}
+
+// Submit executes queries under cfg and returns their paths in input
+// order. Concurrent submissions sharing a walk configuration are coalesced
+// into one backend batch when the backend's determinism permits; the reply
+// always covers exactly the caller's queries.
+func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (*Result, error) {
+	if len(queries) == 0 {
+		return nil, fmt.Errorf("ridgewalker: no queries")
+	}
+	if err := cfg.Validate(s.g); err != nil {
+		return nil, err
+	}
+	key := cfgKey(cfg)
+	req := &request{queries: queries, done: make(chan reply, 1)}
+
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil, fmt.Errorf("ridgewalker: service is closed")
+	}
+	grp := s.pending[key]
+	if grp == nil {
+		grp = &batchGroup{cfg: cfg}
+		s.pending[key] = grp
+		grp.timer = time.AfterFunc(s.cfg.Linger, func() { s.flush(key, grp) })
+	}
+	grp.requests = append(grp.requests, req)
+	grp.queries += len(queries)
+	full := grp.queries >= s.cfg.MaxBatch
+	if full {
+		grp.timer.Stop()
+	}
+	s.mu.Unlock()
+	if full {
+		s.flush(key, grp)
+	}
+
+	select {
+	case r := <-req.done:
+		return r.res, r.err
+	case <-ctx.Done():
+		// The batch keeps running (co-batched requests depend on it); this
+		// caller just stops waiting.
+		return nil, ctx.Err()
+	}
+}
+
+// flush dispatches a pending group. The first of the two triggers (linger
+// timer, size cap) wins; the group is detached under the lock so the other
+// trigger finds it gone.
+func (s *Service) flush(key string, grp *batchGroup) {
+	s.mu.Lock()
+	if s.pending[key] != grp {
+		s.mu.Unlock()
+		return
+	}
+	delete(s.pending, key)
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	go func() {
+		defer s.inflight.Done()
+		s.runGroup(key, grp)
+	}()
+}
+
+// runGroup executes a flushed group on the cached session and distributes
+// per-request results.
+func (s *Service) runGroup(key string, grp *batchGroup) {
+	e, err := s.acquireSession(key, grp.cfg)
+	if err != nil {
+		for _, r := range grp.requests {
+			r.done <- reply{err: err}
+		}
+		return
+	}
+	defer s.releaseSession(e)
+	ses := e.ses
+	// The cpu backend's per-query RNG streams make walks independent of
+	// batch composition, so requests merge into one backend dispatch.
+	// Simulator backends route walks through shared pipelines (and require
+	// unique query IDs), so their requests run back-to-back instead — still
+	// amortizing the session's sampler and configuration.
+	merge := s.cfg.Backend == "cpu"
+	ctx := context.Background()
+	if merge {
+		all := make([]walk.Query, 0, grp.queries)
+		for _, r := range grp.requests {
+			all = append(all, r.queries...)
+		}
+		res, err := ses.Run(ctx, exec.Batch{Queries: all})
+		if err != nil {
+			for _, r := range grp.requests {
+				r.done <- reply{err: err}
+			}
+			return
+		}
+		lo := 0
+		var steps int64
+		for _, r := range grp.requests {
+			hi := lo + len(r.queries)
+			sub := &Result{Paths: res.Paths[lo:hi:hi]}
+			for _, p := range sub.Paths {
+				sub.Steps += int64(len(p) - 1)
+			}
+			steps += sub.Steps
+			r.done <- reply{res: sub}
+			lo = hi
+		}
+		s.record(grp.cfg.Algorithm, Counter{
+			Requests: int64(len(grp.requests)),
+			Queries:  int64(grp.queries),
+			Steps:    steps,
+			Batches:  1,
+		})
+		return
+	}
+	for _, r := range grp.requests {
+		res, err := ses.Run(ctx, exec.Batch{Queries: r.queries})
+		if err != nil {
+			r.done <- reply{err: err}
+			continue
+		}
+		r.done <- reply{res: &Result{Paths: res.Paths, Steps: res.Steps}}
+		s.record(grp.cfg.Algorithm, Counter{
+			Requests: 1,
+			Queries:  int64(len(r.queries)),
+			Steps:    res.Steps,
+			Batches:  1,
+		})
+	}
+}
+
+// Stream executes queries under cfg, delivering each finished walk to fn
+// as it completes instead of materializing all paths — the request's
+// memory footprint stays O(queries), not O(steps). The path passed to fn
+// is only valid during the callback. Streaming requests bypass batching
+// (delivery is per-caller) but share the cached session.
+func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, fn func(WalkOutput) error) error {
+	if len(queries) == 0 {
+		return fmt.Errorf("ridgewalker: no queries")
+	}
+	if err := cfg.Validate(s.g); err != nil {
+		return err
+	}
+	key := cfgKey(cfg)
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return fmt.Errorf("ridgewalker: service is closed")
+	}
+	s.inflight.Add(1)
+	s.mu.Unlock()
+	defer s.inflight.Done()
+	e, err := s.acquireSession(key, cfg)
+	if err != nil {
+		return err
+	}
+	defer s.releaseSession(e)
+	var steps int64
+	err = e.ses.Stream(ctx, exec.Batch{Queries: queries}, func(w WalkOutput) error {
+		steps += w.Steps
+		return fn(w)
+	})
+	if err != nil {
+		return err
+	}
+	s.record(cfg.Algorithm, Counter{
+		Requests: 1,
+		Queries:  int64(len(queries)),
+		Steps:    steps,
+		Batches:  1,
+	})
+	return nil
+}
+
+// Close flushes pending groups, waits for in-flight work, and releases the
+// cached sessions. Submissions after Close fail.
+func (s *Service) Close() error {
+	s.mu.Lock()
+	if s.closed {
+		s.mu.Unlock()
+		return nil
+	}
+	s.closed = true
+	groups := make(map[string]*batchGroup, len(s.pending))
+	for k, g := range s.pending {
+		g.timer.Stop()
+		groups[k] = g
+	}
+	s.mu.Unlock()
+	for k, g := range groups {
+		// flush re-checks membership; pending was not cleared, so detach
+		// manually then run inline.
+		s.mu.Lock()
+		if s.pending[k] == g {
+			delete(s.pending, k)
+			s.mu.Unlock()
+			s.runGroup(k, g)
+		} else {
+			s.mu.Unlock()
+		}
+	}
+	s.inflight.Wait()
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var firstErr error
+	keys := make([]string, 0, len(s.sessions))
+	for k := range s.sessions {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		e := s.sessions[k]
+		if e.ses == nil {
+			continue
+		}
+		if err := e.ses.Close(); err != nil && firstErr == nil {
+			firstErr = err
+		}
+	}
+	s.sessions = map[string]*sessionEntry{}
+	return firstErr
+}
