@@ -7,6 +7,7 @@ package ridgewalker_test
 
 import (
 	"context"
+	"fmt"
 	"io"
 	"runtime"
 	"sync"
@@ -131,6 +132,77 @@ func BenchmarkServiceThroughput(b *testing.B) {
 		wg.Wait()
 	}
 	b.ReportMetric(float64(steps.Load())/b.Elapsed().Seconds(), "steps/s")
+}
+
+// shardedBenchGraph lazily builds (and caches for the whole bench run) the
+// RMAT-22 dataset the sharded-throughput acceptance sweep is defined on:
+// 2^22 vertices × edge factor 16, Graph500 skew — ~0.5 GB of CSR, large
+// enough that partition locality is measurable. -short swaps in RMAT-18 so
+// the sweep stays laptop-friendly.
+var shardedBenchGraph = struct {
+	sync.Once
+	g   *ridgewalker.Graph
+	err error
+}{}
+
+func shardedGraph(b *testing.B) *ridgewalker.Graph {
+	b.Helper()
+	shardedBenchGraph.Do(func() {
+		scale := 22
+		if testing.Short() {
+			scale = 18
+		}
+		shardedBenchGraph.g, shardedBenchGraph.err =
+			ridgewalker.GenerateRMAT(ridgewalker.Graph500(scale, 16, 1))
+	})
+	if shardedBenchGraph.err != nil {
+		b.Fatal(shardedBenchGraph.err)
+	}
+	return shardedBenchGraph.g
+}
+
+// BenchmarkShardedThroughput sweeps the cpu-sharded backend over shard
+// counts against the flat cpu baseline on the RMAT-22 dataset, reporting
+// walks/s and steps/s. How much sharding wins is hardware-dependent: the
+// gain comes from concentrating row-pointer/neighbor-list traffic into
+// per-shard working sets, so machines whose last-level cache already holds
+// the whole CSR see only a modest edge, while multi-core machines with
+// ordinary cache sizes see the full partition-locality benefit.
+func BenchmarkShardedThroughput(b *testing.B) {
+	g := shardedGraph(b)
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 80
+	qs, err := ridgewalker.RandomQueries(g, cfg, 20000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, backend string, shards int) {
+		ses, err := ridgewalker.OpenBackend(backend, g, ridgewalker.BackendConfig{
+			Walk: cfg, Shards: shards, DiscardPaths: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ses.Close()
+		var steps, walks int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ses.Run(context.Background(), ridgewalker.Batch{Queries: qs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+			walks += int64(len(qs))
+		}
+		b.ReportMetric(float64(walks)/b.Elapsed().Seconds(), "walks/s")
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("cpu", func(b *testing.B) { run(b, "cpu", 0) })
+	for _, shards := range []int{1, 2, 4, 8} {
+		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
+			run(b, "cpu-sharded", shards)
+		})
+	}
 }
 
 // BenchmarkWalkAllocsPerStep pins the zero-allocation claim of the serving

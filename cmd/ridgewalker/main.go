@@ -10,6 +10,7 @@
 //	ridgewalker -graph rmat:14,8,graph500 -alg ppr -platform U250
 //	ridgewalker -graph /path/to/graph.rwg -alg node2vec -backend cpu
 //	ridgewalker -graph WG -alg urw -backend lightrw
+//	ridgewalker -graph WG -alg urw -backend cpu-sharded -shards 8
 //	ridgewalker -graph WG -alg ppr -backend cpu -serve -requests 32
 //	ridgewalker -list-backends
 //
@@ -57,6 +58,7 @@ func run() error {
 	noAsync := flag.Bool("no-async", false, "disable the asynchronous access engine (ablation)")
 	noSched := flag.Bool("no-sched", false, "disable the zero-bubble scheduler (ablation)")
 	workers := flag.Int("workers", 0, "cpu backend worker-pool size (0 = GOMAXPROCS)")
+	shards := flag.Int("shards", 0, "cpu-sharded backend partition count (0 = backend default)")
 	serve := flag.Bool("serve", false, "run the workload through the batched serving frontend")
 	requests := flag.Int("requests", 16, "serve mode: concurrent requests the workload is split into")
 	maxBatch := flag.Int("max-batch", 4096, "serve mode: max queries coalesced per backend dispatch")
@@ -121,6 +123,7 @@ func run() error {
 			Backend:             backend,
 			Platform:            plat,
 			Workers:             *workers,
+			Shards:              *shards,
 			MaxBatch:            *maxBatch,
 			Linger:              *linger,
 			DisableAsync:        *noAsync,
@@ -132,6 +135,7 @@ func run() error {
 		Walk:                cfg,
 		Platform:            plat,
 		Workers:             *workers,
+		Shards:              *shards,
 		DisableAsync:        *noAsync,
 		DisableDynamicSched: *noSched,
 	})

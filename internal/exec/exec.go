@@ -13,8 +13,8 @@
 //     and returns the accumulated BatchResult; Stream executes the batch
 //     and delivers each finished walk through a callback instead, so
 //     arbitrarily large workloads run without materializing all paths.
-//   - The registry maps backend names ("cpu", "ridgewalker", "lightrw",
-//     "suetal", "fastrw", "gsampler") to Backend values; higher layers —
+//   - The registry maps backend names ("cpu", "cpu-sharded", "ridgewalker",
+//     "lightrw", "suetal", "fastrw", "gsampler") to Backend values; higher layers —
 //     the public ridgewalker.Service, the cmd/ridgewalker CLI, and the
 //     internal/bench figure drivers — select engines by name only.
 //
@@ -45,10 +45,17 @@ type Config struct {
 	// carry their own platform in their model configs).
 	Platform hbm.Platform
 
-	// Workers sets the CPU backend's worker-pool size. 0 means
+	// Workers sets the CPU backends' worker-pool size. 0 means
 	// runtime.GOMAXPROCS(0). Each worker owns a reused path buffer and RNG
 	// stream, so the hot path allocates nothing per step.
 	Workers int
+
+	// Shards sets the cpu-sharded backend's partition count: the graph is
+	// split into this many edge-balanced shards, each owning a worker pool,
+	// with walkers migrating between shards on boundary crossings. 0 means
+	// a backend-chosen default (GOMAXPROCS capped at 8); other backends
+	// ignore it.
+	Shards int
 
 	// DiscardPaths drops per-query paths from Run results (throughput
 	// studies on large workloads). Stream never accumulates paths.

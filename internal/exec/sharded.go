@@ -1,0 +1,139 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/shard"
+	"ridgewalker/internal/walk"
+)
+
+func init() {
+	Register(shardedBackend{})
+}
+
+// shardedBackend is the partitioned software engine: the graph is split
+// into edge-balanced shards (internal/shard), each shard owns a worker
+// pool, and walkers migrate between shards through batched mailbox
+// hand-offs when a hop crosses a partition boundary. Per-walker RNG
+// streams keep its output byte-identical to the "cpu" backend for the
+// same seed at any shard count.
+type shardedBackend struct{}
+
+func (shardedBackend) Name() string { return "cpu-sharded" }
+
+func (shardedBackend) Description() string {
+	return "partitioned software engine: per-shard worker pools, batched walker migration"
+}
+
+// defaultShards picks a shard count when the config leaves it zero: one
+// shard per core up to 8 (beyond that, cut-edge traffic outgrows the
+// locality win on the graphs this repository generates), clamped to the
+// vertex count so tiny graphs still open.
+func defaultShards(g *graph.CSR) int {
+	k := runtime.GOMAXPROCS(0)
+	if k > 8 {
+		k = 8
+	}
+	if k > g.NumVertices {
+		k = g.NumVertices
+	}
+	if k < 1 {
+		k = 1
+	}
+	return k
+}
+
+func (shardedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("exec: cpu-sharded workers %d, want >= 0", cfg.Workers)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("exec: cpu-sharded shards %d, want >= 0", cfg.Shards)
+	}
+	k := cfg.Shards
+	if k == 0 {
+		k = defaultShards(g)
+	}
+	part, err := shard.Partition(g, k)
+	if err != nil {
+		return nil, err
+	}
+	eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{Workers: cfg.Workers})
+	if err != nil {
+		return nil, err
+	}
+	return &shardedSession{eng: eng, discard: cfg.DiscardPaths}, nil
+}
+
+// shardedSession adapts a shard.Engine to the Session interface. The
+// engine keeps no cross-run state, so unlike cpuSession no run-serializing
+// mutex is needed; mu only guards Close against in-flight calls observing
+// a nil engine.
+type shardedSession struct {
+	mu      sync.RWMutex
+	eng     *shard.Engine
+	discard bool
+}
+
+func (s *shardedSession) engine() (*shard.Engine, error) {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.eng == nil {
+		return nil, fmt.Errorf("exec: session is closed")
+	}
+	return s.eng, nil
+}
+
+func (s *shardedSession) Run(ctx context.Context, batch Batch) (*BatchResult, error) {
+	eng, err := s.engine()
+	if err != nil {
+		return nil, err
+	}
+	res := &BatchResult{}
+	if !s.discard {
+		res.Paths = make([][]graph.VertexID, len(batch.Queries))
+	}
+	var steps atomic.Int64
+	// Emits arrive concurrently from shard workers; each batch index is
+	// finished exactly once, so the per-slot writes need no lock.
+	_, err = eng.Run(ctx, batch.Queries, func(i int, _ walk.Query, path []graph.VertexID, st int64) error {
+		if !s.discard {
+			cp := make([]graph.VertexID, len(path))
+			copy(cp, path)
+			res.Paths[i] = cp
+		}
+		steps.Add(st)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps.Load()
+	return res, nil
+}
+
+func (s *shardedSession) Stream(ctx context.Context, batch Batch, fn func(WalkOutput) error) error {
+	eng, err := s.engine()
+	if err != nil {
+		return err
+	}
+	var outMu sync.Mutex // fn contract: never called concurrently
+	_, err = eng.Run(ctx, batch.Queries, func(_ int, q walk.Query, path []graph.VertexID, st int64) error {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return fn(WalkOutput{Query: q.ID, Path: path, Steps: st})
+	})
+	return err
+}
+
+func (s *shardedSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.eng = nil
+	return nil
+}

@@ -1,0 +1,223 @@
+package graph
+
+// Fuzz battery for the two untrusted-input surfaces: SNAP edge-list
+// parsing and the binary graph format. Both targets assert the same
+// contract — any byte stream either fails with an error or produces a CSR
+// that passes Validate and survives a binary round-trip bit-exactly; no
+// input may panic or corrupt silently.
+//
+// Bug found by FuzzReadBinary and fixed in io.go: a tiny input whose
+// header claimed 2^31 vertices allocated the full 16 GB row-pointer array
+// before the first read could fail. ReadBinary now reads arrays in chunks
+// so allocation tracks actual stream content.
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"runtime"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// csrEqual compares two graphs structurally (nil and empty slices are
+// interchangeable — serialization does not distinguish them).
+func csrEqual(a, b *CSR) error {
+	if a.NumVertices != b.NumVertices || a.Directed != b.Directed {
+		return fmt.Errorf("header: (%d,%v) vs (%d,%v)", a.NumVertices, a.Directed, b.NumVertices, b.Directed)
+	}
+	if len(a.RowPtr) != len(b.RowPtr) {
+		return fmt.Errorf("rowptr length %d vs %d", len(a.RowPtr), len(b.RowPtr))
+	}
+	for i := range a.RowPtr {
+		if a.RowPtr[i] != b.RowPtr[i] {
+			return fmt.Errorf("rowptr[%d]: %d vs %d", i, a.RowPtr[i], b.RowPtr[i])
+		}
+	}
+	if len(a.Col) != len(b.Col) {
+		return fmt.Errorf("col length %d vs %d", len(a.Col), len(b.Col))
+	}
+	for i := range a.Col {
+		if a.Col[i] != b.Col[i] {
+			return fmt.Errorf("col[%d]: %d vs %d", i, a.Col[i], b.Col[i])
+		}
+	}
+	if (a.Weights == nil) != (b.Weights == nil) || len(a.Weights) != len(b.Weights) {
+		return fmt.Errorf("weights presence/length mismatch")
+	}
+	for i := range a.Weights {
+		if a.Weights[i] != b.Weights[i] {
+			return fmt.Errorf("weights[%d]: %v vs %v", i, a.Weights[i], b.Weights[i])
+		}
+	}
+	if (a.Labels == nil) != (b.Labels == nil) || len(a.Labels) != len(b.Labels) {
+		return fmt.Errorf("labels presence/length mismatch")
+	}
+	for i := range a.Labels {
+		if a.Labels[i] != b.Labels[i] {
+			return fmt.Errorf("labels[%d]: %d vs %d", i, a.Labels[i], b.Labels[i])
+		}
+	}
+	return nil
+}
+
+// roundTrip serializes g and reads it back, asserting bit-exact recovery.
+func roundTrip(t *testing.T, g *CSR) {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatalf("WriteBinary on valid graph: %v", err)
+	}
+	got, err := ReadBinary(&buf)
+	if err != nil {
+		t.Fatalf("ReadBinary on just-written graph: %v", err)
+	}
+	if err := csrEqual(g, got); err != nil {
+		t.Fatalf("binary round-trip corrupted the graph: %v", err)
+	}
+}
+
+// maxEdgeListID scans data with the parser's own tokenization and returns
+// the largest integer that could become a vertex id (-1 if none).
+func maxEdgeListID(data []byte) int64 {
+	maxID := int64(-1)
+	for _, line := range strings.Split(string(data), "\n") {
+		line = strings.TrimSpace(line)
+		if line == "" || strings.HasPrefix(line, "#") {
+			continue
+		}
+		for _, f := range strings.Fields(line) {
+			if v, err := strconv.ParseInt(f, 10, 64); err == nil && v > maxID {
+				maxID = v
+			}
+		}
+	}
+	return maxID
+}
+
+func FuzzParseEdgeList(f *testing.F) {
+	f.Add([]byte("0 1\n1 2\n2 0\n"), false)
+	f.Add([]byte("# comment\n\n3 4\n4 3\n"), true)
+	f.Add([]byte("0 0\n"), true)       // self-loop
+	f.Add([]byte("5 5\n5 5\n"), false) // duplicate self-loops
+	f.Add([]byte("0 1 extra ignored\n"), true)
+	f.Add([]byte("0\n"), true)            // too few fields
+	f.Add([]byte("a b\n"), false)         // non-numeric
+	f.Add([]byte("-1 2\n"), true)         // negative id
+	f.Add([]byte("0 4294967296\n"), true) // id beyond uint32
+	f.Add([]byte("10 7\n#x\n  8   9  \n"), false)
+	f.Fuzz(func(t *testing.T, data []byte, directed bool) {
+		// The parser's contract allows any id < 2^31, so a 12-byte line can
+		// legally demand a gigabyte CSR. That is a caller-budget concern,
+		// not a parser bug — bound the ids here so the harness exercises
+		// parsing, not allocation.
+		if maxEdgeListID(data) > 1<<20 {
+			t.Skip("vertex id beyond fuzz memory budget")
+		}
+		g, err := ParseEdgeList(bytes.NewReader(data), directed)
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("parser returned invalid graph: %v", err)
+		}
+		if g.Directed != directed {
+			t.Fatalf("directedness not preserved")
+		}
+		// Parsing is deterministic.
+		again, err := ParseEdgeList(bytes.NewReader(data), directed)
+		if err != nil {
+			t.Fatalf("reparse of accepted input failed: %v", err)
+		}
+		if err := csrEqual(g, again); err != nil {
+			t.Fatalf("reparse differs: %v", err)
+		}
+		// Every accepted graph survives the binary format.
+		roundTrip(t, g)
+	})
+}
+
+// fuzzSeedBinary returns serialized graphs for the binary-format corpus.
+func fuzzSeedBinary(f *testing.F, build func() *CSR) {
+	f.Helper()
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, build()); err != nil {
+		f.Fatal(err)
+	}
+	f.Add(buf.Bytes())
+	if buf.Len() > 8 {
+		f.Add(buf.Bytes()[:buf.Len()/2]) // truncation
+	}
+	corrupt := bytes.Clone(buf.Bytes())
+	corrupt[0] ^= 0xff // magic damage
+	f.Add(corrupt)
+}
+
+// lyingHeader serializes a binary-format header claiming the given sizes
+// with no array data behind it.
+func lyingHeader(n, m uint64) []byte {
+	var buf bytes.Buffer
+	for _, h := range []uint64{binMagic, binVersion, 0, n, m} {
+		if err := binary.Write(&buf, binary.LittleEndian, h); err != nil {
+			panic(err)
+		}
+	}
+	return buf.Bytes()
+}
+
+// TestReadBinaryLyingHeader is the regression for the fuzz-found
+// allocation bomb: a 40-byte input whose header claims the maximum sizes
+// (2^31 vertices, 2^33 edges) must fail on the first short chunk read —
+// peak allocation stays near readChunkEntries entries instead of the
+// claimed 16 GB row-pointer array.
+func TestReadBinaryLyingHeader(t *testing.T) {
+	for _, hdr := range [][]byte{
+		lyingHeader(1<<31, 1<<33),
+		lyingHeader(1<<31, 0),
+		lyingHeader(0, 1<<33),
+	} {
+		var before, after runtime.MemStats
+		runtime.GC()
+		runtime.ReadMemStats(&before)
+		if _, err := ReadBinary(bytes.NewReader(hdr)); err == nil {
+			t.Fatal("lying header accepted")
+		}
+		runtime.ReadMemStats(&after)
+		// The claimed row-pointer array alone would be 16 GB; chunked
+		// reading must keep the failed attempt under a few chunk sizes.
+		if grew := int64(after.TotalAlloc - before.TotalAlloc); grew > 64<<20 {
+			t.Fatalf("failed read allocated %d bytes", grew)
+		}
+	}
+}
+
+func FuzzBinaryRoundTrip(f *testing.F) {
+	f.Add(lyingHeader(1<<31, 1<<33))
+	fuzzSeedBinary(f, func() *CSR { return SmallTestGraph() })
+	fuzzSeedBinary(f, func() *CSR {
+		g := SmallTestGraph()
+		g.AttachWeights()
+		g.AttachLabels(4)
+		return g
+	})
+	fuzzSeedBinary(f, func() *CSR {
+		g, err := Build(1, nil, true) // single vertex, no edges
+		if err != nil {
+			f.Fatal(err)
+		}
+		return g
+	})
+	f.Add([]byte{})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		g, err := ReadBinary(bytes.NewReader(data))
+		if err != nil {
+			return // rejected input: fine, as long as it did not panic
+		}
+		if err := g.Validate(); err != nil {
+			t.Fatalf("ReadBinary returned invalid graph: %v", err)
+		}
+		// Anything the reader accepts must re-serialize bit-stably.
+		roundTrip(t, g)
+	})
+}

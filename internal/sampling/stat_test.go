@@ -1,0 +1,161 @@
+package sampling
+
+// Statistical correctness battery: chi-square goodness-of-fit for the
+// samplers whose distributions have closed forms — the alias sampler
+// against exact edge-weight proportions and the node2vec rejection (and
+// reservoir) samplers against the exact second-order bias distribution.
+//
+// Methodology: fixed RNG seeds make every run identical, so these are
+// deterministic regressions, not flaky stochastic tests; the significance
+// level only calibrates how far a buggy sampler must drift to fail. Draw
+// counts (≥200k) and p=0.001 critical values (chi2Critical999, indexed by
+// degrees of freedom = outcomes-1) follow the existing alias-table test.
+
+import (
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// biasTestGraph builds the fixed second-order scenario used throughout:
+// the walk arrived 1→0 and now samples a neighbor of 0.
+//
+//	cur = 0 with neighbors 1..6
+//	prev = 1 with out-edges to 0, 2, 3
+//
+// node2vec biases at (prev=1, cur=0): neighbor 1 is the return vertex
+// (1/p), neighbors 2 and 3 are prev-adjacent (1), neighbors 4, 5, 6 are
+// explore vertices (1/q).
+func biasTestGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	edges := []graph.Edge{
+		{Src: 0, Dst: 1}, {Src: 0, Dst: 2}, {Src: 0, Dst: 3},
+		{Src: 0, Dst: 4}, {Src: 0, Dst: 5}, {Src: 0, Dst: 6},
+		{Src: 1, Dst: 0}, {Src: 1, Dst: 2}, {Src: 1, Dst: 3},
+	}
+	g, err := graph.Build(7, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestAliasSamplerMatchesEdgeWeights draws from the per-vertex alias
+// tables of a weighted graph and checks each neighbor is selected
+// proportionally to its exact edge weight.
+func TestAliasSamplerMatchesEdgeWeights(t *testing.T) {
+	g := biasTestGraph(t)
+	g.AttachWeights() // weight(u→v) = 1 + v%5: unequal across 0's neighbors
+	s, err := NewAliasSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, cur := range []graph.VertexID{0, 1} {
+		ws := g.NeighborWeights(cur)
+		probs := make([]float64, len(ws))
+		var z float64
+		for i, w := range ws {
+			probs[i] = float64(w)
+			z += probs[i]
+		}
+		for i := range probs {
+			probs[i] /= z
+		}
+		const draws = 300000
+		r := rng.New(41)
+		counts := make([]int, len(ws))
+		ctx := Context{Cur: cur}
+		for i := 0; i < draws; i++ {
+			res := s.Sample(g, ctx, r)
+			if res.Index < 0 || res.Index >= len(ws) {
+				t.Fatalf("cur=%d: index %d out of range", cur, res.Index)
+			}
+			counts[res.Index]++
+		}
+		df := len(ws) - 1
+		if c := chi2(counts, probs, draws); c > chi2Critical999[df] {
+			t.Fatalf("cur=%d: alias sampler off the edge-weight distribution: chi2=%.2f > %.2f (df=%d) counts=%v",
+				cur, c, chi2Critical999[df], df, counts)
+		}
+	}
+}
+
+// TestRejectionSamplerMatchesNode2VecBias draws from the unweighted
+// rejection sampler at a fixed (prev, cur) and checks the empirical
+// distribution against the exact normalized bias. The MaxTrips=64 cutoff
+// biases the true distribution by at most (1-1/maxBias)^64 (< 1e-8 for
+// every p, q here) — far below the test's resolution.
+func TestRejectionSamplerMatchesNode2VecBias(t *testing.T) {
+	g := biasTestGraph(t)
+	for _, pq := range []struct{ p, q float64 }{
+		{2, 0.5},   // paper defaults: explore-leaning
+		{0.5, 2},   // return-leaning
+		{1, 1},     // degenerates to uniform
+		{4, 0.25},  // strongly skewed envelope
+		{0.25, 10}, // strong return bias, heavy rejection
+	} {
+		s, err := NewRejection(pq.p, pq.q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := Context{Cur: 0, Prev: 1, HasPrev: true, Step: 1}
+		probs := exactNode2VecProbs(g, ctx.Prev, ctx.Cur, pq.p, pq.q)
+		const draws = 300000
+		r := rng.New(43)
+		counts := make([]int, len(probs))
+		probes := 0
+		for i := 0; i < draws; i++ {
+			res := s.Sample(g, ctx, r)
+			counts[res.Index]++
+			probes += res.Probes
+		}
+		df := len(probs) - 1
+		if c := chi2(counts, probs, draws); c > chi2Critical999[df] {
+			t.Fatalf("p=%v q=%v: rejection sampler off the bias distribution: chi2=%.2f > %.2f (df=%d) counts=%v",
+				pq.p, pq.q, c, chi2Critical999[df], df, counts)
+		}
+		if probes < draws {
+			t.Fatalf("p=%v q=%v: %d probes for %d draws", pq.p, pq.q, probes, draws)
+		}
+	}
+}
+
+// TestReservoirSamplerMatchesWeightedBias checks the weighted-node2vec
+// reservoir against the exact weight×bias distribution — the A-Chao
+// reservoir must be exactly proportional, not merely approximate.
+func TestReservoirSamplerMatchesWeightedBias(t *testing.T) {
+	g := biasTestGraph(t)
+	g.AttachWeights()
+	s, err := NewReservoir(2, 0.5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := Context{Cur: 0, Prev: 1, HasPrev: true, Step: 1}
+	ns := g.Neighbors(0)
+	ws := g.NeighborWeights(0)
+	probs := make([]float64, len(ns))
+	var z float64
+	for i, v := range ns {
+		probs[i] = float64(ws[i]) * node2vecBias(g, 1, v, 2, 0.5)
+		z += probs[i]
+	}
+	for i := range probs {
+		probs[i] /= z
+	}
+	const draws = 300000
+	r := rng.New(53)
+	counts := make([]int, len(ns))
+	for i := 0; i < draws; i++ {
+		res := s.Sample(g, ctx, r)
+		counts[res.Index]++
+		if res.Probes != len(ns) {
+			t.Fatalf("reservoir scan took %d probes, want %d", res.Probes, len(ns))
+		}
+	}
+	df := len(ns) - 1
+	if c := chi2(counts, probs, draws); c > chi2Critical999[df] {
+		t.Fatalf("reservoir off the weight×bias distribution: chi2=%.2f > %.2f counts=%v",
+			c, chi2Critical999[df], counts)
+	}
+}

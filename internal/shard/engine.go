@@ -1,0 +1,383 @@
+package shard
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+	"ridgewalker/internal/sampling"
+	"ridgewalker/internal/walk"
+)
+
+// EngineConfig sizes a sharded execution engine.
+type EngineConfig struct {
+	// Workers is the total worker budget across all shards; each shard's
+	// pool gets max(1, Workers/K) goroutines, so the actual total is at
+	// least K. 0 means runtime.GOMAXPROCS(0).
+	Workers int
+	// MigrateBatch is the walker hand-off batch size: a worker accumulates
+	// walkers bound for the same destination shard and delivers them as one
+	// mailbox message, so migration costs one channel send per batch
+	// instead of per step. 0 means 64.
+	MigrateBatch int
+	// MaxInflight caps the walkers concurrently in flight across all
+	// shards. It bounds the per-run state pool (each walker owns a path
+	// buffer and RNG stream) and sizes every mailbox so hand-off sends can
+	// never block — the structural property that makes the migration mesh
+	// deadlock-free. 0 means 4096.
+	MaxInflight int
+}
+
+func (c EngineConfig) withDefaults() EngineConfig {
+	if c.Workers == 0 {
+		c.Workers = runtime.GOMAXPROCS(0)
+	}
+	if c.MigrateBatch == 0 {
+		c.MigrateBatch = 64
+	}
+	if c.MaxInflight == 0 {
+		c.MaxInflight = 4096
+	}
+	return c
+}
+
+// RunStats reports one Run's migration traffic.
+type RunStats struct {
+	// Migrations counts cross-shard walker hand-offs (one walker crossing
+	// one partition boundary).
+	Migrations int64
+	// HandoffBatches counts mailbox messages delivered; Migrations divided
+	// by HandoffBatches is the realized migration batching factor.
+	HandoffBatches int64
+}
+
+// EmitFunc receives one finished walk: the query's position in the input
+// batch, the query itself, the visited path (including the start vertex),
+// and the hop count. The path aliases a recycled walker buffer and is
+// valid only during the call. Emits may arrive concurrently from
+// different shard workers; callers needing serialized delivery must lock.
+type EmitFunc func(index int, q walk.Query, path []graph.VertexID, steps int64) error
+
+// Engine executes walk batches over a partitioned graph. Each shard owns
+// a worker pool that advances only walkers currently standing on its
+// vertices; when a hop crosses a partition boundary the walker — its
+// resumable walk.State, path buffer, and RNG stream — is staged and
+// handed to the owning shard's mailbox in batches.
+//
+// Sampling always reads the global CSR, not the per-shard views:
+// second-order samplers touch rows outside the current shard (Node2Vec's
+// HasEdge check against the previous vertex, MetaPath's labels of
+// cross-shard neighbors), so shard-local row storage cannot serve them.
+// The engine's locality comes from grouping walkers by owning shard —
+// each worker's accesses concentrate in its partition's slice of the
+// global arrays; the Shard CSR views serve partition statistics and
+// tooling.
+//
+// Results are byte-identical to the unsharded engines for the same seed:
+// a walker's RNG stream is keyed by its query ID exactly as walk.Run's,
+// and its state travels with it, so the trajectory never depends on shard
+// count, worker interleaving, or migration order.
+//
+// An Engine holds only immutable workload state (graph, partitioning,
+// sampler); Run calls are independent and safe to issue concurrently.
+type Engine struct {
+	g       *graph.CSR
+	part    *Partitioning
+	wcfg    walk.Config
+	sampler sampling.Sampler
+	src     *rng.Source
+	cfg     EngineConfig
+}
+
+// NewEngine binds a partitioned graph and a walk configuration,
+// constructing the sampler once.
+func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig) (*Engine, error) {
+	if p == nil || len(p.Shards) == 0 {
+		return nil, fmt.Errorf("shard: engine needs a non-empty partitioning")
+	}
+	sampler, err := walk.BuildSampler(g, wcfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Engine{
+		g:       g,
+		part:    p,
+		wcfg:    wcfg,
+		sampler: sampler,
+		src:     rng.NewSource(wcfg.Seed),
+		cfg:     cfg.withDefaults(),
+	}, nil
+}
+
+// Partitioning returns the engine's graph partitioning.
+func (e *Engine) Partitioning() *Partitioning { return e.part }
+
+// WorkersPerShard returns the per-shard pool size.
+func (e *Engine) WorkersPerShard() int {
+	w := e.cfg.Workers / e.part.K
+	if w < 1 {
+		w = 1
+	}
+	return w
+}
+
+// walker is one in-flight walk: resumable state, a reused path buffer
+// (inside st), the query-keyed RNG stream, and the batch slot to report
+// into. Walkers are recycled through the run's free list.
+type walker struct {
+	q   walk.Query
+	idx int
+	st  walk.State
+	r   rng.Stream
+}
+
+// run is the per-Run execution state.
+type run struct {
+	eng *Engine
+	fn  EmitFunc
+
+	// mail[s] delivers walker batches to shard s. Capacity MaxInflight
+	// batches: every in-flight walker sits in at most one batch, so sends
+	// can never block and the migration mesh cannot deadlock.
+	mail []chan []*walker
+	// free recycles walker state; it bounds walkers in flight.
+	free chan *walker
+
+	remaining atomic.Int64
+	doneCh    chan struct{} // closed when remaining hits 0
+	abortCh   chan struct{} // closed on first error / cancellation
+	abortOnce sync.Once
+	err       error
+
+	migrations atomic.Int64
+	handoffs   atomic.Int64
+	wg         sync.WaitGroup
+}
+
+func (r *run) fail(err error) {
+	r.abortOnce.Do(func() {
+		r.err = err
+		close(r.abortCh)
+	})
+}
+
+// aborted reports whether the run has failed (cheap enough for per-walker
+// polling).
+func (r *run) aborted() bool {
+	select {
+	case <-r.abortCh:
+		return true
+	default:
+		return false
+	}
+}
+
+// send delivers a staged batch to a shard mailbox. Capacity sizing makes
+// this non-blocking; the default case documents (and surfaces) a sizing
+// bug instead of deadlocking.
+func (r *run) send(dst int, batch []*walker) {
+	r.handoffs.Add(1)
+	select {
+	case r.mail[dst] <- batch:
+	default:
+		r.fail(fmt.Errorf("shard: mailbox %d overflow (%d walkers): inflight sizing bug", dst, len(batch)))
+	}
+}
+
+// stageWalker queues w for shard dst, flushing the destination's staging
+// buffer when it reaches the migration batch size.
+func (r *run) stageWalker(stage [][]*walker, dst int, w *walker) {
+	s := stage[dst]
+	if s == nil {
+		s = make([]*walker, 0, r.eng.cfg.MigrateBatch)
+	}
+	s = append(s, w)
+	if len(s) >= r.eng.cfg.MigrateBatch {
+		r.send(dst, s)
+		s = nil
+	}
+	stage[dst] = s
+}
+
+// flushStages delivers every partial staging batch. Workers call it after
+// each inbound batch and the injector before blocking, so no walker ever
+// waits in a staging buffer while its holder sleeps.
+func (r *run) flushStages(stage [][]*walker) {
+	for dst, s := range stage {
+		if len(s) > 0 {
+			r.send(dst, s)
+			stage[dst] = nil
+		}
+	}
+}
+
+// finish emits a completed walk and recycles its walker.
+func (r *run) finish(w *walker) {
+	if err := r.fn(w.idx, w.q, w.st.Path, int64(w.st.Step)); err != nil {
+		r.fail(err)
+	}
+	r.free <- w // capacity equals the pool size; never blocks
+	if r.remaining.Add(-1) == 0 {
+		close(r.doneCh)
+	}
+}
+
+// absorb drains every already-queued mailbox message into the worker's
+// local walker set without blocking. Under high cut rates, processing one
+// message at a time would split hand-off batches geometrically (toward
+// per-step sends); absorbing arrivals re-aggregates them into full
+// passes.
+func (r *run) absorb(shardID int, local []*walker) []*walker {
+	for {
+		select {
+		case b := <-r.mail[shardID]:
+			local = append(local, b...)
+		default:
+			return local
+		}
+	}
+}
+
+// advanceWalker walks w while it stays on this shard's vertices — or on
+// cache-resident hub rows, which cost the same from any shard — then
+// either finishes it or stages it for the shard that owns its new
+// position. Depth-first advancement (walk until you leave) beats
+// hop-per-pass interleaving here: a walker's state and path buffer stay
+// hot in L1/L2 across consecutive hops, which measures faster than the
+// row-access locality a sorted per-hop pass buys back.
+func (r *run) advanceWalker(shardID int, w *walker, stage [][]*walker) {
+	e := r.eng
+	for {
+		if !walk.Advance(e.g, e.sampler, e.wcfg, &w.st, &w.r) {
+			r.finish(w)
+			return
+		}
+		// The O(1) resident-hub bitset goes first: hub hops are the common
+		// case on power-law graphs, and short-circuiting here skips the
+		// Owner binary search entirely on the per-hop hot path.
+		cur := w.st.Cur
+		if e.part.Resident(cur) {
+			continue
+		}
+		dst := e.part.Owner(cur)
+		if dst == shardID {
+			continue
+		}
+		r.migrations.Add(1)
+		r.stageWalker(stage, dst, w)
+		return
+	}
+}
+
+// worker is one goroutine of shard shardID's pool: absorb every queued
+// arrival, advance each walker as far as the shard allows, flush the
+// staged hand-offs, block for more.
+func (r *run) worker(shardID int) {
+	defer r.wg.Done()
+	stage := make([][]*walker, r.eng.part.K)
+	var local []*walker
+	for {
+		select {
+		case b := <-r.mail[shardID]:
+			local = append(local[:0], b...)
+		case <-r.doneCh:
+			return
+		case <-r.abortCh:
+			return
+		}
+		local = r.absorb(shardID, local)
+		for _, w := range local {
+			if r.aborted() {
+				return
+			}
+			r.advanceWalker(shardID, w, stage)
+		}
+		r.flushStages(stage)
+	}
+}
+
+// Run executes the query batch, delivering each finished walk through fn
+// (possibly concurrently — see EmitFunc). It returns the run's migration
+// statistics and the first error (a failed emit or context cancellation).
+func (e *Engine) Run(ctx context.Context, queries []walk.Query, fn EmitFunc) (RunStats, error) {
+	if len(queries) == 0 {
+		return RunStats{}, nil
+	}
+	if err := ctx.Err(); err != nil {
+		return RunStats{}, err
+	}
+	poolSize := e.cfg.MaxInflight
+	if poolSize > len(queries) {
+		poolSize = len(queries)
+	}
+	r := &run{
+		eng:     e,
+		fn:      fn,
+		mail:    make([]chan []*walker, e.part.K),
+		free:    make(chan *walker, poolSize),
+		doneCh:  make(chan struct{}),
+		abortCh: make(chan struct{}),
+	}
+	r.remaining.Store(int64(len(queries)))
+	for s := range r.mail {
+		r.mail[s] = make(chan []*walker, poolSize)
+	}
+	pool := make([]walker, poolSize)
+	for i := range pool {
+		pool[i].st.Path = make([]graph.VertexID, 0, e.wcfg.WalkLength+1)
+		r.free <- &pool[i]
+	}
+	perShard := e.WorkersPerShard()
+	for s := 0; s < e.part.K; s++ {
+		for i := 0; i < perShard; i++ {
+			r.wg.Add(1)
+			go r.worker(s)
+		}
+	}
+
+	// Inject queries, recycling walker state as walks finish. Partial
+	// staging batches are flushed before blocking on the free list: a
+	// staged walker is in flight but undelivered, and sleeping on it would
+	// starve the pool.
+	stage := make([][]*walker, e.part.K)
+inject:
+	for i := range queries {
+		var w *walker
+		select {
+		case w = <-r.free:
+		default:
+			r.flushStages(stage)
+			select {
+			case w = <-r.free:
+			case <-r.abortCh:
+				break inject
+			case <-ctx.Done():
+				r.fail(ctx.Err())
+				break inject
+			}
+		}
+		q := queries[i]
+		w.q, w.idx = q, i
+		e.src.StreamInto(uint64(q.ID), &w.r)
+		w.st.Start(q)
+		r.stageWalker(stage, e.part.Owner(q.Start), w)
+	}
+	r.flushStages(stage)
+
+	select {
+	case <-r.doneCh:
+	case <-r.abortCh:
+	case <-ctx.Done():
+		r.fail(ctx.Err())
+	}
+	r.wg.Wait()
+	stats := RunStats{
+		Migrations:     r.migrations.Load(),
+		HandoffBatches: r.handoffs.Load(),
+	}
+	return stats, r.err
+}

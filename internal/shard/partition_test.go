@@ -1,0 +1,195 @@
+package shard
+
+import (
+	"testing"
+
+	"ridgewalker/internal/graph"
+)
+
+func partitionTestGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	g, err := graph.GenerateRMAT(graph.Graph500(10, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+func TestPartitionCoversGraph(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, k := range []int{1, 2, 3, 4, 7, 16} {
+		p, err := Partition(g, k)
+		if err != nil {
+			t.Fatalf("k=%d: %v", k, err)
+		}
+		if p.K != k || len(p.Shards) != k {
+			t.Fatalf("k=%d: got %d shards", k, len(p.Shards))
+		}
+		var vertices int
+		var edges int64
+		prev := graph.VertexID(0)
+		for i, s := range p.Shards {
+			if s.ID != i {
+				t.Fatalf("k=%d: shard %d has ID %d", k, i, s.ID)
+			}
+			if s.Lo != prev {
+				t.Fatalf("k=%d: shard %d starts at %d, want %d (contiguous cover)", k, i, s.Lo, prev)
+			}
+			if s.Hi <= s.Lo {
+				t.Fatalf("k=%d: shard %d empty range [%d,%d)", k, i, s.Lo, s.Hi)
+			}
+			prev = s.Hi
+			vertices += s.NumVertices()
+			edges += s.NumEdges()
+			if s.Internal+s.External != s.NumEdges() {
+				t.Fatalf("k=%d: shard %d internal %d + external %d != edges %d",
+					k, i, s.Internal, s.External, s.NumEdges())
+			}
+			var degSum int64
+			for lv := 0; lv < s.NumVertices(); lv++ {
+				degSum += int64(s.Degree(graph.VertexID(lv)))
+			}
+			if degSum != s.NumEdges() {
+				t.Fatalf("k=%d: shard %d degrees sum to %d, want %d edges", k, i, degSum, s.NumEdges())
+			}
+		}
+		if prev != graph.VertexID(g.NumVertices) {
+			t.Fatalf("k=%d: shards end at %d, want %d", k, prev, g.NumVertices)
+		}
+		if vertices != g.NumVertices || edges != g.NumEdges() {
+			t.Fatalf("k=%d: shards cover %d vertices / %d edges, want %d / %d",
+				k, vertices, edges, g.NumVertices, g.NumEdges())
+		}
+	}
+}
+
+// TestPartitionShardViewMatchesGraph asserts every shard's local CSR view
+// reproduces the global graph's rows exactly — degrees, neighbor lists,
+// and weights.
+func TestPartitionShardViewMatchesGraph(t *testing.T) {
+	g := partitionTestGraph(t)
+	g.AttachWeights()
+	p, err := Partition(g, 5)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, s := range p.Shards {
+		for v := s.Lo; v < s.Hi; v++ {
+			lv, ok := s.Local(v)
+			if !ok {
+				t.Fatalf("shard %d does not own %d despite range", s.ID, v)
+			}
+			if s.Global(lv) != v {
+				t.Fatalf("shard %d: Global(Local(%d)) = %d", s.ID, v, s.Global(lv))
+			}
+			if s.Degree(lv) != g.Degree(v) {
+				t.Fatalf("shard %d: degree(%d) = %d, want %d", s.ID, v, s.Degree(lv), g.Degree(v))
+			}
+			ns, gns := s.Neighbors(lv), g.Neighbors(v)
+			for i := range gns {
+				if ns[i] != gns[i] {
+					t.Fatalf("shard %d: neighbors(%d) diverge at %d", s.ID, v, i)
+				}
+			}
+			ws, gws := s.NeighborWeights(lv), g.NeighborWeights(v)
+			for i := range gws {
+				if ws[i] != gws[i] {
+					t.Fatalf("shard %d: weights(%d) diverge at %d", s.ID, v, i)
+				}
+			}
+		}
+	}
+}
+
+// TestPartitionOwnerAndCut brute-forces ownership and the edge cut.
+func TestPartitionOwnerAndCut(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, k := range []int{1, 2, 4, 7} {
+		p, err := Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices; v++ {
+			o := p.Owner(graph.VertexID(v))
+			if o < 0 || o >= k || !p.Shards[o].Owns(graph.VertexID(v)) {
+				t.Fatalf("k=%d: Owner(%d) = %d does not own the vertex", k, v, o)
+			}
+		}
+		var cut int64
+		for v := 0; v < g.NumVertices; v++ {
+			o := p.Owner(graph.VertexID(v))
+			for _, dst := range g.Neighbors(graph.VertexID(v)) {
+				if p.Owner(dst) != o {
+					cut++
+				}
+			}
+		}
+		if cut != p.CutEdges {
+			t.Fatalf("k=%d: CutEdges %d, brute force %d", k, p.CutEdges, cut)
+		}
+		if k == 1 {
+			if p.CutEdges != 0 || p.CutFraction() != 0 {
+				t.Fatalf("k=1 must have an empty cut, got %d", p.CutEdges)
+			}
+		} else if p.CutFraction() <= 0 || p.CutFraction() >= 1 {
+			t.Fatalf("k=%d: implausible cut fraction %v", k, p.CutFraction())
+		}
+	}
+}
+
+// TestPartitionEdgeBalance checks the greedy sweep lands within a loose
+// balance envelope: no shard may exceed twice its fair edge share plus the
+// largest single row (a hub vertex is indivisible).
+func TestPartitionEdgeBalance(t *testing.T) {
+	g := partitionTestGraph(t)
+	for _, k := range []int{2, 4, 8} {
+		p, err := Partition(g, k)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fair := g.NumEdges() / int64(k)
+		limit := 2*fair + int64(g.MaxDegree())
+		for _, s := range p.Shards {
+			if s.NumEdges() > limit {
+				t.Fatalf("k=%d: shard %d has %d edges, limit %d (fair %d)",
+					k, s.ID, s.NumEdges(), limit, fair)
+			}
+		}
+	}
+}
+
+func TestPartitionRejectsBadCounts(t *testing.T) {
+	g := partitionTestGraph(t)
+	if _, err := Partition(g, 0); err == nil {
+		t.Fatal("k=0 accepted")
+	}
+	if _, err := Partition(g, -3); err == nil {
+		t.Fatal("negative k accepted")
+	}
+	if _, err := Partition(g, g.NumVertices+1); err == nil {
+		t.Fatal("k > vertices accepted")
+	}
+	if _, err := Partition(g, g.NumVertices); err != nil {
+		t.Fatalf("k == vertices rejected: %v", err)
+	}
+}
+
+// TestPartitionEmptyGraph pins parity with the rest of the repository:
+// the 0-vertex graph (Validate and ReadBinary both accept it) partitions
+// into a single empty shard.
+func TestPartitionEmptyGraph(t *testing.T) {
+	g, err := graph.Build(0, nil, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := Partition(g, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.K != 1 || p.Shards[0].NumVertices() != 0 || p.Shards[0].NumEdges() != 0 {
+		t.Fatalf("empty graph partition: %+v", p.Shards[0])
+	}
+	if _, err := Partition(g, 2); err == nil {
+		t.Fatal("k=2 on empty graph accepted")
+	}
+}

@@ -246,6 +246,65 @@ func RunParallel(g *graph.CSR, queries []Query, cfg Config, workers int) (*Resul
 	return res, nil
 }
 
+// State is the resumable per-walk state: everything a single query's walk
+// needs besides the graph, sampler, configuration, and RNG stream. Engines
+// that interleave or migrate in-flight walks (the sharded engine) carry a
+// State per walker and advance it hop by hop with Advance; the batch
+// engines here drive the same primitive in a tight loop, so every engine
+// takes byte-identical trajectories for the same RNG stream.
+type State struct {
+	// Cur is the vertex the walk currently stands on (Path's last entry).
+	Cur graph.VertexID
+	// Prev is the previously visited vertex; meaningful only when HasPrev
+	// (second-order samplers condition on it).
+	Prev    graph.VertexID
+	HasPrev bool
+	// Step is the number of hops taken so far (the next hop's index) —
+	// also the walk's step tally for batch aggregation.
+	Step int
+	// Path is the visited-vertex sequence including the start vertex. Start
+	// reuses its backing array, so a State recycled across queries with
+	// capacity WalkLength+1 walks allocation-free.
+	Path []graph.VertexID
+}
+
+// Start resets the state to the beginning of q's walk, reusing Path's
+// backing array.
+func (st *State) Start(q Query) {
+	st.Cur = q.Start
+	st.Prev = 0
+	st.HasPrev = false
+	st.Step = 0
+	st.Path = append(st.Path[:0], q.Start)
+}
+
+// Advance takes one hop of the walk, drawing from r exactly as the batch
+// engines do. It returns false when the walk has terminated — walk length
+// reached, zero out-degree (Fig. 1b), no selectable neighbor (MetaPath
+// schema miss), or PPR teleport — after which the state must not be
+// advanced again.
+func Advance(g *graph.CSR, s sampling.Sampler, cfg Config, st *State, r *rng.Stream) bool {
+	if st.Step >= cfg.WalkLength {
+		return false
+	}
+	if g.Degree(st.Cur) == 0 {
+		return false // zero outgoing edges: immediate termination (Fig. 1b)
+	}
+	res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Step: st.Step}, r)
+	if res.Index < 0 {
+		return false // no selectable neighbor (MetaPath schema miss)
+	}
+	next := g.Neighbors(st.Cur)[res.Index]
+	st.Prev, st.HasPrev = st.Cur, true
+	st.Cur = next
+	st.Path = append(st.Path, next)
+	st.Step++
+	if cfg.Algorithm == PPR && r.Float64() < cfg.Alpha {
+		return false // teleport: the walk restarts, ending this query
+	}
+	return st.Step < cfg.WalkLength
+}
+
 // walkOne runs a single query, returning the visited path (including the
 // start vertex) and the number of hops taken.
 func walkOne(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Stream) ([]graph.VertexID, int64) {
@@ -256,30 +315,11 @@ func walkOne(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Strea
 // start vertex) to path[:0] and returning it with the number of hops taken.
 // Passing a buffer with capacity WalkLength+1 makes the walk allocation-free.
 func walkInto(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Stream, path []graph.VertexID) ([]graph.VertexID, int64) {
-	path = path[:0]
-	cur := q.Start
-	path = append(path, cur)
-	var prev graph.VertexID
-	hasPrev := false
-	var steps int64
-	for step := 0; step < cfg.WalkLength; step++ {
-		if g.Degree(cur) == 0 {
-			break // zero outgoing edges: immediate termination (Fig. 1b)
-		}
-		res := s.Sample(g, sampling.Context{Cur: cur, Prev: prev, HasPrev: hasPrev, Step: step}, r)
-		if res.Index < 0 {
-			break // no selectable neighbor (MetaPath schema miss)
-		}
-		next := g.Neighbors(cur)[res.Index]
-		prev, hasPrev = cur, true
-		cur = next
-		path = append(path, cur)
-		steps++
-		if cfg.Algorithm == PPR && r.Float64() < cfg.Alpha {
-			break // teleport: the walk restarts, ending this query
-		}
+	st := State{Path: path}
+	st.Start(q)
+	for Advance(g, s, cfg, &st, r) {
 	}
-	return path, steps
+	return st.Path, int64(st.Step)
 }
 
 // Walker is a reusable single-walk executor: it owns a path buffer and an

@@ -8,7 +8,10 @@
 //     binary serialization, and SNAP edge-list parsing.
 //   - A software GRW engine (Walk, WalkParallel) implementing URW, PPR,
 //     DeepWalk, Node2Vec and MetaPath with the paper's sampling algorithms
-//     (uniform, alias, rejection, reservoir — Table I).
+//     (uniform, alias, rejection, reservoir — Table I), plus a sharded
+//     variant (WalkSharded, backend "cpu-sharded") that partitions the
+//     graph into edge-balanced shards with per-shard worker pools and
+//     batched walker migration across partition boundaries.
 //   - A cycle-level simulation of the RidgeWalker accelerator (Simulate):
 //     asynchronous Row-Access/Sampling/Column-Access pipelines over an
 //     HBM/DDR channel model, the data-aware task router, and the
@@ -156,6 +159,26 @@ func WalkParallel(g *Graph, queries []Query, cfg WalkConfig, workers int) (*Resu
 	return runCPU(g, queries, cfg, workers)
 }
 
+// WalkSharded runs the partitioned software engine: the graph is split
+// into shards edge-balanced partitions, each owning a worker pool, and
+// walkers migrate between shards through batched mailbox hand-offs when a
+// hop crosses a partition boundary. The result is byte-identical to Walk
+// for the same seed at any shard count. It is a thin wrapper over the
+// "cpu-sharded" execution backend; shards may be 0 for the backend's
+// default.
+func WalkSharded(g *Graph, queries []Query, cfg WalkConfig, shards int) (*Result, error) {
+	ses, err := exec.Open("cpu-sharded", g, exec.Config{Walk: cfg, Shards: shards})
+	if err != nil {
+		return nil, err
+	}
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), Batch{Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Paths: res.Paths, Steps: res.Steps}, nil
+}
+
 func runCPU(g *Graph, queries []Query, cfg WalkConfig, workers int) (*Result, error) {
 	ses, err := exec.Open("cpu", g, exec.Config{Walk: cfg, Workers: workers})
 	if err != nil {
@@ -233,8 +256,8 @@ func Simulate(g *Graph, queries []Query, opts SimOptions) (*Result, *SimStats, e
 // Execution layer: every engine in the repository behind one interface.
 // See internal/exec for the contract; Service for the serving frontend.
 type (
-	// Backend is a named execution engine ("cpu", "ridgewalker",
-	// "lightrw", "suetal", "fastrw", "gsampler").
+	// Backend is a named execution engine ("cpu", "cpu-sharded",
+	// "ridgewalker", "lightrw", "suetal", "fastrw", "gsampler").
 	Backend = exec.Backend
 	// Session is a backend bound to a graph and configuration, reusable
 	// across batches and safe for concurrent use.

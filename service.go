@@ -20,10 +20,14 @@ type ServiceConfig struct {
 	// Platform selects the accelerator memory system for simulator-backed
 	// backends; ignored by the cpu backend.
 	Platform Platform
-	// Workers sizes the cpu backend's worker pool — each worker owns a
+	// Workers sizes the cpu backends' worker pools — each worker owns a
 	// reused path buffer and RNG stream, so the serving hot path allocates
 	// nothing per step. 0 means runtime.GOMAXPROCS(0).
 	Workers int
+	// Shards sets the cpu-sharded backend's graph partition count (each
+	// shard owns a worker pool; walkers migrate on boundary crossings).
+	// 0 means a backend-chosen default; other backends ignore it.
+	Shards int
 	// MaxBatch is the flush threshold for request coalescing: a pending
 	// group is dispatched as soon as its accumulated queries reach this
 	// size instead of waiting out the linger. It bounds how much
@@ -198,6 +202,7 @@ func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, err
 			Walk:                cfg,
 			Platform:            s.cfg.Platform,
 			Workers:             s.cfg.Workers,
+			Shards:              s.cfg.Shards,
 			DisableAsync:        s.cfg.DisableAsync,
 			DisableDynamicSched: s.cfg.DisableDynamicSched,
 		})
@@ -356,12 +361,12 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 	}
 	defer s.releaseSession(e)
 	ses := e.ses
-	// The cpu backend's per-query RNG streams make walks independent of
+	// The cpu backends' per-query RNG streams make walks independent of
 	// batch composition, so requests merge into one backend dispatch.
 	// Simulator backends route walks through shared pipelines (and require
 	// unique query IDs), so their requests run back-to-back instead — still
 	// amortizing the session's sampler and configuration.
-	merge := s.cfg.Backend == "cpu"
+	merge := s.cfg.Backend == "cpu" || s.cfg.Backend == "cpu-sharded"
 	ctx := context.Background()
 	if merge {
 		all := make([]walk.Query, 0, grp.queries)
