@@ -205,6 +205,86 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	}
 }
 
+// BenchmarkPipelinedThroughput is the acceptance sweep for the
+// step-interleaved engine: DeepWalk (alias-sampled, weighted) on the
+// RMAT-22 dataset (RMAT-18 under -short), flat cpu vs cpu-pipelined
+// across cohort sizes, reporting walks/s and steps/s. The pipelined win
+// comes from overlapping CSR row fetches across a cohort's walkers, so it
+// grows with the gap between the graph's working set and the cache
+// hierarchy; `benchfig -json BENCH.json` records the same cpu-pipelined/cpu
+// ratio machine-readably.
+func BenchmarkPipelinedThroughput(b *testing.B) {
+	g := bench.Weighted(shardedGraph(b))
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.DeepWalk)
+	cfg.WalkLength = 80
+	qs, err := ridgewalker.RandomQueries(g, cfg, 20000, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	run := func(b *testing.B, backend string, cohort int) {
+		ses, err := ridgewalker.OpenBackend(backend, g, ridgewalker.BackendConfig{
+			Walk: cfg, Cohort: cohort, DiscardPaths: true,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		defer ses.Close()
+		var steps, walks int64
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			res, err := ses.Run(context.Background(), ridgewalker.Batch{Queries: qs})
+			if err != nil {
+				b.Fatal(err)
+			}
+			steps += res.Steps
+			walks += int64(len(qs))
+		}
+		b.ReportMetric(float64(walks)/b.Elapsed().Seconds(), "walks/s")
+		b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	}
+	b.Run("cpu", func(b *testing.B) { run(b, "cpu", 0) })
+	for _, cohort := range []int{16, 64, 256} {
+		b.Run(fmt.Sprintf("pipelined-%d", cohort), func(b *testing.B) {
+			run(b, "cpu-pipelined", cohort)
+		})
+	}
+}
+
+// BenchmarkPipelinedAllocsPerStep pins the zero-allocation claim for the
+// pipelined stepper itself (run with -benchmem): one op is one full batch
+// through a reused walk.Pipeline with a non-copying emit, so allocs/op is
+// allocations per batch — it must be 0, and per-step allocations are
+// bounded above by it.
+func BenchmarkPipelinedAllocsPerStep(b *testing.B) {
+	g, err := ridgewalker.GenerateRMAT(ridgewalker.Balanced(14, 16, 1))
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 80
+	qs, err := ridgewalker.RandomQueries(g, cfg, 4096, 3)
+	if err != nil {
+		b.Fatal(err)
+	}
+	p, err := walk.NewPipeline(g, cfg, 64)
+	if err != nil {
+		b.Fatal(err)
+	}
+	emit := func(int, ridgewalker.Query, []ridgewalker.VertexID, int64) error { return nil }
+	var steps int64
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		st, err := p.Run(qs, emit)
+		if err != nil {
+			b.Fatal(err)
+		}
+		steps += st
+	}
+	b.ReportMetric(float64(steps)/b.Elapsed().Seconds(), "steps/s")
+	b.ReportMetric(float64(steps)/float64(b.N), "steps/op")
+}
+
 // BenchmarkWalkAllocsPerStep pins the zero-allocation claim of the serving
 // hot path (run with -benchmem): one op is one full walk on a reused
 // Walker, so allocs/op is allocations per walk — it must be 0, and per-step

@@ -2,10 +2,17 @@
 //
 // Usage:
 //
-//	benchfig [-shrink N] [-queries N] [-len N] [-seed N] all | <id>...
+//	benchfig [-shrink N] [-queries N] [-len N] [-seed N] [-json FILE] all | <id>...
 //
 // Experiment ids: fig3a fig8a fig8b fig8c fig8d fig9a fig9b fig9c fig9d
-// fig10 fig11 tab3 tab4 obs2 micro. See DESIGN.md §4 for the index.
+// fig10 fig11 tab3 tab4 obs2 micro shard perf. See DESIGN.md §4 for the
+// index.
+//
+// -json runs the software-engine perf suite (the "perf" experiment) and
+// additionally writes the machine-readable report to FILE (BENCH.json):
+// backend, algorithm, graph, steps/sec, and allocs per walk, plus
+// pipelined-vs-cpu throughput ratios — the perf trajectory CI records per
+// commit. With -json, listing experiment ids is optional.
 package main
 
 import (
@@ -22,9 +29,10 @@ func main() {
 	queries := flag.Int("queries", 2500, "queries per experiment run")
 	length := flag.Int("len", 80, "maximum walk length")
 	seed := flag.Uint64("seed", 42, "random seed")
+	jsonPath := flag.String("json", "", "run the perf suite and write BENCH.json-style output to this file")
 	flag.Parse()
 	args := flag.Args()
-	if len(args) == 0 {
+	if len(args) == 0 && *jsonPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] all | <experiment-id>...")
 		for _, e := range bench.All() {
 			fmt.Fprintf(os.Stderr, "  %-7s %s\n", e.ID, e.Title)
@@ -44,9 +52,39 @@ func main() {
 			exps = append(exps, e)
 		}
 	}
+	if *jsonPath != "" {
+		// -json runs the perf suite itself (below); drop the registered
+		// "perf" experiment so it is not run a second time, however it was
+		// selected (explicit id or "all").
+		kept := exps[:0]
+		for _, e := range exps {
+			if e.ID != "perf" {
+				kept = append(kept, e)
+			}
+		}
+		exps = kept
+	}
 	c := bench.NewContext(bench.Options{
 		Shrink: *shrink, Queries: *queries, WalkLength: *length, Seed: *seed,
 	})
+	if *jsonPath != "" {
+		start := time.Now()
+		rep, err := bench.RunPerf(c)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePerfTable(rep, os.Stdout); err != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			os.Exit(1)
+		}
+		if err := bench.WritePerfJSON(rep, *jsonPath); err != nil {
+			fmt.Fprintf(os.Stderr, "perf: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("[perf completed in %v; wrote %s]\n",
+			time.Since(start).Round(time.Millisecond), *jsonPath)
+	}
 	for _, e := range exps {
 		start := time.Now()
 		if err := e.Run(c, os.Stdout); err != nil {

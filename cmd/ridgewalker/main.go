@@ -11,7 +11,9 @@
 //	ridgewalker -graph /path/to/graph.rwg -alg node2vec -backend cpu
 //	ridgewalker -graph WG -alg urw -backend lightrw
 //	ridgewalker -graph WG -alg urw -backend cpu-sharded -shards 8
+//	ridgewalker -graph WG -alg urw -backend cpu-pipelined -cohort 128
 //	ridgewalker -graph WG -alg ppr -backend cpu -serve -requests 32
+//	ridgewalker -graph WG -alg urw -backend cpu-pipelined -cpuprofile cpu.pprof
 //	ridgewalker -list-backends
 //
 // The -graph argument accepts a dataset twin name (WG, CP, AS, LJ, AB, UK),
@@ -25,6 +27,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"runtime/pprof"
 	"strconv"
 	"strings"
 	"sync"
@@ -58,12 +61,41 @@ func run() error {
 	noAsync := flag.Bool("no-async", false, "disable the asynchronous access engine (ablation)")
 	noSched := flag.Bool("no-sched", false, "disable the zero-bubble scheduler (ablation)")
 	workers := flag.Int("workers", 0, "cpu backend worker-pool size (0 = GOMAXPROCS)")
-	shards := flag.Int("shards", 0, "cpu-sharded backend partition count (0 = backend default)")
+	shards := flag.Int("shards", 0, "cpu-sharded/cpu-pipelined partition count (0 = backend default)")
+	cohort := flag.Int("cohort", 0, "cpu-pipelined in-flight walkers per worker (0 = backend default)")
+	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	serve := flag.Bool("serve", false, "run the workload through the batched serving frontend")
 	requests := flag.Int("requests", 16, "serve mode: concurrent requests the workload is split into")
 	maxBatch := flag.Int("max-batch", 4096, "serve mode: max queries coalesced per backend dispatch")
 	linger := flag.Duration("linger", 500*time.Microsecond, "serve mode: max wait for co-batched work")
 	flag.Parse()
+
+	if *cpuProfile != "" {
+		f, err := os.Create(*cpuProfile)
+		if err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			return fmt.Errorf("cpuprofile: %w", err)
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memProfile != "" {
+		defer func() {
+			f, err := os.Create(*memProfile)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "ridgewalker: memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile shows retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, "ridgewalker: memprofile:", err)
+			}
+		}()
+	}
 
 	if *listBackends {
 		for _, name := range ridgewalker.Backends() {
@@ -71,7 +103,7 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-12s %s\n", name, b.Description())
+			fmt.Printf("%-13s %s\n", name, b.Description())
 		}
 		return nil
 	}
@@ -124,6 +156,7 @@ func run() error {
 			Platform:            plat,
 			Workers:             *workers,
 			Shards:              *shards,
+			Cohort:              *cohort,
 			MaxBatch:            *maxBatch,
 			Linger:              *linger,
 			DisableAsync:        *noAsync,
@@ -136,6 +169,7 @@ func run() error {
 		Platform:            plat,
 		Workers:             *workers,
 		Shards:              *shards,
+		Cohort:              *cohort,
 		DisableAsync:        *noAsync,
 		DisableDynamicSched: *noSched,
 	})

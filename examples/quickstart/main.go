@@ -32,8 +32,10 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Run on the simulated accelerator (16 asynchronous pipelines over the
-	// U55C HBM2 model).
+	// Run on the simulated accelerator: 16 asynchronous pipelines over the
+	// U55C HBM2 model. (The simulator is not the only pipelined engine —
+	// the "cpu-pipelined" backend runs the same Gather/Sample/Move
+	// pipelining in software over cohorts of walkers; see below.)
 	res, stats, err := ridgewalker.Simulate(g, queries, ridgewalker.SimOptions{
 		Platform: ridgewalker.U55C,
 		Walk:     cfg,
@@ -56,6 +58,15 @@ func main() {
 		log.Fatal(err)
 	}
 	fmt.Printf("software engine took %d steps across the same %d queries\n", sw.Steps, len(queries))
+
+	// The step-interleaved software engine — cohorts of walkers advanced
+	// together through batched Gather/Sample/Move stages, so CSR row
+	// fetches overlap sampling — takes byte-identical walks.
+	pl, err := ridgewalker.WalkPipelined(g, queries, cfg, 64)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("pipelined engine took %d steps (byte-identical walks)\n", pl.Steps)
 
 	// Serving mode: a Service coalesces concurrent requests into shared
 	// backend batches. Every engine is available by name ("cpu" here;

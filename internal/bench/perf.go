@@ -1,0 +1,204 @@
+package bench
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"sort"
+	"time"
+
+	"ridgewalker/internal/exec"
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/walk"
+)
+
+func init() {
+	register(Experiment{ID: "perf", Title: "Software-engine perf suite (machine-readable; see -json)",
+		Run: func(c *Context, w io.Writer) error {
+			rep, err := RunPerf(c)
+			if err != nil {
+				return err
+			}
+			return WritePerfTable(rep, w)
+		}})
+}
+
+// PerfRecord is one measured engine configuration in the BENCH.json
+// report. Steps/sec is wall-clock software throughput (the paper's
+// MStep/s numerator over elapsed time); AllocsPerWalk is the measured
+// heap-allocation count per served walk on the hot path (paths discarded),
+// which must stay ~0 for the allocation-free engines.
+type PerfRecord struct {
+	Backend       string  `json:"backend"`
+	Algorithm     string  `json:"algorithm"`
+	Graph         string  `json:"graph"`
+	Vertices      int     `json:"vertices"`
+	Edges         int64   `json:"edges"`
+	Shards        int     `json:"shards,omitempty"`
+	Cohort        int     `json:"cohort,omitempty"`
+	Queries       int     `json:"queries"`
+	Steps         int64   `json:"steps"`
+	WallSeconds   float64 `json:"wall_seconds"`
+	StepsPerSec   float64 `json:"steps_per_sec"`
+	AllocsPerWalk float64 `json:"allocs_per_walk"`
+}
+
+// PerfReport is the BENCH.json schema: the perf trajectory record CI
+// uploads per commit, and the input to cross-commit throughput tracking.
+type PerfReport struct {
+	Schema     int    `json:"schema"`
+	Graph      string `json:"graph"`
+	Vertices   int    `json:"vertices"`
+	Edges      int64  `json:"edges"`
+	Queries    int    `json:"queries"`
+	WalkLength int    `json:"walk_length"`
+	Seed       uint64 `json:"seed"`
+	GoMaxProcs int    `json:"gomaxprocs"`
+	// Records holds one entry per backend × algorithm configuration.
+	Records []PerfRecord `json:"records"`
+	// Ratios normalizes key backends to the flat cpu baseline per
+	// algorithm (steps/sec over steps/sec), e.g.
+	// "cpu-pipelined/cpu URW": 1.31.
+	Ratios map[string]float64 `json:"ratios"`
+}
+
+// perfConfigs lists the software-engine configurations the suite sweeps.
+var perfConfigs = []struct {
+	backend string
+	shards  int
+	cohort  int
+}{
+	{backend: "cpu"},
+	{backend: "cpu-sharded"},
+	{backend: "cpu-pipelined", cohort: exec.DefaultCohort},
+	{backend: "cpu-pipelined", cohort: exec.DefaultCohort, shards: 4},
+}
+
+// RunPerf measures the software engines on an RMAT graph scaled by
+// Options.Shrink (scale 22 at shrink 0 — the acceptance sweep's graph —
+// down to a CI-friendly size at larger shrinks) and returns the report.
+func RunPerf(c *Context) (*PerfReport, error) {
+	scale := 22 - c.Opts.Shrink
+	if scale < 10 {
+		scale = 10
+	}
+	g, err := graph.GenerateRMAT(graph.Graph500(scale, 16, c.Opts.Seed))
+	if err != nil {
+		return nil, err
+	}
+	name := fmt.Sprintf("rmat-%d-graph500", scale)
+	rep := &PerfReport{
+		Schema:     1,
+		Graph:      name,
+		Vertices:   g.NumVertices,
+		Edges:      g.NumEdges(),
+		WalkLength: c.Opts.WalkLength,
+		Seed:       c.Opts.Seed,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Ratios:     map[string]float64{},
+	}
+	base := map[string]float64{} // algorithm → flat cpu steps/sec
+	for _, alg := range []walk.Algorithm{walk.URW, walk.DeepWalk} {
+		gw := g
+		if alg == walk.DeepWalk {
+			gw = Weighted(g)
+		}
+		wcfg := walk.DefaultConfig(alg)
+		wcfg.WalkLength = c.Opts.WalkLength
+		wcfg.Seed = c.Opts.Seed
+		qs, err := walk.RandomQueries(gw, wcfg, c.Opts.Queries, c.Opts.Seed^0xabcd)
+		if err != nil {
+			return nil, err
+		}
+		rep.Queries = len(qs)
+		for _, pc := range perfConfigs {
+			rec, err := measure(pc.backend, gw, wcfg, qs, pc.shards, pc.cohort)
+			if err != nil {
+				return nil, err
+			}
+			rec.Graph, rec.Vertices, rec.Edges = name, g.NumVertices, g.NumEdges()
+			rep.Records = append(rep.Records, rec)
+			if pc.backend == "cpu" {
+				base[rec.Algorithm] = rec.StepsPerSec
+			} else if b := base[rec.Algorithm]; b > 0 && pc.shards == 0 {
+				rep.Ratios[fmt.Sprintf("%s/cpu %s", pc.backend, rec.Algorithm)] =
+					rec.StepsPerSec / b
+			}
+		}
+	}
+	return rep, nil
+}
+
+// measure runs one backend configuration once (after a small warm-up
+// batch that also triggers lazy setup) and records wall-clock throughput
+// and per-walk allocations.
+func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, shards, cohort int) (PerfRecord, error) {
+	ses, err := exec.Open(backend, g, exec.Config{
+		Walk: wcfg, Shards: shards, Cohort: cohort, DiscardPaths: true,
+	})
+	if err != nil {
+		return PerfRecord{}, err
+	}
+	defer ses.Close()
+	warm := len(qs) / 10
+	if warm < 1 {
+		warm = 1
+	}
+	if _, err := ses.Run(context.Background(), exec.Batch{Queries: qs[:warm]}); err != nil {
+		return PerfRecord{}, err
+	}
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := ses.Run(context.Background(), exec.Batch{Queries: qs})
+	el := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		return PerfRecord{}, err
+	}
+	return PerfRecord{
+		Backend:       backend,
+		Algorithm:     wcfg.Algorithm.String(),
+		Shards:        shards,
+		Cohort:        cohort,
+		Queries:       len(qs),
+		Steps:         res.Steps,
+		WallSeconds:   el.Seconds(),
+		StepsPerSec:   float64(res.Steps) / el.Seconds(),
+		AllocsPerWalk: float64(after.Mallocs-before.Mallocs) / float64(len(qs)),
+	}, nil
+}
+
+// WritePerfTable renders the report as the usual aligned text table.
+func WritePerfTable(rep *PerfReport, w io.Writer) error {
+	t := newTable(w, fmt.Sprintf("Software-engine perf — %s (%d vertices, %d edges), %d queries × len %d",
+		rep.Graph, rep.Vertices, rep.Edges, rep.Queries, rep.WalkLength))
+	t.row("backend", "alg", "shards", "cohort", "MStep/s", "allocs/walk")
+	for _, r := range rep.Records {
+		t.row(r.Backend, r.Algorithm, r.Shards, r.Cohort, r.StepsPerSec/1e6, r.AllocsPerWalk)
+	}
+	if err := t.flush(); err != nil {
+		return err
+	}
+	keys := make([]string, 0, len(rep.Ratios))
+	for k := range rep.Ratios {
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	for _, k := range keys {
+		fmt.Fprintf(w, "%s: %.2fx\n", k, rep.Ratios[k])
+	}
+	return nil
+}
+
+// WritePerfJSON writes the report as indented JSON to path (BENCH.json).
+func WritePerfJSON(rep *PerfReport, path string) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	return os.WriteFile(path, append(data, '\n'), 0o644)
+}

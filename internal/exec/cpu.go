@@ -26,6 +26,10 @@ func (cpuBackend) Description() string {
 	return "multi-core software engine (ThunderRW-style), allocation-free hot path"
 }
 
+// MergesBatches implements BatchMerger: per-query RNG streams make walks
+// independent of batch composition.
+func (cpuBackend) MergesBatches() bool { return true }
+
 func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("exec: cpu workers %d, want >= 0", cfg.Workers)
@@ -60,57 +64,27 @@ type cpuSession struct {
 // to emit aliases the worker's reused buffer.
 func (s *cpuSession) forEachWalk(ctx context.Context, batch Batch,
 	emit func(worker, index int, q walk.Query, path []graph.VertexID, steps int64) error) error {
-	var (
-		stop     atomic.Bool
-		firstErr error
-		errMu    sync.Mutex
-		wg       sync.WaitGroup
-	)
-	fail := func(err error) {
-		errMu.Lock()
-		if firstErr == nil {
-			firstErr = err
-		}
-		errMu.Unlock()
-		stop.Store(true)
-	}
-	n := len(batch.Queries)
 	workers := len(s.walkers)
 	if workers == 0 {
 		return fmt.Errorf("exec: session is closed")
 	}
-	chunk := (n + workers - 1) / workers
-	for w := 0; w < workers; w++ {
-		lo := w * chunk
-		hi := min(lo+chunk, n)
-		if lo >= hi {
-			break
-		}
-		wg.Add(1)
-		go func(w, lo, hi int) {
-			defer wg.Done()
-			walker := s.walkers[w]
-			for i := lo; i < hi; i++ {
-				if i&0xff == 0 && (stop.Load() || ctx.Err() != nil) {
-					if err := ctx.Err(); err != nil {
-						fail(err)
-					}
-					return
+	return runChunked(ctx, len(batch.Queries), workers, func(w, lo, hi int, stopped func() bool) error {
+		walker := s.walkers[w]
+		for i := lo; i < hi; i++ {
+			if i&0xff == 0 && stopped() {
+				if err := ctx.Err(); err != nil {
+					return err
 				}
-				q := batch.Queries[i]
-				path, steps := walker.Walk(q)
-				if err := emit(w, i, q, path, steps); err != nil {
-					fail(err)
-					return
-				}
+				return errStopped
 			}
-		}(w, lo, hi)
-	}
-	wg.Wait()
-	if firstErr != nil {
-		return firstErr
-	}
-	return ctx.Err()
+			q := batch.Queries[i]
+			path, steps := walker.Walk(q)
+			if err := emit(w, i, q, path, steps); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
 }
 
 func (s *cpuSession) Run(ctx context.Context, batch Batch) (*BatchResult, error) {

@@ -53,9 +53,17 @@ type Config struct {
 	// Shards sets the cpu-sharded backend's partition count: the graph is
 	// split into this many edge-balanced shards, each owning a worker pool,
 	// with walkers migrating between shards on boundary crossings. 0 means
-	// a backend-chosen default (GOMAXPROCS capped at 8); other backends
-	// ignore it.
+	// a backend-chosen default (GOMAXPROCS capped at 8). The cpu-pipelined
+	// backend also honors it: Shards > 0 composes the cohort pipeline with
+	// the sharded engine (per-shard workers run the pipelined stepper).
+	// Other backends ignore it.
 	Shards int
+
+	// Cohort sets the cpu-pipelined backend's in-flight walker count per
+	// worker: each worker advances that many walks together through the
+	// batched Gather/Sample/Move stages, overlapping CSR row fetches across
+	// walks. 0 means the backend default (64). Other backends ignore it.
+	Cohort int
 
 	// DiscardPaths drops per-query paths from Run results (throughput
 	// studies on large workloads). Stream never accumulates paths.
@@ -147,4 +155,26 @@ type Backend interface {
 	// per-workload setup. The graph must satisfy the walk config's
 	// requirements (weights for DeepWalk, labels for MetaPath).
 	Open(g *graph.CSR, cfg Config) (Session, error)
+}
+
+// BatchMerger is an optional Backend capability: backends whose walks
+// depend only on (seed, query ID, start vertex) — never on batch
+// composition — implement it (returning true) to let serving layers
+// coalesce concurrent requests into one Session.Run dispatch. Backends
+// without the capability (simulators routing walks through shared
+// pipelines, models requiring unique query IDs per batch) are dispatched
+// per request.
+type BatchMerger interface {
+	MergesBatches() bool
+}
+
+// MergesBatches reports whether the named backend declares the
+// batch-merge capability. Unknown names report false.
+func MergesBatches(name string) bool {
+	b, err := Lookup(name)
+	if err != nil {
+		return false
+	}
+	m, ok := b.(BatchMerger)
+	return ok && m.MergesBatches()
 }

@@ -37,7 +37,7 @@ func testWorkload(t testing.TB, g *graph.CSR, alg walk.Algorithm, n int) (walk.C
 }
 
 func TestRegistryHasAllBackends(t *testing.T) {
-	want := []string{"cpu", "cpu-sharded", "fastrw", "gsampler", "lightrw", "ridgewalker", "suetal"}
+	want := []string{"cpu", "cpu-pipelined", "cpu-sharded", "fastrw", "gsampler", "lightrw", "ridgewalker", "suetal"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}
@@ -368,5 +368,24 @@ func TestWalkerZeroAllocations(t *testing.T) {
 				t.Fatalf("%v allocs per walk, want 0", allocs)
 			}
 		})
+	}
+}
+
+// TestMergesBatchesCapability pins which backends declare the batch-merge
+// capability the serving layer keys on: exactly the cpu family (whose
+// per-query RNG streams make walks independent of batch composition).
+func TestMergesBatchesCapability(t *testing.T) {
+	want := map[string]bool{
+		"cpu": true, "cpu-sharded": true, "cpu-pipelined": true,
+		"ridgewalker": false, "lightrw": false, "suetal": false,
+		"fastrw": false, "gsampler": false,
+	}
+	for name, m := range want {
+		if got := MergesBatches(name); got != m {
+			t.Errorf("MergesBatches(%q) = %v, want %v", name, got, m)
+		}
+	}
+	if MergesBatches("nope") {
+		t.Error("unknown backend reported mergeable")
 	}
 }

@@ -1,0 +1,175 @@
+package exec
+
+import (
+	"context"
+	"fmt"
+	"runtime"
+	"sync"
+	"sync/atomic"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/shard"
+	"ridgewalker/internal/walk"
+)
+
+func init() {
+	Register(pipelinedBackend{})
+}
+
+// DefaultCohort is the cpu-pipelined backend's in-flight walker count per
+// worker when Config.Cohort is zero. Big enough that a cohort's row
+// fetches cover memory latency, small enough that the per-lane state of a
+// worker's cohort stays cache-resident.
+const DefaultCohort = 64
+
+// pipelinedBackend is the step-interleaved software engine: the walk step
+// is decomposed into Gather (CSR row bounds + neighbor-slice touch),
+// Sample (stage-resumable Propose/Accept decision), and Move (state
+// advance, path emit, retire/respawn), each run as a tight batched loop
+// over a cohort of in-flight walkers (walk.Cohort) — the software shadow
+// of the paper's perfectly pipelined datapath, in the spirit of
+// ThunderRW's step interleaving. With Shards > 0 the cohort stepper runs
+// inside the sharded engine's per-shard workers, composing partition
+// locality with step interleaving. Per-walker RNG streams keep output
+// byte-identical to the cpu backend for the same seed at any cohort size,
+// worker count, or shard count.
+type pipelinedBackend struct{}
+
+func (pipelinedBackend) Name() string { return "cpu-pipelined" }
+
+func (pipelinedBackend) Description() string {
+	return "step-interleaved software engine: cohort-batched Gather/Sample/Move pipeline"
+}
+
+// MergesBatches implements BatchMerger: per-lane RNG streams make walks
+// independent of batch composition and cohort packing.
+func (pipelinedBackend) MergesBatches() bool { return true }
+
+func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
+	if cfg.Workers < 0 {
+		return nil, fmt.Errorf("exec: cpu-pipelined workers %d, want >= 0", cfg.Workers)
+	}
+	if cfg.Cohort < 0 {
+		return nil, fmt.Errorf("exec: cpu-pipelined cohort %d, want >= 0", cfg.Cohort)
+	}
+	if cfg.Shards < 0 {
+		return nil, fmt.Errorf("exec: cpu-pipelined shards %d, want >= 0", cfg.Shards)
+	}
+	cohort := cfg.Cohort
+	if cohort == 0 {
+		cohort = DefaultCohort
+	}
+	if cfg.Shards > 0 {
+		// Sharding × pipelining: per-shard workers run the cohort stepper.
+		part, err := shard.Partition(g, cfg.Shards)
+		if err != nil {
+			return nil, err
+		}
+		eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{
+			Workers: cfg.Workers,
+			Cohort:  cohort,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &shardedSession{eng: eng, discard: cfg.DiscardPaths}, nil
+	}
+	workers := cfg.Workers
+	if workers == 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	sampler, err := walk.BuildSampler(g, cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
+	s := &pipelinedSession{g: g, discard: cfg.DiscardPaths}
+	s.pipes = make([]*walk.Pipeline, workers)
+	for i := range s.pipes {
+		p, err := walk.NewPipelineWithSampler(g, cfg.Walk, sampler, cohort)
+		if err != nil {
+			return nil, err
+		}
+		s.pipes[i] = p
+	}
+	return s, nil
+}
+
+// pipelinedSession mirrors cpuSession's worker-pool structure, with each
+// worker driving its contiguous chunk of the batch through a reusable
+// walk.Pipeline instead of a sequential Walker.
+type pipelinedSession struct {
+	mu      sync.Mutex // serializes Run/Stream: pipelines are single-batch state
+	g       *graph.CSR
+	discard bool
+	pipes   []*walk.Pipeline
+}
+
+// forEachWalk partitions the batch into contiguous chunks, one per worker
+// pipeline, and invokes emit for every finished walk. Within a chunk,
+// delivery order follows lane retirement, not batch order; the index
+// passed to emit is the query's position in the whole batch. The path
+// aliases a recycled lane buffer.
+func (s *pipelinedSession) forEachWalk(ctx context.Context, batch Batch,
+	emit func(worker, index int, q walk.Query, path []graph.VertexID, steps int64) error) error {
+	workers := len(s.pipes)
+	if workers == 0 {
+		return fmt.Errorf("exec: session is closed")
+	}
+	return runChunked(ctx, len(batch.Queries), workers, func(w, lo, hi int, stopped func() bool) error {
+		done := 0
+		_, err := s.pipes[w].Run(batch.Queries[lo:hi],
+			func(i int, q walk.Query, path []graph.VertexID, steps int64) error {
+				done++
+				if done&0xff == 0 && stopped() {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return errStopped
+				}
+				return emit(w, lo+i, q, path, steps)
+			})
+		return err
+	})
+}
+
+func (s *pipelinedSession) Run(ctx context.Context, batch Batch) (*BatchResult, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	res := &BatchResult{}
+	if !s.discard {
+		res.Paths = make([][]graph.VertexID, len(batch.Queries))
+	}
+	var steps atomic.Int64
+	err := s.forEachWalk(ctx, batch, func(_, i int, _ walk.Query, path []graph.VertexID, st int64) error {
+		if !s.discard {
+			cp := make([]graph.VertexID, len(path))
+			copy(cp, path)
+			res.Paths[i] = cp
+		}
+		steps.Add(st)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	res.Steps = steps.Load()
+	return res, nil
+}
+
+func (s *pipelinedSession) Stream(ctx context.Context, batch Batch, fn func(WalkOutput) error) error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	var outMu sync.Mutex // fn contract: never called concurrently
+	return s.forEachWalk(ctx, batch, func(_, _ int, q walk.Query, path []graph.VertexID, st int64) error {
+		outMu.Lock()
+		defer outMu.Unlock()
+		return fn(WalkOutput{Query: q.ID, Path: path, Steps: st})
+	})
+}
+
+func (s *pipelinedSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.pipes = nil
+	return nil
+}

@@ -30,6 +30,10 @@ func (shardedBackend) Description() string {
 	return "partitioned software engine: per-shard worker pools, batched walker migration"
 }
 
+// MergesBatches implements BatchMerger: per-walker RNG streams make walks
+// independent of batch composition.
+func (shardedBackend) MergesBatches() bool { return true }
+
 // defaultShards picks a shard count when the config leaves it zero: one
 // shard per core up to 8 (beyond that, cut-edge traffic outgrows the
 // locality win on the graphs this repository generates), clamped to the

@@ -121,11 +121,7 @@ func (s *AliasSampler) TableBytes() int64 {
 
 // Sample implements Sampler.
 func (s *AliasSampler) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
-	t := s.tables[ctx.Cur]
-	if t == nil {
-		return Result{Index: -1, Probes: 1}
-	}
-	return Result{Index: t.Draw(r), Probes: 1}
+	return SampleStaged(s, g, ctx, r)
 }
 
 // Kind implements Sampler.

@@ -53,23 +53,11 @@ func NewRejection(p, q float64) (*Rejection, error) {
 	return &Rejection{P: p, Q: q, maxBias: m, MaxTrips: 64}, nil
 }
 
-// Sample implements Sampler.
+// Sample implements Sampler by running the Propose/Accept protocol to
+// completion: draw a candidate uniformly, accept with probability
+// bias/maxBias, repeat.
 func (s *Rejection) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
-	deg := g.Degree(ctx.Cur)
-	if !ctx.HasPrev {
-		// First hop is unbiased.
-		return Result{Index: r.Intn(deg), Probes: 1}
-	}
-	ns := g.Neighbors(ctx.Cur)
-	trips := 0
-	for {
-		trips++
-		idx := r.Intn(deg)
-		bias := node2vecBias(g, ctx.Prev, ns[idx], s.P, s.Q)
-		if r.Float64()*s.maxBias < bias || trips >= s.MaxTrips {
-			return Result{Index: idx, Probes: trips}
-		}
-	}
+	return SampleStaged(s, g, ctx, r)
 }
 
 // Kind implements Sampler.
@@ -97,6 +85,12 @@ func NewReservoir(p, q float64) (*Reservoir, error) {
 
 // Sample implements Sampler.
 func (s *Reservoir) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	return SampleStaged(s, g, ctx, r)
+}
+
+// scan is the one-pass weighted reservoir over the neighbor list — the
+// single (non-resumable) stage behind Propose.
+func (s *Reservoir) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 	ns := g.Neighbors(ctx.Cur)
 	var ws []float32
 	if g.Weighted() {
@@ -149,6 +143,12 @@ func NewMetaPath(schema []uint8) (*MetaPath, error) {
 // Sample implements Sampler. Index is -1 when no neighbor matches the
 // required type.
 func (s *MetaPath) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	return SampleStaged(s, g, ctx, r)
+}
+
+// scan is the schema-filtered weighted reservoir over the neighbor list —
+// the single (non-resumable) stage behind Propose.
+func (s *MetaPath) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 	want := s.Schema[(ctx.Step+1)%len(s.Schema)]
 	ns := g.Neighbors(ctx.Cur)
 	var ws []float32

@@ -90,9 +90,8 @@ type Sampler interface {
 type Uniform struct{}
 
 // Sample implements Sampler.
-func (Uniform) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
-	deg := g.Degree(ctx.Cur)
-	return Result{Index: r.Intn(deg), Probes: 1}
+func (u Uniform) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
+	return SampleStaged(u, g, ctx, r)
 }
 
 // Kind implements Sampler.

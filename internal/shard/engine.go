@@ -30,6 +30,13 @@ type EngineConfig struct {
 	// never block — the structural property that makes the migration mesh
 	// deadlock-free. 0 means 4096.
 	MaxInflight int
+	// Cohort switches the per-shard workers from depth-first advancement
+	// to the step-interleaved cohort pipeline (walk.Cohort): each worker
+	// batches up to Cohort resident walkers and runs the Gather/Sample/Move
+	// stages over all of them per pass, so row fetches overlap sampling
+	// across walkers. Walkers still migrate on boundary crossings with
+	// identical trajectories. 0 keeps depth-first advancement.
+	Cohort int
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -99,9 +106,17 @@ func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig
 	if p == nil || len(p.Shards) == 0 {
 		return nil, fmt.Errorf("shard: engine needs a non-empty partitioning")
 	}
+	if cfg.Cohort < 0 {
+		return nil, fmt.Errorf("shard: cohort %d, want >= 0", cfg.Cohort)
+	}
 	sampler, err := walk.BuildSampler(g, wcfg)
 	if err != nil {
 		return nil, err
+	}
+	if cfg.Cohort > 0 {
+		if _, ok := sampling.AsStaged(sampler); !ok {
+			return nil, fmt.Errorf("shard: sampler %T is not stage-resumable; cohort stepping unavailable", sampler)
+		}
 	}
 	return &Engine{
 		g:       g,
@@ -300,6 +315,92 @@ func (r *run) worker(shardID int) {
 	}
 }
 
+// workerPipelined is the cohort-stepping variant of worker: resident
+// walkers are batched into a walk.Cohort and advanced one Gather/Sample/
+// Move pass at a time, so one walker's CSR row fetch overlaps the sampling
+// and move work of the rest. Migration is decided per hop through the
+// depart callback — the same resident-hub / owner check the depth-first
+// worker makes — and ejected walkers leave with their State synced, so the
+// hand-off is race-free and trajectories stay byte-identical.
+func (r *run) workerPipelined(shardID int) {
+	defer r.wg.Done()
+	e := r.eng
+	cohort, err := walk.NewCohort(e.g, e.wcfg, e.sampler, e.cfg.Cohort)
+	if err != nil {
+		r.fail(err) // NewEngine validated stagedness; defensive only
+		return
+	}
+	stage := make([][]*walker, e.part.K)
+	lanes := make([]*walker, cohort.Cap())
+	free := make([]int32, cohort.Cap())
+	for i := range free {
+		free[i] = int32(i)
+	}
+	top := len(free)
+	dst := make([]int, cohort.Cap()) // owner computed by depart, reused by eject
+	var backlog []*walker
+	depart := func(tag int32, cur graph.VertexID) bool {
+		// Same short-circuit order as advanceWalker: resident hub rows
+		// first, then the owner binary search.
+		if e.part.Resident(cur) {
+			return false
+		}
+		owner := e.part.Owner(cur)
+		if owner == shardID {
+			return false
+		}
+		dst[tag] = owner
+		return true
+	}
+	eject := func(tag int32) {
+		w := lanes[tag]
+		lanes[tag] = nil
+		free[top] = tag
+		top++
+		r.migrations.Add(1)
+		r.stageWalker(stage, dst[tag], w)
+	}
+	retire := func(tag int32) error {
+		w := lanes[tag]
+		lanes[tag] = nil
+		free[top] = tag
+		top++
+		r.finish(w) // emit errors surface through r.fail/abortCh
+		return nil
+	}
+	for {
+		select {
+		case b := <-r.mail[shardID]:
+			backlog = append(backlog[:0], b...)
+		case <-r.doneCh:
+			return
+		case <-r.abortCh:
+			return
+		}
+		backlog = r.absorb(shardID, backlog)
+		for {
+			for top > 0 && len(backlog) > 0 {
+				w := backlog[len(backlog)-1]
+				backlog = backlog[:len(backlog)-1]
+				top--
+				lanes[free[top]] = w
+				cohort.Admit(&w.st, &w.r, free[top])
+			}
+			if cohort.Len() == 0 {
+				break
+			}
+			if r.aborted() {
+				return
+			}
+			cohort.Step(depart, eject, retire) // retire never errors here
+			// Refill freed lanes from fresh arrivals without blocking, so
+			// the cohort stays as full as the mailbox allows.
+			backlog = r.absorb(shardID, backlog)
+		}
+		r.flushStages(stage)
+	}
+}
+
 // Run executes the query batch, delivering each finished walk through fn
 // (possibly concurrently — see EmitFunc). It returns the run's migration
 // statistics and the first error (a failed emit or context cancellation).
@@ -335,7 +436,11 @@ func (e *Engine) Run(ctx context.Context, queries []walk.Query, fn EmitFunc) (Ru
 	for s := 0; s < e.part.K; s++ {
 		for i := 0; i < perShard; i++ {
 			r.wg.Add(1)
-			go r.worker(s)
+			if e.cfg.Cohort > 0 {
+				go r.workerPipelined(s)
+			} else {
+				go r.worker(s)
+			}
 		}
 	}
 

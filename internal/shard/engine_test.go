@@ -293,3 +293,71 @@ func TestEngineTinyInflightLiveness(t *testing.T) {
 		t.Fatal("tiny-inflight run differs from golden engine")
 	}
 }
+
+// TestEngineCohortStepping pins the cohort-stepping worker: an engine
+// with Cohort > 0 runs walkers through the batched Gather/Sample/Move
+// pipeline inside each shard worker and must stay byte-identical to the
+// golden engine across shard counts, cohort sizes, and tight inflight
+// bounds, with migration traffic still flowing (walkers eject mid-cohort).
+func TestEngineCohortStepping(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.Graph500(10, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachWeights()
+	for _, alg := range []walk.Algorithm{walk.URW, walk.DeepWalk, walk.Node2Vec} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := walk.DefaultConfig(alg)
+			cfg.WalkLength = 25
+			cfg.Seed = 13
+			qs, err := walk.RandomQueries(g, cfg, 400, 19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := walk.Run(g, qs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{1, 3, 7} {
+				for _, ecfg := range []EngineConfig{
+					{Cohort: 1},
+					{Cohort: 8, Workers: 1, MigrateBatch: 1, MaxInflight: 2},
+					{Cohort: 64, Workers: 16, MigrateBatch: 8, MaxInflight: 64},
+				} {
+					p, err := Partition(g, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e, err := NewEngine(g, p, cfg, ecfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, stats := runEngine(t, e, qs)
+					if got.Steps != want.Steps {
+						t.Fatalf("k=%d cfg=%+v: steps %d, want %d", k, ecfg, got.Steps, want.Steps)
+					}
+					if !reflect.DeepEqual(got.Paths, want.Paths) {
+						t.Fatalf("k=%d cfg=%+v: paths differ from golden engine", k, ecfg)
+					}
+					if k > 1 && stats.Migrations == 0 {
+						t.Fatalf("k=%d cfg=%+v: no migrations on a multi-shard run", k, ecfg)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineCohortValidation pins EngineConfig.Cohort validation.
+func TestEngineCohortValidation(t *testing.T) {
+	g := ringGraph(t, 64)
+	cfg := walk.DefaultConfig(walk.URW)
+	cfg.WalkLength = 5
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g, p, cfg, EngineConfig{Cohort: -1}); err == nil {
+		t.Fatal("negative cohort accepted")
+	}
+}

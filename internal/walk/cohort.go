@@ -1,0 +1,283 @@
+package walk
+
+import (
+	"fmt"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+	"ridgewalker/internal/sampling"
+)
+
+// Lane phases: where a walker stands in the step pipeline between passes.
+const (
+	// phaseGather: the walker needs its current vertex's row bounds before
+	// it can sample.
+	phaseGather = iota
+	// phaseSample: row bounds are loaded; a sampling decision is in
+	// progress (possibly parked mid-rejection across passes).
+	phaseSample
+)
+
+// Per-pass lane fates, reset every pass.
+const (
+	fateNone = iota
+	// fateMove: the Sample stage accepted a candidate this pass.
+	fateMove
+	// fateRetire: the walk terminated (length, sink, schema miss, teleport).
+	fateRetire
+	// fateDepart: the hop landed on a vertex the host rejected (sharded
+	// engines: a vertex owned by another shard).
+	fateDepart
+)
+
+// Cohort is the struct-of-arrays ring of in-flight walkers behind the
+// step-interleaved execution pipeline. Each walk step is decomposed into
+// three stages — Gather (fetch CSR row bounds, touch the neighbor slice so
+// its cache lines are in flight), Sample (run the stage-resumable
+// Propose/Accept decision), Move (advance state, extend the path, decide
+// termination) — and each Step call runs every stage as a tight batched
+// loop over all lanes. Row fetches for one walker therefore overlap the
+// sampling and move work of the others, instead of every walker's row
+// fetch being a dependent cache miss in a sequential Advance loop
+// (ThunderRW's step interleaving, the software shadow of the paper's
+// perfectly pipelined datapath).
+//
+// Hot per-walker fields live in parallel arrays; the lane only touches its
+// backing State (path append) and RNG stream through pointers. All RNG
+// draws come from the lane's own stream in exactly Advance's order, so
+// trajectories are byte-identical to the sequential engines for the same
+// seed no matter how lanes interleave.
+//
+// A Cohort performs no allocations after construction: lanes are
+// preallocated at capacity, and path appends stay within the caller's
+// preallocated buffers.
+type Cohort struct {
+	g       *graph.CSR
+	sampler sampling.StagedSampler
+	cfg     Config
+
+	n int // lanes in use; live lanes are always the prefix [0, n)
+
+	// Struct-of-arrays lane state.
+	cur, prev []graph.VertexID
+	hasPrev   []bool
+	step      []int32
+	lo, hi    []int64 // gathered CSR row bounds of cur
+	cand      []sampling.Candidate
+	phase     []uint8
+	fate      []uint8
+	tag       []int32
+	st        []*State
+	r         []*rng.Stream
+
+	// touch sinks the Gather stage's cache-warming loads so the compiler
+	// cannot discard them.
+	touch uint64
+}
+
+// NewCohort builds a cohort of the given capacity. The sampler must be
+// stage-resumable (every sampler built by BuildSampler is).
+func NewCohort(g *graph.CSR, cfg Config, s sampling.Sampler, size int) (*Cohort, error) {
+	if size < 1 {
+		return nil, fmt.Errorf("walk: cohort size %d, want >= 1", size)
+	}
+	ss, ok := sampling.AsStaged(s)
+	if !ok {
+		return nil, fmt.Errorf("walk: sampler %T is not stage-resumable", s)
+	}
+	return &Cohort{
+		g:       g,
+		sampler: ss,
+		cfg:     cfg,
+		cur:     make([]graph.VertexID, size),
+		prev:    make([]graph.VertexID, size),
+		hasPrev: make([]bool, size),
+		step:    make([]int32, size),
+		lo:      make([]int64, size),
+		hi:      make([]int64, size),
+		cand:    make([]sampling.Candidate, size),
+		phase:   make([]uint8, size),
+		fate:    make([]uint8, size),
+		tag:     make([]int32, size),
+		st:      make([]*State, size),
+		r:       make([]*rng.Stream, size),
+	}, nil
+}
+
+// Len returns the number of occupied lanes.
+func (c *Cohort) Len() int { return c.n }
+
+// Cap returns the cohort capacity.
+func (c *Cohort) Cap() int { return len(c.cur) }
+
+// Admit installs an in-flight walk into a free lane, loading the hot
+// fields from st (which may be freshly started or mid-walk, e.g. a walker
+// migrating in from another shard). tag is returned through the Step
+// callbacks when the walk leaves the cohort. It reports false when the
+// cohort is full.
+func (c *Cohort) Admit(st *State, r *rng.Stream, tag int32) bool {
+	if c.n == len(c.cur) {
+		return false
+	}
+	i := c.n
+	c.n++
+	c.cur[i] = st.Cur
+	c.prev[i] = st.Prev
+	c.hasPrev[i] = st.HasPrev
+	c.step[i] = int32(st.Step)
+	c.cand[i] = sampling.Candidate{}
+	c.phase[i] = phaseGather
+	c.fate[i] = fateNone
+	c.tag[i] = tag
+	c.st[i] = st
+	c.r[i] = r
+	return true
+}
+
+// syncState writes lane i's hot fields back into its State, making the
+// State self-contained again (the Path is already current: Move appends
+// through the pointer).
+func (c *Cohort) syncState(i int) {
+	st := c.st[i]
+	st.Cur = c.cur[i]
+	st.Prev = c.prev[i]
+	st.HasPrev = c.hasPrev[i]
+	st.Step = int(c.step[i])
+}
+
+// remove frees lane i by moving the last live lane into it.
+func (c *Cohort) remove(i int) {
+	c.n--
+	j := c.n
+	if i != j {
+		c.cur[i] = c.cur[j]
+		c.prev[i] = c.prev[j]
+		c.hasPrev[i] = c.hasPrev[j]
+		c.step[i] = c.step[j]
+		c.lo[i] = c.lo[j]
+		c.hi[i] = c.hi[j]
+		c.cand[i] = c.cand[j]
+		c.phase[i] = c.phase[j]
+		c.fate[i] = c.fate[j]
+		c.tag[i] = c.tag[j]
+		c.st[i] = c.st[j]
+		c.r[i] = c.r[j]
+	}
+	c.st[j] = nil
+	c.r[j] = nil
+}
+
+// Step runs one Gather→Sample→Move pass over every lane.
+//
+// depart, when non-nil, is consulted after each completed hop with the
+// lane's tag and the walker's new vertex; returning true ejects the lane
+// (the walk continues elsewhere — sharded engines use it for the owner
+// check, recording the computed owner per tag so ejection reuses it).
+// eject is then called with the lane's tag after its State has been
+// synced, so the caller can hand the self-contained walker off safely.
+// retire is called (also post-sync) for each walk that terminated; a
+// non-nil retire error is returned after the pass completes (remaining
+// callbacks still run, so the cohort stays consistent).
+//
+// Walkers parked mid-rejection stay in the Sample stage across passes and
+// skip Gather — the stage-resumable re-entry that keeps Node2Vec's
+// rejection loop from stalling the whole cohort.
+func (c *Cohort) Step(
+	depart func(tag int32, cur graph.VertexID) bool,
+	eject func(tag int32),
+	retire func(tag int32) error,
+) error {
+	g := c.g
+	// Gather: load row bounds for every lane entering a new step, and
+	// touch the ends of the neighbor slice so the row's cache lines are in
+	// flight before the Sample stage reads them. Termination conditions
+	// that precede sampling (walk length, sinks) are decided here, before
+	// any RNG draw, exactly as Advance orders them.
+	for i := 0; i < c.n; i++ {
+		if c.phase[i] != phaseGather {
+			continue
+		}
+		if int(c.step[i]) >= c.cfg.WalkLength {
+			c.fate[i] = fateRetire
+			continue
+		}
+		v := c.cur[i]
+		lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+		if lo == hi {
+			c.fate[i] = fateRetire // zero out-degree: immediate termination
+			continue
+		}
+		c.lo[i], c.hi[i] = lo, hi
+		c.touch ^= uint64(g.Col[lo]) ^ uint64(g.Col[hi-1])
+		c.cand[i] = sampling.Candidate{}
+		c.phase[i] = phaseSample
+	}
+	// Sample: one Propose (and, for two-phase samplers, one Accept) per
+	// lane per pass. Rejected candidates park in the lane and re-enter
+	// next pass instead of spinning inline.
+	for i := 0; i < c.n; i++ {
+		if c.fate[i] != fateNone || c.phase[i] != phaseSample {
+			continue
+		}
+		ctx := sampling.Context{Cur: c.cur[i], Prev: c.prev[i], HasPrev: c.hasPrev[i], Step: int(c.step[i])}
+		cand := c.sampler.Propose(g, ctx, c.cand[i], c.r[i])
+		c.cand[i] = cand
+		if cand.Final || c.sampler.Accept(g, ctx, cand, c.r[i]) {
+			if cand.Index < 0 {
+				c.fate[i] = fateRetire // no selectable neighbor
+			} else {
+				c.fate[i] = fateMove
+			}
+		}
+	}
+	// Move: apply accepted hops, extend paths, and decide continuation —
+	// the PPR teleport draw comes from the lane's stream immediately after
+	// its accept draw, preserving Advance's per-walker order.
+	for i := 0; i < c.n; i++ {
+		if c.fate[i] != fateMove {
+			continue
+		}
+		next := g.Col[c.lo[i]+int64(c.cand[i].Index)]
+		c.prev[i], c.hasPrev[i] = c.cur[i], true
+		c.cur[i] = next
+		st := c.st[i]
+		st.Path = append(st.Path, next)
+		c.step[i]++
+		if c.cfg.Algorithm == PPR && c.r[i].Float64() < c.cfg.Alpha {
+			c.fate[i] = fateRetire // teleport ends the query
+			continue
+		}
+		if int(c.step[i]) >= c.cfg.WalkLength {
+			c.fate[i] = fateRetire
+			continue
+		}
+		if depart != nil && depart(c.tag[i], next) {
+			c.fate[i] = fateDepart
+			continue
+		}
+		c.fate[i] = fateNone
+		c.phase[i] = phaseGather
+	}
+	// Sweep: sync departing/finished lanes back into their States, hand
+	// them to the caller, and compact the ring.
+	var err error
+	for i := 0; i < c.n; {
+		switch c.fate[i] {
+		case fateRetire:
+			c.syncState(i)
+			t := c.tag[i]
+			c.remove(i)
+			if e := retire(t); e != nil && err == nil {
+				err = e
+			}
+		case fateDepart:
+			c.syncState(i)
+			t := c.tag[i]
+			c.remove(i)
+			eject(t)
+		default:
+			i++
+		}
+	}
+	return err
+}

@@ -1,0 +1,205 @@
+package walk
+
+import (
+	"fmt"
+	"reflect"
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// pipelineTestGraph builds a weighted, labeled graph with sinks and
+// self-loops — the irregularities that exercise every retire path of the
+// cohort stepper.
+func pipelineTestGraph(t testing.TB) *graph.CSR {
+	t.Helper()
+	const n = 500
+	r := rng.New(321)
+	var edges []graph.Edge
+	for i := 0; i < 6*n; i++ {
+		src := graph.VertexID(r.Intn(n))
+		dst := graph.VertexID(r.Intn(n))
+		if src < 30 {
+			continue // sinks
+		}
+		edges = append(edges, graph.Edge{Src: src, Dst: dst})
+	}
+	for v := 40; v < n; v += 17 {
+		edges = append(edges, graph.Edge{Src: graph.VertexID(v), Dst: graph.VertexID(v)})
+	}
+	g, err := graph.Build(n, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachWeights()
+	g.AttachLabels(3)
+	return g
+}
+
+// TestPipelineMatchesRun is the pipelined stepper's golden-equivalence
+// matrix: every algorithm × cohort sizes {1, 3, 64} must reproduce Run's
+// paths byte-identically, including when the cohort is larger than the
+// batch and when a pipeline is reused across batches.
+func TestPipelineMatchesRun(t *testing.T) {
+	g := pipelineTestGraph(t)
+	for _, alg := range Algorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := DefaultConfig(alg)
+			cfg.WalkLength = 24
+			cfg.Seed = 5
+			qs, err := RandomQueries(g, cfg, 300, 9)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := Run(g, qs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, size := range []int{1, 3, 64, len(qs) + 10} {
+				t.Run(fmt.Sprintf("cohort=%d", size), func(t *testing.T) {
+					p, err := NewPipeline(g, cfg, size)
+					if err != nil {
+						t.Fatal(err)
+					}
+					for rep := 0; rep < 2; rep++ { // reuse across batches
+						paths := make([][]graph.VertexID, len(qs))
+						steps, err := p.Run(qs, func(i int, _ Query, path []graph.VertexID, _ int64) error {
+							if paths[i] != nil {
+								return fmt.Errorf("index %d emitted twice", i)
+							}
+							cp := make([]graph.VertexID, len(path))
+							copy(cp, path)
+							paths[i] = cp
+							return nil
+						})
+						if err != nil {
+							t.Fatal(err)
+						}
+						if steps != want.Steps {
+							t.Fatalf("rep %d: steps %d, want %d", rep, steps, want.Steps)
+						}
+						if !reflect.DeepEqual(paths, want.Paths) {
+							t.Fatalf("rep %d: pipelined paths differ from Run", rep)
+						}
+					}
+				})
+			}
+		})
+	}
+}
+
+// TestPipelineEmitError pins error handling: a failing emit aborts the
+// run, and the pipeline is reusable (and still correct) afterwards.
+func TestPipelineEmitError(t *testing.T) {
+	g := pipelineTestGraph(t)
+	cfg := DefaultConfig(URW)
+	cfg.WalkLength = 12
+	cfg.Seed = 3
+	qs, err := RandomQueries(g, cfg, 100, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := NewPipeline(g, cfg, 8)
+	if err != nil {
+		t.Fatal(err)
+	}
+	boom := fmt.Errorf("boom")
+	n := 0
+	if _, err := p.Run(qs, func(int, Query, []graph.VertexID, int64) error {
+		n++
+		if n == 3 {
+			return boom
+		}
+		return nil
+	}); err != boom {
+		t.Fatalf("err = %v, want boom", err)
+	}
+	if n != 3 {
+		t.Fatalf("emit called %d times, want exactly 3 (no emits after an error)", n)
+	}
+	want, err := Run(g, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got := make([][]graph.VertexID, len(qs))
+	steps, err := p.Run(qs, func(i int, _ Query, path []graph.VertexID, _ int64) error {
+		cp := make([]graph.VertexID, len(path))
+		copy(cp, path)
+		got[i] = cp
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if steps != want.Steps || !reflect.DeepEqual(got, want.Paths) {
+		t.Fatal("pipeline not reusable after emit error")
+	}
+}
+
+// TestPipelineRunAllocFree pins the tentpole's allocation claim at the
+// stepper level: a Run over a reused Pipeline performs zero allocations,
+// for the single-draw, alias, and rejection sampler families.
+func TestPipelineRunAllocFree(t *testing.T) {
+	g := pipelineTestGraph(t)
+	for _, alg := range []Algorithm{URW, PPR, DeepWalk, Node2Vec} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := DefaultConfig(alg)
+			cfg.WalkLength = 16
+			cfg.Seed = 7
+			qs, err := RandomQueries(g, cfg, 64, 11)
+			if err != nil {
+				t.Fatal(err)
+			}
+			p, err := NewPipeline(g, cfg, 16)
+			if err != nil {
+				t.Fatal(err)
+			}
+			emit := func(int, Query, []graph.VertexID, int64) error { return nil }
+			// Warm once (lazy growth, if any, happens here).
+			if _, err := p.Run(qs, emit); err != nil {
+				t.Fatal(err)
+			}
+			allocs := testing.AllocsPerRun(10, func() {
+				if _, err := p.Run(qs, emit); err != nil {
+					t.Fatal(err)
+				}
+			})
+			if allocs != 0 {
+				t.Fatalf("pipelined Run allocates %.1f allocs/op, want 0", allocs)
+			}
+		})
+	}
+}
+
+// TestCohortAdmitBounds pins cohort capacity behavior.
+func TestCohortAdmitBounds(t *testing.T) {
+	g := pipelineTestGraph(t)
+	cfg := DefaultConfig(URW)
+	cfg.WalkLength = 4
+	s, err := BuildSampler(g, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewCohort(g, cfg, s, 0); err == nil {
+		t.Fatal("zero-capacity cohort accepted")
+	}
+	c, err := NewCohort(g, cfg, s, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var st [3]State
+	var r [3]rng.Stream
+	for i := range st {
+		st[i].Start(Query{ID: uint32(i), Start: 100})
+	}
+	if !c.Admit(&st[0], &r[0], 0) || !c.Admit(&st[1], &r[1], 1) {
+		t.Fatal("admission below capacity refused")
+	}
+	if c.Admit(&st[2], &r[2], 2) {
+		t.Fatal("admission above capacity accepted")
+	}
+	if c.Len() != 2 || c.Cap() != 2 {
+		t.Fatalf("Len=%d Cap=%d, want 2/2", c.Len(), c.Cap())
+	}
+}

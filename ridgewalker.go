@@ -11,7 +11,13 @@
 //     (uniform, alias, rejection, reservoir — Table I), plus a sharded
 //     variant (WalkSharded, backend "cpu-sharded") that partitions the
 //     graph into edge-balanced shards with per-shard worker pools and
-//     batched walker migration across partition boundaries.
+//     batched walker migration across partition boundaries, and a
+//     step-interleaved variant (WalkPipelined, backend "cpu-pipelined")
+//     that decomposes each hop into batched Gather/Sample/Move stages
+//     over cohorts of in-flight walkers so CSR row fetches overlap
+//     sampling — the software analogue of the paper's perfectly
+//     pipelined datapath. Both compose (Shards with Cohort) and both are
+//     byte-identical to Walk for the same seed.
 //   - A cycle-level simulation of the RidgeWalker accelerator (Simulate):
 //     asynchronous Row-Access/Sampling/Column-Access pipelines over an
 //     HBM/DDR channel model, the data-aware task router, and the
@@ -179,6 +185,26 @@ func WalkSharded(g *Graph, queries []Query, cfg WalkConfig, shards int) (*Result
 	return &Result{Paths: res.Paths, Steps: res.Steps}, nil
 }
 
+// WalkPipelined runs the step-interleaved software engine: each worker
+// advances a cohort of in-flight walks together through batched
+// Gather/Sample/Move stages, so one walk's CSR row fetch overlaps the
+// sampling and move work of the others instead of stalling its own next
+// hop. The result is byte-identical to Walk for the same seed at any
+// cohort size. It is a thin wrapper over the "cpu-pipelined" execution
+// backend; cohort may be 0 for the backend's default.
+func WalkPipelined(g *Graph, queries []Query, cfg WalkConfig, cohort int) (*Result, error) {
+	ses, err := exec.Open("cpu-pipelined", g, exec.Config{Walk: cfg, Cohort: cohort})
+	if err != nil {
+		return nil, err
+	}
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), Batch{Queries: queries})
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Paths: res.Paths, Steps: res.Steps}, nil
+}
+
 func runCPU(g *Graph, queries []Query, cfg WalkConfig, workers int) (*Result, error) {
 	ses, err := exec.Open("cpu", g, exec.Config{Walk: cfg, Workers: workers})
 	if err != nil {
@@ -257,7 +283,8 @@ func Simulate(g *Graph, queries []Query, opts SimOptions) (*Result, *SimStats, e
 // See internal/exec for the contract; Service for the serving frontend.
 type (
 	// Backend is a named execution engine ("cpu", "cpu-sharded",
-	// "ridgewalker", "lightrw", "suetal", "fastrw", "gsampler").
+	// "cpu-pipelined", "ridgewalker", "lightrw", "suetal", "fastrw",
+	// "gsampler").
 	Backend = exec.Backend
 	// Session is a backend bound to a graph and configuration, reusable
 	// across batches and safe for concurrent use.

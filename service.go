@@ -26,8 +26,14 @@ type ServiceConfig struct {
 	Workers int
 	// Shards sets the cpu-sharded backend's graph partition count (each
 	// shard owns a worker pool; walkers migrate on boundary crossings).
-	// 0 means a backend-chosen default; other backends ignore it.
+	// The cpu-pipelined backend also honors it, composing the cohort
+	// pipeline with sharded execution. 0 means a backend-chosen default;
+	// other backends ignore it.
 	Shards int
+	// Cohort sets the cpu-pipelined backend's in-flight walker count per
+	// worker (the width of the batched Gather/Sample/Move stages). 0 means
+	// the backend default; other backends ignore it.
+	Cohort int
 	// MaxBatch is the flush threshold for request coalescing: a pending
 	// group is dispatched as soon as its accumulated queries reach this
 	// size instead of waiting out the linger. It bounds how much
@@ -203,6 +209,7 @@ func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, err
 			Platform:            s.cfg.Platform,
 			Workers:             s.cfg.Workers,
 			Shards:              s.cfg.Shards,
+			Cohort:              s.cfg.Cohort,
 			DisableAsync:        s.cfg.DisableAsync,
 			DisableDynamicSched: s.cfg.DisableDynamicSched,
 		})
@@ -361,12 +368,13 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 	}
 	defer s.releaseSession(e)
 	ses := e.ses
-	// The cpu backends' per-query RNG streams make walks independent of
-	// batch composition, so requests merge into one backend dispatch.
-	// Simulator backends route walks through shared pipelines (and require
-	// unique query IDs), so their requests run back-to-back instead — still
-	// amortizing the session's sampler and configuration.
-	merge := s.cfg.Backend == "cpu" || s.cfg.Backend == "cpu-sharded"
+	// Backends declaring the BatchMerger capability (the cpu family, whose
+	// per-query RNG streams make walks independent of batch composition)
+	// merge requests into one backend dispatch. The rest — simulators
+	// routing walks through shared pipelines, models requiring unique query
+	// IDs — run requests back-to-back instead, still amortizing the
+	// session's sampler and configuration.
+	merge := exec.MergesBatches(s.cfg.Backend)
 	ctx := context.Background()
 	if merge {
 		all := make([]walk.Query, 0, grp.queries)
