@@ -17,6 +17,7 @@ import (
 
 	"ridgewalker"
 	"ridgewalker/internal/bench"
+	"ridgewalker/internal/shard"
 	"ridgewalker/internal/walk"
 )
 
@@ -201,6 +202,68 @@ func BenchmarkShardedThroughput(b *testing.B) {
 	for _, shards := range []int{1, 2, 4, 8} {
 		b.Run(fmt.Sprintf("sharded-%d", shards), func(b *testing.B) {
 			run(b, "cpu-sharded", shards)
+		})
+	}
+}
+
+// BenchmarkShardMigrationAllocs pins the allocation-free migration rings
+// (run with -benchmem): one op is one full Run of a migration-heavy
+// workload on a warmed engine — a directed ring crossing 4 shard
+// boundaries, so every walk migrates several times — and allocs/op must
+// stay at the per-Run bookkeeping constant (a handful: run struct,
+// completion channels, goroutine starts), independent of the thousands
+// of migrations inside the op. allocs/migration is reported explicitly.
+func BenchmarkShardMigrationAllocs(b *testing.B) {
+	const n = 256
+	edges := make([]ridgewalker.Edge, n)
+	for i := range edges {
+		edges[i] = ridgewalker.Edge{Src: ridgewalker.VertexID(i), Dst: ridgewalker.VertexID((i + 1) % n)}
+	}
+	g, err := ridgewalker.NewGraph(n, edges, true)
+	if err != nil {
+		b.Fatal(err)
+	}
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	cfg.WalkLength = 80
+	qs := make([]walk.Query, 1024)
+	for i := range qs {
+		qs[i] = walk.Query{ID: uint32(i), Start: ridgewalker.VertexID(i % n)}
+	}
+	for _, mode := range []struct {
+		name   string
+		cohort int
+	}{{"depth-first", 0}, {"cohort", 32}} {
+		b.Run(mode.name, func(b *testing.B) {
+			p, err := shard.Partition(g, 4)
+			if err != nil {
+				b.Fatal(err)
+			}
+			e, err := shard.NewEngine(g, p, cfg, shard.EngineConfig{Workers: 4, Cohort: mode.cohort})
+			if err != nil {
+				b.Fatal(err)
+			}
+			emit := func(int, walk.Query, []ridgewalker.VertexID, int64) error { return nil }
+			// Warm the mesh pool so the op measures the steady state.
+			if _, err := e.Run(context.Background(), qs, emit); err != nil {
+				b.Fatal(err)
+			}
+			var migrations int64
+			var before, after runtime.MemStats
+			b.ReportAllocs()
+			runtime.ReadMemStats(&before)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stats, err := e.Run(context.Background(), qs, emit)
+				if err != nil {
+					b.Fatal(err)
+				}
+				migrations += stats.Migrations
+			}
+			b.StopTimer()
+			runtime.ReadMemStats(&after)
+			if migrations > 0 {
+				b.ReportMetric(float64(after.Mallocs-before.Mallocs)/float64(migrations), "allocs/migration")
+			}
 		})
 	}
 }

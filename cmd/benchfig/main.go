@@ -2,7 +2,9 @@
 //
 // Usage:
 //
-//	benchfig [-shrink N] [-queries N] [-len N] [-seed N] [-json FILE] all | <id>...
+//	benchfig [-shrink N] [-queries N] [-len N] [-seed N] [-procs LIST]
+//	         [-repeat N] [-json FILE] [-baseline FILE] [-regress-tol F]
+//	         [-regress-abs] all | <id>...
 //
 // Experiment ids: fig3a fig8a fig8b fig8c fig8d fig9a fig9b fig9c fig9d
 // fig10 fig11 tab3 tab4 obs2 micro shard perf. See DESIGN.md §4 for the
@@ -10,27 +12,66 @@
 //
 // -json runs the software-engine perf suite (the "perf" experiment) and
 // additionally writes the machine-readable report to FILE (BENCH.json):
-// backend, algorithm, graph, steps/sec, and allocs per walk, plus
-// pipelined-vs-cpu throughput ratios — the perf trajectory CI records per
-// commit. With -json, listing experiment ids is optional.
+// backend, algorithm, graph, per-GOMAXPROCS steps/sec, allocs per walk,
+// parallel speedups, plus cpu-normalized throughput ratios — the perf
+// trajectory CI records per commit. -procs sets the GOMAXPROCS sweep
+// (default "1,N"). With -json, listing experiment ids is optional.
+//
+// -baseline diffs the fresh report against a previously written one and
+// exits non-zero when any configuration's throughput regresses more than
+// -regress-tol (default 15%). The comparison is cpu-normalized by default
+// so it is meaningful across machines; -regress-abs compares raw
+// steps/sec instead.
 package main
 
 import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
+	"strings"
 	"time"
 
 	"ridgewalker/internal/bench"
 )
+
+// parseProcs parses a comma-separated GOMAXPROCS list ("1,4").
+func parseProcs(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		n, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil || n < 1 {
+			return nil, fmt.Errorf("benchfig: bad -procs entry %q", part)
+		}
+		out = append(out, n)
+	}
+	return out, nil
+}
 
 func main() {
 	shrink := flag.Int("shrink", 3, "scale levels to shrink dataset twins by (0 = DESIGN.md sizes)")
 	queries := flag.Int("queries", 2500, "queries per experiment run")
 	length := flag.Int("len", 80, "maximum walk length")
 	seed := flag.Uint64("seed", 42, "random seed")
+	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the perf suite (default 1,NumCPU)")
+	repeat := flag.Int("repeat", 1, "perf suite measurement repetitions per configuration (best kept)")
 	jsonPath := flag.String("json", "", "run the perf suite and write BENCH.json-style output to this file")
+	baseline := flag.String("baseline", "", "diff the fresh perf report against this BENCH.json and fail on regressions")
+	regressTol := flag.Float64("regress-tol", 0.15, "fractional throughput drop tolerated by -baseline")
+	regressAbs := flag.Bool("regress-abs", false, "compare raw steps/sec instead of cpu-normalized throughput")
 	flag.Parse()
+	procs, err := parseProcs(*procsFlag)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if *baseline != "" && *jsonPath == "" {
+		fmt.Fprintln(os.Stderr, "benchfig: -baseline requires -json (the fresh report to compare)")
+		os.Exit(2)
+	}
 	args := flag.Args()
 	if len(args) == 0 && *jsonPath == "" {
 		fmt.Fprintln(os.Stderr, "usage: benchfig [flags] all | <experiment-id>...")
@@ -66,6 +107,7 @@ func main() {
 	}
 	c := bench.NewContext(bench.Options{
 		Shrink: *shrink, Queries: *queries, WalkLength: *length, Seed: *seed,
+		Procs: procs, Repeat: *repeat,
 	})
 	if *jsonPath != "" {
 		start := time.Now()
@@ -84,6 +126,27 @@ func main() {
 		}
 		fmt.Printf("[perf completed in %v; wrote %s]\n",
 			time.Since(start).Round(time.Millisecond), *jsonPath)
+		if *baseline != "" {
+			old, err := bench.ReadPerfJSON(*baseline)
+			if err != nil {
+				fmt.Fprintf(os.Stderr, "baseline: %v\n", err)
+				os.Exit(1)
+			}
+			regs, compared := bench.ComparePerf(old, rep, *regressTol, *regressAbs)
+			if compared == 0 {
+				fmt.Fprintf(os.Stderr, "baseline: no comparable records between %s and the fresh report (workload mismatch?)\n", *baseline)
+				os.Exit(1)
+			}
+			if len(regs) > 0 {
+				fmt.Fprintf(os.Stderr, "bench regression vs %s (%d records compared):\n", *baseline, compared)
+				for _, r := range regs {
+					fmt.Fprintf(os.Stderr, "  %s\n", r)
+				}
+				os.Exit(1)
+			}
+			fmt.Printf("[bench-regression: %d records within %.0f%% of %s]\n",
+				compared, 100**regressTol, *baseline)
+		}
 	}
 	for _, e := range exps {
 		start := time.Now()

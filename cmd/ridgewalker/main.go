@@ -63,6 +63,7 @@ func run() error {
 	workers := flag.Int("workers", 0, "cpu backend worker-pool size (0 = GOMAXPROCS)")
 	shards := flag.Int("shards", 0, "cpu-sharded/cpu-pipelined partition count (0 = backend default)")
 	cohort := flag.Int("cohort", 0, "cpu-pipelined in-flight walkers per worker (0 = backend default)")
+	hubCache := flag.Int64("hubcache", 0, "cpu-pipelined hub-arena byte budget (0 = off; e.g. 8388608 for 8 MiB)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	serve := flag.Bool("serve", false, "run the workload through the batched serving frontend")
@@ -157,6 +158,7 @@ func run() error {
 			Workers:             *workers,
 			Shards:              *shards,
 			Cohort:              *cohort,
+			HubCacheBytes:       *hubCache,
 			MaxBatch:            *maxBatch,
 			Linger:              *linger,
 			DisableAsync:        *noAsync,
@@ -170,6 +172,7 @@ func run() error {
 		Workers:             *workers,
 		Shards:              *shards,
 		Cohort:              *cohort,
+		HubCacheBytes:       *hubCache,
 		DisableAsync:        *noAsync,
 		DisableDynamicSched: *noSched,
 	})

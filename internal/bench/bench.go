@@ -39,6 +39,16 @@ type Options struct {
 	WalkLength int
 	// Seed drives all generation and sampling.
 	Seed uint64
+	// Procs lists the GOMAXPROCS settings the perf suite sweeps (each
+	// BENCH.json record carries the setting it was measured under). Empty
+	// means {1, NumCPU} deduplicated. Other experiments ignore it.
+	Procs []int
+	// Repeat is the perf suite's measurement repetition count per
+	// configuration; the best (highest-throughput) repetition is recorded,
+	// since downward outliers on shared machines are scheduling noise,
+	// which is exactly what a regression gate must not fire on. 0 means 1.
+	// Other experiments ignore it.
+	Repeat int
 }
 
 // DefaultOptions returns the standard quick configuration. Queries must

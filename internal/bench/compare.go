@@ -1,0 +1,119 @@
+package bench
+
+import (
+	"fmt"
+	"sort"
+)
+
+// ComparePerf diffs a freshly measured PerfReport against a checked-in
+// baseline and reports throughput regressions: every baseline record with
+// a matching fresh record (same graph, workload, backend, algorithm,
+// shards, cohort, and GOMAXPROCS) whose fresh throughput falls more than
+// tol below the baseline produces one regression line. It returns the
+// regression descriptions (empty means pass) and the number of record
+// pairs actually compared — callers should treat zero comparisons as a
+// configuration mismatch, not a pass.
+//
+// By default throughput is compared in cpu-normalized form: each
+// record's steps/sec is divided by the same report's flat-cpu record for
+// the same algorithm and GOMAXPROCS before comparison, so absolute
+// machine speed cancels out and the gate is meaningful across runner
+// generations (a shared-CI runner being 2× slower than the baseline
+// machine does not fail the build, the sharded backend regressing
+// relative to cpu does). absolute switches to raw steps/sec comparison
+// for same-machine trend tracking.
+func ComparePerf(baseline, fresh *PerfReport, tol float64, absolute bool) (regressions []string, compared int) {
+	if tol <= 0 {
+		tol = 0.15
+	}
+	type key struct {
+		graph      string
+		queries    int
+		walkLength int
+		backend    string
+		algorithm  string
+		shards     int
+		cohort     int
+		procs      int
+	}
+	recKey := func(rep *PerfReport, r PerfRecord) key {
+		return key{
+			graph:      r.Graph,
+			queries:    rep.Queries,
+			walkLength: rep.WalkLength,
+			backend:    r.Backend,
+			algorithm:  r.Algorithm,
+			shards:     r.Shards,
+			cohort:     r.Cohort,
+			procs:      r.GoMaxProcs,
+		}
+	}
+	// cpuBase indexes each report's flat-cpu throughput per (algorithm,
+	// procs) for normalization.
+	cpuBase := func(rep *PerfReport) map[[2]interface{}]float64 {
+		m := map[[2]interface{}]float64{}
+		for _, r := range rep.Records {
+			if r.Backend == "cpu" && r.Shards == 0 {
+				m[[2]interface{}{r.Algorithm, r.GoMaxProcs}] = r.StepsPerSec
+			}
+		}
+		return m
+	}
+	baseCPU, freshCPU := cpuBase(baseline), cpuBase(fresh)
+	value := func(r PerfRecord, cpu map[[2]interface{}]float64) (float64, bool) {
+		if absolute {
+			return r.StepsPerSec, true
+		}
+		if r.Backend == "cpu" && r.Shards == 0 {
+			// The normalization anchor is 1.0 by construction; nothing to
+			// compare in normalized mode.
+			return 0, false
+		}
+		b := cpu[[2]interface{}{r.Algorithm, r.GoMaxProcs}]
+		if b <= 0 {
+			return 0, false
+		}
+		return r.StepsPerSec / b, true
+	}
+	freshByKey := map[key]PerfRecord{}
+	for _, r := range fresh.Records {
+		freshByKey[recKey(fresh, r)] = r
+	}
+	var missing []string
+	for _, br := range baseline.Records {
+		fr, ok := freshByKey[recKey(baseline, br)]
+		if !ok {
+			// Record the gap instead of silently narrowing coverage: a
+			// configuration dropped from the sweep would otherwise exit
+			// the gate unnoticed while the remaining matches keep CI
+			// green. Reported as a regression only when the workloads
+			// otherwise overlap (compared > 0) — fully disjoint reports
+			// are the caller's compared==0 mismatch case.
+			missing = append(missing, fmt.Sprintf(
+				"%s %s p%d: present in baseline but missing from the fresh report (configuration dropped from the sweep?)",
+				br.configName(), br.Algorithm, br.GoMaxProcs))
+			continue
+		}
+		bv, bok := value(br, baseCPU)
+		fv, fok := value(fr, freshCPU)
+		if !bok || !fok {
+			continue
+		}
+		compared++
+		if fv < bv*(1-tol) {
+			unit := "×cpu"
+			if absolute {
+				unit = "steps/s"
+			}
+			regressions = append(regressions, fmt.Sprintf(
+				"%s %s p%d: %.3g %s → %.3g %s (%.1f%% drop, tolerance %.0f%%)",
+				br.configName(), br.Algorithm, br.GoMaxProcs,
+				bv, unit, fv, unit, 100*(1-fv/bv), 100*tol))
+		}
+	}
+	if compared > 0 {
+		regressions = append(regressions, missing...)
+	}
+	sort.Strings(regressions)
+	return regressions, compared
+}

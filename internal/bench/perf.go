@@ -30,20 +30,35 @@ func init() {
 // report. Steps/sec is wall-clock software throughput (the paper's
 // MStep/s numerator over elapsed time); AllocsPerWalk is the measured
 // heap-allocation count per served walk on the hot path (paths discarded),
-// which must stay ~0 for the allocation-free engines.
+// which must stay ~0 for the allocation-free engines. GoMaxProcs is the
+// setting the record was measured under (the suite sweeps GOMAXPROCS ∈
+// {1, N}); ParallelSpeedup, present on records with GoMaxProcs > 1, is
+// this record's steps/sec over the same configuration's GOMAXPROCS=1
+// record — the realized multi-core scaling.
 type PerfRecord struct {
-	Backend       string  `json:"backend"`
-	Algorithm     string  `json:"algorithm"`
-	Graph         string  `json:"graph"`
-	Vertices      int     `json:"vertices"`
-	Edges         int64   `json:"edges"`
-	Shards        int     `json:"shards,omitempty"`
-	Cohort        int     `json:"cohort,omitempty"`
-	Queries       int     `json:"queries"`
-	Steps         int64   `json:"steps"`
-	WallSeconds   float64 `json:"wall_seconds"`
-	StepsPerSec   float64 `json:"steps_per_sec"`
-	AllocsPerWalk float64 `json:"allocs_per_walk"`
+	Backend         string  `json:"backend"`
+	Algorithm       string  `json:"algorithm"`
+	Graph           string  `json:"graph"`
+	Vertices        int     `json:"vertices"`
+	Edges           int64   `json:"edges"`
+	Shards          int     `json:"shards,omitempty"`
+	Cohort          int     `json:"cohort,omitempty"`
+	GoMaxProcs      int     `json:"gomaxprocs"`
+	Queries         int     `json:"queries"`
+	Steps           int64   `json:"steps"`
+	WallSeconds     float64 `json:"wall_seconds"`
+	StepsPerSec     float64 `json:"steps_per_sec"`
+	AllocsPerWalk   float64 `json:"allocs_per_walk"`
+	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+}
+
+// configName renders the record's engine configuration compactly
+// ("cpu-pipelined-s4" for the sharded composition).
+func (r PerfRecord) configName() string {
+	if r.Shards > 0 {
+		return fmt.Sprintf("%s-s%d", r.Backend, r.Shards)
+	}
+	return r.Backend
 }
 
 // PerfReport is the BENCH.json schema: the perf trajectory record CI
@@ -56,12 +71,17 @@ type PerfReport struct {
 	Queries    int    `json:"queries"`
 	WalkLength int    `json:"walk_length"`
 	Seed       uint64 `json:"seed"`
-	GoMaxProcs int    `json:"gomaxprocs"`
-	// Records holds one entry per backend × algorithm configuration.
+	// GoMaxProcs is the host's available processor count; Procs lists the
+	// GOMAXPROCS settings the suite swept (each record carries its own).
+	GoMaxProcs int   `json:"gomaxprocs"`
+	Procs      []int `json:"procs"`
+	// Records holds one entry per backend × algorithm × procs
+	// configuration.
 	Records []PerfRecord `json:"records"`
-	// Ratios normalizes key backends to the flat cpu baseline per
-	// algorithm (steps/sec over steps/sec), e.g.
-	// "cpu-pipelined/cpu URW": 1.31.
+	// Ratios normalizes each configuration to the flat cpu baseline per
+	// algorithm at the same GOMAXPROCS (steps/sec over steps/sec), e.g.
+	// "cpu-pipelined/cpu URW": 1.31 (GOMAXPROCS=1) or
+	// "cpu-pipelined-s4/cpu URW @p4": 2.1 (GOMAXPROCS=4).
 	Ratios map[string]float64 `json:"ratios"`
 }
 
@@ -73,13 +93,28 @@ var perfConfigs = []struct {
 }{
 	{backend: "cpu"},
 	{backend: "cpu-sharded"},
+	{backend: "cpu-sharded", shards: 4},
 	{backend: "cpu-pipelined", cohort: exec.DefaultCohort},
+	{backend: "cpu-pipelined", cohort: exec.DefaultCohort, shards: 2},
 	{backend: "cpu-pipelined", cohort: exec.DefaultCohort, shards: 4},
+}
+
+// perfProcs returns the GOMAXPROCS sweep: the configured list, or
+// {1, NumCPU} deduplicated.
+func perfProcs(opts Options) []int {
+	if len(opts.Procs) > 0 {
+		return opts.Procs
+	}
+	if n := runtime.NumCPU(); n > 1 {
+		return []int{1, n}
+	}
+	return []int{1}
 }
 
 // RunPerf measures the software engines on an RMAT graph scaled by
 // Options.Shrink (scale 22 at shrink 0 — the acceptance sweep's graph —
-// down to a CI-friendly size at larger shrinks) and returns the report.
+// down to a CI-friendly size at larger shrinks) across the GOMAXPROCS
+// sweep and returns the report.
 func RunPerf(c *Context) (*PerfReport, error) {
 	scale := 22 - c.Opts.Shrink
 	if scale < 10 {
@@ -90,17 +125,20 @@ func RunPerf(c *Context) (*PerfReport, error) {
 		return nil, err
 	}
 	name := fmt.Sprintf("rmat-%d-graph500", scale)
+	procs := perfProcs(c.Opts)
 	rep := &PerfReport{
-		Schema:     1,
+		Schema:     2,
 		Graph:      name,
 		Vertices:   g.NumVertices,
 		Edges:      g.NumEdges(),
 		WalkLength: c.Opts.WalkLength,
 		Seed:       c.Opts.Seed,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
+		GoMaxProcs: runtime.NumCPU(),
+		Procs:      procs,
 		Ratios:     map[string]float64{},
 	}
-	base := map[string]float64{} // algorithm → flat cpu steps/sec
+	prev := runtime.GOMAXPROCS(0)
+	defer runtime.GOMAXPROCS(prev)
 	for _, alg := range []walk.Algorithm{walk.URW, walk.DeepWalk} {
 		gw := g
 		if alg == walk.DeepWalk {
@@ -114,28 +152,74 @@ func RunPerf(c *Context) (*PerfReport, error) {
 			return nil, err
 		}
 		rep.Queries = len(qs)
-		for _, pc := range perfConfigs {
-			rec, err := measure(pc.backend, gw, wcfg, qs, pc.shards, pc.cohort)
-			if err != nil {
-				return nil, err
-			}
-			rec.Graph, rec.Vertices, rec.Edges = name, g.NumVertices, g.NumEdges()
-			rep.Records = append(rep.Records, rec)
-			if pc.backend == "cpu" {
-				base[rec.Algorithm] = rec.StepsPerSec
-			} else if b := base[rec.Algorithm]; b > 0 && pc.shards == 0 {
-				rep.Ratios[fmt.Sprintf("%s/cpu %s", pc.backend, rec.Algorithm)] =
-					rec.StepsPerSec / b
+		for _, p := range procs {
+			runtime.GOMAXPROCS(p)
+			for _, pc := range perfConfigs {
+				rec, err := measure(pc.backend, gw, wcfg, qs, pc.shards, pc.cohort, c.Opts.Repeat)
+				if err != nil {
+					runtime.GOMAXPROCS(prev)
+					return nil, err
+				}
+				rec.Graph, rec.Vertices, rec.Edges = name, g.NumVertices, g.NumEdges()
+				rep.Records = append(rep.Records, rec)
 			}
 		}
 	}
+	runtime.GOMAXPROCS(prev)
+	finishReport(rep)
 	return rep, nil
 }
 
-// measure runs one backend configuration once (after a small warm-up
-// batch that also triggers lazy setup) and records wall-clock throughput
-// and per-walk allocations.
-func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, shards, cohort int) (PerfRecord, error) {
+// finishReport derives the cpu-normalized ratios and the per-record
+// parallel speedups from the raw records.
+func finishReport(rep *PerfReport) {
+	type baseKey struct {
+		alg   string
+		procs int
+	}
+	base := map[baseKey]float64{} // flat cpu steps/sec per (algorithm, procs)
+	type cfgKey struct {
+		backend string
+		alg     string
+		shards  int
+		cohort  int
+	}
+	single := map[cfgKey]float64{} // GOMAXPROCS=1 steps/sec per configuration
+	for _, r := range rep.Records {
+		if r.Backend == "cpu" && r.Shards == 0 {
+			base[baseKey{r.Algorithm, r.GoMaxProcs}] = r.StepsPerSec
+		}
+		if r.GoMaxProcs == 1 {
+			single[cfgKey{r.Backend, r.Algorithm, r.Shards, r.Cohort}] = r.StepsPerSec
+		}
+	}
+	for i := range rep.Records {
+		r := &rep.Records[i]
+		if b := base[baseKey{r.Algorithm, r.GoMaxProcs}]; b > 0 && !(r.Backend == "cpu" && r.Shards == 0) {
+			key := fmt.Sprintf("%s/cpu %s", r.configName(), r.Algorithm)
+			if r.GoMaxProcs > 1 {
+				key += fmt.Sprintf(" @p%d", r.GoMaxProcs)
+			}
+			rep.Ratios[key] = r.StepsPerSec / b
+		}
+		if r.GoMaxProcs > 1 {
+			if s := single[cfgKey{r.Backend, r.Algorithm, r.Shards, r.Cohort}]; s > 0 {
+				r.ParallelSpeedup = r.StepsPerSec / s
+			}
+		}
+	}
+}
+
+// measure runs one backend configuration (after a small warm-up batch
+// that also triggers lazy setup) and records wall-clock throughput and
+// per-walk allocations under the current GOMAXPROCS. With repeat > 1 the
+// batch is measured that many times and the best repetition is kept —
+// downward outliers on shared machines are scheduling noise, which the
+// regression gate must not mistake for a code regression.
+func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, shards, cohort, repeat int) (PerfRecord, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
 	ses, err := exec.Open(backend, g, exec.Config{
 		Walk: wcfg, Shards: shards, Cohort: cohort, DiscardPaths: true,
 	})
@@ -150,35 +234,47 @@ func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, sh
 	if _, err := ses.Run(context.Background(), exec.Batch{Queries: qs[:warm]}); err != nil {
 		return PerfRecord{}, err
 	}
-	var before, after runtime.MemStats
-	runtime.ReadMemStats(&before)
-	start := time.Now()
-	res, err := ses.Run(context.Background(), exec.Batch{Queries: qs})
-	el := time.Since(start)
-	runtime.ReadMemStats(&after)
-	if err != nil {
-		return PerfRecord{}, err
+	best := PerfRecord{
+		Backend:    backend,
+		Algorithm:  wcfg.Algorithm.String(),
+		Shards:     shards,
+		Cohort:     cohort,
+		GoMaxProcs: runtime.GOMAXPROCS(0),
+		Queries:    len(qs),
 	}
-	return PerfRecord{
-		Backend:       backend,
-		Algorithm:     wcfg.Algorithm.String(),
-		Shards:        shards,
-		Cohort:        cohort,
-		Queries:       len(qs),
-		Steps:         res.Steps,
-		WallSeconds:   el.Seconds(),
-		StepsPerSec:   float64(res.Steps) / el.Seconds(),
-		AllocsPerWalk: float64(after.Mallocs-before.Mallocs) / float64(len(qs)),
-	}, nil
+	for i := 0; i < repeat; i++ {
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		start := time.Now()
+		res, err := ses.Run(context.Background(), exec.Batch{Queries: qs})
+		el := time.Since(start)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			return PerfRecord{}, err
+		}
+		sps := float64(res.Steps) / el.Seconds()
+		if sps > best.StepsPerSec {
+			best.Steps = res.Steps
+			best.WallSeconds = el.Seconds()
+			best.StepsPerSec = sps
+			best.AllocsPerWalk = float64(after.Mallocs-before.Mallocs) / float64(len(qs))
+		}
+	}
+	return best, nil
 }
 
 // WritePerfTable renders the report as the usual aligned text table.
 func WritePerfTable(rep *PerfReport, w io.Writer) error {
-	t := newTable(w, fmt.Sprintf("Software-engine perf — %s (%d vertices, %d edges), %d queries × len %d",
-		rep.Graph, rep.Vertices, rep.Edges, rep.Queries, rep.WalkLength))
-	t.row("backend", "alg", "shards", "cohort", "MStep/s", "allocs/walk")
+	t := newTable(w, fmt.Sprintf("Software-engine perf — %s (%d vertices, %d edges), %d queries × len %d, procs %v",
+		rep.Graph, rep.Vertices, rep.Edges, rep.Queries, rep.WalkLength, rep.Procs))
+	t.row("backend", "alg", "shards", "cohort", "procs", "MStep/s", "allocs/walk", "speedup")
 	for _, r := range rep.Records {
-		t.row(r.Backend, r.Algorithm, r.Shards, r.Cohort, r.StepsPerSec/1e6, r.AllocsPerWalk)
+		speedup := "-"
+		if r.ParallelSpeedup > 0 {
+			speedup = fmt.Sprintf("%.2fx", r.ParallelSpeedup)
+		}
+		t.row(r.Backend, r.Algorithm, r.Shards, r.Cohort, r.GoMaxProcs,
+			r.StepsPerSec/1e6, r.AllocsPerWalk, speedup)
 	}
 	if err := t.flush(); err != nil {
 		return err
@@ -201,4 +297,17 @@ func WritePerfJSON(rep *PerfReport, path string) error {
 		return err
 	}
 	return os.WriteFile(path, append(data, '\n'), 0o644)
+}
+
+// ReadPerfJSON loads a previously written BENCH.json report.
+func ReadPerfJSON(path string) (*PerfReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	rep := &PerfReport{}
+	if err := json.Unmarshal(data, rep); err != nil {
+		return nil, fmt.Errorf("bench: parse %s: %w", path, err)
+	}
+	return rep, nil
 }

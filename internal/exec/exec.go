@@ -65,6 +65,20 @@ type Config struct {
 	// walks. 0 means the backend default (64). Other backends ignore it.
 	Cohort int
 
+	// HubCacheBytes, when positive, sizes the degree-aware hub arena the
+	// cpu-pipelined backend builds over the graph: the highest-degree
+	// rows are copied, hub-first and cache-line aligned, into one compact
+	// block served to the cohort Gather stage (graph.Layout), so the hot
+	// rows of a power-law walk live in a cache-resident arena instead of
+	// being scattered across the full CSR. The layout is content-
+	// identical to the CSR, so results are unaffected. 0 (the default)
+	// leaves the arena off: it is designed for multi-core runs where
+	// shard workers contend for the last-level cache, and measures
+	// neutral-to-slightly-negative on single-core hosts whose hub rows
+	// are already LLC-resident in place (see graph.Layout). Other
+	// backends ignore it.
+	HubCacheBytes int64
+
 	// DiscardPaths drops per-query paths from Run results (throughput
 	// studies on large workloads). Stream never accumulates paths.
 	DiscardPaths bool

@@ -59,6 +59,13 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cohort == 0 {
 		cohort = DefaultCohort
 	}
+	// The degree-aware hub arena (opt-in via HubCacheBytes) serves the
+	// cohort Gather stage in both the sharded and unsharded compositions;
+	// content identity with the CSR keeps trajectories byte-identical.
+	var lay *graph.Layout
+	if cfg.HubCacheBytes > 0 {
+		lay = graph.NewLayout(g, cfg.HubCacheBytes)
+	}
 	if cfg.Shards > 0 {
 		// Sharding × pipelining: per-shard workers run the cohort stepper.
 		part, err := shard.Partition(g, cfg.Shards)
@@ -68,6 +75,7 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 		eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{
 			Workers: cfg.Workers,
 			Cohort:  cohort,
+			Layout:  lay,
 		})
 		if err != nil {
 			return nil, err
@@ -88,6 +96,9 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 		p, err := walk.NewPipelineWithSampler(g, cfg.Walk, sampler, cohort)
 		if err != nil {
 			return nil, err
+		}
+		if lay != nil {
+			p.SetLayout(lay)
 		}
 		s.pipes[i] = p
 	}

@@ -1,0 +1,197 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+)
+
+// DefaultHubArenaBytes is the default neighbor-row byte budget of a
+// Layout's hub arena. Sized to sit inside a commodity last-level cache
+// with room to spare for walker state, matching the resident-hub budget
+// the shard partitioner assumes stays hot on every core.
+const DefaultHubArenaBytes = 8 << 20
+
+// layoutAlign is the row alignment of the hub arena in Col entries:
+// 16 × 4-byte vertex ids = one 64-byte cache line, so a hub row never
+// shares its first cache line with the tail of the previous row.
+const layoutAlign = 16
+
+// Packed row-locator layout: offset(40) | degree(23) | arena(1).
+// 2^40 Col entries (1T edges) and 2^23 max degree (8.4M) comfortably
+// exceed every graph this repository generates; NewLayout degrades to a
+// plain CSR view if a graph ever breaks them.
+const (
+	locArenaBit = 1
+	locDegShift = 1
+	locDegBits  = 23
+	locDegMask  = 1<<locDegBits - 1
+	locOffShift = locDegShift + locDegBits
+	locMaxOff   = 1 << 40
+)
+
+// Layout is a degree-aware physical rearrangement of a CSR's neighbor
+// rows: the highest-degree (hub) rows are copied — hub-first, in
+// descending degree order, each row aligned to a cache-line boundary —
+// into one compact contiguous arena, while every other row is read from
+// the parent CSR in place. A single packed row-locator word per vertex
+// (offset, degree, which array) replaces the CSR's two row-pointer
+// loads, so serving a row through the layout costs one array lookup —
+// never more than the CSR itself — and hub rows come out of a block
+// small enough to stay cache-resident.
+//
+// Random walks on power-law graphs concentrate their hops on hubs, but
+// in vertex-id order those rows are scattered across the full Col array;
+// packing them into a few megabytes turns the hot working set from
+// "sparse lines across hundreds of MB" into "one arena that fits in the
+// last-level cache", which is what lets every shard worker of the
+// partitioned engines behave like a dedicated memory channel instead of
+// thrashing a shared one (the software shadow of RidgeWalker's
+// per-HBM-channel graph slices).
+//
+// A Layout changes only where bytes live, never what they are: for every
+// vertex, Row returns exactly the parent CSR's neighbor list — same
+// values, same order — so engines reading rows through a Layout produce
+// byte-identical trajectories to engines reading the CSR directly. A
+// Layout is immutable after construction and safe for concurrent use.
+type Layout struct {
+	g *CSR
+	// loc[v] is v's packed row locator; nil when the graph exceeds the
+	// packing limits (Row then falls back to the CSR).
+	loc []uint64
+	// col is the hub arena: copied rows, hub-first, cache-line aligned.
+	col []VertexID
+
+	// Hubs is the number of rows copied into the arena.
+	Hubs int
+	// HubBytes is the arena footprint in bytes (padding included).
+	HubBytes int64
+	// Threshold is the minimum degree a row needed to qualify as a hub
+	// (0 when no row qualified).
+	Threshold int
+}
+
+// NewLayout builds a degree-aware layout over g with the given arena
+// byte budget (0 means DefaultHubArenaBytes; negative disables the
+// arena). Rows with at least 4× the average degree qualify as hubs — on
+// uniform-degree graphs nothing qualifies and the layout degenerates to
+// a zero-cost view of g — and are copied in descending degree order
+// until the budget is spent.
+func NewLayout(g *CSR, budgetBytes int64) *Layout {
+	if budgetBytes == 0 {
+		budgetBytes = DefaultHubArenaBytes
+	}
+	l := &Layout{g: g}
+	if int64(len(g.Col)) >= locMaxOff || (g.NumVertices > 0 && g.MaxDegree() > locDegMask) {
+		return l // beyond packing limits: plain CSR view
+	}
+	// Hub selection (before locator packing, so hub rows point at the
+	// arena from the start).
+	arenaOff := make(map[VertexID]int64)
+	if g.NumVertices > 0 && g.NumEdges() > 0 && budgetBytes > 0 {
+		threshold := 4 * int(g.NumEdges()/int64(g.NumVertices))
+		if threshold < 4 {
+			threshold = 4
+		}
+		type hub struct {
+			v   VertexID
+			deg int
+		}
+		var hubs []hub
+		for v := 0; v < g.NumVertices; v++ {
+			if d := g.Degree(VertexID(v)); d >= threshold {
+				hubs = append(hubs, hub{VertexID(v), d})
+			}
+		}
+		sort.Slice(hubs, func(i, j int) bool {
+			if hubs[i].deg != hubs[j].deg {
+				return hubs[i].deg > hubs[j].deg
+			}
+			return hubs[i].v < hubs[j].v // deterministic arena order
+		})
+		var entries int64
+		for _, h := range hubs {
+			padded := (int64(h.deg) + layoutAlign - 1) / layoutAlign * layoutAlign
+			if (entries+padded)*4 > budgetBytes {
+				break
+			}
+			arenaOff[h.v] = entries
+			entries += padded
+		}
+		if len(arenaOff) > 0 {
+			l.col = make([]VertexID, entries)
+			for v, at := range arenaOff {
+				copy(l.col[at:], g.Neighbors(v))
+			}
+			l.Hubs = len(arenaOff)
+			l.HubBytes = entries * 4
+			l.Threshold = threshold
+		}
+	}
+	l.loc = make([]uint64, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		id := VertexID(v)
+		deg := uint64(g.RowPtr[v+1] - g.RowPtr[v])
+		if at, ok := arenaOff[id]; ok {
+			l.loc[v] = uint64(at)<<locOffShift | deg<<locDegShift | locArenaBit
+		} else {
+			l.loc[v] = uint64(g.RowPtr[v])<<locOffShift | deg<<locDegShift
+		}
+	}
+	return l
+}
+
+// Graph returns the parent CSR.
+func (l *Layout) Graph() *CSR { return l.g }
+
+// Row returns v's neighbor list — content-identical to
+// l.Graph().Neighbors(v) — with one packed-locator load: hub rows come
+// from the arena, the rest from the CSR in place. The slice aliases
+// layout or graph storage and must not be modified.
+func (l *Layout) Row(v VertexID) []VertexID {
+	if l.loc == nil {
+		return l.g.Col[l.g.RowPtr[v]:l.g.RowPtr[v+1]]
+	}
+	p := l.loc[v]
+	off := p >> locOffShift
+	deg := p >> locDegShift & locDegMask
+	if p&locArenaBit != 0 {
+		return l.col[off : off+deg]
+	}
+	return l.g.Col[off : off+deg]
+}
+
+// Locate returns v's row location with one packed-locator load: the
+// offset into Arena() (inArena true) or into the CSR's Col (inArena
+// false), and the row's degree. Hot-loop form of Row for engines that
+// keep scalar per-lane state.
+func (l *Layout) Locate(v VertexID) (off int64, deg int32, inArena bool) {
+	if l.loc == nil {
+		lo, hi := l.g.RowPtr[v], l.g.RowPtr[v+1]
+		return lo, int32(hi - lo), false
+	}
+	p := l.loc[v]
+	return int64(p >> locOffShift), int32(p >> locDegShift & locDegMask), p&locArenaBit != 0
+}
+
+// Arena exposes the hub arena backing store for engines that index rows
+// via Locate. The slice must not be modified.
+func (l *Layout) Arena() []VertexID { return l.col }
+
+// Neighbors is Row (kept for symmetry with CSR.Neighbors).
+func (l *Layout) Neighbors(v VertexID) []VertexID { return l.Row(v) }
+
+// IsHub reports whether v's row is served from the arena.
+func (l *Layout) IsHub(v VertexID) bool {
+	return l.loc != nil && l.loc[v]&locArenaBit != 0
+}
+
+// arenaOffset returns v's arena offset (tests only; v must be a hub).
+func (l *Layout) arenaOffset(v VertexID) int64 {
+	return int64(l.loc[v] >> locOffShift)
+}
+
+// String summarizes the layout for logs and CLI output.
+func (l *Layout) String() string {
+	return fmt.Sprintf("graph.Layout{hubs=%d arena=%dKiB threshold=%d}",
+		l.Hubs, l.HubBytes>>10, l.Threshold)
+}

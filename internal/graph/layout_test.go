@@ -1,0 +1,154 @@
+package graph
+
+import (
+	"reflect"
+	"testing"
+)
+
+// starGraph builds a hub (vertex 0) pointing at every other vertex, plus
+// a sparse chain among the leaves, giving one obvious hub row.
+func starGraph(t *testing.T, n int) *CSR {
+	t.Helper()
+	var edges []Edge
+	for v := 1; v < n; v++ {
+		edges = append(edges, Edge{Src: 0, Dst: VertexID(v)})
+		edges = append(edges, Edge{Src: VertexID(v), Dst: VertexID((v % (n - 1)) + 1)})
+	}
+	g, err := Build(n, edges, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return g
+}
+
+// TestLayoutContentIdentity is the load-bearing property: a Layout must
+// never change a neighbor list's content or order, for hub and non-hub
+// rows alike — engines reading rows through it stay byte-identical.
+func TestLayoutContentIdentity(t *testing.T) {
+	g, err := GenerateRMAT(Graph500(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLayout(g, 0)
+	if l.Hubs == 0 {
+		t.Fatal("RMAT graph produced no hub rows")
+	}
+	hubServed := 0
+	for v := 0; v < g.NumVertices; v++ {
+		id := VertexID(v)
+		got, want := l.Neighbors(id), g.Neighbors(id)
+		if len(got) != len(want) {
+			t.Fatalf("vertex %d: layout row len %d, want %d", v, len(got), len(want))
+		}
+		if len(want) > 0 && !reflect.DeepEqual(got, want) {
+			t.Fatalf("vertex %d: layout row differs from CSR row", v)
+		}
+		if l.IsHub(id) {
+			hubServed++
+		}
+	}
+	if hubServed != l.Hubs {
+		t.Fatalf("IsHub count %d, want %d", hubServed, l.Hubs)
+	}
+}
+
+// TestLayoutHubFirstAligned pins the arena's physical shape: rows in
+// descending degree order, each starting on a cache-line boundary.
+func TestLayoutHubFirstAligned(t *testing.T) {
+	g := starGraph(t, 512)
+	l := NewLayout(g, 0)
+	if l.Hubs == 0 {
+		t.Fatal("star graph produced no hub rows")
+	}
+	type row struct {
+		off int64
+		deg int
+	}
+	var rows []row
+	for v := 0; v < g.NumVertices; v++ {
+		if l.IsHub(VertexID(v)) {
+			rows = append(rows, row{l.arenaOffset(VertexID(v)), g.Degree(VertexID(v))})
+		}
+	}
+	for _, r := range rows {
+		if r.off%layoutAlign != 0 {
+			t.Fatalf("hub row at arena offset %d is not %d-entry aligned", r.off, layoutAlign)
+		}
+	}
+	for i := 1; i < len(rows); i++ {
+		lo, hi := rows[i-1], rows[i]
+		if lo.off > hi.off {
+			lo, hi = hi, lo
+		}
+		if g := hi.off - lo.off; g < int64(lo.deg) {
+			t.Fatalf("arena rows overlap: offsets %d(+%d) and %d", lo.off, lo.deg, hi.off)
+		}
+	}
+	// Hub-first: arena order must be descending degree.
+	byOff := append([]row(nil), rows...)
+	for i := range byOff {
+		for j := i + 1; j < len(byOff); j++ {
+			if byOff[j].off < byOff[i].off {
+				byOff[i], byOff[j] = byOff[j], byOff[i]
+			}
+		}
+	}
+	for i := 1; i < len(byOff); i++ {
+		if byOff[i].deg > byOff[i-1].deg {
+			t.Fatalf("arena order not hub-first: degree %d after %d", byOff[i].deg, byOff[i-1].deg)
+		}
+	}
+}
+
+// TestLayoutBudget pins the budget bound and the disable switch.
+func TestLayoutBudget(t *testing.T) {
+	g, err := GenerateRMAT(Graph500(10, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full := NewLayout(g, 0)
+	small := NewLayout(g, 1<<12)
+	if small.HubBytes > 1<<12 {
+		t.Fatalf("arena %d bytes exceeds 4KiB budget", small.HubBytes)
+	}
+	if full.Hubs > 0 && small.Hubs >= full.Hubs && full.HubBytes > 1<<12 {
+		t.Fatalf("small budget kept %d hubs, full budget %d", small.Hubs, full.Hubs)
+	}
+	off := NewLayout(g, -1)
+	if off.Hubs != 0 || off.HubBytes != 0 {
+		t.Fatalf("negative budget must disable the arena, got %v", off)
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		if !reflect.DeepEqual(off.Neighbors(VertexID(v)), g.Neighbors(VertexID(v))) &&
+			g.Degree(VertexID(v)) > 0 {
+			t.Fatalf("disabled layout row %d differs from CSR", v)
+		}
+	}
+}
+
+// TestLayoutDegenerate covers graphs where nothing qualifies.
+func TestLayoutDegenerate(t *testing.T) {
+	empty := &CSR{NumVertices: 0, RowPtr: []int64{0}}
+	if l := NewLayout(empty, 0); l.Hubs != 0 {
+		t.Fatal("empty graph produced hubs")
+	}
+	// Uniform out-degree 1 ring: no vertex reaches 4× the average degree.
+	n := 64
+	edges := make([]Edge, n)
+	for i := range edges {
+		edges[i] = Edge{Src: VertexID(i), Dst: VertexID((i + 1) % n)}
+	}
+	ring, err := Build(n, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	l := NewLayout(ring, 0)
+	if l.Hubs != 0 {
+		t.Fatalf("uniform-degree ring produced %d hubs", l.Hubs)
+	}
+	for v := 0; v < n; v++ {
+		if !reflect.DeepEqual(l.Neighbors(VertexID(v)), ring.Neighbors(VertexID(v))) {
+			t.Fatalf("degenerate layout row %d differs from CSR", v)
+		}
+	}
+}

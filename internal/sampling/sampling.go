@@ -58,8 +58,24 @@ type Context struct {
 	Prev graph.VertexID
 	// HasPrev is false on the first hop, before any previous vertex exists.
 	HasPrev bool
+	// Deg, when positive, is Cur's already-known out-degree. Engines that
+	// fetch the row before sampling (the cohort Gather stage, Advance)
+	// set it so degree-only samplers (uniform, rejection proposals) never
+	// reload row pointers. 0 means unknown. The Context stays pass-by-
+	// value small (24 bytes) on purpose: it crosses an interface call per
+	// hop on the hottest loop in the repository.
+	Deg int32
 	// Step is the hop index within the walk (0-based).
 	Step int
+}
+
+// degree returns the out-degree of ctx.Cur, preferring the pre-gathered
+// field.
+func (ctx *Context) degree(g *graph.CSR) int {
+	if ctx.Deg > 0 {
+		return int(ctx.Deg)
+	}
+	return g.Degree(ctx.Cur)
 }
 
 // Result is the outcome of one sampling decision.

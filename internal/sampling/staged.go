@@ -78,7 +78,7 @@ func AsStaged(s Sampler) (StagedSampler, bool) {
 
 // Propose implements StagedSampler: one uniform draw, always final.
 func (Uniform) Propose(g *graph.CSR, ctx Context, _ Candidate, r *rng.Stream) Candidate {
-	return Candidate{Index: r.Intn(g.Degree(ctx.Cur)), Probes: 1, Final: true}
+	return Candidate{Index: r.Intn(ctx.degree(g)), Probes: 1, Final: true}
 }
 
 // Accept implements StagedSampler (never reached: proposals are final).
@@ -100,7 +100,7 @@ func (s *AliasSampler) Accept(*graph.CSR, Context, Candidate, *rng.Stream) bool 
 // Propose implements StagedSampler: draw one uniform candidate per trip.
 // The first hop has no previous vertex and is unbiased, hence final.
 func (s *Rejection) Propose(g *graph.CSR, ctx Context, prev Candidate, r *rng.Stream) Candidate {
-	deg := g.Degree(ctx.Cur)
+	deg := ctx.degree(g)
 	if !ctx.HasPrev {
 		return Candidate{Index: r.Intn(deg), Probes: 1, Final: true}
 	}

@@ -19,16 +19,16 @@ type EngineConfig struct {
 	// pool gets max(1, Workers/K) goroutines, so the actual total is at
 	// least K. 0 means runtime.GOMAXPROCS(0).
 	Workers int
-	// MigrateBatch is the walker hand-off batch size: a worker accumulates
-	// walkers bound for the same destination shard and delivers them as one
-	// mailbox message, so migration costs one channel send per batch
-	// instead of per step. 0 means 64.
+	// MigrateBatch is retained for configuration compatibility and is
+	// ignored: the SPSC migration rings hand walkers off as individual
+	// record copies (cheaper than one channel send), and doorbell
+	// notifications are coalesced per drain pass, so there is no batch
+	// size left to tune.
 	MigrateBatch int
 	// MaxInflight caps the walkers concurrently in flight across all
-	// shards. It bounds the per-run state pool (each walker owns a path
-	// buffer and RNG stream) and sizes every mailbox so hand-off sends can
-	// never block — the structural property that makes the migration mesh
-	// deadlock-free. 0 means 4096.
+	// shards. It sizes the engine's walker-record pool: each record owns
+	// a path buffer and RNG stream, recycled through the mesh's free
+	// rings for the engine's lifetime. 0 means 4096.
 	MaxInflight int
 	// Cohort switches the per-shard workers from depth-first advancement
 	// to the step-interleaved cohort pipeline (walk.Cohort): each worker
@@ -37,17 +37,29 @@ type EngineConfig struct {
 	// across walkers. Walkers still migrate on boundary crossings with
 	// identical trajectories. 0 keeps depth-first advancement.
 	Cohort int
+	// RingCapacity caps each SPSC migration ring (walker records per
+	// producer→consumer worker pair). A full ring never blocks and never
+	// drops: the holding worker advances the walker in place until the
+	// consumer drains — lossless backpressure with identical trajectories
+	// (a walk's path never depends on which worker advances it). 0 means
+	// 512.
+	RingCapacity int
+	// Layout optionally serves cohort Gather reads through a degree-aware
+	// graph.Layout (hub rows in a compact cache-resident arena). It must
+	// be built over the engine's graph; content identity makes it
+	// trajectory-neutral. Ignored when Cohort == 0.
+	Layout *graph.Layout
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
 	if c.Workers == 0 {
 		c.Workers = runtime.GOMAXPROCS(0)
 	}
-	if c.MigrateBatch == 0 {
-		c.MigrateBatch = 64
-	}
 	if c.MaxInflight == 0 {
 		c.MaxInflight = 4096
+	}
+	if c.RingCapacity == 0 {
+		c.RingCapacity = 512
 	}
 	return c
 }
@@ -55,11 +67,16 @@ func (c EngineConfig) withDefaults() EngineConfig {
 // RunStats reports one Run's migration traffic.
 type RunStats struct {
 	// Migrations counts cross-shard walker hand-offs (one walker crossing
-	// one partition boundary).
+	// one partition boundary and being delivered to the owning shard).
 	Migrations int64
-	// HandoffBatches counts mailbox messages delivered; Migrations divided
-	// by HandoffBatches is the realized migration batching factor.
+	// HandoffBatches counts doorbell flushes that published at least one
+	// migrated walker; Migrations divided by HandoffBatches is the
+	// realized migration batching factor.
 	HandoffBatches int64
+	// RingStalls counts hand-off attempts that found the destination ring
+	// full; each stalled walker was advanced in place instead (lossless
+	// backpressure), so stalls cost locality, never correctness.
+	RingStalls int64
 }
 
 // EmitFunc receives one finished walk: the query's position in the input
@@ -72,8 +89,14 @@ type EmitFunc func(index int, q walk.Query, path []graph.VertexID, steps int64) 
 // Engine executes walk batches over a partitioned graph. Each shard owns
 // a worker pool that advances only walkers currently standing on its
 // vertices; when a hop crosses a partition boundary the walker — its
-// resumable walk.State, path buffer, and RNG stream — is staged and
-// handed to the owning shard's mailbox in batches.
+// resumable walk.State, path buffer, and RNG stream — is copied as one
+// flat record into the fixed-capacity SPSC migration ring joining the
+// two workers. Rings replace the earlier per-message mailbox channels:
+// a hand-off is a single struct copy ordered by one atomic store, there
+// is no per-walker boxing or per-batch slice allocation, and the whole
+// fabric (rings, walker records, path buffers, worker scratch, cohort
+// lanes) is pooled per engine, so steady-state migration performs zero
+// heap allocations.
 //
 // Sampling always reads the global CSR, not the per-shard views:
 // second-order samplers touch rows outside the current shard (Node2Vec's
@@ -81,16 +104,19 @@ type EmitFunc func(index int, q walk.Query, path []graph.VertexID, steps int64) 
 // cross-shard neighbors), so shard-local row storage cannot serve them.
 // The engine's locality comes from grouping walkers by owning shard —
 // each worker's accesses concentrate in its partition's slice of the
-// global arrays; the Shard CSR views serve partition statistics and
-// tooling.
+// global arrays (plus the shared hub arena when a Layout is configured);
+// the Shard CSR views serve partition statistics and tooling.
 //
 // Results are byte-identical to the unsharded engines for the same seed:
 // a walker's RNG stream is keyed by its query ID exactly as walk.Run's,
 // and its state travels with it, so the trajectory never depends on shard
-// count, worker interleaving, or migration order.
+// count, worker interleaving, migration order, or backpressure (a walker
+// advanced in place because a ring was full takes the same path it would
+// have taken after migrating).
 //
-// An Engine holds only immutable workload state (graph, partitioning,
-// sampler); Run calls are independent and safe to issue concurrently.
+// An Engine holds only immutable workload state plus a mesh cache; Run
+// calls are independent and safe to issue concurrently (each Run draws
+// its own mesh).
 type Engine struct {
 	g       *graph.CSR
 	part    *Partitioning
@@ -98,7 +124,20 @@ type Engine struct {
 	sampler sampling.Sampler
 	src     *rng.Source
 	cfg     EngineConfig
+
+	// meshes caches up to meshCacheCap idle migration fabrics. A plain
+	// bounded stack rather than a sync.Pool: pools are GC-evictable (and
+	// deliberately lossy under the race detector), which would charge a
+	// full mesh rebuild — thousands of allocations — to whichever Run the
+	// collector happened to precede. Steady-state reuse must be
+	// deterministic for the 0-alloc migration guarantee to mean anything.
+	meshMu sync.Mutex
+	meshes []*mesh
 }
+
+// meshCacheCap bounds idle cached meshes (concurrent Runs beyond it
+// build transient meshes that are dropped on completion).
+const meshCacheCap = 4
 
 // NewEngine binds a partitioned graph and a walk configuration,
 // constructing the sampler once.
@@ -108,6 +147,12 @@ func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig
 	}
 	if cfg.Cohort < 0 {
 		return nil, fmt.Errorf("shard: cohort %d, want >= 0", cfg.Cohort)
+	}
+	if cfg.RingCapacity < 0 {
+		return nil, fmt.Errorf("shard: ring capacity %d, want >= 0", cfg.RingCapacity)
+	}
+	if cfg.Layout != nil && cfg.Layout.Graph() != g {
+		return nil, fmt.Errorf("shard: layout built over a different graph")
 	}
 	sampler, err := walk.BuildSampler(g, wcfg)
 	if err != nil {
@@ -128,6 +173,29 @@ func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig
 	}, nil
 }
 
+// getMesh draws an idle mesh from the cache or builds one.
+func (e *Engine) getMesh() *mesh {
+	e.meshMu.Lock()
+	if n := len(e.meshes); n > 0 {
+		m := e.meshes[n-1]
+		e.meshes[n-1] = nil
+		e.meshes = e.meshes[:n-1]
+		e.meshMu.Unlock()
+		return m
+	}
+	e.meshMu.Unlock()
+	return newMesh(e)
+}
+
+// putMesh returns a mesh to the cache (dropped beyond the cap).
+func (e *Engine) putMesh(m *mesh) {
+	e.meshMu.Lock()
+	if len(e.meshes) < meshCacheCap {
+		e.meshes = append(e.meshes, m)
+	}
+	e.meshMu.Unlock()
+}
+
 // Partitioning returns the engine's graph partitioning.
 func (e *Engine) Partitioning() *Partitioning { return e.part }
 
@@ -140,27 +208,12 @@ func (e *Engine) WorkersPerShard() int {
 	return w
 }
 
-// walker is one in-flight walk: resumable state, a reused path buffer
-// (inside st), the query-keyed RNG stream, and the batch slot to report
-// into. Walkers are recycled through the run's free list.
-type walker struct {
-	q   walk.Query
-	idx int
-	st  walk.State
-	r   rng.Stream
-}
-
-// run is the per-Run execution state.
+// run is the per-Run execution state; the heavy structures live in the
+// pooled mesh.
 type run struct {
 	eng *Engine
+	m   *mesh
 	fn  EmitFunc
-
-	// mail[s] delivers walker batches to shard s. Capacity MaxInflight
-	// batches: every in-flight walker sits in at most one batch, so sends
-	// can never block and the migration mesh cannot deadlock.
-	mail []chan []*walker
-	// free recycles walker state; it bounds walkers in flight.
-	free chan *walker
 
 	remaining atomic.Int64
 	doneCh    chan struct{} // closed when remaining hits 0
@@ -170,6 +223,7 @@ type run struct {
 
 	migrations atomic.Int64
 	handoffs   atomic.Int64
+	stalls     atomic.Int64
 	wg         sync.WaitGroup
 }
 
@@ -191,84 +245,46 @@ func (r *run) aborted() bool {
 	}
 }
 
-// send delivers a staged batch to a shard mailbox. Capacity sizing makes
-// this non-blocking; the default case documents (and surfaces) a sizing
-// bug instead of deadlocking.
-func (r *run) send(dst int, batch []*walker) {
-	r.handoffs.Add(1)
-	select {
-	case r.mail[dst] <- batch:
-	default:
-		r.fail(fmt.Errorf("shard: mailbox %d overflow (%d walkers): inflight sizing bug", dst, len(batch)))
-	}
-}
-
-// stageWalker queues w for shard dst, flushing the destination's staging
-// buffer when it reaches the migration batch size.
-func (r *run) stageWalker(stage [][]*walker, dst int, w *walker) {
-	s := stage[dst]
-	if s == nil {
-		s = make([]*walker, 0, r.eng.cfg.MigrateBatch)
-	}
-	s = append(s, w)
-	if len(s) >= r.eng.cfg.MigrateBatch {
-		r.send(dst, s)
-		s = nil
-	}
-	stage[dst] = s
-}
-
-// flushStages delivers every partial staging batch. Workers call it after
-// each inbound batch and the injector before blocking, so no walker ever
-// waits in a staging buffer while its holder sleeps.
-func (r *run) flushStages(stage [][]*walker) {
-	for dst, s := range stage {
-		if len(s) > 0 {
-			r.send(dst, s)
-			stage[dst] = nil
-		}
-	}
-}
-
-// finish emits a completed walk and recycles its walker.
-func (r *run) finish(w *walker) {
-	if err := r.fn(w.idx, w.q, w.st.Path, int64(w.st.Step)); err != nil {
+// finishRec emits a completed walk and returns its record — path buffer
+// and all — to the injector through worker wi's free ring.
+func (r *run) finishRec(wi int, w *walkerRec) {
+	if err := r.fn(int(w.idx), w.q, w.st.Path, int64(w.st.Step)); err != nil {
 		r.fail(err)
 	}
-	r.free <- w // capacity equals the pool size; never blocks
+	r.m.free[wi].push(w) // capacity MaxInflight bounds records in flight; never fails
+	r.m.bellInjector()
 	if r.remaining.Add(-1) == 0 {
 		close(r.doneCh)
 	}
 }
 
-// absorb drains every already-queued mailbox message into the worker's
-// local walker set without blocking. Under high cut rates, processing one
-// message at a time would split hand-off batches geometrically (toward
-// per-step sends); absorbing arrivals re-aggregates them into full
-// passes.
-func (r *run) absorb(shardID int, local []*walker) []*walker {
-	for {
-		select {
-		case b := <-r.mail[shardID]:
-			local = append(local, b...)
-		default:
-			return local
+// flushBells publishes this worker's pending hand-offs: one doorbell per
+// consumer pushed to since the last flush. Counted as hand-off batches —
+// the ring-mesh analogue of the old per-batch mailbox message.
+func (r *run) flushBells(ws *workerState) {
+	for c, d := range ws.dirty {
+		if d {
+			ws.dirty[c] = false
+			r.handoffs.Add(1)
+			r.m.bell(c)
 		}
 	}
 }
 
-// advanceWalker walks w while it stays on this shard's vertices — or on
-// cache-resident hub rows, which cost the same from any shard — then
-// either finishes it or stages it for the shard that owns its new
-// position. Depth-first advancement (walk until you leave) beats
-// hop-per-pass interleaving here: a walker's state and path buffer stay
-// hot in L1/L2 across consecutive hops, which measures faster than the
-// row-access locality a sorted per-hop pass buys back.
-func (r *run) advanceWalker(shardID int, w *walker, stage [][]*walker) {
-	e := r.eng
+// advanceRec walks the record in ws.rec while it stays on this shard's
+// vertices — or on cache-resident hub rows, which cost the same from any
+// shard — then either finishes it or copies it into the owner's ring.
+// Depth-first advancement (walk until you leave) keeps a walker's state
+// and path buffer hot in L1/L2 across consecutive hops. A full
+// destination ring is lossless backpressure: the walker simply keeps
+// advancing here (same trajectory) and retries at its next boundary
+// crossing.
+func (r *run) advanceRec(wi int, ws *workerState) {
+	e, m := r.eng, r.m
+	w := &ws.rec
 	for {
 		if !walk.Advance(e.g, e.sampler, e.wcfg, &w.st, &w.r) {
-			r.finish(w)
+			r.finishRec(wi, w)
 			return
 		}
 		// The O(1) resident-hub bitset goes first: hub hops are the common
@@ -279,126 +295,206 @@ func (r *run) advanceWalker(shardID int, w *walker, stage [][]*walker) {
 			continue
 		}
 		dst := e.part.Owner(cur)
-		if dst == shardID {
+		if dst == ws.shardID {
 			continue
 		}
-		r.migrations.Add(1)
-		r.stageWalker(stage, dst, w)
-		return
+		c := m.route(&ws.rr, dst)
+		if m.rings[wi][c].push(w) {
+			r.migrations.Add(1)
+			ws.dirty[c] = true
+			return
+		}
+		r.stalls.Add(1)
+		m.bell(c) // nudge the consumer to drain; meanwhile advance in place
 	}
 }
 
-// worker is one goroutine of shard shardID's pool: absorb every queued
-// arrival, advance each walker as far as the shard allows, flush the
-// staged hand-offs, block for more.
-func (r *run) worker(shardID int) {
+// ejectLane hands a cohort lane's walker to the shard owning its new
+// position (called by the cohort's eject callback after the lane's State
+// was synced). A full ring parks the lane on the stalled list; the
+// worker retries after the pass and re-admits locally if still full.
+func (r *run) ejectLane(wi int, ws *workerState, tag int32) {
+	m := r.m
+	c := m.route(&ws.rr, int(ws.dst[tag]))
+	if m.rings[wi][c].push(&ws.recs[tag]) {
+		r.migrations.Add(1)
+		ws.dirty[c] = true
+		ws.freeLanes = append(ws.freeLanes, tag)
+		return
+	}
+	r.stalls.Add(1)
+	ws.stalled = append(ws.stalled, tag)
+}
+
+// workerDF is one depth-first goroutine of a shard's pool: drain every
+// inbound ring, advance each arrival as far as the shard allows, flush
+// doorbells, park when idle.
+func (r *run) workerDF(wi int) {
 	defer r.wg.Done()
-	stage := make([][]*walker, r.eng.part.K)
-	var local []*walker
+	m := r.m
+	ws := m.workers[wi]
 	for {
+		worked := false
+		for p := 0; p <= m.W; p++ {
+			ring := m.rings[p][wi]
+			for ring.pop(&ws.rec) {
+				worked = true
+				if r.aborted() {
+					return
+				}
+				r.advanceRec(wi, ws)
+			}
+		}
+		r.flushBells(ws)
+		if worked {
+			continue
+		}
 		select {
-		case b := <-r.mail[shardID]:
-			local = append(local[:0], b...)
+		case <-m.bells[wi]:
 		case <-r.doneCh:
 			return
 		case <-r.abortCh:
 			return
 		}
-		local = r.absorb(shardID, local)
-		for _, w := range local {
-			if r.aborted() {
-				return
-			}
-			r.advanceWalker(shardID, w, stage)
-		}
-		r.flushStages(stage)
 	}
 }
 
-// workerPipelined is the cohort-stepping variant of worker: resident
-// walkers are batched into a walk.Cohort and advanced one Gather/Sample/
-// Move pass at a time, so one walker's CSR row fetch overlaps the sampling
-// and move work of the rest. Migration is decided per hop through the
-// depart callback — the same resident-hub / owner check the depth-first
-// worker makes — and ejected walkers leave with their State synced, so the
-// hand-off is race-free and trajectories stay byte-identical.
-func (r *run) workerPipelined(shardID int) {
+// workerCohort is the cohort-stepping variant: arrivals are popped
+// straight into free lane records and admitted to the walk.Cohort, which
+// advances all resident walkers one Gather/Sample/Move pass at a time —
+// one walker's CSR row fetch overlaps the sampling and move work of the
+// rest. Ejection is decided per hop by the depart callback (the same
+// resident-hub / owner check the depth-first worker makes); ejected
+// walkers leave with their State synced, as one flat record copy into
+// the destination ring. The inbound rings double as the admission
+// backlog: the worker pops only when a lane is free, so excess arrivals
+// wait in the ring, not in a growing slice.
+func (r *run) workerCohort(wi int) {
 	defer r.wg.Done()
-	e := r.eng
-	cohort, err := walk.NewCohort(e.g, e.wcfg, e.sampler, e.cfg.Cohort)
-	if err != nil {
-		r.fail(err) // NewEngine validated stagedness; defensive only
-		return
-	}
-	stage := make([][]*walker, e.part.K)
-	lanes := make([]*walker, cohort.Cap())
-	free := make([]int32, cohort.Cap())
-	for i := range free {
-		free[i] = int32(i)
-	}
-	top := len(free)
-	dst := make([]int, cohort.Cap()) // owner computed by depart, reused by eject
-	var backlog []*walker
-	depart := func(tag int32, cur graph.VertexID) bool {
-		// Same short-circuit order as advanceWalker: resident hub rows
-		// first, then the owner binary search.
-		if e.part.Resident(cur) {
-			return false
-		}
-		owner := e.part.Owner(cur)
-		if owner == shardID {
-			return false
-		}
-		dst[tag] = owner
-		return true
-	}
-	eject := func(tag int32) {
-		w := lanes[tag]
-		lanes[tag] = nil
-		free[top] = tag
-		top++
-		r.migrations.Add(1)
-		r.stageWalker(stage, dst[tag], w)
-	}
-	retire := func(tag int32) error {
-		w := lanes[tag]
-		lanes[tag] = nil
-		free[top] = tag
-		top++
-		r.finish(w) // emit errors surface through r.fail/abortCh
-		return nil
-	}
+	m := r.m
+	ws := m.workers[wi]
+	cohort := ws.cohort
 	for {
+		worked := false
+		for p := 0; p <= m.W && len(ws.freeLanes) > 0; p++ {
+			ring := m.rings[p][wi]
+			for len(ws.freeLanes) > 0 {
+				lane := ws.freeLanes[len(ws.freeLanes)-1]
+				if !ring.pop(&ws.recs[lane]) {
+					break
+				}
+				ws.freeLanes = ws.freeLanes[:len(ws.freeLanes)-1]
+				cohort.Admit(&ws.recs[lane].st, &ws.recs[lane].r, lane)
+				worked = true
+			}
+		}
+		if cohort.Len() > 0 {
+			if r.aborted() {
+				return
+			}
+			cohort.Step(ws.depart, ws.eject, ws.retire) // retire never errors here
+			worked = true
+			// Retry ejections that found a full ring during the pass; if
+			// still full, re-admit the walker locally — it advances here
+			// with an identical trajectory and re-attempts migration at
+			// its next boundary crossing.
+			for _, tag := range ws.stalled {
+				c := m.route(&ws.rr, int(ws.dst[tag]))
+				if m.rings[wi][c].push(&ws.recs[tag]) {
+					r.migrations.Add(1)
+					ws.dirty[c] = true
+					ws.freeLanes = append(ws.freeLanes, tag)
+				} else {
+					m.bell(c)
+					cohort.Admit(&ws.recs[tag].st, &ws.recs[tag].r, tag)
+				}
+			}
+			ws.stalled = ws.stalled[:0]
+		}
+		r.flushBells(ws)
+		if worked {
+			continue
+		}
 		select {
-		case b := <-r.mail[shardID]:
-			backlog = append(backlog[:0], b...)
+		case <-m.bells[wi]:
 		case <-r.doneCh:
 			return
 		case <-r.abortCh:
 			return
 		}
-		backlog = r.absorb(shardID, backlog)
-		for {
-			for top > 0 && len(backlog) > 0 {
-				w := backlog[len(backlog)-1]
-				backlog = backlog[:len(backlog)-1]
-				top--
-				lanes[free[top]] = w
-				cohort.Admit(&w.st, &w.r, free[top])
+	}
+}
+
+// flushInjectorBells wakes every consumer the injector has pushed to
+// since the last flush. Injection hand-offs are not migrations, so they
+// are not counted in HandoffBatches.
+func (r *run) flushInjectorBells() {
+	m := r.m
+	for c, d := range m.injDirty {
+		if d {
+			m.injDirty[c] = false
+			m.bell(c)
+		}
+	}
+}
+
+// inject feeds the query batch into the mesh, drawing walker records
+// first from the pool prefix and then from the free rings as walks
+// finish. It parks on the injector doorbell when no record is free and
+// yields when a destination ring is full (the consumer always drains).
+func (r *run) inject(ctx context.Context, queries []walk.Query) {
+	m, e := r.m, r.eng
+	freeTop := len(m.pool)
+	if freeTop > len(queries) {
+		freeTop = len(queries)
+	}
+	scan := 0 // round-robin start for the free-ring sweep
+	for next := 0; next < len(queries); {
+		var w *walkerRec
+		if freeTop > 0 {
+			freeTop--
+			w = &m.pool[freeTop]
+		} else {
+			for i := 0; i < m.W; i++ {
+				c := (scan + i) % m.W
+				if m.free[c].pop(&m.injRec) {
+					w = &m.injRec
+					scan = c + 1
+					break
+				}
 			}
-			if cohort.Len() == 0 {
-				break
+			if w == nil {
+				r.flushInjectorBells()
+				select {
+				case <-m.injBell:
+					continue
+				case <-r.abortCh:
+					return
+				case <-ctx.Done():
+					r.fail(ctx.Err())
+					return
+				}
 			}
+		}
+		q := queries[next]
+		w.q, w.idx = q, int32(next)
+		e.src.StreamInto(uint64(q.ID), &w.r)
+		w.st.Start(q)
+		c := m.route(&m.injRR, e.part.Owner(q.Start))
+		for !m.rings[m.W][c].push(w) {
+			m.bell(c)
 			if r.aborted() {
 				return
 			}
-			cohort.Step(depart, eject, retire) // retire never errors here
-			// Refill freed lanes from fresh arrivals without blocking, so
-			// the cohort stays as full as the mailbox allows.
-			backlog = r.absorb(shardID, backlog)
+			runtime.Gosched()
 		}
-		r.flushStages(stage)
+		m.injDirty[c] = true
+		next++
+		if next&63 == 0 {
+			r.flushInjectorBells()
+		}
 	}
+	r.flushInjectorBells()
 }
 
 // Run executes the query batch, delivering each finished walk through fn
@@ -411,68 +507,25 @@ func (e *Engine) Run(ctx context.Context, queries []walk.Query, fn EmitFunc) (Ru
 	if err := ctx.Err(); err != nil {
 		return RunStats{}, err
 	}
-	poolSize := e.cfg.MaxInflight
-	if poolSize > len(queries) {
-		poolSize = len(queries)
-	}
+	m := e.getMesh()
 	r := &run{
 		eng:     e,
+		m:       m,
 		fn:      fn,
-		mail:    make([]chan []*walker, e.part.K),
-		free:    make(chan *walker, poolSize),
 		doneCh:  make(chan struct{}),
 		abortCh: make(chan struct{}),
 	}
 	r.remaining.Store(int64(len(queries)))
-	for s := range r.mail {
-		r.mail[s] = make(chan []*walker, poolSize)
-	}
-	pool := make([]walker, poolSize)
-	for i := range pool {
-		pool[i].st.Path = make([]graph.VertexID, 0, e.wcfg.WalkLength+1)
-		r.free <- &pool[i]
-	}
-	perShard := e.WorkersPerShard()
-	for s := 0; s < e.part.K; s++ {
-		for i := 0; i < perShard; i++ {
-			r.wg.Add(1)
-			if e.cfg.Cohort > 0 {
-				go r.workerPipelined(s)
-			} else {
-				go r.worker(s)
-			}
+	m.acquire(r)
+	for wi := 0; wi < m.W; wi++ {
+		r.wg.Add(1)
+		if e.cfg.Cohort > 0 {
+			go r.workerCohort(wi)
+		} else {
+			go r.workerDF(wi)
 		}
 	}
-
-	// Inject queries, recycling walker state as walks finish. Partial
-	// staging batches are flushed before blocking on the free list: a
-	// staged walker is in flight but undelivered, and sleeping on it would
-	// starve the pool.
-	stage := make([][]*walker, e.part.K)
-inject:
-	for i := range queries {
-		var w *walker
-		select {
-		case w = <-r.free:
-		default:
-			r.flushStages(stage)
-			select {
-			case w = <-r.free:
-			case <-r.abortCh:
-				break inject
-			case <-ctx.Done():
-				r.fail(ctx.Err())
-				break inject
-			}
-		}
-		q := queries[i]
-		w.q, w.idx = q, i
-		e.src.StreamInto(uint64(q.ID), &w.r)
-		w.st.Start(q)
-		r.stageWalker(stage, e.part.Owner(q.Start), w)
-	}
-	r.flushStages(stage)
-
+	r.inject(ctx, queries)
 	select {
 	case <-r.doneCh:
 	case <-r.abortCh:
@@ -483,6 +536,10 @@ inject:
 	stats := RunStats{
 		Migrations:     r.migrations.Load(),
 		HandoffBatches: r.handoffs.Load(),
+		RingStalls:     r.stalls.Load(),
 	}
-	return stats, r.err
+	err := r.err
+	m.run = nil
+	e.putMesh(m)
+	return stats, err
 }

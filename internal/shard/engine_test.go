@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"reflect"
+	"runtime"
 	"sync"
 	"testing"
 
@@ -359,5 +360,205 @@ func TestEngineCohortValidation(t *testing.T) {
 	}
 	if _, err := NewEngine(g, p, cfg, EngineConfig{Cohort: -1}); err == nil {
 		t.Fatal("negative cohort accepted")
+	}
+}
+
+// TestEngineRingBackpressure squeezes heavy cross-shard traffic through
+// capacity-1 migration rings: backpressure must never drop or duplicate
+// a walker, never deadlock, and never change a trajectory (a stalled
+// walker is advanced in place — same path either way). The stall counter
+// must show the backpressure path actually ran.
+func TestEngineRingBackpressure(t *testing.T) {
+	g := ringGraph(t, 256)
+	cfg := walk.DefaultConfig(walk.URW)
+	cfg.WalkLength = 48
+	cfg.Seed = 11
+	qs := make([]walk.Query, 2048)
+	for i := range qs {
+		qs[i] = walk.Query{ID: uint32(i), Start: graph.VertexID(i % 256)}
+	}
+	want, err := walk.Run(g, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ecfg := range []EngineConfig{
+		{Workers: 2, RingCapacity: 1},             // depth-first
+		{Workers: 2, RingCapacity: 1, Cohort: 64}, // cohort-stepping
+	} {
+		p, err := Partition(g, 2)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(g, p, cfg, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats := runEngine(t, e, qs)
+		if !reflect.DeepEqual(got.Paths, want.Paths) {
+			t.Fatalf("cfg=%+v: backpressured run differs from golden engine", ecfg)
+		}
+		if stats.RingStalls == 0 {
+			t.Fatalf("cfg=%+v: no ring stalls through capacity-1 rings (backpressure path untested)", ecfg)
+		}
+		if stats.Migrations == 0 {
+			t.Fatalf("cfg=%+v: no migrations delivered at all", ecfg)
+		}
+	}
+}
+
+// TestEngineSingleShardDegenerate pins the K=1 path: no partition
+// boundary exists, so the run must complete with zero migration traffic
+// in both worker modes, byte-identical to the golden engine.
+func TestEngineSingleShardDegenerate(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.Graph500(9, 8, 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := walk.DefaultConfig(walk.URW)
+	cfg.WalkLength = 30
+	cfg.Seed = 7
+	qs, err := walk.RandomQueries(g, cfg, 300, 23)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := walk.Run(g, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, ecfg := range []EngineConfig{{Workers: 2}, {Workers: 2, Cohort: 16}} {
+		p, err := Partition(g, 1)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(g, p, cfg, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		got, stats := runEngine(t, e, qs)
+		if !reflect.DeepEqual(got.Paths, want.Paths) {
+			t.Fatalf("cfg=%+v: single-shard run differs from golden engine", ecfg)
+		}
+		if stats.Migrations != 0 || stats.HandoffBatches != 0 {
+			t.Fatalf("cfg=%+v: migration traffic %+v on a single shard", ecfg, stats)
+		}
+	}
+}
+
+// TestEngineLayoutEquivalenceMatrix is the reordered-layout acceptance
+// matrix: every algorithm × shards {2, 4}, with the degree-aware hub
+// arena serving the cohort Gather stage, must stay byte-identical to the
+// sequential golden engine (the layout changes where row bytes live,
+// never what they are).
+func TestEngineLayoutEquivalenceMatrix(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.Graph500(10, 8, 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachWeights()
+	g.AttachLabels(3)
+	lay := graph.NewLayout(g, 0)
+	if lay.Hubs == 0 {
+		t.Fatal("RMAT graph produced no hub rows; layout not exercised")
+	}
+	for _, alg := range walk.Algorithms {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := walk.DefaultConfig(alg)
+			cfg.WalkLength = 25
+			cfg.Seed = 13
+			qs, err := walk.RandomQueries(g, cfg, 400, 19)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := walk.Run(g, qs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			for _, k := range []int{2, 4} {
+				for _, cohort := range []int{0, 16} {
+					p, err := Partition(g, k)
+					if err != nil {
+						t.Fatal(err)
+					}
+					e, err := NewEngine(g, p, cfg, EngineConfig{Cohort: cohort, Layout: lay})
+					if err != nil {
+						t.Fatal(err)
+					}
+					got, _ := runEngine(t, e, qs)
+					if got.Steps != want.Steps {
+						t.Fatalf("k=%d cohort=%d: steps %d, want %d", k, cohort, got.Steps, want.Steps)
+					}
+					if !reflect.DeepEqual(got.Paths, want.Paths) {
+						t.Fatalf("k=%d cohort=%d: layout run differs from golden engine", k, cohort)
+					}
+				}
+			}
+		})
+	}
+}
+
+// TestEngineLayoutGraphMismatch pins the wrong-graph guard.
+func TestEngineLayoutGraphMismatch(t *testing.T) {
+	g := ringGraph(t, 64)
+	other := ringGraph(t, 32)
+	cfg := walk.DefaultConfig(walk.URW)
+	cfg.WalkLength = 5
+	p, err := Partition(g, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := NewEngine(g, p, cfg, EngineConfig{Cohort: 4, Layout: graph.NewLayout(other, 0)}); err == nil {
+		t.Fatal("layout over a different graph accepted")
+	}
+}
+
+// TestEngineSteadyStateMigrationAllocs pins the tentpole property: after
+// the first Run warms the engine's mesh pool, further Runs perform no
+// per-migration heap allocation — the entire migration fabric (rings,
+// records, path buffers, cohort lanes, scratch) is recycled. Only the
+// per-Run bookkeeping (run struct, two channels, goroutine starts)
+// remains, a constant independent of migration count.
+func TestEngineSteadyStateMigrationAllocs(t *testing.T) {
+	g := ringGraph(t, 256)
+	cfg := walk.DefaultConfig(walk.URW)
+	cfg.WalkLength = 80
+	cfg.Seed = 3
+	qs := make([]walk.Query, 1024)
+	for i := range qs {
+		qs[i] = walk.Query{ID: uint32(i), Start: graph.VertexID(i % 256)}
+	}
+	for _, ecfg := range []EngineConfig{
+		{Workers: 4},
+		{Workers: 4, Cohort: 32},
+	} {
+		p, err := Partition(g, 4)
+		if err != nil {
+			t.Fatal(err)
+		}
+		e, err := NewEngine(g, p, cfg, ecfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		emit := func(int, walk.Query, []graph.VertexID, int64) error { return nil }
+		// Warm-up builds the mesh (rings, record pool, cohorts); the
+		// engine's mesh cache is deterministic (not a GC-evictable
+		// sync.Pool), so the very next Run must hit the steady state.
+		if _, err := e.Run(context.Background(), qs, emit); err != nil {
+			t.Fatal(err)
+		}
+		var before, after runtime.MemStats
+		runtime.ReadMemStats(&before)
+		stats, err := e.Run(context.Background(), qs, emit)
+		runtime.ReadMemStats(&after)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if stats.Migrations < 1000 {
+			t.Fatalf("cfg=%+v: only %d migrations; workload too small to pin the hot path", ecfg, stats.Migrations)
+		}
+		allocs := after.Mallocs - before.Mallocs
+		if perMigration := float64(allocs) / float64(stats.Migrations); perMigration > 0.01 {
+			t.Fatalf("cfg=%+v: %d allocs over %d migrations (%.4f/migration), want ~0",
+				ecfg, allocs, stats.Migrations, perMigration)
+		}
 	}
 }

@@ -1,7 +1,8 @@
 // Package shard partitions a CSR graph into edge-balanced shards and
 // executes graph random walks across them: each shard owns a worker
 // goroutine pool that advances only walkers standing on its own vertices,
-// and walkers migrate between shards through bounded mailbox queues when a
+// and walkers migrate between shards through fixed-capacity SPSC rings —
+// one flat record copy per hand-off, no boxing, no allocation — when a
 // hop crosses a partition boundary.
 //
 // This is the software analogue of RidgeWalker's per-channel task routing:

@@ -53,16 +53,31 @@ const (
 // preallocated buffers.
 type Cohort struct {
 	g       *graph.CSR
+	lay     *graph.Layout // optional degree-aware row source
 	sampler sampling.StagedSampler
 	cfg     Config
+	// scanRow marks samplers that read the whole neighbor row per
+	// decision (reservoir, metapath): for those, Gather prefetches the
+	// row's interior cache lines too. Single-element samplers (uniform,
+	// alias, rejection) get only the row ends — touching more would burn
+	// bandwidth on lines the Sample stage never reads.
+	scanRow bool
 
 	n int // lanes in use; live lanes are always the prefix [0, n)
 
-	// Struct-of-arrays lane state.
+	// arenaCol caches the layout's hub arena backing store.
+	arenaCol []graph.VertexID
+
+	// Struct-of-arrays lane state. The gathered row is kept as scalar
+	// locator fields (bounds plus which array) rather than a slice
+	// header: the Gather loop's usefulness is how many independent row
+	// misses it keeps in flight, and a leaner loop body keeps more
+	// iterations inside the out-of-order window.
 	cur, prev []graph.VertexID
 	hasPrev   []bool
 	step      []int32
-	lo, hi    []int64 // gathered CSR row bounds of cur
+	lo, hi    []int64 // gathered row bounds in Col or the hub arena
+	arena     []bool  // gathered row lives in the hub arena
 	cand      []sampling.Candidate
 	phase     []uint8
 	fate      []uint8
@@ -85,16 +100,19 @@ func NewCohort(g *graph.CSR, cfg Config, s sampling.Sampler, size int) (*Cohort,
 	if !ok {
 		return nil, fmt.Errorf("walk: sampler %T is not stage-resumable", s)
 	}
+	kind := ss.Kind()
 	return &Cohort{
 		g:       g,
 		sampler: ss,
 		cfg:     cfg,
+		scanRow: kind == sampling.KindReservoir || kind == sampling.KindMetaPath,
 		cur:     make([]graph.VertexID, size),
 		prev:    make([]graph.VertexID, size),
 		hasPrev: make([]bool, size),
 		step:    make([]int32, size),
 		lo:      make([]int64, size),
 		hi:      make([]int64, size),
+		arena:   make([]bool, size),
 		cand:    make([]sampling.Candidate, size),
 		phase:   make([]uint8, size),
 		fate:    make([]uint8, size),
@@ -102,6 +120,20 @@ func NewCohort(g *graph.CSR, cfg Config, s sampling.Sampler, size int) (*Cohort,
 		st:      make([]*State, size),
 		r:       make([]*rng.Stream, size),
 	}, nil
+}
+
+// SetLayout makes the Gather stage serve neighbor rows from a
+// degree-aware graph.Layout instead of the raw CSR — hub rows come from
+// the layout's compact cache-resident arena. The layout must be built
+// over the cohort's graph; because a Layout is content-identical to its
+// CSR, trajectories are unaffected. Call before the first Admit.
+func (c *Cohort) SetLayout(l *graph.Layout) {
+	c.lay = l
+	if l != nil {
+		c.arenaCol = l.Arena()
+	} else {
+		c.arenaCol = nil
+	}
 }
 
 // Len returns the number of occupied lanes.
@@ -125,6 +157,7 @@ func (c *Cohort) Admit(st *State, r *rng.Stream, tag int32) bool {
 	c.prev[i] = st.Prev
 	c.hasPrev[i] = st.HasPrev
 	c.step[i] = int32(st.Step)
+	c.arena[i] = false
 	c.cand[i] = sampling.Candidate{}
 	c.phase[i] = phaseGather
 	c.fate[i] = fateNone
@@ -156,6 +189,7 @@ func (c *Cohort) remove(i int) {
 		c.step[i] = c.step[j]
 		c.lo[i] = c.lo[j]
 		c.hi[i] = c.hi[j]
+		c.arena[i] = c.arena[j]
 		c.cand[i] = c.cand[j]
 		c.phase[i] = c.phase[j]
 		c.fate[i] = c.fate[j]
@@ -165,6 +199,16 @@ func (c *Cohort) remove(i int) {
 	}
 	c.st[j] = nil
 	c.r[j] = nil
+}
+
+// Reset drops every lane without syncing or emitting, leaving the cohort
+// empty. Engines that pool cohorts across runs call it to clear lanes
+// abandoned by an aborted run (stale State/RNG pointers must not leak
+// into the next run).
+func (c *Cohort) Reset() {
+	for c.n > 0 {
+		c.remove(0)
+	}
 }
 
 // Step runs one Gather→Sample→Move pass over every lane.
@@ -188,29 +232,72 @@ func (c *Cohort) Step(
 	retire func(tag int32) error,
 ) error {
 	g := c.g
-	// Gather: load row bounds for every lane entering a new step, and
-	// touch the ends of the neighbor slice so the row's cache lines are in
-	// flight before the Sample stage reads them. Termination conditions
-	// that precede sampling (walk length, sinks) are decided here, before
-	// any RNG draw, exactly as Advance orders them.
-	for i := 0; i < c.n; i++ {
-		if c.phase[i] != phaseGather {
-			continue
+	// Gather: fetch the neighbor row bounds for every lane entering a new
+	// step and touch the row's ends (plus its interior cache lines for
+	// full-row-scan samplers), so the row's lines are in flight before the
+	// Sample stage reads them. Termination conditions that precede
+	// sampling (walk length, sinks) are decided here, before any RNG
+	// draw, exactly as Advance orders them. The loop is specialized on
+	// the row source once per pass — the body must stay lean enough that
+	// many lanes' independent misses overlap inside the out-of-order
+	// window, which is the whole point of the stage.
+	if c.lay == nil {
+		for i := 0; i < c.n; i++ {
+			if c.phase[i] != phaseGather {
+				continue
+			}
+			if int(c.step[i]) >= c.cfg.WalkLength {
+				c.fate[i] = fateRetire
+				continue
+			}
+			v := c.cur[i]
+			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
+			if lo == hi {
+				c.fate[i] = fateRetire // zero out-degree: immediate termination
+				continue
+			}
+			c.lo[i], c.hi[i] = lo, hi
+			c.touch ^= uint64(g.Col[lo]) ^ uint64(g.Col[hi-1])
+			if c.scanRow {
+				for off := lo + 16; off < hi && off <= lo+112; off += 16 {
+					c.touch ^= uint64(g.Col[off])
+				}
+			}
+			c.cand[i] = sampling.Candidate{}
+			c.phase[i] = phaseSample
 		}
-		if int(c.step[i]) >= c.cfg.WalkLength {
-			c.fate[i] = fateRetire
-			continue
+	} else {
+		// Layout variant: one packed-locator load replaces the two
+		// row-pointer loads, and hub rows resolve to the compact arena.
+		for i := 0; i < c.n; i++ {
+			if c.phase[i] != phaseGather {
+				continue
+			}
+			if int(c.step[i]) >= c.cfg.WalkLength {
+				c.fate[i] = fateRetire
+				continue
+			}
+			lo, deg, inArena := c.lay.Locate(c.cur[i])
+			if deg == 0 {
+				c.fate[i] = fateRetire // zero out-degree: immediate termination
+				continue
+			}
+			hi := lo + int64(deg)
+			c.lo[i], c.hi[i] = lo, hi
+			c.arena[i] = inArena
+			base := g.Col
+			if inArena {
+				base = c.arenaCol
+			}
+			c.touch ^= uint64(base[lo]) ^ uint64(base[hi-1])
+			if c.scanRow {
+				for off := lo + 16; off < hi && off <= lo+112; off += 16 {
+					c.touch ^= uint64(base[off])
+				}
+			}
+			c.cand[i] = sampling.Candidate{}
+			c.phase[i] = phaseSample
 		}
-		v := c.cur[i]
-		lo, hi := g.RowPtr[v], g.RowPtr[v+1]
-		if lo == hi {
-			c.fate[i] = fateRetire // zero out-degree: immediate termination
-			continue
-		}
-		c.lo[i], c.hi[i] = lo, hi
-		c.touch ^= uint64(g.Col[lo]) ^ uint64(g.Col[hi-1])
-		c.cand[i] = sampling.Candidate{}
-		c.phase[i] = phaseSample
 	}
 	// Sample: one Propose (and, for two-phase samplers, one Accept) per
 	// lane per pass. Rejected candidates park in the lane and re-enter
@@ -219,7 +306,7 @@ func (c *Cohort) Step(
 		if c.fate[i] != fateNone || c.phase[i] != phaseSample {
 			continue
 		}
-		ctx := sampling.Context{Cur: c.cur[i], Prev: c.prev[i], HasPrev: c.hasPrev[i], Step: int(c.step[i])}
+		ctx := sampling.Context{Cur: c.cur[i], Prev: c.prev[i], HasPrev: c.hasPrev[i], Deg: int32(c.hi[i] - c.lo[i]), Step: int(c.step[i])}
 		cand := c.sampler.Propose(g, ctx, c.cand[i], c.r[i])
 		c.cand[i] = cand
 		if cand.Final || c.sampler.Accept(g, ctx, cand, c.r[i]) {
@@ -237,7 +324,11 @@ func (c *Cohort) Step(
 		if c.fate[i] != fateMove {
 			continue
 		}
-		next := g.Col[c.lo[i]+int64(c.cand[i].Index)]
+		base := g.Col
+		if c.arena[i] {
+			base = c.arenaCol
+		}
+		next := base[c.lo[i]+int64(c.cand[i].Index)]
 		c.prev[i], c.hasPrev[i] = c.cur[i], true
 		c.cur[i] = next
 		st := c.st[i]

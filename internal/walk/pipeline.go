@@ -107,6 +107,10 @@ func (p *Pipeline) resetFree() {
 // CohortSize returns the pipeline's lane count.
 func (p *Pipeline) CohortSize() int { return p.cohort.Cap() }
 
+// SetLayout routes the cohort's Gather stage through a degree-aware
+// graph.Layout (see Cohort.SetLayout). Call before the first Run.
+func (p *Pipeline) SetLayout(l *graph.Layout) { p.cohort.SetLayout(l) }
+
 // Run executes the query batch, delivering each finished walk through
 // emit. Delivery order is unspecified (lanes retire as they terminate);
 // the batch index passed to emit identifies each walk. It returns the

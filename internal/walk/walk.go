@@ -287,14 +287,15 @@ func Advance(g *graph.CSR, s sampling.Sampler, cfg Config, st *State, r *rng.Str
 	if st.Step >= cfg.WalkLength {
 		return false
 	}
-	if g.Degree(st.Cur) == 0 {
+	row := g.Neighbors(st.Cur)
+	if len(row) == 0 {
 		return false // zero outgoing edges: immediate termination (Fig. 1b)
 	}
-	res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Step: st.Step}, r)
+	res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Deg: int32(len(row)), Step: st.Step}, r)
 	if res.Index < 0 {
 		return false // no selectable neighbor (MetaPath schema miss)
 	}
-	next := g.Neighbors(st.Cur)[res.Index]
+	next := row[res.Index]
 	st.Prev, st.HasPrev = st.Cur, true
 	st.Cur = next
 	st.Path = append(st.Path, next)

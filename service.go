@@ -34,6 +34,11 @@ type ServiceConfig struct {
 	// worker (the width of the batched Gather/Sample/Move stages). 0 means
 	// the backend default; other backends ignore it.
 	Cohort int
+	// HubCacheBytes, when positive, sizes the cpu-pipelined backend's
+	// degree-aware hub arena (the compact cache-resident copy of the
+	// highest-degree rows served to the cohort Gather stage). 0 leaves it
+	// off; other backends ignore it.
+	HubCacheBytes int64
 	// MaxBatch is the flush threshold for request coalescing: a pending
 	// group is dispatched as soon as its accumulated queries reach this
 	// size instead of waiting out the linger. It bounds how much
@@ -210,6 +215,7 @@ func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, err
 			Workers:             s.cfg.Workers,
 			Shards:              s.cfg.Shards,
 			Cohort:              s.cfg.Cohort,
+			HubCacheBytes:       s.cfg.HubCacheBytes,
 			DisableAsync:        s.cfg.DisableAsync,
 			DisableDynamicSched: s.cfg.DisableDynamicSched,
 		})
