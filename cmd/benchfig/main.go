@@ -57,6 +57,7 @@ func main() {
 	length := flag.Int("len", 80, "maximum walk length")
 	seed := flag.Uint64("seed", 42, "random seed")
 	procsFlag := flag.String("procs", "", "comma-separated GOMAXPROCS sweep for the perf suite (default 1,NumCPU)")
+	algsFlag := flag.String("algs", "", "comma-separated perf-suite workloads: urw, ppr, deepwalk, node2vec — deepwalk/node2vec run weighted (default urw,deepwalk)")
 	repeat := flag.Int("repeat", 1, "perf suite measurement repetitions per configuration (best kept)")
 	jsonPath := flag.String("json", "", "run the perf suite and write BENCH.json-style output to this file")
 	baseline := flag.String("baseline", "", "diff the fresh perf report against this BENCH.json and fail on regressions")
@@ -105,9 +106,15 @@ func main() {
 		}
 		exps = kept
 	}
+	var algs []string
+	if *algsFlag != "" {
+		for _, a := range strings.Split(*algsFlag, ",") {
+			algs = append(algs, strings.TrimSpace(a))
+		}
+	}
 	c := bench.NewContext(bench.Options{
 		Shrink: *shrink, Queries: *queries, WalkLength: *length, Seed: *seed,
-		Procs: procs, Repeat: *repeat,
+		Procs: procs, Repeat: *repeat, Algorithms: algs,
 	})
 	if *jsonPath != "" {
 		start := time.Now()

@@ -49,6 +49,12 @@ type Options struct {
 	// which is exactly what a regression gate must not fire on. 0 means 1.
 	// Other experiments ignore it.
 	Repeat int
+	// Algorithms names the GRW workloads the perf suite sweeps
+	// (case-insensitive: urw, ppr, deepwalk, node2vec — the latter two
+	// run on the weighted twin of the suite's graph, so node2vec
+	// exercises the weighted reservoir). Empty means {urw, deepwalk}.
+	// Other experiments ignore it.
+	Algorithms []string
 }
 
 // DefaultOptions returns the standard quick configuration. Queries must

@@ -5,13 +5,16 @@ import (
 	"encoding/json"
 	"fmt"
 	"io"
+	"math"
 	"os"
 	"runtime"
 	"sort"
+	"strings"
 	"time"
 
 	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
 )
 
@@ -34,7 +37,10 @@ func init() {
 // setting the record was measured under (the suite sweeps GOMAXPROCS ∈
 // {1, N}); ParallelSpeedup, present on records with GoMaxProcs > 1, is
 // this record's steps/sec over the same configuration's GOMAXPROCS=1
-// record — the realized multi-core scaling.
+// record — the realized multi-core scaling. PreprocessMS is the session
+// open cost — sampler construction (the flat alias store for weighted
+// workloads), graph partitioning, layout building — and SamplerBytes the
+// resident size of the session's registry-shared sampler state.
 type PerfRecord struct {
 	Backend         string  `json:"backend"`
 	Algorithm       string  `json:"algorithm"`
@@ -49,7 +55,28 @@ type PerfRecord struct {
 	WallSeconds     float64 `json:"wall_seconds"`
 	StepsPerSec     float64 `json:"steps_per_sec"`
 	AllocsPerWalk   float64 `json:"allocs_per_walk"`
+	PreprocessMS    float64 `json:"preprocess_ms"`
+	SamplerBytes    int64   `json:"sampler_bytes"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+}
+
+// SamplerBuildRecord reports the weighted-sampler preprocessing
+// measurement: the flat alias store built serially (workers=1) versus by
+// the degree-partitioned worker pool (workers=NumCPU) over the suite's
+// weighted graph. On single-core hosts the two are expected to be at
+// parity (the pool buys nothing without hardware parallelism); the
+// record exists so multi-core hosts capture the realized build speedup.
+type SamplerBuildRecord struct {
+	Graph      string  `json:"graph"`
+	Vertices   int     `json:"vertices"`
+	Edges      int64   `json:"edges"`
+	Workers    int     `json:"workers"`
+	SerialMS   float64 `json:"serial_ms"`
+	ParallelMS float64 `json:"parallel_ms"`
+	// Speedup is SerialMS / ParallelMS.
+	Speedup float64 `json:"speedup"`
+	// Bytes is the store's resident size (prob+alias arenas + locators).
+	Bytes int64 `json:"sampler_bytes"`
 }
 
 // configName renders the record's engine configuration compactly
@@ -78,6 +105,11 @@ type PerfReport struct {
 	// Records holds one entry per backend × algorithm × procs
 	// configuration.
 	Records []PerfRecord `json:"records"`
+	// SamplerBuild is the alias-store preprocessing measurement, emitted
+	// when the sweep includes DeepWalk (the workload whose sampler is the
+	// O(E) flat alias store); other weighted workloads (node2vec's
+	// reservoir) have no prebuilt store to measure.
+	SamplerBuild *SamplerBuildRecord `json:"sampler_build,omitempty"`
 	// Ratios normalizes each configuration to the flat cpu baseline per
 	// algorithm at the same GOMAXPROCS (steps/sec over steps/sec), e.g.
 	// "cpu-pipelined/cpu URW": 1.31 (GOMAXPROCS=1) or
@@ -111,6 +143,84 @@ func perfProcs(opts Options) []int {
 	return []int{1}
 }
 
+// perfAlgorithms returns the GRW workload sweep: the configured list, or
+// {URW, DeepWalk}.
+func perfAlgorithms(opts Options) ([]walk.Algorithm, error) {
+	if len(opts.Algorithms) == 0 {
+		return []walk.Algorithm{walk.URW, walk.DeepWalk}, nil
+	}
+	var out []walk.Algorithm
+	for _, name := range opts.Algorithms {
+		switch strings.ToLower(strings.TrimSpace(name)) {
+		case "urw":
+			out = append(out, walk.URW)
+		case "ppr":
+			out = append(out, walk.PPR)
+		case "deepwalk":
+			out = append(out, walk.DeepWalk)
+		case "node2vec":
+			out = append(out, walk.Node2Vec)
+		default:
+			return nil, fmt.Errorf("bench: unknown perf algorithm %q (have urw, ppr, deepwalk, node2vec)", name)
+		}
+	}
+	return out, nil
+}
+
+// measureSamplerBuild times the flat alias store's construction over the
+// weighted graph, serial versus the full worker pool, keeping the best
+// of repeat repetitions of each.
+func measureSamplerBuild(gw *graph.CSR, name string, repeat int) (*SamplerBuildRecord, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	workers := runtime.NumCPU()
+	// Pin GOMAXPROCS for the measurement: the caller's procs sweep may
+	// have left it at any value (a sweep ending in 1 would run the
+	// "parallel" build on a single P and report a bogus ~1.0x).
+	prevProcs := runtime.GOMAXPROCS(workers)
+	defer runtime.GOMAXPROCS(prevProcs)
+	// One untimed warm-up so the serial measurement does not absorb the
+	// first-touch page faults of the arena working set.
+	if _, err := sampling.NewAliasSamplerWorkers(gw, workers); err != nil {
+		return nil, err
+	}
+	best := func(w int) (float64, int64, error) {
+		bestMS := math.Inf(1)
+		var bytes int64
+		for i := 0; i < repeat; i++ {
+			start := time.Now()
+			s, err := sampling.NewAliasSamplerWorkers(gw, w)
+			if err != nil {
+				return 0, 0, err
+			}
+			if ms := float64(time.Since(start)) / float64(time.Millisecond); ms < bestMS {
+				bestMS = ms
+			}
+			bytes = s.MemoryFootprint()
+		}
+		return bestMS, bytes, nil
+	}
+	serial, bytes, err := best(1)
+	if err != nil {
+		return nil, err
+	}
+	parallel, _, err := best(workers)
+	if err != nil {
+		return nil, err
+	}
+	return &SamplerBuildRecord{
+		Graph:      name,
+		Vertices:   gw.NumVertices,
+		Edges:      gw.NumEdges(),
+		Workers:    workers,
+		SerialMS:   serial,
+		ParallelMS: parallel,
+		Speedup:    serial / parallel,
+		Bytes:      bytes,
+	}, nil
+}
+
 // RunPerf measures the software engines on an RMAT graph scaled by
 // Options.Shrink (scale 22 at shrink 0 — the acceptance sweep's graph —
 // down to a CI-friendly size at larger shrinks) across the GOMAXPROCS
@@ -127,7 +237,7 @@ func RunPerf(c *Context) (*PerfReport, error) {
 	name := fmt.Sprintf("rmat-%d-graph500", scale)
 	procs := perfProcs(c.Opts)
 	rep := &PerfReport{
-		Schema:     2,
+		Schema:     3,
 		Graph:      name,
 		Vertices:   g.NumVertices,
 		Edges:      g.NumEdges(),
@@ -137,12 +247,34 @@ func RunPerf(c *Context) (*PerfReport, error) {
 		Procs:      procs,
 		Ratios:     map[string]float64{},
 	}
+	algs, err := perfAlgorithms(c.Opts)
+	if err != nil {
+		return nil, err
+	}
+	// One weighted twin shared by every weighted workload, so their
+	// sessions also share one registry sampler store per spec.
+	var weighted *graph.CSR
+	weightedTwin := func() *graph.CSR {
+		if weighted == nil {
+			weighted = Weighted(g)
+		}
+		return weighted
+	}
 	prev := runtime.GOMAXPROCS(0)
 	defer runtime.GOMAXPROCS(prev)
-	for _, alg := range []walk.Algorithm{walk.URW, walk.DeepWalk} {
+	for _, alg := range algs {
 		gw := g
-		if alg == walk.DeepWalk {
-			gw = Weighted(g)
+		if alg == walk.DeepWalk || alg == walk.Node2Vec {
+			// Weighted twin: DeepWalk draws from the flat alias store,
+			// Node2Vec takes the weighted-reservoir path.
+			gw = weightedTwin()
+		}
+		if alg == walk.DeepWalk && rep.SamplerBuild == nil {
+			sb, err := measureSamplerBuild(gw, name, c.Opts.Repeat)
+			if err != nil {
+				return nil, err
+			}
+			rep.SamplerBuild = sb
 		}
 		wcfg := walk.DefaultConfig(alg)
 		wcfg.WalkLength = c.Opts.WalkLength
@@ -220,13 +352,19 @@ func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, sh
 	if repeat < 1 {
 		repeat = 1
 	}
+	openStart := time.Now()
 	ses, err := exec.Open(backend, g, exec.Config{
 		Walk: wcfg, Shards: shards, Cohort: cohort, DiscardPaths: true,
 	})
+	preprocess := time.Since(openStart)
 	if err != nil {
 		return PerfRecord{}, err
 	}
 	defer ses.Close()
+	var samplerBytes int64
+	if sizer, ok := ses.(exec.SamplerSizer); ok {
+		samplerBytes = sizer.SamplerBytes()
+	}
 	warm := len(qs) / 10
 	if warm < 1 {
 		warm = 1
@@ -235,12 +373,14 @@ func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, sh
 		return PerfRecord{}, err
 	}
 	best := PerfRecord{
-		Backend:    backend,
-		Algorithm:  wcfg.Algorithm.String(),
-		Shards:     shards,
-		Cohort:     cohort,
-		GoMaxProcs: runtime.GOMAXPROCS(0),
-		Queries:    len(qs),
+		Backend:      backend,
+		Algorithm:    wcfg.Algorithm.String(),
+		Shards:       shards,
+		Cohort:       cohort,
+		GoMaxProcs:   runtime.GOMAXPROCS(0),
+		Queries:      len(qs),
+		PreprocessMS: float64(preprocess) / float64(time.Millisecond),
+		SamplerBytes: samplerBytes,
 	}
 	for i := 0; i < repeat; i++ {
 		var before, after runtime.MemStats
@@ -267,17 +407,22 @@ func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, sh
 func WritePerfTable(rep *PerfReport, w io.Writer) error {
 	t := newTable(w, fmt.Sprintf("Software-engine perf — %s (%d vertices, %d edges), %d queries × len %d, procs %v",
 		rep.Graph, rep.Vertices, rep.Edges, rep.Queries, rep.WalkLength, rep.Procs))
-	t.row("backend", "alg", "shards", "cohort", "procs", "MStep/s", "allocs/walk", "speedup")
+	t.row("backend", "alg", "shards", "cohort", "procs", "MStep/s", "allocs/walk", "prep ms", "sampler KiB", "speedup")
 	for _, r := range rep.Records {
 		speedup := "-"
 		if r.ParallelSpeedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.ParallelSpeedup)
 		}
 		t.row(r.Backend, r.Algorithm, r.Shards, r.Cohort, r.GoMaxProcs,
-			r.StepsPerSec/1e6, r.AllocsPerWalk, speedup)
+			r.StepsPerSec/1e6, r.AllocsPerWalk,
+			fmt.Sprintf("%.1f", r.PreprocessMS), r.SamplerBytes>>10, speedup)
 	}
 	if err := t.flush(); err != nil {
 		return err
+	}
+	if sb := rep.SamplerBuild; sb != nil {
+		fmt.Fprintf(w, "sampler build (alias store, %d edges): serial %.1f ms, parallel(%d workers) %.1f ms, %.2fx, %d KiB\n",
+			sb.Edges, sb.SerialMS, sb.Workers, sb.ParallelMS, sb.Speedup, sb.Bytes>>10)
 	}
 	keys := make([]string, 0, len(rep.Ratios))
 	for k := range rep.Ratios {

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"ridgewalker/internal/graph"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
 )
 
@@ -38,16 +39,18 @@ func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	// One sampler (alias tables, schema state) shared read-only by all
-	// workers; one walker — reused buffer + RNG — per worker.
-	sampler, err := walk.BuildSampler(g, cfg.Walk)
+	// One sampler (flat alias store, schema state) borrowed read-only
+	// from the process-wide registry — shared with every other session
+	// whose configuration maps to the same sampler spec — and one walker
+	// (reused buffer + RNG) per worker.
+	ref, err := walk.AcquireSampler(g, cfg.Walk)
 	if err != nil {
 		return nil, err
 	}
-	s := &cpuSession{g: g, discard: cfg.DiscardPaths}
+	s := &cpuSession{g: g, discard: cfg.DiscardPaths, sampler: ref}
 	s.walkers = make([]*walk.Walker, workers)
 	for i := range s.walkers {
-		s.walkers[i] = walk.NewWalkerWithSampler(g, cfg.Walk, sampler)
+		s.walkers[i] = walk.NewWalkerWithSampler(g, cfg.Walk, ref.Sampler())
 	}
 	return s, nil
 }
@@ -56,7 +59,19 @@ type cpuSession struct {
 	mu      sync.Mutex // serializes Run/Stream: walkers are single-batch state
 	g       *graph.CSR
 	discard bool
+	sampler *sampling.SamplerRef
 	walkers []*walk.Walker
+}
+
+// SamplerBytes reports the resident size of the session's (shared)
+// sampler state.
+func (s *cpuSession) SamplerBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sampler == nil {
+		return 0
+	}
+	return sampling.Footprint(s.sampler.Sampler())
 }
 
 // forEachWalk partitions the batch into contiguous chunks, one per worker,
@@ -140,5 +155,9 @@ func (s *cpuSession) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.walkers = nil
+	if s.sampler != nil {
+		s.sampler.Release()
+		s.sampler = nil
+	}
 	return nil
 }

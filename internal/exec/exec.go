@@ -171,6 +171,14 @@ type Backend interface {
 	Open(g *graph.CSR, cfg Config) (Session, error)
 }
 
+// SamplerSizer is an optional Session capability: sessions that borrow
+// sampler state from the sampler registry report its resident byte size
+// (the flat alias store for weighted DeepWalk, near-zero for parametric
+// samplers). The perf suite records it as sampler_bytes.
+type SamplerSizer interface {
+	SamplerBytes() int64
+}
+
 // BatchMerger is an optional Backend capability: backends whose walks
 // depend only on (seed, query ID, start vertex) — never on batch
 // composition — implement it (returning true) to let serving layers

@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"ridgewalker/internal/graph"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/shard"
 	"ridgewalker/internal/walk"
 )
@@ -66,35 +67,42 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.HubCacheBytes > 0 {
 		lay = graph.NewLayout(g, cfg.HubCacheBytes)
 	}
+	// The sampler is borrowed from the process-wide registry in both
+	// compositions, so pipelined, sharded, and flat cpu sessions over the
+	// same graph all read one flat store.
+	ref, err := walk.AcquireSampler(g, cfg.Walk)
+	if err != nil {
+		return nil, err
+	}
 	if cfg.Shards > 0 {
 		// Sharding × pipelining: per-shard workers run the cohort stepper.
 		part, err := shard.Partition(g, cfg.Shards)
 		if err != nil {
+			ref.Release()
 			return nil, err
 		}
 		eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{
 			Workers: cfg.Workers,
 			Cohort:  cohort,
 			Layout:  lay,
+			Sampler: ref.Sampler(),
 		})
 		if err != nil {
+			ref.Release()
 			return nil, err
 		}
-		return &shardedSession{eng: eng, discard: cfg.DiscardPaths}, nil
+		return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref}, nil
 	}
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	sampler, err := walk.BuildSampler(g, cfg.Walk)
-	if err != nil {
-		return nil, err
-	}
-	s := &pipelinedSession{g: g, discard: cfg.DiscardPaths}
+	s := &pipelinedSession{g: g, discard: cfg.DiscardPaths, sampler: ref}
 	s.pipes = make([]*walk.Pipeline, workers)
 	for i := range s.pipes {
-		p, err := walk.NewPipelineWithSampler(g, cfg.Walk, sampler, cohort)
+		p, err := walk.NewPipelineWithSampler(g, cfg.Walk, ref.Sampler(), cohort)
 		if err != nil {
+			ref.Release()
 			return nil, err
 		}
 		if lay != nil {
@@ -112,7 +120,19 @@ type pipelinedSession struct {
 	mu      sync.Mutex // serializes Run/Stream: pipelines are single-batch state
 	g       *graph.CSR
 	discard bool
+	sampler *sampling.SamplerRef
 	pipes   []*walk.Pipeline
+}
+
+// SamplerBytes reports the resident size of the session's (shared)
+// sampler state.
+func (s *pipelinedSession) SamplerBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sampler == nil {
+		return 0
+	}
+	return sampling.Footprint(s.sampler.Sampler())
 }
 
 // forEachWalk partitions the batch into contiguous chunks, one per worker
@@ -182,5 +202,9 @@ func (s *pipelinedSession) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.pipes = nil
+	if s.sampler != nil {
+		s.sampler.Release()
+		s.sampler = nil
+	}
 	return nil
 }

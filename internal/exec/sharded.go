@@ -8,6 +8,7 @@ import (
 	"sync/atomic"
 
 	"ridgewalker/internal/graph"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/shard"
 	"ridgewalker/internal/walk"
 )
@@ -67,11 +68,18 @@ func (shardedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if err != nil {
 		return nil, err
 	}
-	eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{Workers: cfg.Workers})
+	// Per-shard execution borrows the registry's global sampler store;
+	// shard views never duplicate O(E) sampler state.
+	ref, err := walk.AcquireSampler(g, cfg.Walk)
 	if err != nil {
 		return nil, err
 	}
-	return &shardedSession{eng: eng, discard: cfg.DiscardPaths}, nil
+	eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{Workers: cfg.Workers, Sampler: ref.Sampler()})
+	if err != nil {
+		ref.Release()
+		return nil, err
+	}
+	return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref}, nil
 }
 
 // shardedSession adapts a shard.Engine to the Session interface. The
@@ -82,6 +90,18 @@ type shardedSession struct {
 	mu      sync.RWMutex
 	eng     *shard.Engine
 	discard bool
+	sampler *sampling.SamplerRef
+}
+
+// SamplerBytes reports the resident size of the session's (shared)
+// sampler state.
+func (s *shardedSession) SamplerBytes() int64 {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	if s.sampler == nil {
+		return 0
+	}
+	return sampling.Footprint(s.sampler.Sampler())
 }
 
 func (s *shardedSession) engine() (*shard.Engine, error) {
@@ -139,5 +159,9 @@ func (s *shardedSession) Close() error {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	s.eng = nil
+	if s.sampler != nil {
+		s.sampler.Release()
+		s.sampler = nil
+	}
 	return nil
 }

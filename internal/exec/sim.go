@@ -9,6 +9,7 @@ import (
 	"ridgewalker/internal/core"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
 )
 
@@ -71,20 +72,22 @@ func (b simBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	// and hands each path out the cycle its query retires. Recording is
 	// host-side bookkeeping and does not affect simulated timing.
 	ccfg.RecordPaths = !cfg.DiscardPaths
-	// Build the sampler (alias tables are O(E)) once here; each batch gets
-	// a fresh accelerator so its cycle counters, channel statistics, and
-	// RNG streams start from reset — batches are reproducible and an
-	// aborted stream cannot leak in-flight state into the next run.
-	sampler, err := walk.BuildSampler(g, ccfg.Walk)
+	// Borrow the sampler (the flat alias store is O(E)) from the registry
+	// once here; each batch gets a fresh accelerator so its cycle
+	// counters, channel statistics, and RNG streams start from reset —
+	// batches are reproducible and an aborted stream cannot leak
+	// in-flight state into the next run.
+	ref, err := walk.AcquireSampler(g, ccfg.Walk)
 	if err != nil {
 		return nil, err
 	}
-	ccfg.Sampler = sampler
+	ccfg.Sampler = ref.Sampler()
 	// Validate eagerly so Open reports configuration errors.
 	if _, err := core.New(g, ccfg); err != nil {
+		ref.Release()
 		return nil, err
 	}
-	return &simSession{backend: b, g: g, ccfg: ccfg, discard: cfg.DiscardPaths}, nil
+	return &simSession{backend: b, g: g, ccfg: ccfg, discard: cfg.DiscardPaths, sampler: ref}, nil
 }
 
 type simSession struct {
@@ -93,6 +96,18 @@ type simSession struct {
 	g       *graph.CSR
 	ccfg    core.Config
 	discard bool
+	sampler *sampling.SamplerRef
+}
+
+// SamplerBytes reports the resident size of the session's (shared)
+// sampler state.
+func (s *simSession) SamplerBytes() int64 {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sampler == nil {
+		return 0
+	}
+	return sampling.Footprint(s.sampler.Sampler())
 }
 
 // result assembles the uniform BatchResult from a finished simulator run.
@@ -164,4 +179,12 @@ func (s *simSession) Stream(ctx context.Context, batch Batch, fn func(WalkOutput
 	return err
 }
 
-func (s *simSession) Close() error { return nil }
+func (s *simSession) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.sampler != nil {
+		s.sampler.Release()
+		s.sampler = nil
+	}
+	return nil
+}

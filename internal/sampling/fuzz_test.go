@@ -1,0 +1,73 @@
+package sampling
+
+import (
+	"encoding/binary"
+	"math"
+	"testing"
+
+	"ridgewalker/internal/rng"
+)
+
+// FuzzAliasTableWeights feeds arbitrary float32 weight vectors (decoded
+// from the raw fuzz bytes, so NaN, ±Inf, subnormals, and negative zero
+// all appear) through the alias construction. The invariant: either
+// construction rejects the vector, or the resulting table is well-formed
+// — finite probabilities, in-range alias targets, and in-range draws.
+// Construction must accept exactly the vectors whose weights are all
+// finite and > 0.
+func FuzzAliasTableWeights(f *testing.F) {
+	add := func(ws ...float32) {
+		buf := make([]byte, 4*len(ws))
+		for i, w := range ws {
+			binary.LittleEndian.PutUint32(buf[4*i:], math.Float32bits(w))
+		}
+		f.Add(buf)
+	}
+	add(1, 2, 3)
+	add(float32(math.Inf(1)))
+	add(1, float32(math.Inf(1)), 2)
+	add(float32(math.NaN()), 1)
+	add(0, 1)
+	add(-1, 5)
+	add(math.SmallestNonzeroFloat32, math.MaxFloat32)
+	add(1e-30, 1e30, 1e-30)
+	f.Fuzz(func(t *testing.T, data []byte) {
+		n := len(data) / 4
+		if n == 0 || n > 1<<12 {
+			return
+		}
+		ws := make([]float32, n)
+		allValid := true
+		for i := range ws {
+			ws[i] = math.Float32frombits(binary.LittleEndian.Uint32(data[4*i:]))
+			if !(ws[i] > 0) || math.IsInf(float64(ws[i]), 1) {
+				allValid = false
+			}
+		}
+		tab, err := NewAliasTable(ws)
+		if err != nil {
+			if allValid {
+				t.Fatalf("all-valid weights rejected: %v (%v)", err, ws)
+			}
+			return
+		}
+		if !allValid {
+			t.Fatalf("invalid weights accepted: %v", ws)
+		}
+		for i := 0; i < n; i++ {
+			p := tab.prob[i]
+			if math.IsNaN(p) || math.IsInf(p, 0) {
+				t.Fatalf("prob[%d]=%v not finite for weights %v", i, p, ws)
+			}
+			if a := tab.alias[i]; a < 0 || int(a) >= n {
+				t.Fatalf("alias[%d]=%d out of range [0,%d)", i, a, n)
+			}
+		}
+		r := rng.New(uint64(n))
+		for i := 0; i < 64; i++ {
+			if d := tab.Draw(r); d < 0 || d >= n {
+				t.Fatalf("draw %d out of range [0,%d)", d, n)
+			}
+		}
+	})
+}

@@ -40,7 +40,8 @@ type Rejection struct {
 
 // NewRejection validates p and q and returns the sampler.
 func NewRejection(p, q float64) (*Rejection, error) {
-	if p <= 0 || q <= 0 {
+	// The negated predicate also rejects NaN bias factors.
+	if !(p > 0) || !(q > 0) {
 		return nil, fmt.Errorf("sampling: node2vec p=%v q=%v must be > 0", p, q)
 	}
 	m := 1.0
@@ -77,7 +78,8 @@ type Reservoir struct {
 
 // NewReservoir validates p and q and returns the sampler.
 func NewReservoir(p, q float64) (*Reservoir, error) {
-	if p <= 0 || q <= 0 {
+	// The negated predicate also rejects NaN bias factors.
+	if !(p > 0) || !(q > 0) {
 		return nil, fmt.Errorf("sampling: node2vec p=%v q=%v must be > 0", p, q)
 	}
 	return &Reservoir{P: p, Q: q}, nil

@@ -1,0 +1,186 @@
+package sampling
+
+import (
+	"fmt"
+	"sync"
+
+	"ridgewalker/internal/graph"
+)
+
+// Spec names everything that determines a sampler's state: the sampling
+// algorithm plus only the parameters that algorithm actually conditions
+// on. Walk-level parameters that never reach the sampler — walk length,
+// PPR's α, the seed — are deliberately absent, so sessions differing only
+// in those share one sampler instance through the Registry instead of
+// rebuilding O(E) state per configuration.
+type Spec struct {
+	// Kind selects the sampling algorithm (Table I).
+	Kind Kind
+	// Weighted records whether the sampler reads edge weights. It is part
+	// of the key because weights can be attached to a CSR in place:
+	// a sampler built before AttachWeights must not be served after.
+	Weighted bool
+	// P, Q are the node2vec bias factors (rejection, reservoir); zero for
+	// the other kinds.
+	P, Q float64
+	// Schema is MetaPath's cyclic vertex-type sequence, stored as a
+	// string so the Spec is comparable.
+	Schema string
+}
+
+// String renders the spec for diagnostics.
+func (s Spec) String() string {
+	out := s.Kind.String()
+	if s.Weighted {
+		out += "+w"
+	}
+	if s.P != 0 || s.Q != 0 {
+		out += fmt.Sprintf(" p=%g q=%g", s.P, s.Q)
+	}
+	if s.Schema != "" {
+		out += fmt.Sprintf(" schema=%v", []uint8(s.Schema))
+	}
+	return out
+}
+
+// Build constructs the sampler the spec describes over g.
+func (s Spec) Build(g *graph.CSR) (Sampler, error) {
+	switch s.Kind {
+	case KindUniform:
+		return Uniform{}, nil
+	case KindAlias:
+		return NewAliasSampler(g)
+	case KindRejection:
+		return NewRejection(s.P, s.Q)
+	case KindReservoir:
+		return NewReservoir(s.P, s.Q)
+	case KindMetaPath:
+		return NewMetaPath([]uint8(s.Schema))
+	}
+	return nil, fmt.Errorf("sampling: unknown sampler kind %d", int(s.Kind))
+}
+
+// regKey identifies one immutable sampler: the graph it was built over
+// (by identity — CSRs are immutable in use) and its spec.
+type regKey struct {
+	g    *graph.CSR
+	spec Spec
+}
+
+// regEntry is one registry slot. The sampler is built outside the
+// registry lock under the once — an O(E) alias build must not stall
+// acquisitions of unrelated samplers.
+type regEntry struct {
+	once    sync.Once
+	sampler Sampler
+	err     error
+	refs    int
+}
+
+// Registry shares immutable samplers across sessions and backends.
+// Samplers are keyed by what actually determines them (graph identity,
+// kind, weights, p, q, schema); Acquire returns a refcounted borrow and
+// the entry is evicted when the last borrower releases it, so a sampler
+// lives exactly as long as some session is using it.
+type Registry struct {
+	mu      sync.Mutex
+	entries map[regKey]*regEntry
+}
+
+// NewRegistry returns an empty registry.
+func NewRegistry() *Registry {
+	return &Registry{entries: map[regKey]*regEntry{}}
+}
+
+// defaultRegistry is the process-wide registry the execution layer
+// borrows from.
+var defaultRegistry = NewRegistry()
+
+// DefaultRegistry returns the process-wide registry.
+func DefaultRegistry() *Registry { return defaultRegistry }
+
+// SamplerRef is a refcounted borrow of a registry sampler. Release it
+// when the borrowing session closes; the underlying sampler is dropped
+// from the registry when the last reference goes.
+type SamplerRef struct {
+	reg     *Registry
+	key     regKey
+	e       *regEntry
+	release sync.Once
+}
+
+// Sampler returns the borrowed sampler. Valid until Release.
+func (r *SamplerRef) Sampler() Sampler { return r.e.sampler }
+
+// Release returns the borrow. Safe to call more than once; only the
+// first call decrements.
+func (r *SamplerRef) Release() {
+	r.release.Do(func() { r.reg.drop(r.key, r.e) })
+}
+
+// Acquire returns a refcounted sampler for (g, spec), building it on
+// first use. Concurrent acquisitions of the same key share one build;
+// acquisitions of different keys never wait on each other's builds.
+func (reg *Registry) Acquire(g *graph.CSR, spec Spec) (*SamplerRef, error) {
+	key := regKey{g: g, spec: spec}
+	reg.mu.Lock()
+	e := reg.entries[key]
+	if e == nil {
+		e = &regEntry{}
+		reg.entries[key] = e
+	}
+	e.refs++
+	reg.mu.Unlock()
+	e.once.Do(func() {
+		e.sampler, e.err = spec.Build(g)
+	})
+	if e.err != nil {
+		// Failed builds are evicted with their last waiter so a later
+		// Acquire (e.g. after weights were attached) can retry.
+		reg.drop(key, e)
+		return nil, e.err
+	}
+	return &SamplerRef{reg: reg, key: key, e: e}, nil
+}
+
+// drop decrements an entry, evicting it when the last reference goes.
+func (reg *Registry) drop(key regKey, e *regEntry) {
+	reg.mu.Lock()
+	e.refs--
+	if e.refs == 0 && reg.entries[key] == e {
+		delete(reg.entries, key)
+	}
+	reg.mu.Unlock()
+}
+
+// Len reports the number of live (referenced) samplers.
+func (reg *Registry) Len() int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	return len(reg.entries)
+}
+
+// Refs reports the reference count of (g, spec), 0 when absent (tests
+// and introspection).
+func (reg *Registry) Refs(g *graph.CSR, spec Spec) int {
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if e := reg.entries[regKey{g: g, spec: spec}]; e != nil {
+		return e.refs
+	}
+	return 0
+}
+
+// Footprint reports a sampler's resident byte size: the flat alias store
+// for weighted DeepWalk, near-zero for the parametric samplers. Serving
+// layers surface it as sampler_bytes in perf reports.
+func Footprint(s Sampler) int64 {
+	switch t := s.(type) {
+	case *AliasSampler:
+		return t.MemoryFootprint()
+	case *MetaPath:
+		return int64(len(t.Schema))
+	default:
+		return 0
+	}
+}

@@ -84,14 +84,12 @@ func (Uniform) Propose(g *graph.CSR, ctx Context, _ Candidate, r *rng.Stream) Ca
 // Accept implements StagedSampler (never reached: proposals are final).
 func (Uniform) Accept(*graph.CSR, Context, Candidate, *rng.Stream) bool { return true }
 
-// Propose implements StagedSampler: one alias-table draw, always final.
-// The table lookup itself is O(1), so there is nothing to resume.
+// Propose implements StagedSampler: one pointer-free draw from the flat
+// alias store (locator word + two arena loads), always final. DrawAt
+// returns -1 without consuming randomness for zero-degree vertices,
+// exactly as the per-vertex-table representation did for missing tables.
 func (s *AliasSampler) Propose(_ *graph.CSR, ctx Context, _ Candidate, r *rng.Stream) Candidate {
-	t := s.tables[ctx.Cur]
-	if t == nil {
-		return Candidate{Index: -1, Probes: 1, Final: true}
-	}
-	return Candidate{Index: t.Draw(r), Probes: 1, Final: true}
+	return Candidate{Index: s.DrawAt(ctx.Cur, r), Probes: 1, Final: true}
 }
 
 // Accept implements StagedSampler (never reached: proposals are final).

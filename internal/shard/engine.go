@@ -49,6 +49,13 @@ type EngineConfig struct {
 	// be built over the engine's graph; content identity makes it
 	// trajectory-neutral. Ignored when Cohort == 0.
 	Layout *graph.Layout
+	// Sampler, when non-nil, is a prebuilt sampler the engine borrows
+	// instead of building its own — the execution layer passes its
+	// registry-shared sampler here so per-shard execution reads the one
+	// global flat store rather than duplicating O(E) sampler state. The
+	// caller retains ownership (and any registry ref) and must keep it
+	// alive for the engine's lifetime.
+	Sampler sampling.Sampler
 }
 
 func (c EngineConfig) withDefaults() EngineConfig {
@@ -154,8 +161,14 @@ func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig
 	if cfg.Layout != nil && cfg.Layout.Graph() != g {
 		return nil, fmt.Errorf("shard: layout built over a different graph")
 	}
-	sampler, err := walk.BuildSampler(g, wcfg)
-	if err != nil {
+	sampler := cfg.Sampler
+	if sampler == nil {
+		var err error
+		sampler, err = walk.BuildSampler(g, wcfg)
+		if err != nil {
+			return nil, err
+		}
+	} else if err := wcfg.Validate(g); err != nil {
 		return nil, err
 	}
 	if cfg.Cohort > 0 {

@@ -62,6 +62,11 @@ type Cohort struct {
 	// alias, rejection) get only the row ends — touching more would burn
 	// bandwidth on lines the Sample stage never reads.
 	scanRow bool
+	// aliasStore, set when the sampler is the flat alias store, lets
+	// Gather touch the lane's locator word and alias-row boundary slots
+	// alongside the CSR row locator, so the arena lines the Sample
+	// stage's draw will hit are already in flight.
+	aliasStore *sampling.AliasSampler
 
 	n int // lanes in use; live lanes are always the prefix [0, n)
 
@@ -101,24 +106,26 @@ func NewCohort(g *graph.CSR, cfg Config, s sampling.Sampler, size int) (*Cohort,
 		return nil, fmt.Errorf("walk: sampler %T is not stage-resumable", s)
 	}
 	kind := ss.Kind()
+	aliasStore, _ := s.(*sampling.AliasSampler)
 	return &Cohort{
-		g:       g,
-		sampler: ss,
-		cfg:     cfg,
-		scanRow: kind == sampling.KindReservoir || kind == sampling.KindMetaPath,
-		cur:     make([]graph.VertexID, size),
-		prev:    make([]graph.VertexID, size),
-		hasPrev: make([]bool, size),
-		step:    make([]int32, size),
-		lo:      make([]int64, size),
-		hi:      make([]int64, size),
-		arena:   make([]bool, size),
-		cand:    make([]sampling.Candidate, size),
-		phase:   make([]uint8, size),
-		fate:    make([]uint8, size),
-		tag:     make([]int32, size),
-		st:      make([]*State, size),
-		r:       make([]*rng.Stream, size),
+		g:          g,
+		sampler:    ss,
+		cfg:        cfg,
+		scanRow:    kind == sampling.KindReservoir || kind == sampling.KindMetaPath,
+		aliasStore: aliasStore,
+		cur:        make([]graph.VertexID, size),
+		prev:       make([]graph.VertexID, size),
+		hasPrev:    make([]bool, size),
+		step:       make([]int32, size),
+		lo:         make([]int64, size),
+		hi:         make([]int64, size),
+		arena:      make([]bool, size),
+		cand:       make([]sampling.Candidate, size),
+		phase:      make([]uint8, size),
+		fate:       make([]uint8, size),
+		tag:        make([]int32, size),
+		st:         make([]*State, size),
+		r:          make([]*rng.Stream, size),
 	}, nil
 }
 
@@ -263,6 +270,9 @@ func (c *Cohort) Step(
 					c.touch ^= uint64(g.Col[off])
 				}
 			}
+			if c.aliasStore != nil {
+				c.touch ^= c.aliasStore.TouchRow(v)
+			}
 			c.cand[i] = sampling.Candidate{}
 			c.phase[i] = phaseSample
 		}
@@ -294,6 +304,9 @@ func (c *Cohort) Step(
 				for off := lo + 16; off < hi && off <= lo+112; off += 16 {
 					c.touch ^= uint64(base[off])
 				}
+			}
+			if c.aliasStore != nil {
+				c.touch ^= c.aliasStore.TouchRow(c.cur[i])
 			}
 			c.cand[i] = sampling.Candidate{}
 			c.phase[i] = phaseSample

@@ -97,7 +97,9 @@ func (c Config) Validate(g *graph.CSR) error {
 	switch c.Algorithm {
 	case URW:
 	case PPR:
-		if c.Alpha < 0 || c.Alpha >= 1 {
+		// The negated predicate also rejects NaN, which would otherwise
+		// slip through both comparisons.
+		if !(c.Alpha >= 0 && c.Alpha < 1) {
 			return fmt.Errorf("walk: PPR alpha %v, want [0,1)", c.Alpha)
 		}
 	case DeepWalk:
@@ -105,7 +107,10 @@ func (c Config) Validate(g *graph.CSR) error {
 			return fmt.Errorf("walk: DeepWalk requires a weighted graph (alias sampling)")
 		}
 	case Node2Vec:
-		if c.P <= 0 || c.Q <= 0 {
+		// NaN must fail here: p and q key the sampler registry, and a NaN
+		// map key is unfindable and undeletable — every open would leak a
+		// registry entry. The negated predicate rejects it.
+		if !(c.P > 0) || !(c.Q > 0) {
 			return fmt.Errorf("walk: Node2Vec p=%v q=%v, want > 0", c.P, c.Q)
 		}
 	case MetaPath:
@@ -121,25 +126,51 @@ func (c Config) Validate(g *graph.CSR) error {
 	return nil
 }
 
-// BuildSampler constructs the Table-I sampler for the configured algorithm.
-func BuildSampler(g *graph.CSR, cfg Config) (sampling.Sampler, error) {
+// SamplerSpec maps a validated walk configuration to the parameters that
+// actually determine its Table-I sampler — the registry key. Walk length,
+// α, and the seed never reach a sampler, so configurations differing only
+// in those map to the same spec (and share one registry sampler).
+func SamplerSpec(g *graph.CSR, cfg Config) (sampling.Spec, error) {
 	if err := cfg.Validate(g); err != nil {
-		return nil, err
+		return sampling.Spec{}, err
 	}
 	switch cfg.Algorithm {
 	case URW, PPR:
-		return sampling.Uniform{}, nil
+		return sampling.Spec{Kind: sampling.KindUniform}, nil
 	case DeepWalk:
-		return sampling.NewAliasSampler(g)
+		return sampling.Spec{Kind: sampling.KindAlias, Weighted: true}, nil
 	case Node2Vec:
 		if g.Weighted() {
-			return sampling.NewReservoir(cfg.P, cfg.Q)
+			return sampling.Spec{Kind: sampling.KindReservoir, Weighted: true, P: cfg.P, Q: cfg.Q}, nil
 		}
-		return sampling.NewRejection(cfg.P, cfg.Q)
+		return sampling.Spec{Kind: sampling.KindRejection, P: cfg.P, Q: cfg.Q}, nil
 	case MetaPath:
-		return sampling.NewMetaPath(cfg.Schema)
+		return sampling.Spec{Kind: sampling.KindMetaPath, Weighted: g.Weighted(), Schema: string(cfg.Schema)}, nil
 	}
-	return nil, fmt.Errorf("walk: unknown algorithm %d", int(cfg.Algorithm))
+	return sampling.Spec{}, fmt.Errorf("walk: unknown algorithm %d", int(cfg.Algorithm))
+}
+
+// BuildSampler constructs a private Table-I sampler for the configured
+// algorithm. Long-lived sessions should prefer AcquireSampler, which
+// shares the (potentially O(E)) sampler state through the registry.
+func BuildSampler(g *graph.CSR, cfg Config) (sampling.Sampler, error) {
+	spec, err := SamplerSpec(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return spec.Build(g)
+}
+
+// AcquireSampler borrows the configured algorithm's sampler from the
+// process-wide sampler registry, building it on first use and sharing it
+// with every other session whose configuration maps to the same spec.
+// Release the ref when the borrowing session closes.
+func AcquireSampler(g *graph.CSR, cfg Config) (*sampling.SamplerRef, error) {
+	spec, err := SamplerSpec(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.DefaultRegistry().Acquire(g, spec)
 }
 
 // Query is one random-walk request.

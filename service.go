@@ -108,8 +108,31 @@ type Service struct {
 	closed   bool
 	inflight sync.WaitGroup
 
+	// The flush queue feeds detached batch groups to the fixed dispatcher
+	// pool. Groups used to get one spawned goroutine each, which a flush
+	// burst (many distinct configurations lingering out at once) turned
+	// into unbounded goroutine growth; now group execution is bounded at
+	// Workers pool goroutines and enqueueing never blocks (a
+	// mutex-guarded FIFO, so no hand-off goroutines pile up behind a full
+	// channel either). The queue itself is unbounded: a group enqueues at
+	// most once, but callers that stop waiting (context cancellation)
+	// return while their group — and the query slices it retains — stays
+	// queued until a worker drains it, so sustained submit-then-cancel
+	// floods are throttled only by the pool's drain rate, not by memory.
+	flushMu   sync.Mutex
+	flushCond *sync.Cond
+	flushQ    []flushJob
+	flushStop bool
+	flushWG   sync.WaitGroup
+
 	metricsMu sync.Mutex
 	metrics   ServiceMetrics
+}
+
+// flushJob is one detached batch group awaiting a dispatcher worker.
+type flushJob struct {
+	key string
+	grp *batchGroup
 }
 
 // sessionEntry is a cached backend session with a reference count (in-use
@@ -172,7 +195,7 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 	if cfg.MaxSessions < 1 {
 		return nil, fmt.Errorf("ridgewalker: service max sessions %d, want >= 1", cfg.MaxSessions)
 	}
-	return &Service{
+	s := &Service{
 		g:        g,
 		cfg:      cfg,
 		sessions: map[string]*sessionEntry{},
@@ -181,7 +204,39 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 			PerBackend:   map[string]Counter{},
 			PerAlgorithm: map[string]Counter{},
 		},
-	}, nil
+	}
+	s.flushCond = sync.NewCond(&s.flushMu)
+	s.flushWG.Add(cfg.Workers)
+	for i := 0; i < cfg.Workers; i++ {
+		go s.flushWorker()
+	}
+	return s, nil
+}
+
+// flushWorker is one dispatcher-pool goroutine: it drains the flush
+// queue, running one detached group at a time, until Close signals stop
+// (by then the queue is empty — Close waits out inflight first).
+func (s *Service) flushWorker() {
+	defer s.flushWG.Done()
+	for {
+		s.flushMu.Lock()
+		for len(s.flushQ) == 0 && !s.flushStop {
+			s.flushCond.Wait()
+		}
+		if len(s.flushQ) == 0 {
+			s.flushMu.Unlock()
+			return
+		}
+		j := s.flushQ[0]
+		s.flushQ[0] = flushJob{}
+		s.flushQ = s.flushQ[1:]
+		if len(s.flushQ) == 0 {
+			s.flushQ = nil // release the drained backing array
+		}
+		s.flushMu.Unlock()
+		s.runGroup(j.key, j.grp)
+		s.inflight.Done()
+	}
 }
 
 // cfgKey canonicalizes a walk configuration for session caching and
@@ -345,8 +400,13 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 }
 
 // flush dispatches a pending group. The first of the two triggers (linger
-// timer, size cap) wins; the group is detached under the lock so the other
-// trigger finds it gone.
+// timer, size cap) wins; the group is detached under the lock so the
+// other trigger finds it gone. The group is appended to the dispatcher
+// pool's queue — a non-blocking O(1) enqueue, so Submit returns to its
+// context select immediately and no goroutine ever parks on a hand-off —
+// and executed by one of the Workers pool goroutines. The group is
+// registered with inflight before it is queued, so Close cannot return
+// before a worker has run it.
 func (s *Service) flush(key string, grp *batchGroup) {
 	s.mu.Lock()
 	if s.pending[key] != grp {
@@ -356,10 +416,10 @@ func (s *Service) flush(key string, grp *batchGroup) {
 	delete(s.pending, key)
 	s.inflight.Add(1)
 	s.mu.Unlock()
-	go func() {
-		defer s.inflight.Done()
-		s.runGroup(key, grp)
-	}()
+	s.flushMu.Lock()
+	s.flushQ = append(s.flushQ, flushJob{key: key, grp: grp})
+	s.flushMu.Unlock()
+	s.flushCond.Signal()
 }
 
 // runGroup executes a flushed group on the cached session and distributes
@@ -501,6 +561,14 @@ func (s *Service) Close() error {
 		}
 	}
 	s.inflight.Wait()
+	// All flushes registered with inflight have been executed by the pool
+	// (flush registers before it enqueues), and closed stops new ones, so
+	// the queue is empty and the workers can drain out.
+	s.flushMu.Lock()
+	s.flushStop = true
+	s.flushMu.Unlock()
+	s.flushCond.Broadcast()
+	s.flushWG.Wait()
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var firstErr error

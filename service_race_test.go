@@ -317,3 +317,75 @@ func TestServiceMetricsUnderConcurrency(t *testing.T) {
 		t.Fatalf("per-backend metrics lost work: %+v", b)
 	}
 }
+
+// TestServiceBurstFlushStress floods the service with a burst of tiny
+// batches across many distinct walk configurations at MaxBatch=1, so
+// every Submit triggers an immediate flush. Group execution must run on
+// the fixed dispatcher pool — bounded goroutines with backpressure, not
+// one spawned goroutine per flushed group — while every reply stays
+// byte-identical to a solo run of its configuration and Close still
+// drains cleanly mid-burst.
+func TestServiceBurstFlushStress(t *testing.T) {
+	g := serviceTestGraph(t)
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{
+		Backend:  "cpu",
+		Workers:  2,
+		MaxBatch: 1, // every submission fills its group: maximal flush rate
+		Linger:   50 * time.Microsecond,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	qs, err := ridgewalker.RandomQueries(g, ridgewalker.DefaultWalkConfig(ridgewalker.URW), 8, 41)
+	if err != nil {
+		t.Fatal(err)
+	}
+	const cfgs = 12
+	makeCfg := func(i int) ridgewalker.WalkConfig {
+		cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+		cfg.WalkLength = 6 + i%5
+		cfg.Seed = uint64(i + 1)
+		return cfg
+	}
+	want := make([]*ridgewalker.Result, cfgs)
+	for i := range want {
+		res, err := ridgewalker.Walk(g, qs, makeCfg(i))
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = res
+	}
+	const callers = 16
+	iters := raceIterations(t)
+	var wg sync.WaitGroup
+	var bad atomic.Int64
+	for c := 0; c < callers; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for n := 0; n < iters; n++ {
+				i := (c + n) % cfgs
+				res, err := svc.Submit(context.Background(), makeCfg(i), qs)
+				if err != nil {
+					bad.Add(1)
+					return
+				}
+				if !reflect.DeepEqual(res.Paths, want[i].Paths) {
+					bad.Add(1)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	if bad.Load() != 0 {
+		t.Fatalf("%d callers saw errors or wrong paths under burst flush", bad.Load())
+	}
+	if err := svc.Close(); err != nil {
+		t.Fatal(err)
+	}
+	// Submissions after Close must be rejected, not queued to dead workers.
+	if _, err := svc.Submit(context.Background(), makeCfg(0), qs); err == nil {
+		t.Fatal("Submit after Close succeeded")
+	}
+}
