@@ -6,7 +6,14 @@
 //
 //	graphgen -dataset LJ -shrink 3 -o lj.rwg
 //	graphgen -rmat 16,32,graph500 -weights -o sc16.rwg
+//	graphgen -rmat 24,8,graph500 -weights -stream-chunk 4194304 -o sc24.rwg
+//	graphgen -rmat 24,8,graph500 -stream-chunk 4194304 -sorted -o sc24.rwg
 //	graphgen -list
+//
+// -stream-chunk streams RMAT generation to disk in bounded-memory
+// chunks (byte-identical output), so RMAT-24+ graphs generate without
+// materializing the edge list; -sorted spills pre-sorted chunks and
+// k-way merges them, skipping the in-memory per-bucket sort.
 package main
 
 import (
@@ -35,6 +42,8 @@ func run() error {
 	weights := flag.Bool("weights", false, "attach ThunderRW-style edge weights")
 	labels := flag.Int("labels", 0, "attach hashed vertex labels with this many types")
 	seed := flag.Uint64("seed", 42, "random seed")
+	streamChunk := flag.Int("stream-chunk", 0, "stream -rmat generation to disk with this many edges per spill chunk (0 = in-memory)")
+	sorted := flag.Bool("sorted", false, "with -stream-chunk: spill pre-sorted chunks and k-way merge (skips the in-memory per-bucket sort)")
 	list := flag.Bool("list", false, "list dataset twins and exit")
 	flag.Parse()
 
@@ -76,6 +85,24 @@ func run() error {
 		cfg := ridgewalker.Balanced(scale, ef, *seed)
 		if len(parts) > 2 && parts[2] == "graph500" {
 			cfg = ridgewalker.Graph500(scale, ef, *seed)
+		}
+		if *streamChunk > 0 {
+			if *out == "" {
+				return fmt.Errorf("streaming generation needs -o")
+			}
+			st, err2 := graph.StreamRMAT(*out, cfg, graph.StreamOptions{
+				ChunkEdges: *streamChunk,
+				Sorted:     *sorted,
+				Weights:    *weights,
+				Labels:     *labels,
+			})
+			if err2 != nil {
+				return err2
+			}
+			fmt.Printf("streamed: %d vertices, %d edges via %d spill chunks (%d MiB spilled, sorted=%v)\n",
+				st.Vertices, st.Edges, st.Chunks, st.SpillBytes>>20, *sorted)
+			fmt.Printf("wrote %s\n", *out)
+			return nil
 		}
 		g, err = ridgewalker.GenerateRMAT(cfg)
 	default:

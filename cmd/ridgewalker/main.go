@@ -64,6 +64,7 @@ func run() error {
 	shards := flag.Int("shards", 0, "cpu-sharded/cpu-pipelined partition count (0 = backend default)")
 	cohort := flag.Int("cohort", 0, "cpu-pipelined in-flight walkers per worker (0 = backend default)")
 	hubCache := flag.Int64("hubcache", 0, "cpu-pipelined hub-arena byte budget (0 = off; e.g. 8388608 for 8 MiB)")
+	memBudget := flag.String("membudget", "", "cpu backends' tiered-memory hot budget in bytes, or 'auto' (empty = flat stores)")
 	cpuProfile := flag.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a pprof heap profile to this file at exit")
 	serve := flag.Bool("serve", false, "run the workload through the batched serving frontend")
@@ -104,8 +105,16 @@ func run() error {
 			if err != nil {
 				return err
 			}
-			fmt.Printf("%-13s %s\n", name, b.Description())
+			mark := ""
+			if ridgewalker.BackendSupportsMemoryTiering(name) {
+				mark = "  [tiered-mem]"
+			}
+			fmt.Printf("%-13s %s%s\n", name, b.Description(), mark)
 		}
+		fmt.Println("\n[tiered-mem] backends honor -membudget: hot rows stay in an")
+		fmt.Println("uncompressed arena, the cold tail is delta-varint compressed, and the")
+		fmt.Println("per-tier accounting (hot arena, compressed cold arena, locators,")
+		fmt.Println("per-worker decode scratch) is reported after each run.")
 		return nil
 	}
 
@@ -148,8 +157,15 @@ func run() error {
 	if err != nil {
 		return err
 	}
+	budget, err := parseMemBudget(*memBudget, g)
+	if err != nil {
+		return err
+	}
 	fmt.Printf("graph: %d vertices, %d edges; algorithm: %s; backend: %s; %d queries × len %d\n",
 		g.NumVertices, g.NumEdges(), alg, backend, len(qs), *length)
+	if budget != 0 {
+		fmt.Printf("memory budget: %d bytes (tiered hot arenas + compressed cold tail)\n", budget)
+	}
 
 	if *serve {
 		return runServe(g, cfg, qs, ridgewalker.ServiceConfig{
@@ -159,6 +175,7 @@ func run() error {
 			Shards:              *shards,
 			Cohort:              *cohort,
 			HubCacheBytes:       *hubCache,
+			MemoryBudgetBytes:   budget,
 			MaxBatch:            *maxBatch,
 			Linger:              *linger,
 			DisableAsync:        *noAsync,
@@ -173,6 +190,7 @@ func run() error {
 		Shards:              *shards,
 		Cohort:              *cohort,
 		HubCacheBytes:       *hubCache,
+		MemoryBudgetBytes:   budget,
 		DisableAsync:        *noAsync,
 		DisableDynamicSched: *noSched,
 	})
@@ -204,7 +222,35 @@ func run() error {
 			effectiveWorkers(*workers), res.Steps, el.Round(time.Millisecond),
 			float64(res.Steps)/el.Seconds()/1e6)
 	}
+	if m := res.Memory; m != nil {
+		fmt.Printf("tiered memory: %d B resident (flat %d B)\n",
+			m.TotalBytes(), m.GraphFlatBytes+m.SamplerFlatBytes)
+		fmt.Printf("  graph: %d hot rows / %d cold rows, %d B (cold tail %.2fx smaller)\n",
+			m.GraphHotRows, m.GraphColdRows, m.GraphBytes, m.GraphColdRatio)
+		if m.SamplerBudget != 0 {
+			fmt.Printf("  sampler: %d hot rows / %d cold rows, %d B (cold rows %.2fx smaller)\n",
+				m.SamplerHotRows, m.SamplerColdRows, m.SamplerBytes, m.SamplerColdRatio)
+		}
+		fmt.Printf("  decode scratch: ≤%d B per worker\n", m.ScratchBoundPerWorker)
+	}
 	return writePaths(*pathsOut, res.Paths)
+}
+
+// parseMemBudget resolves the -membudget flag: empty = off, "auto" =
+// graph.AutoMemoryBudget, otherwise a byte count (negative = all-cold,
+// for footprint measurement).
+func parseMemBudget(s string, g *ridgewalker.Graph) (int64, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return ridgewalker.AutoMemoryBudget(g), nil
+	}
+	b, err := strconv.ParseInt(s, 10, 64)
+	if err != nil {
+		return 0, fmt.Errorf("membudget: %w", err)
+	}
+	return b, nil
 }
 
 // runServe splits the workload into concurrent requests against a batched

@@ -35,6 +35,8 @@ func ComparePerf(baseline, fresh *PerfReport, tol float64, absolute bool) (regre
 		shards     int
 		cohort     int
 		procs      int
+		tiered     bool
+		hub        bool
 	}
 	recKey := func(rep *PerfReport, r PerfRecord) key {
 		return key{
@@ -46,30 +48,36 @@ func ComparePerf(baseline, fresh *PerfReport, tol float64, absolute bool) (regre
 			shards:     r.Shards,
 			cohort:     r.Cohort,
 			procs:      r.GoMaxProcs,
+			// Budget-constrained (tiered) records compare only against
+			// tiered records; the budget value itself is auto-derived from
+			// the graph, so the bool is the stable part of the identity.
+			tiered: r.MemBudget != 0,
+			hub:    r.HubWorkload,
 		}
 	}
 	// cpuBase indexes each report's flat-cpu throughput per (algorithm,
-	// procs) for normalization.
-	cpuBase := func(rep *PerfReport) map[[2]interface{}]float64 {
-		m := map[[2]interface{}]float64{}
+	// procs, workload) for normalization — hub-workload records normalize
+	// against the hub-workload cpu run, which walks different traffic.
+	cpuBase := func(rep *PerfReport) map[[3]interface{}]float64 {
+		m := map[[3]interface{}]float64{}
 		for _, r := range rep.Records {
-			if r.Backend == "cpu" && r.Shards == 0 {
-				m[[2]interface{}{r.Algorithm, r.GoMaxProcs}] = r.StepsPerSec
+			if r.Backend == "cpu" && r.Shards == 0 && r.MemBudget == 0 {
+				m[[3]interface{}{r.Algorithm, r.GoMaxProcs, r.HubWorkload}] = r.StepsPerSec
 			}
 		}
 		return m
 	}
 	baseCPU, freshCPU := cpuBase(baseline), cpuBase(fresh)
-	value := func(r PerfRecord, cpu map[[2]interface{}]float64) (float64, bool) {
+	value := func(r PerfRecord, cpu map[[3]interface{}]float64) (float64, bool) {
 		if absolute {
 			return r.StepsPerSec, true
 		}
-		if r.Backend == "cpu" && r.Shards == 0 {
+		if r.Backend == "cpu" && r.Shards == 0 && r.MemBudget == 0 {
 			// The normalization anchor is 1.0 by construction; nothing to
 			// compare in normalized mode.
 			return 0, false
 		}
-		b := cpu[[2]interface{}{r.Algorithm, r.GoMaxProcs}]
+		b := cpu[[3]interface{}{r.Algorithm, r.GoMaxProcs, r.HubWorkload}]
 		if b <= 0 {
 			return 0, false
 		}

@@ -9,6 +9,7 @@ import (
 	"os"
 	"runtime"
 	"sort"
+	"strconv"
 	"strings"
 	"time"
 
@@ -41,6 +42,24 @@ func init() {
 // open cost — sampler construction (the flat alias store for weighted
 // workloads), graph partitioning, layout building — and SamplerBytes the
 // resident size of the session's registry-shared sampler state.
+//
+// The schema-4 memory fields appear on budget-constrained (tiered)
+// records only: MemBudget is the MemoryBudgetBytes the session ran
+// under, GraphBytes the tiered graph's resident size (hot arena +
+// compressed cold arena + locators), SamplerBytesTiered the tiered
+// sampler's resident size, and CompressionRatio the combined flat-over-
+// resident byte ratio of both stores — how many times the same content
+// the flat engines read fits in the tiered footprint.
+//
+// HubWorkload marks the hub-heavy variant: the same algorithm run as
+// hubWalkLen-step ego walks restarted at the graph's top-degree
+// vertices (neighbor sampling around popular nodes), the access
+// pattern the hot tier is built for.
+// The "cpu-hub-tiered/cpu-hub" ratio is the tiering acceptance number —
+// hub-heavy steps/sec must stay within 10% of the untiered engine —
+// while the plain "cpu-tiered/cpu" ratio prices the worst case, a
+// uniform workload whose steady-state traffic is edge-mass distributed
+// and therefore mostly cold.
 type PerfRecord struct {
 	Backend         string  `json:"backend"`
 	Algorithm       string  `json:"algorithm"`
@@ -58,6 +77,12 @@ type PerfRecord struct {
 	PreprocessMS    float64 `json:"preprocess_ms"`
 	SamplerBytes    int64   `json:"sampler_bytes"`
 	ParallelSpeedup float64 `json:"parallel_speedup,omitempty"`
+
+	MemBudget          int64   `json:"mem_budget,omitempty"`
+	GraphBytes         int64   `json:"graph_bytes,omitempty"`
+	SamplerBytesTiered int64   `json:"sampler_bytes_tiered,omitempty"`
+	CompressionRatio   float64 `json:"compression_ratio,omitempty"`
+	HubWorkload        bool    `json:"hub_workload,omitempty"`
 }
 
 // SamplerBuildRecord reports the weighted-sampler preprocessing
@@ -80,12 +105,20 @@ type SamplerBuildRecord struct {
 }
 
 // configName renders the record's engine configuration compactly
-// ("cpu-pipelined-s4" for the sharded composition).
+// ("cpu-pipelined-s4" for the sharded composition, "cpu-tiered" for a
+// budget-constrained run).
 func (r PerfRecord) configName() string {
+	name := r.Backend
 	if r.Shards > 0 {
-		return fmt.Sprintf("%s-s%d", r.Backend, r.Shards)
+		name = fmt.Sprintf("%s-s%d", name, r.Shards)
 	}
-	return r.Backend
+	if r.HubWorkload {
+		name += "-hub"
+	}
+	if r.MemBudget != 0 {
+		name += "-tiered"
+	}
+	return name
 }
 
 // PerfReport is the BENCH.json schema: the perf trajectory record CI
@@ -115,15 +148,33 @@ type PerfReport struct {
 	// "cpu-pipelined/cpu URW": 1.31 (GOMAXPROCS=1) or
 	// "cpu-pipelined-s4/cpu URW @p4": 2.1 (GOMAXPROCS=4).
 	Ratios map[string]float64 `json:"ratios"`
+	// PeakRSSMB is the process's peak resident set (/proc/self/status
+	// VmHWM) sampled after the sweep, in MiB. The high-water mark is
+	// monotonic over the process lifetime, so it bounds the whole suite —
+	// graph generation included — rather than any single configuration;
+	// its value is catching footprint growth across commits at fixed
+	// workload parameters. 0 where the proc interface is unavailable.
+	PeakRSSMB float64 `json:"peak_rss_mb,omitempty"`
 }
 
 // perfConfigs lists the software-engine configurations the suite sweeps.
+// The tiered entry reruns the flat-cpu workload under the auto memory
+// budget (hot hubs in the uncompressed arena, cold tail through the
+// delta-varint decode path), so every report prices the tiering's
+// throughput cost next to its footprint saving. The hub pair measures
+// the same engines on the hub-heavy workload (short walks seeded at the
+// top-degree vertices), whose traffic the hot tier is sized to absorb.
 var perfConfigs = []struct {
 	backend string
 	shards  int
 	cohort  int
+	tiered  bool
+	hub     bool
 }{
 	{backend: "cpu"},
+	{backend: "cpu", tiered: true},
+	{backend: "cpu", hub: true},
+	{backend: "cpu", hub: true, tiered: true},
 	{backend: "cpu-sharded"},
 	{backend: "cpu-sharded", shards: 4},
 	{backend: "cpu-pipelined", cohort: exec.DefaultCohort},
@@ -237,7 +288,7 @@ func RunPerf(c *Context) (*PerfReport, error) {
 	name := fmt.Sprintf("rmat-%d-graph500", scale)
 	procs := perfProcs(c.Opts)
 	rep := &PerfReport{
-		Schema:     3,
+		Schema:     4,
 		Graph:      name,
 		Vertices:   g.NumVertices,
 		Edges:      g.NumEdges(),
@@ -284,14 +335,24 @@ func RunPerf(c *Context) (*PerfReport, error) {
 			return nil, err
 		}
 		rep.Queries = len(qs)
+		hcfg, hqs := hubWorkload(gw, wcfg, len(qs))
 		for _, p := range procs {
 			runtime.GOMAXPROCS(p)
 			for _, pc := range perfConfigs {
-				rec, err := measure(pc.backend, gw, wcfg, qs, pc.shards, pc.cohort, c.Opts.Repeat)
+				var budget int64
+				if pc.tiered {
+					budget = graph.AutoMemoryBudget(gw)
+				}
+				mcfg, mqs := wcfg, qs
+				if pc.hub {
+					mcfg, mqs = hcfg, hqs
+				}
+				rec, err := measure(pc.backend, gw, mcfg, mqs, pc.shards, pc.cohort, budget, c.Opts.Repeat)
 				if err != nil {
 					runtime.GOMAXPROCS(prev)
 					return nil, err
 				}
+				rec.HubWorkload = pc.hub
 				rec.Graph, rec.Vertices, rec.Edges = name, g.NumVertices, g.NumEdges()
 				rep.Records = append(rep.Records, rec)
 			}
@@ -299,7 +360,75 @@ func RunPerf(c *Context) (*PerfReport, error) {
 	}
 	runtime.GOMAXPROCS(prev)
 	finishReport(rep)
+	rep.PeakRSSMB = peakRSSMB()
 	return rep, nil
+}
+
+// Hub-workload shape: walks of hubWalkLen steps seeded round-robin at
+// the hubSeeds top-degree vertices, hubQueryMult times the base query
+// count (short walks need more of them for a stable wall-clock). Walk
+// length 2 is the canonical serving shape — two-hop ego/neighbor
+// sampling around popular vertices, the GraphSAGE-style fan-out a
+// front-end issues for trending content — and it is what keeps the
+// traffic actually hub-heavy: a random walk mixes to the graph's
+// edge-mass distribution within a few steps, so every step past the
+// first hop reads mostly cold rows no matter where the walk started.
+const (
+	hubWalkLen   = 2
+	hubSeeds     = 64
+	hubQueryMult = 16
+)
+
+// hubWorkload derives the hub-heavy variant of a workload: same
+// algorithm and seed, hubWalkLen-step walks from the top-degree rows.
+func hubWorkload(g *graph.CSR, wcfg walk.Config, nq int) (walk.Config, []walk.Query) {
+	hcfg := wcfg
+	hcfg.WalkLength = hubWalkLen
+	order := make([]graph.VertexID, g.NumVertices)
+	for v := range order {
+		order[v] = graph.VertexID(v)
+	}
+	sort.Slice(order, func(i, j int) bool {
+		di, dj := g.Degree(order[i]), g.Degree(order[j])
+		if di != dj {
+			return di > dj
+		}
+		return order[i] < order[j]
+	})
+	k := hubSeeds
+	if k > len(order) {
+		k = len(order)
+	}
+	hqs := make([]walk.Query, nq*hubQueryMult)
+	for i := range hqs {
+		hqs[i] = walk.Query{ID: uint32(i), Start: order[i%k]}
+	}
+	return hcfg, hqs
+}
+
+// peakRSSMB reads the process's resident-set high-water mark from
+// /proc/self/status (VmHWM, reported in KiB) and converts to MiB.
+// Returns 0 on platforms without the proc interface.
+func peakRSSMB() float64 {
+	data, err := os.ReadFile("/proc/self/status")
+	if err != nil {
+		return 0
+	}
+	for _, line := range strings.Split(string(data), "\n") {
+		if !strings.HasPrefix(line, "VmHWM:") {
+			continue
+		}
+		fields := strings.Fields(line)
+		if len(fields) < 2 {
+			return 0
+		}
+		kb, err := strconv.ParseFloat(fields[1], 64)
+		if err != nil {
+			return 0
+		}
+		return kb / 1024
+	}
+	return 0
 }
 
 // finishReport derives the cpu-normalized ratios and the per-record
@@ -308,34 +437,44 @@ func finishReport(rep *PerfReport) {
 	type baseKey struct {
 		alg   string
 		procs int
+		hub   bool
 	}
-	base := map[baseKey]float64{} // flat cpu steps/sec per (algorithm, procs)
+	// Flat cpu steps/sec per (algorithm, procs, workload): hub records
+	// normalize against the hub-workload cpu run — the two workloads walk
+	// different traffic, so their numbers must not be mixed.
+	base := map[baseKey]float64{}
 	type cfgKey struct {
 		backend string
 		alg     string
 		shards  int
 		cohort  int
+		tiered  bool
+		hub     bool
 	}
 	single := map[cfgKey]float64{} // GOMAXPROCS=1 steps/sec per configuration
 	for _, r := range rep.Records {
-		if r.Backend == "cpu" && r.Shards == 0 {
-			base[baseKey{r.Algorithm, r.GoMaxProcs}] = r.StepsPerSec
+		if r.Backend == "cpu" && r.Shards == 0 && r.MemBudget == 0 {
+			base[baseKey{r.Algorithm, r.GoMaxProcs, r.HubWorkload}] = r.StepsPerSec
 		}
 		if r.GoMaxProcs == 1 {
-			single[cfgKey{r.Backend, r.Algorithm, r.Shards, r.Cohort}] = r.StepsPerSec
+			single[cfgKey{r.Backend, r.Algorithm, r.Shards, r.Cohort, r.MemBudget != 0, r.HubWorkload}] = r.StepsPerSec
 		}
 	}
 	for i := range rep.Records {
 		r := &rep.Records[i]
-		if b := base[baseKey{r.Algorithm, r.GoMaxProcs}]; b > 0 && !(r.Backend == "cpu" && r.Shards == 0) {
-			key := fmt.Sprintf("%s/cpu %s", r.configName(), r.Algorithm)
+		if b := base[baseKey{r.Algorithm, r.GoMaxProcs, r.HubWorkload}]; b > 0 && !(r.Backend == "cpu" && r.Shards == 0 && r.MemBudget == 0) {
+			den := "cpu"
+			if r.HubWorkload {
+				den = "cpu-hub"
+			}
+			key := fmt.Sprintf("%s/%s %s", r.configName(), den, r.Algorithm)
 			if r.GoMaxProcs > 1 {
 				key += fmt.Sprintf(" @p%d", r.GoMaxProcs)
 			}
 			rep.Ratios[key] = r.StepsPerSec / b
 		}
 		if r.GoMaxProcs > 1 {
-			if s := single[cfgKey{r.Backend, r.Algorithm, r.Shards, r.Cohort}]; s > 0 {
+			if s := single[cfgKey{r.Backend, r.Algorithm, r.Shards, r.Cohort, r.MemBudget != 0, r.HubWorkload}]; s > 0 {
 				r.ParallelSpeedup = r.StepsPerSec / s
 			}
 		}
@@ -348,13 +487,14 @@ func finishReport(rep *PerfReport) {
 // batch is measured that many times and the best repetition is kept —
 // downward outliers on shared machines are scheduling noise, which the
 // regression gate must not mistake for a code regression.
-func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, shards, cohort, repeat int) (PerfRecord, error) {
+func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, shards, cohort int, budget int64, repeat int) (PerfRecord, error) {
 	if repeat < 1 {
 		repeat = 1
 	}
 	openStart := time.Now()
 	ses, err := exec.Open(backend, g, exec.Config{
 		Walk: wcfg, Shards: shards, Cohort: cohort, DiscardPaths: true,
+		MemoryBudgetBytes: budget,
 	})
 	preprocess := time.Since(openStart)
 	if err != nil {
@@ -381,6 +521,16 @@ func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, sh
 		Queries:      len(qs),
 		PreprocessMS: float64(preprocess) / float64(time.Millisecond),
 		SamplerBytes: samplerBytes,
+		MemBudget:    budget,
+	}
+	if reporter, ok := ses.(exec.MemoryReporter); ok && budget != 0 {
+		if m := reporter.MemoryReport(); m != nil {
+			best.GraphBytes = m.GraphBytes
+			best.SamplerBytesTiered = m.SamplerBytes
+			if resident := m.TotalBytes(); resident > 0 {
+				best.CompressionRatio = float64(m.GraphFlatBytes+m.SamplerFlatBytes) / float64(resident)
+			}
+		}
 	}
 	for i := 0; i < repeat; i++ {
 		var before, after runtime.MemStats
@@ -407,18 +557,25 @@ func measure(backend string, g *graph.CSR, wcfg walk.Config, qs []walk.Query, sh
 func WritePerfTable(rep *PerfReport, w io.Writer) error {
 	t := newTable(w, fmt.Sprintf("Software-engine perf — %s (%d vertices, %d edges), %d queries × len %d, procs %v",
 		rep.Graph, rep.Vertices, rep.Edges, rep.Queries, rep.WalkLength, rep.Procs))
-	t.row("backend", "alg", "shards", "cohort", "procs", "MStep/s", "allocs/walk", "prep ms", "sampler KiB", "speedup")
+	t.row("backend", "alg", "shards", "cohort", "procs", "MStep/s", "allocs/walk", "prep ms", "sampler KiB", "speedup", "mem")
 	for _, r := range rep.Records {
 		speedup := "-"
 		if r.ParallelSpeedup > 0 {
 			speedup = fmt.Sprintf("%.2fx", r.ParallelSpeedup)
 		}
+		mem := "-"
+		if r.MemBudget != 0 {
+			mem = fmt.Sprintf("tiered %dKiB %.1fx", (r.GraphBytes+r.SamplerBytesTiered)>>10, r.CompressionRatio)
+		}
 		t.row(r.Backend, r.Algorithm, r.Shards, r.Cohort, r.GoMaxProcs,
 			r.StepsPerSec/1e6, r.AllocsPerWalk,
-			fmt.Sprintf("%.1f", r.PreprocessMS), r.SamplerBytes>>10, speedup)
+			fmt.Sprintf("%.1f", r.PreprocessMS), r.SamplerBytes>>10, speedup, mem)
 	}
 	if err := t.flush(); err != nil {
 		return err
+	}
+	if rep.PeakRSSMB > 0 {
+		fmt.Fprintf(w, "peak RSS: %.1f MiB (process high-water mark, whole suite)\n", rep.PeakRSSMB)
 	}
 	if sb := rep.SamplerBuild; sb != nil {
 		fmt.Fprintf(w, "sampler build (alias store, %d edges): serial %.1f ms, parallel(%d workers) %.1f ms, %.2fx, %d KiB\n",

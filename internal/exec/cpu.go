@@ -31,6 +31,10 @@ func (cpuBackend) Description() string {
 // independent of batch composition.
 func (cpuBackend) MergesBatches() bool { return true }
 
+// SupportsMemoryTiering implements MemoryTierer: walkers advance through
+// per-worker TierViews when a budget is set.
+func (cpuBackend) SupportsMemoryTiering() bool { return true }
+
 func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("exec: cpu workers %d, want >= 0", cfg.Workers)
@@ -42,15 +46,33 @@ func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	// One sampler (flat alias store, schema state) borrowed read-only
 	// from the process-wide registry — shared with every other session
 	// whose configuration maps to the same sampler spec — and one walker
-	// (reused buffer + RNG) per worker.
-	ref, err := walk.AcquireSampler(g, cfg.Walk)
-	if err != nil {
-		return nil, err
+	// (reused buffer + RNG) per worker. A memory budget swaps both
+	// borrows for their tiered counterparts; each walker then advances
+	// through its own TierView (per-worker cold-row decode scratch).
+	var (
+		ref *sampling.SamplerRef
+		ts  *tierState
+		err error
+	)
+	if cfg.MemoryBudgetBytes != 0 {
+		ts, err = acquireTiered(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ref = ts.sref
+	} else {
+		ref, err = walk.AcquireSampler(g, cfg.Walk)
+		if err != nil {
+			return nil, err
+		}
 	}
-	s := &cpuSession{g: g, discard: cfg.DiscardPaths, sampler: ref}
+	s := &cpuSession{g: g, discard: cfg.DiscardPaths, sampler: ref, tier: ts}
 	s.walkers = make([]*walk.Walker, workers)
 	for i := range s.walkers {
 		s.walkers[i] = walk.NewWalkerWithSampler(g, cfg.Walk, ref.Sampler())
+		if ts != nil {
+			s.walkers[i].SetTierView(graph.NewTierView(ts.gref.Store()))
+		}
 	}
 	return s, nil
 }
@@ -60,7 +82,15 @@ type cpuSession struct {
 	g       *graph.CSR
 	discard bool
 	sampler *sampling.SamplerRef
+	tier    *tierState
 	walkers []*walk.Walker
+}
+
+// MemoryReport implements MemoryReporter (nil for untiered sessions).
+func (s *cpuSession) MemoryReport() *MemoryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tier.report()
 }
 
 // SamplerBytes reports the resident size of the session's (shared)
@@ -123,6 +153,7 @@ func (s *cpuSession) Run(ctx context.Context, batch Batch) (*BatchResult, error)
 		return nil, err
 	}
 	res.Steps = steps.Load()
+	res.Memory = s.tier.report()
 	return res, nil
 }
 
@@ -159,5 +190,7 @@ func (s *cpuSession) Close() error {
 		s.sampler.Release()
 		s.sampler = nil
 	}
+	s.tier.release() // idempotent with the sampler release above
+	s.tier = nil
 	return nil
 }

@@ -79,6 +79,24 @@ type Config struct {
 	// backends ignore it.
 	HubCacheBytes int64
 
+	// MemoryBudgetBytes, when nonzero, serves the CPU backends through
+	// tiered memory: the highest-degree rows — the bulk of a power-law
+	// walk's traffic — stay uncompressed in a hot arena sized by the
+	// budget, and the cold tail is stored delta-gap group-varint
+	// compressed (graph.Tiered), decoded row-at-a-time into per-worker
+	// scratch. Workloads with an O(E) alias store (weighted DeepWalk)
+	// split the budget evenly between the graph and sampler tiers
+	// (sampling.TieredAlias quantizes cold rows); other samplers give the
+	// whole budget to the graph tier. Both stores are content-identical
+	// to their flat counterparts, so trajectories are byte-identical at
+	// any budget. Negative pins nothing — an all-cold store (tests,
+	// worst-case footprint measurement). 0 (the default) keeps the flat
+	// stores. Use graph.AutoMemoryBudget for a fit-the-hubs default.
+	// Mutually exclusive with HubCacheBytes on cpu-pipelined (the hot
+	// arena subsumes the hub cache). Simulator and analytic backends
+	// ignore it.
+	MemoryBudgetBytes int64
+
 	// DiscardPaths drops per-query paths from Run results (throughput
 	// studies on large workloads). Stream never accumulates paths.
 	DiscardPaths bool
@@ -139,6 +157,9 @@ type BatchResult struct {
 	// Model carries modeled performance for baseline backends (lightrw,
 	// suetal, fastrw, gsampler); nil otherwise.
 	Model *baselines.Result
+	// Memory carries the session's tiered-memory placement accounting;
+	// nil unless the session was opened with a nonzero MemoryBudgetBytes.
+	Memory *MemoryReport
 }
 
 // Session is a backend bound to one graph and configuration, reusable
@@ -199,4 +220,23 @@ func MergesBatches(name string) bool {
 	}
 	m, ok := b.(BatchMerger)
 	return ok && m.MergesBatches()
+}
+
+// MemoryTierer is an optional Backend capability: backends that honor
+// Config.MemoryBudgetBytes — serving walks through the tiered graph and
+// sampler stores — implement it (returning true) so CLI listings and
+// serving layers can tell which engines the budget knob reaches.
+type MemoryTierer interface {
+	SupportsMemoryTiering() bool
+}
+
+// SupportsMemoryTiering reports whether the named backend declares the
+// tiered-memory capability. Unknown names report false.
+func SupportsMemoryTiering(name string) bool {
+	b, err := Lookup(name)
+	if err != nil {
+		return false
+	}
+	m, ok := b.(MemoryTierer)
+	return ok && m.SupportsMemoryTiering()
 }

@@ -1,0 +1,84 @@
+package exec
+
+import (
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/hbm"
+)
+
+// Placement oracle: the tiered store's hot-set policy (pin the
+// highest-degree rows that fit the budget) is validated against the
+// seed's cycle-level hbm channel simulator rather than asserted by
+// construction. A walk workload's row-access trace is replayed through
+// a two-channel memory model — a fast channel standing in for the
+// uncompressed hot arena and a slow one for the compressed cold tier
+// (varint decode on every access) — and the policy's placement must
+// drain the trace in no more cycles than competing placements with the
+// same hot capacity. See TestPlacementOracle.
+
+// oracleHot / oracleCold are the replay channel timings. The exact
+// numbers only need to preserve the ordering "hot access cheaper than
+// cold access"; they are chosen in the seed simulator's units (core
+// cycles) with the cold service interval and latency covering a
+// row-at-a-time group-varint decode. ReorderWindow 0 keeps the replay
+// deterministic.
+var (
+	oracleHot = hbm.ChannelConfig{ServiceInterval: 1, Latency: 2, MaxOutstanding: 16}
+	// Cold rows pay the decode on top of the fetch: a longer service
+	// occupancy (the decoder is busy) and a longer round trip.
+	oracleCold = hbm.ChannelConfig{ServiceInterval: 4, Latency: 24, MaxOutstanding: 16}
+)
+
+// PlacementCost replays a row-access trace (one entry per row fetch, in
+// workload order) through the two-channel oracle under the given
+// placement and returns the core-cycle count to drain it. Lower is
+// better; the only meaningful use is comparing placements over the same
+// trace.
+func PlacementCost(trace []graph.VertexID, isHot func(graph.VertexID) bool) int64 {
+	hot := hbm.NewChannel(oracleHot)
+	cold := hbm.NewChannel(oracleCold)
+	var now int64
+	pending := 0
+	tick := func() {
+		hot.Tick(now)
+		cold.Tick(now)
+		now++
+		for {
+			if _, ok := hot.PopResponse(); ok {
+				pending--
+				continue
+			}
+			if _, ok := cold.PopResponse(); ok {
+				pending--
+				continue
+			}
+			break
+		}
+	}
+	for _, v := range trace {
+		ch := cold
+		if isHot(v) {
+			ch = hot
+		}
+		for !ch.Push(hbm.Request{Addr: uint64(v)}) {
+			tick()
+		}
+		pending++
+	}
+	for pending > 0 {
+		tick()
+	}
+	return now
+}
+
+// RowTrace flattens finished walk paths into the row-access sequence the
+// engines actually perform: every non-terminal path position is one row
+// fetch of that vertex (the final vertex's row is never read).
+func RowTrace(paths [][]graph.VertexID) []graph.VertexID {
+	var trace []graph.VertexID
+	for _, p := range paths {
+		if len(p) > 1 {
+			trace = append(trace, p[:len(p)-1]...)
+		}
+	}
+	return trace
+}

@@ -1,0 +1,99 @@
+package exec
+
+import (
+	"context"
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+	"ridgewalker/internal/walk"
+)
+
+// TestPlacementOracle validates the tiered store's hot-set policy
+// against the seed's hbm channel simulator: replaying a real walk
+// workload's row-access trace through the hot/cold channel model, the
+// descending-degree placement must drain it at least as fast as a
+// random placement and a bottom-degree placement with the same hot
+// capacity. On a power-law graph the hubs carry the bulk of the
+// traffic, so this is exactly what the budget policy banks on — but the
+// oracle measures it instead of assuming it.
+func TestPlacementOracle(t *testing.T) {
+	g, err := graph.GenerateRMAT(graph.Graph500(12, 8, 7))
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := walk.Config{Algorithm: walk.URW, WalkLength: 40, Seed: 11}
+	qs, err := walk.RandomQueries(g, cfg, 400, 99)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ses, err := Open("cpu", g, Config{Walk: cfg, Workers: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer ses.Close()
+	res, err := ses.Run(context.Background(), Batch{Queries: qs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	trace := RowTrace(res.Paths)
+	if len(trace) == 0 {
+		t.Fatal("empty row trace")
+	}
+
+	tiered, err := graph.NewTiered(g, 1<<15)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if tiered.HotRows == 0 || tiered.HotRows == g.NumVertices {
+		t.Fatalf("degenerate placement: %d hot rows of %d", tiered.HotRows, g.NumVertices)
+	}
+
+	// Competing placements with the same hot-row capacity: uniformly
+	// random rows, and the lowest-degree nonzero rows (the policy's
+	// exact inverse).
+	capRows := tiered.HotRows
+	randomHot := make(map[graph.VertexID]bool, capRows)
+	r := rng.New(3)
+	for len(randomHot) < capRows {
+		randomHot[graph.VertexID(r.Intn(g.NumVertices))] = true
+	}
+	type vd struct {
+		v graph.VertexID
+		d int
+	}
+	asc := make([]vd, 0, g.NumVertices)
+	for v := 0; v < g.NumVertices; v++ {
+		if d := g.Degree(graph.VertexID(v)); d > 0 {
+			asc = append(asc, vd{graph.VertexID(v), d})
+		}
+	}
+	for i := 0; i < len(asc); i++ { // selection by ascending degree, ties by id
+		min := i
+		for j := i + 1; j < len(asc); j++ {
+			if asc[j].d < asc[min].d || (asc[j].d == asc[min].d && asc[j].v < asc[min].v) {
+				min = j
+			}
+		}
+		asc[i], asc[min] = asc[min], asc[i]
+		if i+1 >= capRows {
+			break
+		}
+	}
+	bottomHot := make(map[graph.VertexID]bool, capRows)
+	for i := 0; i < capRows && i < len(asc); i++ {
+		bottomHot[asc[i].v] = true
+	}
+
+	policy := PlacementCost(trace, tiered.IsHot)
+	random := PlacementCost(trace, func(v graph.VertexID) bool { return randomHot[v] })
+	bottom := PlacementCost(trace, func(v graph.VertexID) bool { return bottomHot[v] })
+	t.Logf("oracle cycles over %d accesses: policy=%d random=%d bottom-degree=%d",
+		len(trace), policy, random, bottom)
+	if policy > random {
+		t.Fatalf("degree policy (%d cycles) lost to random placement (%d cycles)", policy, random)
+	}
+	if policy > bottom {
+		t.Fatalf("degree policy (%d cycles) lost to bottom-degree placement (%d cycles)", policy, bottom)
+	}
+}

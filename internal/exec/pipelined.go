@@ -46,6 +46,10 @@ func (pipelinedBackend) Description() string {
 // independent of batch composition and cohort packing.
 func (pipelinedBackend) MergesBatches() bool { return true }
 
+// SupportsMemoryTiering implements MemoryTierer: the cohort Gather stage
+// serves hot rows from the arena and decodes cold rows per lane.
+func (pipelinedBackend) SupportsMemoryTiering() bool { return true }
+
 func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("exec: cpu-pipelined workers %d, want >= 0", cfg.Workers)
@@ -60,6 +64,9 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cohort == 0 {
 		cohort = DefaultCohort
 	}
+	if cfg.MemoryBudgetBytes != 0 && cfg.HubCacheBytes > 0 {
+		return nil, fmt.Errorf("exec: cpu-pipelined: MemoryBudgetBytes and HubCacheBytes are mutually exclusive (the tiered hot arena subsumes the hub cache)")
+	}
 	// The degree-aware hub arena (opt-in via HubCacheBytes) serves the
 	// cohort Gather stage in both the sharded and unsharded compositions;
 	// content identity with the CSR keeps trajectories byte-identical.
@@ -69,44 +76,69 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	}
 	// The sampler is borrowed from the process-wide registry in both
 	// compositions, so pipelined, sharded, and flat cpu sessions over the
-	// same graph all read one flat store.
-	ref, err := walk.AcquireSampler(g, cfg.Walk)
-	if err != nil {
-		return nil, err
+	// same graph all read one store. A memory budget swaps both borrows
+	// for their tiered counterparts; the cohort Gather stage then decodes
+	// cold rows into per-lane scratch.
+	var (
+		ref *sampling.SamplerRef
+		ts  *tierState
+		err error
+	)
+	if cfg.MemoryBudgetBytes != 0 {
+		ts, err = acquireTiered(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ref = ts.sref
+	} else {
+		ref, err = walk.AcquireSampler(g, cfg.Walk)
+		if err != nil {
+			return nil, err
+		}
 	}
 	if cfg.Shards > 0 {
 		// Sharding × pipelining: per-shard workers run the cohort stepper.
 		part, err := shard.Partition(g, cfg.Shards)
 		if err != nil {
+			ts.release()
 			ref.Release()
 			return nil, err
 		}
-		eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{
+		ecfg := shard.EngineConfig{
 			Workers: cfg.Workers,
 			Cohort:  cohort,
 			Layout:  lay,
 			Sampler: ref.Sampler(),
-		})
+		}
+		if ts != nil {
+			ecfg.Tiered = ts.gref.Store()
+		}
+		eng, err := shard.NewEngine(g, part, cfg.Walk, ecfg)
 		if err != nil {
+			ts.release()
 			ref.Release()
 			return nil, err
 		}
-		return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref}, nil
+		return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref, tier: ts}, nil
 	}
 	workers := cfg.Workers
 	if workers == 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	s := &pipelinedSession{g: g, discard: cfg.DiscardPaths, sampler: ref}
+	s := &pipelinedSession{g: g, discard: cfg.DiscardPaths, sampler: ref, tier: ts}
 	s.pipes = make([]*walk.Pipeline, workers)
 	for i := range s.pipes {
 		p, err := walk.NewPipelineWithSampler(g, cfg.Walk, ref.Sampler(), cohort)
 		if err != nil {
+			ts.release()
 			ref.Release()
 			return nil, err
 		}
 		if lay != nil {
 			p.SetLayout(lay)
+		}
+		if ts != nil {
+			p.SetTiered(ts.gref.Store())
 		}
 		s.pipes[i] = p
 	}
@@ -121,7 +153,15 @@ type pipelinedSession struct {
 	g       *graph.CSR
 	discard bool
 	sampler *sampling.SamplerRef
+	tier    *tierState
 	pipes   []*walk.Pipeline
+}
+
+// MemoryReport implements MemoryReporter (nil for untiered sessions).
+func (s *pipelinedSession) MemoryReport() *MemoryReport {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.tier.report()
 }
 
 // SamplerBytes reports the resident size of the session's (shared)
@@ -184,6 +224,7 @@ func (s *pipelinedSession) Run(ctx context.Context, batch Batch) (*BatchResult, 
 		return nil, err
 	}
 	res.Steps = steps.Load()
+	res.Memory = s.tier.report()
 	return res, nil
 }
 
@@ -206,5 +247,7 @@ func (s *pipelinedSession) Close() error {
 		s.sampler.Release()
 		s.sampler = nil
 	}
+	s.tier.release() // idempotent with the sampler release above
+	s.tier = nil
 	return nil
 }

@@ -35,6 +35,10 @@ func (shardedBackend) Description() string {
 // independent of batch composition.
 func (shardedBackend) MergesBatches() bool { return true }
 
+// SupportsMemoryTiering implements MemoryTierer: depth-first shard
+// workers advance through per-worker TierViews when a budget is set.
+func (shardedBackend) SupportsMemoryTiering() bool { return true }
+
 // defaultShards picks a shard count when the config leaves it zero: one
 // shard per core up to 8 (beyond that, cut-edge traffic outgrows the
 // locality win on the graphs this repository generates), clamped to the
@@ -69,17 +73,36 @@ func (shardedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 		return nil, err
 	}
 	// Per-shard execution borrows the registry's global sampler store;
-	// shard views never duplicate O(E) sampler state.
-	ref, err := walk.AcquireSampler(g, cfg.Walk)
-	if err != nil {
-		return nil, err
+	// shard views never duplicate O(E) sampler state. A memory budget
+	// swaps the borrows for their tiered counterparts; each depth-first
+	// worker then advances through its own TierView.
+	var (
+		ref *sampling.SamplerRef
+		ts  *tierState
+	)
+	if cfg.MemoryBudgetBytes != 0 {
+		ts, err = acquireTiered(g, cfg)
+		if err != nil {
+			return nil, err
+		}
+		ref = ts.sref
+	} else {
+		ref, err = walk.AcquireSampler(g, cfg.Walk)
+		if err != nil {
+			return nil, err
+		}
 	}
-	eng, err := shard.NewEngine(g, part, cfg.Walk, shard.EngineConfig{Workers: cfg.Workers, Sampler: ref.Sampler()})
+	ecfg := shard.EngineConfig{Workers: cfg.Workers, Sampler: ref.Sampler()}
+	if ts != nil {
+		ecfg.Tiered = ts.gref.Store()
+	}
+	eng, err := shard.NewEngine(g, part, cfg.Walk, ecfg)
 	if err != nil {
+		ts.release()
 		ref.Release()
 		return nil, err
 	}
-	return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref}, nil
+	return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref, tier: ts}, nil
 }
 
 // shardedSession adapts a shard.Engine to the Session interface. The
@@ -91,6 +114,14 @@ type shardedSession struct {
 	eng     *shard.Engine
 	discard bool
 	sampler *sampling.SamplerRef
+	tier    *tierState
+}
+
+// MemoryReport implements MemoryReporter (nil for untiered sessions).
+func (s *shardedSession) MemoryReport() *MemoryReport {
+	s.mu.RLock()
+	defer s.mu.RUnlock()
+	return s.tier.report()
 }
 
 // SamplerBytes reports the resident size of the session's (shared)
@@ -138,6 +169,7 @@ func (s *shardedSession) Run(ctx context.Context, batch Batch) (*BatchResult, er
 		return nil, err
 	}
 	res.Steps = steps.Load()
+	res.Memory = s.tier.report()
 	return res, nil
 }
 
@@ -163,5 +195,7 @@ func (s *shardedSession) Close() error {
 		s.sampler.Release()
 		s.sampler = nil
 	}
+	s.tier.release() // idempotent with the sampler release above
+	s.tier = nil
 	return nil
 }

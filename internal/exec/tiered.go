@@ -1,0 +1,142 @@
+package exec
+
+import (
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/sampling"
+	"ridgewalker/internal/walk"
+)
+
+// MemoryReport is a session's tiered-memory placement accounting,
+// surfaced on BatchResult and through the MemoryReporter capability.
+// All byte counts are resident sizes; the flat fields are what the same
+// content costs untiered, so Graph/Sampler ratios read directly as the
+// budget's savings.
+type MemoryReport struct {
+	// Budget is the configured MemoryBudgetBytes.
+	Budget int64
+	// GraphBudget / SamplerBudget are the per-store hot-tier budgets the
+	// split policy assigned (SamplerBudget 0 when the workload's sampler
+	// has no O(E) store to tier).
+	GraphBudget, SamplerBudget int64
+	// GraphBytes is the tiered graph's resident size (hot arena +
+	// compressed cold arena + locators); GraphFlatBytes is the flat CSR's
+	// row storage for the same content.
+	GraphBytes, GraphFlatBytes int64
+	// GraphHotRows / GraphColdRows count rows per tier.
+	GraphHotRows, GraphColdRows int
+	// GraphColdRatio is the cold tail's flat/compressed byte ratio.
+	GraphColdRatio float64
+	// SamplerBytes is the sampler's resident size (tiered arenas when the
+	// budget tiers it, the flat store otherwise); SamplerFlatBytes is the
+	// flat store's size when a tiered sampler is in use, else equal.
+	SamplerBytes, SamplerFlatBytes int64
+	// SamplerHotRows / SamplerColdRows count alias rows per tier (zero
+	// for untiered or parametric samplers).
+	SamplerHotRows, SamplerColdRows int
+	// SamplerColdRatio is the cold alias rows' flat/compressed ratio.
+	SamplerColdRatio float64
+	// ScratchBoundPerWorker is the worst-case cold-row decode scratch a
+	// single worker's TierView can grow to (graph.Tiered.
+	// WorkerScratchBound); total scratch is bounded by workers × this.
+	ScratchBoundPerWorker int64
+}
+
+// TotalBytes is the combined resident footprint of the tiered stores.
+func (m *MemoryReport) TotalBytes() int64 { return m.GraphBytes + m.SamplerBytes }
+
+// MemoryReporter is an optional Session capability: sessions opened with
+// a nonzero MemoryBudgetBytes report their placement accounting.
+type MemoryReporter interface {
+	MemoryReport() *MemoryReport
+}
+
+// tierBudgets splits the configured budget between the graph and sampler
+// stores. Workloads backed by an O(E) alias store (weighted DeepWalk)
+// split it evenly — both stores scale with the edge count, so an even
+// split keeps the same fraction of each hot; every other sampler is
+// parametric (near-zero state) and the graph tier gets the whole budget.
+// A negative budget (all-cold) passes through to both stores.
+func tierBudgets(g *graph.CSR, cfg Config) (graphBudget, samplerBudget int64, err error) {
+	b := cfg.MemoryBudgetBytes
+	if b < 0 {
+		return b, b, nil
+	}
+	spec, err := walk.SamplerSpec(g, cfg.Walk)
+	if err != nil {
+		return 0, 0, err
+	}
+	if spec.Kind == sampling.KindAlias {
+		return b / 2, b - b/2, nil
+	}
+	return b, 0, nil
+}
+
+// tierState bundles one session's tiered-memory borrows: the shared
+// tiered graph store and the registry sampler (tiered when the budget
+// covers it). Both are refcounted shares — sessions with the same graph
+// and budgets read one set of arenas.
+type tierState struct {
+	gref *graph.TieredRef
+	sref *sampling.SamplerRef
+	rep  MemoryReport
+}
+
+// acquireTiered borrows the tiered graph store and the (possibly tiered)
+// sampler for a nonzero-budget config. Call only when
+// cfg.MemoryBudgetBytes != 0.
+func acquireTiered(g *graph.CSR, cfg Config) (*tierState, error) {
+	gb, sb, err := tierBudgets(g, cfg)
+	if err != nil {
+		return nil, err
+	}
+	gref, err := graph.AcquireTiered(g, gb)
+	if err != nil {
+		return nil, err
+	}
+	sref, err := walk.AcquireSamplerTiered(g, cfg.Walk, sb)
+	if err != nil {
+		gref.Release()
+		return nil, err
+	}
+	ts := &tierState{gref: gref, sref: sref}
+	gs := gref.Store().Stats()
+	ts.rep = MemoryReport{
+		Budget:                cfg.MemoryBudgetBytes,
+		GraphBudget:           gb,
+		SamplerBudget:         sb,
+		GraphBytes:            gref.Store().MemoryFootprintBytes(),
+		GraphFlatBytes:        gs.FlatBytes,
+		GraphHotRows:          gs.HotRows,
+		GraphColdRows:         gs.ColdRows,
+		GraphColdRatio:        gs.CompressionRatio,
+		ScratchBoundPerWorker: gref.Store().WorkerScratchBound(),
+	}
+	ts.rep.SamplerBytes = sampling.Footprint(sref.Sampler())
+	ts.rep.SamplerFlatBytes = ts.rep.SamplerBytes
+	if ta, ok := sref.Sampler().(*sampling.TieredAlias); ok {
+		as := ta.Stats()
+		ts.rep.SamplerFlatBytes = as.FlatBytes + as.LocatorBytes
+		ts.rep.SamplerHotRows = as.HotRows
+		ts.rep.SamplerColdRows = as.ColdRows
+		ts.rep.SamplerColdRatio = as.CompressionRatio
+	}
+	return ts, nil
+}
+
+// release returns both borrows. Safe on nil.
+func (ts *tierState) release() {
+	if ts == nil {
+		return
+	}
+	ts.gref.Release()
+	ts.sref.Release()
+}
+
+// report returns the placement accounting, nil for an untiered session.
+func (ts *tierState) report() *MemoryReport {
+	if ts == nil {
+		return nil
+	}
+	r := ts.rep
+	return &r
+}

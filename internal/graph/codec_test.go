@@ -1,0 +1,152 @@
+package graph
+
+import (
+	"encoding/binary"
+	"math"
+	"reflect"
+	"sort"
+	"testing"
+)
+
+// codecRoundTrip encodes row in both cold-row formats, decodes each
+// back, and checks the bytes consumed match the bytes produced.
+func codecRoundTrip(t *testing.T, row []VertexID) {
+	t.Helper()
+	enc := appendDeltaRow(nil, row)
+	buf := make([]VertexID, len(row))
+	got, n := decodeDeltaRow(enc, len(row), buf)
+	if n != len(enc) {
+		t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+	}
+	if len(row) == 0 {
+		if len(enc) != 0 || len(got) != 0 {
+			t.Fatalf("empty row encoded to %d bytes", len(enc))
+		}
+		return
+	}
+	if !reflect.DeepEqual(got, row) {
+		t.Fatalf("round trip mismatch: got %v want %v", got, row)
+	}
+	senc, stride := appendStridedRow(nil, row)
+	sgot, sn := decodeStridedRow(senc, len(row), stride, make([]VertexID, len(row)))
+	if sn != len(senc) {
+		t.Fatalf("strided decode consumed %d of %d bytes", sn, len(senc))
+	}
+	if !reflect.DeepEqual(sgot, row) {
+		t.Fatalf("strided round trip mismatch: got %v want %v", sgot, row)
+	}
+	if stride > 4+4*codecBlockLen {
+		t.Fatalf("stride %d exceeds the byte bound", stride)
+	}
+}
+
+func TestDeltaRowCodec(t *testing.T) {
+	rows := [][]VertexID{
+		nil,
+		{0},
+		{7},
+		{0, 0, 0}, // duplicate edges are kept by Build
+		{1, 2, 3, 4},
+		{1, 2, 3, 4, 5},
+		{0, 1 << 8, 1 << 16, 1 << 24, math.MaxUint32},
+		{5, 5, 300, 70000, 70000, 1 << 25},
+	}
+	// Every group-boundary degree 1..9, plus block-boundary degrees
+	// around the strided layout's edges (15..17, 64, 65, 200).
+	for _, d := range []int{1, 2, 3, 4, 5, 6, 7, 8, 9, 15, 16, 17, 64, 65, 200} {
+		row := make([]VertexID, d)
+		for i := range row {
+			row[i] = VertexID(i * i * 37)
+		}
+		rows = append(rows, row)
+	}
+	for _, row := range rows {
+		codecRoundTrip(t, row)
+	}
+}
+
+func TestWeightRowCodec(t *testing.T) {
+	cases := [][]float32{
+		{1, 2, 3, 4, 5},    // uint8-exact (AttachWeights range)
+		{255, 1, 128},      // uint8-exact boundary
+		{0.5, 1.5},         // fractional → raw fallback
+		{256},              // above uint8 → raw fallback
+		{1e-9, 3.25, 1e20}, // raw
+	}
+	for _, ws := range cases {
+		enc := appendWeightRow(nil, ws)
+		buf := make([]float32, len(ws))
+		got, n := decodeWeightRow(enc, len(ws), buf)
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		if !reflect.DeepEqual(got, ws) {
+			t.Fatalf("weight round trip mismatch: got %v want %v", got, ws)
+		}
+	}
+	// The exact case must actually hit the 1-byte encoding.
+	if enc := appendWeightRow(nil, []float32{1, 2, 3}); len(enc) != 4 {
+		t.Fatalf("uint8-exact row encoded to %d bytes, want 4", len(enc))
+	}
+}
+
+// FuzzDeltaRowCodec feeds arbitrary byte strings interpreted as rows of
+// uint32 vertex ids (sorted, as Build guarantees) through both cold-row
+// formats and requires an exact round trip with full byte consumption.
+func FuzzDeltaRowCodec(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte{1, 0, 0, 0, 255, 255, 255, 255})
+	f.Add(binary.LittleEndian.AppendUint32(nil, 70000))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		row := make([]VertexID, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			row = append(row, binary.LittleEndian.Uint32(data[i:]))
+		}
+		sort.Slice(row, func(i, j int) bool { return row[i] < row[j] })
+		enc := appendDeltaRow(nil, row)
+		buf := make([]VertexID, len(row))
+		got, n := decodeDeltaRow(enc, len(row), buf)
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		for i := range row {
+			if got[i] != row[i] {
+				t.Fatalf("index %d: got %d want %d", i, got[i], row[i])
+			}
+		}
+		senc, stride := appendStridedRow(nil, row)
+		sgot, sn := decodeStridedRow(senc, len(row), stride, buf)
+		if sn != len(senc) {
+			t.Fatalf("strided decode consumed %d of %d bytes", sn, len(senc))
+		}
+		for i := range row {
+			if sgot[i] != row[i] {
+				t.Fatalf("strided index %d: got %d want %d", i, sgot[i], row[i])
+			}
+		}
+	})
+}
+
+// FuzzWeightRowCodec drives the tagged weight codec with arbitrary
+// float32 rows; decode must be bit-exact whichever encoding was chosen.
+func FuzzWeightRowCodec(f *testing.F) {
+	f.Add([]byte{0, 0, 128, 63})
+	f.Add([]byte{0, 0, 0, 65, 0, 0, 64, 64})
+	f.Fuzz(func(t *testing.T, data []byte) {
+		ws := make([]float32, 0, len(data)/4)
+		for i := 0; i+4 <= len(data); i += 4 {
+			ws = append(ws, math.Float32frombits(binary.LittleEndian.Uint32(data[i:])))
+		}
+		enc := appendWeightRow(nil, ws)
+		buf := make([]float32, len(ws))
+		got, n := decodeWeightRow(enc, len(ws), buf)
+		if n != len(enc) {
+			t.Fatalf("decode consumed %d of %d bytes", n, len(enc))
+		}
+		for i := range ws {
+			if math.Float32bits(got[i]) != math.Float32bits(ws[i]) {
+				t.Fatalf("index %d: got %x want %x", i, math.Float32bits(got[i]), math.Float32bits(ws[i]))
+			}
+		}
+	})
+}

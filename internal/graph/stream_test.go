@@ -1,0 +1,97 @@
+package graph
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+// referenceBytes renders cfg through the in-memory pipeline
+// (GenerateRMAT + attach + WriteBinary) for byte comparison.
+func referenceBytes(t *testing.T, cfg RMATConfig, weights bool, labels int) []byte {
+	t.Helper()
+	g, err := GenerateRMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if weights {
+		g.AttachWeights()
+	}
+	if labels > 0 {
+		g.AttachLabels(labels)
+	}
+	var buf bytes.Buffer
+	if err := WriteBinary(&buf, g); err != nil {
+		t.Fatal(err)
+	}
+	return buf.Bytes()
+}
+
+// TestStreamRMATByteIdentity is the contract: for both spill shapes, at
+// chunk sizes forcing many spills and at sizes where everything fits one
+// buffer, the streamed file is byte-identical to the in-memory path —
+// weights and labels included.
+func TestStreamRMATByteIdentity(t *testing.T) {
+	dir := t.TempDir()
+	configs := []RMATConfig{
+		Graph500(10, 8, 7), // directed, skewed
+		Balanced(9, 8, 11), // undirected (mirrored pairs)
+	}
+	for _, cfg := range configs {
+		want := referenceBytes(t, cfg, true, 3)
+		for _, sorted := range []bool{false, true} {
+			for _, chunk := range []int{0, 1 << 10, 1 << 30} {
+				path := filepath.Join(dir, "g.rwg")
+				st, err := StreamRMAT(path, cfg, StreamOptions{
+					ChunkEdges: chunk, Sorted: sorted, Weights: true, Labels: 3, TmpDir: dir,
+				})
+				if err != nil {
+					t.Fatalf("scale=%d sorted=%v chunk=%d: %v", cfg.Scale, sorted, chunk, err)
+				}
+				got, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if !bytes.Equal(got, want) {
+					t.Fatalf("scale=%d directed=%v sorted=%v chunk=%d: streamed file differs (%d vs %d bytes)",
+						cfg.Scale, cfg.Directed, sorted, chunk, len(got), len(want))
+				}
+				if sorted && chunk == 1<<10 && st.Chunks < 2 {
+					t.Fatalf("chunk=%d spilled %d chunks, want several", chunk, st.Chunks)
+				}
+			}
+		}
+	}
+	// Spill files must not outlive the call.
+	left, err := filepath.Glob(filepath.Join(dir, "rwg-*"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(left) != 0 {
+		t.Fatalf("leftover spill files: %v", left)
+	}
+}
+
+// TestStreamRMATPlainLoads round-trips a weightless, labelless streamed
+// graph through LoadFile and checks it validates.
+func TestStreamRMATPlainLoads(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "p.rwg")
+	cfg := Graph500(9, 4, 3)
+	if _, err := StreamRMAT(path, cfg, StreamOptions{ChunkEdges: 1 << 9, TmpDir: dir}); err != nil {
+		t.Fatal(err)
+	}
+	g, err := LoadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ref, err := GenerateRMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumVertices != ref.NumVertices || len(g.Col) != len(ref.Col) {
+		t.Fatalf("streamed graph shape %d/%d, want %d/%d",
+			g.NumVertices, len(g.Col), ref.NumVertices, len(ref.Col))
+	}
+}

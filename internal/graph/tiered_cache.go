@@ -1,0 +1,101 @@
+package graph
+
+import "sync"
+
+// Cross-session cache of Tiered stores, the graph-side mirror of
+// sampling.Registry: a tiered re-encode is an O(E) build over hundreds of
+// MB, so concurrent sessions over the same graph and budget must share
+// one store instead of each paying the build (and doubling the resident
+// footprint the tiering exists to shrink).
+
+// tieredKey identifies one immutable tiered store: the parent CSR by
+// identity plus the hot-tier budget (different budgets pin different hot
+// sets, so they are distinct stores).
+type tieredKey struct {
+	g      *CSR
+	budget int64
+}
+
+// tieredEntry is one cache slot; the store is built outside the cache
+// lock under the once.
+type tieredEntry struct {
+	once sync.Once
+	t    *Tiered
+	err  error
+	refs int
+}
+
+var (
+	tieredMu    sync.Mutex
+	tieredCache = map[tieredKey]*tieredEntry{}
+)
+
+// TieredRef is a refcounted borrow of a cached tiered store. Release it
+// when the borrowing session closes; the store is dropped from the cache
+// when the last reference goes.
+type TieredRef struct {
+	key     tieredKey
+	e       *tieredEntry
+	release sync.Once
+}
+
+// Store returns the borrowed tiered store. Valid until Release.
+func (r *TieredRef) Store() *Tiered { return r.e.t }
+
+// Release returns the borrow. Safe to call more than once; only the
+// first call decrements.
+func (r *TieredRef) Release() {
+	r.release.Do(func() { tieredDrop(r.key, r.e) })
+}
+
+// AcquireTiered returns a refcounted tiered store for (g, budgetBytes),
+// building it on first use. Concurrent acquisitions of the same key share
+// one build. Negative budgets are normalized (all such stores pin zero
+// hot rows and are one store).
+func AcquireTiered(g *CSR, budgetBytes int64) (*TieredRef, error) {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	key := tieredKey{g: g, budget: budgetBytes}
+	tieredMu.Lock()
+	e := tieredCache[key]
+	if e == nil {
+		e = &tieredEntry{}
+		tieredCache[key] = e
+	}
+	e.refs++
+	tieredMu.Unlock()
+	e.once.Do(func() {
+		e.t, e.err = NewTiered(g, budgetBytes)
+	})
+	if e.err != nil {
+		tieredDrop(key, e)
+		return nil, e.err
+	}
+	return &TieredRef{key: key, e: e}, nil
+}
+
+// tieredDrop decrements an entry, evicting it when the last reference
+// goes.
+func tieredDrop(key tieredKey, e *tieredEntry) {
+	tieredMu.Lock()
+	e.refs--
+	if e.refs == 0 && tieredCache[key] == e {
+		delete(tieredCache, key)
+	}
+	tieredMu.Unlock()
+}
+
+// TieredRefs reports the live reference count of (g, budget) (tests and
+// introspection).
+func TieredRefs(g *CSR, budgetBytes int64) int {
+	if budgetBytes < 0 {
+		budgetBytes = 0
+	}
+	tieredMu.Lock()
+	defer tieredMu.Unlock()
+	if e := tieredCache[tieredKey{g: g, budget: budgetBytes}]; e != nil {
+		return e.refs
+	}
+	return 0
+}

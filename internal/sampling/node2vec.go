@@ -13,15 +13,27 @@ import (
 //	1/p if v == prev           (return)
 //	1   if prev has edge to v  (stay near)
 //	1/q otherwise              (explore)
-func node2vecBias(g *graph.CSR, prev, v graph.VertexID, p, q float64) float64 {
+//
+// The adjacency probe routes through tv when the engine runs over a
+// tiered store (prev's row may live compressed in the cold arena; the
+// view caches its decode), and through the CSR otherwise.
+func node2vecBias(g *graph.CSR, tv *graph.TierView, prev, v graph.VertexID, p, q float64) float64 {
 	switch {
 	case v == prev:
 		return 1 / p
-	case g.HasEdge(prev, v):
+	case hasEdge(g, tv, prev, v):
 		return 1
 	default:
 		return 1 / q
 	}
+}
+
+// hasEdge is the tier-routed adjacency probe behind node2vecBias.
+func hasEdge(g *graph.CSR, tv *graph.TierView, u, v graph.VertexID) bool {
+	if tv != nil {
+		return tv.HasEdge(u, v)
+	}
+	return g.HasEdge(u, v)
 }
 
 // Rejection implements node2vec's neighbor selection on unweighted graphs by
@@ -93,11 +105,9 @@ func (s *Reservoir) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 // scan is the one-pass weighted reservoir over the neighbor list — the
 // single (non-resumable) stage behind Propose.
 func (s *Reservoir) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
-	ns := g.Neighbors(ctx.Cur)
-	var ws []float32
-	if g.Weighted() {
-		ws = g.NeighborWeights(ctx.Cur)
-	}
+	ns := ctx.row(g)
+	ws := ctx.rowWeights(g)
+	tv := ctx.tier()
 	chosen := -1
 	cum := 0.0
 	for i, v := range ns {
@@ -106,7 +116,7 @@ func (s *Reservoir) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 			w = float64(ws[i])
 		}
 		if ctx.HasPrev {
-			w *= node2vecBias(g, ctx.Prev, v, s.P, s.Q)
+			w *= node2vecBias(g, tv, ctx.Prev, v, s.P, s.Q)
 		}
 		cum += w
 		// A-Chao weighted reservoir of size 1: replace the incumbent with
@@ -152,11 +162,8 @@ func (s *MetaPath) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 // the single (non-resumable) stage behind Propose.
 func (s *MetaPath) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 	want := s.Schema[(ctx.Step+1)%len(s.Schema)]
-	ns := g.Neighbors(ctx.Cur)
-	var ws []float32
-	if g.Weighted() {
-		ws = g.NeighborWeights(ctx.Cur)
-	}
+	ns := ctx.row(g)
+	ws := ctx.rowWeights(g)
 	chosen := -1
 	cum := 0.0
 	for i, v := range ns {

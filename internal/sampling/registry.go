@@ -26,6 +26,13 @@ type Spec struct {
 	// Schema is MetaPath's cyclic vertex-type sequence, stored as a
 	// string so the Spec is comparable.
 	Schema string
+	// TierBudget, when nonzero, selects the tiered alias store with that
+	// hot-tier byte budget (negative pins nothing — an all-cold store).
+	// Zero keeps the flat arenas. Part of the key because different
+	// budgets pin different hot sets; only KindAlias conditions on it, so
+	// engines must leave it zero for the other kinds or sessions that
+	// could share a sampler will not.
+	TierBudget int64
 }
 
 // String renders the spec for diagnostics.
@@ -40,6 +47,9 @@ func (s Spec) String() string {
 	if s.Schema != "" {
 		out += fmt.Sprintf(" schema=%v", []uint8(s.Schema))
 	}
+	if s.TierBudget != 0 {
+		out += fmt.Sprintf(" tier=%d", s.TierBudget)
+	}
 	return out
 }
 
@@ -49,6 +59,9 @@ func (s Spec) Build(g *graph.CSR) (Sampler, error) {
 	case KindUniform:
 		return Uniform{}, nil
 	case KindAlias:
+		if s.TierBudget != 0 {
+			return NewTieredAlias(g, s.TierBudget)
+		}
 		return NewAliasSampler(g)
 	case KindRejection:
 		return NewRejection(s.P, s.Q)
@@ -177,6 +190,8 @@ func (reg *Registry) Refs(g *graph.CSR, spec Spec) int {
 func Footprint(s Sampler) int64 {
 	switch t := s.(type) {
 	case *AliasSampler:
+		return t.MemoryFootprint()
+	case *TieredAlias:
 		return t.MemoryFootprint()
 	case *MetaPath:
 		return int64(len(t.Schema))

@@ -62,11 +62,30 @@ type Context struct {
 	// fetch the row before sampling (the cohort Gather stage, Advance)
 	// set it so degree-only samplers (uniform, rejection proposals) never
 	// reload row pointers. 0 means unknown. The Context stays pass-by-
-	// value small (24 bytes) on purpose: it crosses an interface call per
-	// hop on the hottest loop in the repository.
+	// value small (one pointer beyond the original 24 bytes) on purpose:
+	// it crosses an interface call per hop on the hottest loop in the
+	// repository.
 	Deg int32
 	// Step is the hop index within the walk (0-based).
 	Step int
+	// Mem, when non-nil, is the gathered-row view a tiered engine
+	// attaches: samplers must read Cur's row (and weights) from it
+	// instead of the CSR, because under a tiered store the CSR's Col is
+	// not where cold rows live. Flat engines leave it nil and samplers
+	// read g directly — the original zero-overhead path.
+	Mem *RowView
+}
+
+// RowView carries the memory a tiered engine has already staged for the
+// current sampling decision: Cur's neighbor row (hot-arena slice or
+// per-lane decode scratch), its weight row (nil on unweighted graphs),
+// and the per-worker TierView for rows of *other* vertices — the
+// second-order HasEdge(prev, ·) probes. One RowView lives per worker or
+// per cohort lane and is reused across hops.
+type RowView struct {
+	Row  []graph.VertexID
+	Wts  []float32
+	Tier *graph.TierView
 }
 
 // degree returns the out-degree of ctx.Cur, preferring the pre-gathered
@@ -76,6 +95,36 @@ func (ctx *Context) degree(g *graph.CSR) int {
 		return int(ctx.Deg)
 	}
 	return g.Degree(ctx.Cur)
+}
+
+// row returns Cur's neighbor list: the staged view under a tiered
+// engine, the CSR row otherwise.
+func (ctx *Context) row(g *graph.CSR) []graph.VertexID {
+	if ctx.Mem != nil {
+		return ctx.Mem.Row
+	}
+	return g.Neighbors(ctx.Cur)
+}
+
+// rowWeights returns Cur's weight row parallel to row (nil when the
+// graph is unweighted). Tiered engines stage it in Mem.Wts for the
+// samplers that scan weights.
+func (ctx *Context) rowWeights(g *graph.CSR) []float32 {
+	if ctx.Mem != nil {
+		return ctx.Mem.Wts
+	}
+	if g.Weighted() {
+		return g.NeighborWeights(ctx.Cur)
+	}
+	return nil
+}
+
+// tier returns the engine's TierView, nil under flat stores.
+func (ctx *Context) tier() *graph.TierView {
+	if ctx.Mem != nil {
+		return ctx.Mem.Tier
+	}
+	return nil
 }
 
 // Result is the outcome of one sampling decision.

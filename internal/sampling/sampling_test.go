@@ -185,7 +185,7 @@ func exactNode2VecProbs(g *graph.CSR, prev, cur graph.VertexID, p, q float64) []
 		if ws != nil {
 			w = float64(ws[i])
 		}
-		w *= node2vecBias(g, prev, v, p, q)
+		w *= node2vecBias(g, nil, prev, v, p, q)
 		probs[i] = w
 		total += w
 	}

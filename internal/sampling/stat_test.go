@@ -137,7 +137,7 @@ func TestReservoirSamplerMatchesWeightedBias(t *testing.T) {
 	probs := make([]float64, len(ns))
 	var z float64
 	for i, v := range ns {
-		probs[i] = float64(ws[i]) * node2vecBias(g, 1, v, 2, 0.5)
+		probs[i] = float64(ws[i]) * node2vecBias(g, nil, 1, v, 2, 0.5)
 		z += probs[i]
 	}
 	for i := range probs {

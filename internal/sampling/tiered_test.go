@@ -1,0 +1,192 @@
+package sampling
+
+import (
+	"testing"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/rng"
+)
+
+// TestTieredAliasMatchesFlat is the byte-identity property: for every
+// vertex and every hot budget — all-cold, partial, all-hot — the tiered
+// store must draw exactly what the flat store draws on the same RNG
+// stream.
+func TestTieredAliasMatchesFlat(t *testing.T) {
+	g := storeTestGraph(t, 9)
+	flat, err := NewAliasSampler(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, budget := range []int64{-1, 1 << 12, 1 << 40} {
+		tiered, err := NewTieredAlias(g, budget)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for v := 0; v < g.NumVertices; v++ {
+			id := graph.VertexID(v)
+			r1, r2 := rng.New(uint64(v)), rng.New(uint64(v))
+			for i := 0; i < 32; i++ {
+				want := flat.DrawAt(id, r1)
+				got := tiered.DrawAt(id, r2)
+				if got != want {
+					t.Fatalf("budget %d vertex %d draw %d: tiered %d, flat %d", budget, v, i, got, want)
+				}
+			}
+		}
+	}
+}
+
+// TestTieredAliasBudgetTiers pins the placement accounting: all-cold at
+// negative budget, all-hot at unbounded budget, hot bytes within budget
+// in between, and both cold encodings present on a mixed-weight graph.
+func TestTieredAliasBudgetTiers(t *testing.T) {
+	g := storeTestGraph(t, 9)
+	cold, err := NewTieredAlias(g, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cold.HotRows != 0 {
+		t.Fatalf("negative budget pinned %d rows", cold.HotRows)
+	}
+	cs := cold.Stats()
+	if cs.ColdFlatBytes != cs.FlatBytes {
+		t.Fatalf("all-cold: cold flat bytes %d != flat bytes %d", cs.ColdFlatBytes, cs.FlatBytes)
+	}
+	// AttachWeights mixes row weights, so most rows take the float64
+	// exactness fallback, while uniform-weight rows (all probs == 1)
+	// quantize — both encodings must occur.
+	if cs.QuantRows == 0 || cs.ExactRows == 0 {
+		t.Fatalf("want both cold encodings exercised, got quant=%d exact=%d", cs.QuantRows, cs.ExactRows)
+	}
+	if cs.CompressionRatio <= 1 {
+		t.Fatalf("cold alias rows grew: ratio %.2f (cold %d flat %d)", cs.CompressionRatio, cs.ColdBytes, cs.ColdFlatBytes)
+	}
+
+	budget := int64(1 << 16)
+	mid, err := NewTieredAlias(g, budget)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := mid.Stats(); s.HotBytes > budget || s.HotRows == 0 {
+		t.Fatalf("budget %d: hot bytes %d rows %d", budget, s.HotBytes, s.HotRows)
+	}
+
+	hot, err := NewTieredAlias(g, 1<<40)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s := hot.Stats(); s.ColdRows != 0 || s.ColdBytes != 0 {
+		t.Fatalf("unbounded budget left %d cold rows", s.ColdRows)
+	}
+}
+
+// TestQuantProbRoundTrip pins the fixed-point rule: quantization is used
+// only when decode reproduces the float64 exactly, and the 0xFFFF
+// sentinel never collides with 65535/65536.
+func TestQuantProbRoundTrip(t *testing.T) {
+	exact := []float64{0, 0.5, 0.25, 1.0 / 65536, 32767.0 / 65536, 1}
+	for _, p := range exact {
+		q, ok := quantProb(p)
+		if !ok {
+			t.Fatalf("p=%v should quantize", p)
+		}
+		if got := dequantProb(q); got != p {
+			t.Fatalf("p=%v round-tripped to %v", p, got)
+		}
+	}
+	inexact := []float64{1.0 / 3, 0.1, 65535.0 / 65536, 1.0000001}
+	for _, p := range inexact {
+		if _, ok := quantProb(p); ok {
+			t.Fatalf("p=%v must not quantize", p)
+		}
+	}
+}
+
+// TestTieredAliasGoF is the chi-square goodness-of-fit check on cold
+// rows: draws from a quantized row (uniform weights) and from an
+// exactness-fallback row (mixed weights) must both match the weight
+// distribution.
+func TestTieredAliasGoF(t *testing.T) {
+	// Vertex 0 → uniform weights (quantized row); vertex 1 → mixed
+	// weights (fallback row). Star edges give the two rows; an all-cold
+	// budget forces both through the compressed arena.
+	edges := []graph.Edge{
+		{Src: 0, Dst: 2}, {Src: 0, Dst: 3}, {Src: 0, Dst: 4}, {Src: 0, Dst: 5},
+		{Src: 1, Dst: 2}, {Src: 1, Dst: 3}, {Src: 1, Dst: 4}, {Src: 1, Dst: 5},
+	}
+	g, err := graph.Build(6, edges, true)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ws := []float32{1, 1, 1, 1, 1, 2, 3, 4}
+	g.Weights = ws
+	s, err := NewTieredAlias(g, -1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := s.Stats()
+	if st.QuantRows != 1 || st.ExactRows != 1 {
+		t.Fatalf("want 1 quantized + 1 fallback row, got quant=%d exact=%d", st.QuantRows, st.ExactRows)
+	}
+	const draws = 200000
+	r := rng.New(42)
+	for _, v := range []graph.VertexID{0, 1} {
+		row := g.NeighborWeights(v)
+		total := 0.0
+		for _, w := range row {
+			total += float64(w)
+		}
+		probs := make([]float64, len(row))
+		for i, w := range row {
+			probs[i] = float64(w) / total
+		}
+		counts := make([]int, len(row))
+		for i := 0; i < draws; i++ {
+			counts[s.DrawAt(v, r)]++
+		}
+		if c := chi2(counts, probs, draws); c > chi2Critical999[len(row)-1] {
+			t.Fatalf("vertex %d distribution off: chi2=%v counts=%v", v, c, counts)
+		}
+	}
+}
+
+// TestRegistryTierBudgetKeys makes sure tiered and flat alias stores
+// coexist in the registry under distinct keys and share within a key.
+func TestRegistryTierBudgetKeys(t *testing.T) {
+	g := storeTestGraph(t, 8)
+	reg := NewRegistry()
+	flat, err := reg.Acquire(g, Spec{Kind: KindAlias, Weighted: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered1, err := reg.Acquire(g, Spec{Kind: KindAlias, Weighted: true, TierBudget: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	tiered2, err := reg.Acquire(g, Spec{Kind: KindAlias, Weighted: true, TierBudget: 1 << 12})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := flat.Sampler().(*AliasSampler); !ok {
+		t.Fatalf("zero budget built %T, want *AliasSampler", flat.Sampler())
+	}
+	ts, ok := tiered1.Sampler().(*TieredAlias)
+	if !ok {
+		t.Fatalf("tier budget built %T, want *TieredAlias", tiered1.Sampler())
+	}
+	if tiered2.Sampler() != ts {
+		t.Fatal("same tier budget must share one store")
+	}
+	if reg.Len() != 2 {
+		t.Fatalf("registry holds %d entries, want 2", reg.Len())
+	}
+	if Footprint(ts) != ts.MemoryFootprint() {
+		t.Fatal("Footprint must report the tiered store's resident size")
+	}
+	flat.Release()
+	tiered1.Release()
+	tiered2.Release()
+	if reg.Len() != 0 {
+		t.Fatalf("registry holds %d entries after release", reg.Len())
+	}
+}

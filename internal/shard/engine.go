@@ -49,6 +49,13 @@ type EngineConfig struct {
 	// be built over the engine's graph; content identity makes it
 	// trajectory-neutral. Ignored when Cohort == 0.
 	Layout *graph.Layout
+	// Tiered optionally serves row reads through a tiered store (hot
+	// arena + compressed cold CSR): cohort workers route their Gather
+	// stage through it and depth-first workers advance through per-worker
+	// TierViews. It must be built over the engine's graph; content
+	// identity makes it trajectory-neutral. Mutually exclusive with
+	// Layout (the tiered store subsumes the hub arena).
+	Tiered *graph.Tiered
 	// Sampler, when non-nil, is a prebuilt sampler the engine borrows
 	// instead of building its own — the execution layer passes its
 	// registry-shared sampler here so per-shard execution reads the one
@@ -160,6 +167,14 @@ func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig
 	}
 	if cfg.Layout != nil && cfg.Layout.Graph() != g {
 		return nil, fmt.Errorf("shard: layout built over a different graph")
+	}
+	if cfg.Tiered != nil {
+		if cfg.Tiered.Graph() != g {
+			return nil, fmt.Errorf("shard: tiered store built over a different graph")
+		}
+		if cfg.Layout != nil {
+			return nil, fmt.Errorf("shard: layout and tiered store are mutually exclusive")
+		}
 	}
 	sampler := cfg.Sampler
 	if sampler == nil {
@@ -296,7 +311,13 @@ func (r *run) advanceRec(wi int, ws *workerState) {
 	e, m := r.eng, r.m
 	w := &ws.rec
 	for {
-		if !walk.Advance(e.g, e.sampler, e.wcfg, &w.st, &w.r) {
+		var more bool
+		if ws.tv != nil {
+			more = walk.AdvanceView(e.g, ws.tv, &ws.mem, e.sampler, e.wcfg, &w.st, &w.r)
+		} else {
+			more = walk.Advance(e.g, e.sampler, e.wcfg, &w.st, &w.r)
+		}
+		if !more {
 			r.finishRec(wi, w)
 			return
 		}

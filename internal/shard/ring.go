@@ -5,6 +5,7 @@ import (
 
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/rng"
+	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
 )
 
@@ -92,6 +93,12 @@ type workerState struct {
 	// rr rotates this producer's hand-offs across the destination
 	// shard's workers (see mesh.route).
 	rr uint32
+
+	// tv/mem are the depth-first worker's tiered-store view and row
+	// scratch (nil/zero when the engine is untiered); cohort mode routes
+	// tiering through the cohort's own lanes instead.
+	tv  *graph.TierView
+	mem sampling.RowView
 
 	// Cohort-mode state (nil/empty in depth-first mode): lane-backed
 	// records, the free-lane stack, per-lane destination shards computed
@@ -209,6 +216,14 @@ func newMesh(e *Engine) *mesh {
 			shardID: c / perShard,
 			dirty:   make([]bool, W),
 		}
+		if cfg.Tiered != nil && cfg.Cohort == 0 {
+			ws.tv = graph.NewTierView(cfg.Tiered)
+			// Narrow the view to what this workload's sampler reads (the
+			// engine validated e.wcfg, so TierAccess cannot fail here).
+			if needRow, needW, err := walk.TierAccess(e.g, e.wcfg); err == nil {
+				ws.tv.SetAccess(needRow, needW)
+			}
+		}
 		if cfg.Cohort > 0 {
 			// NewEngine validated the cohort size and sampler stagedness.
 			cohort, err := walk.NewCohort(e.g, e.wcfg, e.sampler, cfg.Cohort)
@@ -217,6 +232,9 @@ func newMesh(e *Engine) *mesh {
 			}
 			if cfg.Layout != nil {
 				cohort.SetLayout(cfg.Layout)
+			}
+			if cfg.Tiered != nil {
+				cohort.SetTiered(cfg.Tiered)
 			}
 			ws.cohort = cohort
 			ws.recs = make([]walkerRec, cfg.Cohort)

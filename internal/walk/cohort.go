@@ -67,11 +67,39 @@ type Cohort struct {
 	// alongside the CSR row locator, so the arena lines the Sample
 	// stage's draw will hit are already in flight.
 	aliasStore *sampling.AliasSampler
+	// tieredAlias is aliasStore's counterpart for the tiered alias store
+	// (kept as a second concrete field so the flat path's direct call
+	// never becomes an interface dispatch).
+	tieredAlias *sampling.TieredAlias
 
 	n int // lanes in use; live lanes are always the prefix [0, n)
 
-	// arenaCol caches the layout's hub arena backing store.
+	// arenaCol caches the layout's hub arena backing store (or, under a
+	// tiered store, the hot arena — the Move stage indexes both the same
+	// way).
 	arenaCol []graph.VertexID
+
+	// Tiered-store state (SetTiered). The Gather stage decodes cold rows
+	// into per-lane scratch that persists across passes — a lane parked
+	// mid-rejection re-enters Sample without re-decoding — and the
+	// Sample stage hands the sampler a per-lane RowView so it never
+	// reads the CSR's Col (cold rows do not live there).
+	tiered *graph.Tiered
+	tview  *graph.TierView
+	hotW   []float32 // tiered hot weight arena, parallel to arenaCol
+	rowBuf [][]graph.VertexID
+	wtsBuf [][]float32
+	scr    []bool // lane's gathered row lives in rowBuf scratch
+	mem    []sampling.RowView
+	// needW marks full-row-scan samplers on weighted graphs: only those
+	// read weight rows, so only they pay cold weight decode.
+	needW bool
+	// slotKind marks samplers that consume only the degree plus one drawn
+	// neighbor slot per hop (uniform draws by index, alias draws from its
+	// own store): under a tiered store their cold rows skip the full
+	// decode and the Move stage reads the one slot straight from the
+	// compressed arena.
+	slotKind bool
 
 	// Struct-of-arrays lane state. The gathered row is kept as scalar
 	// locator fields (bounds plus which array) rather than a slice
@@ -107,25 +135,28 @@ func NewCohort(g *graph.CSR, cfg Config, s sampling.Sampler, size int) (*Cohort,
 	}
 	kind := ss.Kind()
 	aliasStore, _ := s.(*sampling.AliasSampler)
+	tieredAlias, _ := s.(*sampling.TieredAlias)
 	return &Cohort{
-		g:          g,
-		sampler:    ss,
-		cfg:        cfg,
-		scanRow:    kind == sampling.KindReservoir || kind == sampling.KindMetaPath,
-		aliasStore: aliasStore,
-		cur:        make([]graph.VertexID, size),
-		prev:       make([]graph.VertexID, size),
-		hasPrev:    make([]bool, size),
-		step:       make([]int32, size),
-		lo:         make([]int64, size),
-		hi:         make([]int64, size),
-		arena:      make([]bool, size),
-		cand:       make([]sampling.Candidate, size),
-		phase:      make([]uint8, size),
-		fate:       make([]uint8, size),
-		tag:        make([]int32, size),
-		st:         make([]*State, size),
-		r:          make([]*rng.Stream, size),
+		g:           g,
+		sampler:     ss,
+		cfg:         cfg,
+		scanRow:     kind == sampling.KindReservoir || kind == sampling.KindMetaPath,
+		slotKind:    kind == sampling.KindUniform || kind == sampling.KindAlias,
+		aliasStore:  aliasStore,
+		tieredAlias: tieredAlias,
+		cur:         make([]graph.VertexID, size),
+		prev:        make([]graph.VertexID, size),
+		hasPrev:     make([]bool, size),
+		step:        make([]int32, size),
+		lo:          make([]int64, size),
+		hi:          make([]int64, size),
+		arena:       make([]bool, size),
+		cand:        make([]sampling.Candidate, size),
+		phase:       make([]uint8, size),
+		fate:        make([]uint8, size),
+		tag:         make([]int32, size),
+		st:          make([]*State, size),
+		r:           make([]*rng.Stream, size),
 	}, nil
 }
 
@@ -141,6 +172,55 @@ func (c *Cohort) SetLayout(l *graph.Layout) {
 	} else {
 		c.arenaCol = nil
 	}
+}
+
+// SetTiered routes the Gather stage through a tiered graph store: hot
+// rows come from the store's uncompressed arena exactly like a Layout's
+// hub rows, cold rows are decoded row-at-a-time into per-lane scratch,
+// and the Sample stage serves the sampler a staged RowView — Sample and
+// Move never see which tier a row came from. Because a tiered store is
+// content-identical to its CSR, trajectories are unaffected. SetTiered
+// supersedes SetLayout (the layout is a rearrangement of the flat store
+// the tiered store replaces). Call before the first Admit; nil restores
+// direct CSR reads.
+func (c *Cohort) SetTiered(t *graph.Tiered) {
+	c.tiered = t
+	if t == nil {
+		c.tview = nil
+		c.arenaCol = nil
+		c.hotW = nil
+		c.needW = false
+		return
+	}
+	c.lay = nil
+	c.tview = graph.NewTierView(t)
+	c.arenaCol = t.HotArena()
+	c.hotW = t.HotWeights()
+	c.needW = c.scanRow && t.Graph().Weighted()
+	if c.rowBuf == nil {
+		size := len(c.cur)
+		c.rowBuf = make([][]graph.VertexID, size)
+		c.wtsBuf = make([][]float32, size)
+		c.scr = make([]bool, size)
+		c.mem = make([]sampling.RowView, size)
+	}
+}
+
+// ScratchBytes reports the decode-scratch high water across lanes and
+// the per-cohort TierView cache — the "scratch" term of the tier
+// accounting (0 for flat cohorts).
+func (c *Cohort) ScratchBytes() int64 {
+	var b int64
+	for i := range c.rowBuf {
+		b += int64(cap(c.rowBuf[i])) * 4
+	}
+	for i := range c.wtsBuf {
+		b += int64(cap(c.wtsBuf[i])) * 4
+	}
+	if c.tview != nil {
+		b += c.tview.ScratchBytes()
+	}
+	return b
 }
 
 // Len returns the number of occupied lanes.
@@ -165,6 +245,9 @@ func (c *Cohort) Admit(st *State, r *rng.Stream, tag int32) bool {
 	c.hasPrev[i] = st.HasPrev
 	c.step[i] = int32(st.Step)
 	c.arena[i] = false
+	if c.scr != nil {
+		c.scr[i] = false
+	}
 	c.cand[i] = sampling.Candidate{}
 	c.phase[i] = phaseGather
 	c.fate[i] = fateNone
@@ -203,6 +286,14 @@ func (c *Cohort) remove(i int) {
 		c.tag[i] = c.tag[j]
 		c.st[i] = c.st[j]
 		c.r[i] = c.r[j]
+		if c.scr != nil {
+			// Swap (not copy) the decode buffers so lane j keeps a
+			// recyclable buffer — a parked lane's scratch row must follow
+			// it to its new slot.
+			c.rowBuf[i], c.rowBuf[j] = c.rowBuf[j], c.rowBuf[i]
+			c.wtsBuf[i], c.wtsBuf[j] = c.wtsBuf[j], c.wtsBuf[i]
+			c.scr[i] = c.scr[j]
+		}
 	}
 	c.st[j] = nil
 	c.r[j] = nil
@@ -248,7 +339,61 @@ func (c *Cohort) Step(
 	// the row source once per pass — the body must stay lean enough that
 	// many lanes' independent misses overlap inside the out-of-order
 	// window, which is the whole point of the stage.
-	if c.lay == nil {
+	if c.tiered != nil {
+		// Tiered variant: hot rows resolve to the uncompressed hot arena
+		// (one locator load, like the Layout path); cold rows decode into
+		// the lane's scratch, which persists across passes — a lane parked
+		// mid-rejection re-enters Sample without re-decoding.
+		for i := 0; i < c.n; i++ {
+			if c.phase[i] != phaseGather {
+				continue
+			}
+			if int(c.step[i]) >= c.cfg.WalkLength {
+				c.fate[i] = fateRetire
+				continue
+			}
+			v := c.cur[i]
+			off, deg, hot := c.tiered.Locate(v)
+			if deg == 0 {
+				c.fate[i] = fateRetire // zero out-degree: immediate termination
+				continue
+			}
+			if hot {
+				lo, hi := off, off+int64(deg)
+				c.lo[i], c.hi[i] = lo, hi
+				c.arena[i], c.scr[i] = true, false
+				c.touch ^= uint64(c.arenaCol[lo]) ^ uint64(c.arenaCol[hi-1])
+				if c.scanRow {
+					for o := lo + 16; o < hi && o <= lo+112; o += 16 {
+						c.touch ^= uint64(c.arenaCol[o])
+					}
+				}
+			} else if c.slotKind {
+				// Slot fast path: the sampler reads only the degree and the
+				// Move stage one drawn slot, so the row stays encoded. lo
+				// carries the cold byte offset; hi keeps Deg = hi-lo intact.
+				c.lo[i], c.hi[i] = off, off+int64(deg)
+				c.arena[i], c.scr[i] = false, false
+				c.touch ^= c.tiered.TouchRow(v)
+			} else {
+				row, wts := c.tiered.DecodeRowInto(v, c.rowBuf[i], c.wtsBuf[i], c.needW)
+				c.rowBuf[i] = row
+				if c.needW {
+					c.wtsBuf[i] = wts
+				}
+				c.lo[i], c.hi[i] = 0, int64(deg)
+				c.arena[i], c.scr[i] = false, true
+			}
+			if c.aliasStore != nil {
+				c.touch ^= c.aliasStore.TouchRow(v)
+			}
+			if c.tieredAlias != nil {
+				c.touch ^= c.tieredAlias.TouchRow(v)
+			}
+			c.cand[i] = sampling.Candidate{}
+			c.phase[i] = phaseSample
+		}
+	} else if c.lay == nil {
 		for i := 0; i < c.n; i++ {
 			if c.phase[i] != phaseGather {
 				continue
@@ -320,6 +465,23 @@ func (c *Cohort) Step(
 			continue
 		}
 		ctx := sampling.Context{Cur: c.cur[i], Prev: c.prev[i], HasPrev: c.hasPrev[i], Deg: int32(c.hi[i] - c.lo[i]), Step: int(c.step[i])}
+		if c.tiered != nil && !c.slotKind {
+			// Stage the gathered row for the sampler: it must not read
+			// the CSR's Col (cold rows do not live there). Slot-kind
+			// samplers never read rows, so their lanes skip the staging.
+			m := &c.mem[i]
+			if c.scr[i] {
+				m.Row, m.Wts = c.rowBuf[i], c.wtsBuf[i]
+			} else {
+				m.Row = c.arenaCol[c.lo[i]:c.hi[i]]
+				m.Wts = nil
+				if c.needW {
+					m.Wts = c.hotW[c.lo[i]:c.hi[i]]
+				}
+			}
+			m.Tier = c.tview
+			ctx.Mem = m
+		}
 		cand := c.sampler.Propose(g, ctx, c.cand[i], c.r[i])
 		c.cand[i] = cand
 		if cand.Final || c.sampler.Accept(g, ctx, cand, c.r[i]) {
@@ -337,11 +499,21 @@ func (c *Cohort) Step(
 		if c.fate[i] != fateMove {
 			continue
 		}
-		base := g.Col
-		if c.arena[i] {
-			base = c.arenaCol
+		var next graph.VertexID
+		if c.tiered != nil && !c.arena[i] && !c.scr[i] {
+			// Slot-kind cold lane: the row never decoded; lo is the cold
+			// byte offset (Gather's fast path).
+			next = c.tiered.ColdEntryAt(c.cur[i], c.lo[i], int32(c.cand[i].Index))
+		} else {
+			base := g.Col
+			if c.arena[i] {
+				base = c.arenaCol
+			}
+			if c.scr != nil && c.scr[i] {
+				base = c.rowBuf[i] // decoded cold row; lo is 0
+			}
+			next = base[c.lo[i]+int64(c.cand[i].Index)]
 		}
-		next := base[c.lo[i]+int64(c.cand[i].Index)]
 		c.prev[i], c.hasPrev[i] = c.cur[i], true
 		c.cur[i] = next
 		st := c.st[i]

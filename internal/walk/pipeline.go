@@ -111,6 +111,10 @@ func (p *Pipeline) CohortSize() int { return p.cohort.Cap() }
 // graph.Layout (see Cohort.SetLayout). Call before the first Run.
 func (p *Pipeline) SetLayout(l *graph.Layout) { p.cohort.SetLayout(l) }
 
+// SetTiered routes the cohort's Gather stage through a tiered store
+// (see Cohort.SetTiered). Call before the first Run.
+func (p *Pipeline) SetTiered(t *graph.Tiered) { p.cohort.SetTiered(t) }
+
 // Run executes the query batch, delivering each finished walk through
 // emit. Delivery order is unspecified (lanes retire as they terminate);
 // the batch index passed to emit identifies each walk. It returns the

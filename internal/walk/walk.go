@@ -173,6 +173,51 @@ func AcquireSampler(g *graph.CSR, cfg Config) (*sampling.SamplerRef, error) {
 	return sampling.DefaultRegistry().Acquire(g, spec)
 }
 
+// SamplerSpecTiered is SamplerSpec under a sampler-side hot-tier byte
+// budget: algorithms backed by a prebuilt O(E) store (DeepWalk's alias
+// rows) get the tiered store with that budget keyed into their spec;
+// the parametric samplers are returned unchanged — their spec must not
+// carry the budget, or sessions that could share them would not.
+func SamplerSpecTiered(g *graph.CSR, cfg Config, budget int64) (sampling.Spec, error) {
+	spec, err := SamplerSpec(g, cfg)
+	if err != nil {
+		return spec, err
+	}
+	if spec.Kind == sampling.KindAlias && budget != 0 {
+		spec.TierBudget = budget
+	}
+	return spec, nil
+}
+
+// AcquireSamplerTiered is AcquireSampler under a sampler-side hot-tier
+// budget (see SamplerSpecTiered). A zero budget is exactly
+// AcquireSampler.
+func AcquireSamplerTiered(g *graph.CSR, cfg Config, budget int64) (*sampling.SamplerRef, error) {
+	spec, err := SamplerSpecTiered(g, cfg, budget)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.DefaultRegistry().Acquire(g, spec)
+}
+
+// TierAccess reports which row components cfg's sampler reads through a
+// tiered view: needRow false means the sampler consumes only a degree
+// and one drawn slot per hop (uniform draws by index, alias draws from
+// its own store), which lets engines take the slot-decode fast path;
+// needW false means weight rows are never read and their decode can be
+// skipped. Pass the result to graph.TierView.SetAccess.
+func TierAccess(g *graph.CSR, cfg Config) (needRow, needW bool, err error) {
+	spec, err := SamplerSpec(g, cfg)
+	if err != nil {
+		return true, true, err
+	}
+	switch spec.Kind {
+	case sampling.KindUniform, sampling.KindAlias:
+		return false, false, nil
+	}
+	return true, spec.Weighted, nil
+}
+
 // Query is one random-walk request.
 type Query struct {
 	ID    uint32
@@ -337,6 +382,61 @@ func Advance(g *graph.CSR, s sampling.Sampler, cfg Config, st *State, r *rng.Str
 	return st.Step < cfg.WalkLength
 }
 
+// AdvanceView is Advance over a tiered graph store: the current row is
+// read through tv (hot arena or cached cold-row decode) and staged into
+// mem, the caller-owned sampling.RowView the sampler reads instead of
+// the CSR. One mem lives per worker and is reused across hops, so the
+// view costs no allocations. With tv == nil it is exactly Advance —
+// flat engines keep their unchanged zero-overhead path.
+func AdvanceView(g *graph.CSR, tv *graph.TierView, mem *sampling.RowView, s sampling.Sampler, cfg Config, st *State, r *rng.Stream) bool {
+	if tv == nil {
+		return Advance(g, s, cfg, st, r)
+	}
+	if st.Step >= cfg.WalkLength {
+		return false
+	}
+	var next graph.VertexID
+	if !tv.NeedRow() {
+		// Slot fast path (uniform and alias kinds, see TierAccess): the
+		// sampler consumes only the degree and the walk only the drawn
+		// neighbor, so cold rows decode one block-bounded slot instead of
+		// materializing.
+		t := tv.Tiered()
+		off, deg, hot := t.Locate(st.Cur)
+		if deg == 0 {
+			return false // zero outgoing edges: immediate termination (Fig. 1b)
+		}
+		res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Deg: deg, Step: st.Step}, r)
+		if res.Index < 0 {
+			return false
+		}
+		if hot {
+			next = t.HotArena()[off+int64(res.Index)]
+		} else {
+			next = t.ColdEntryAt(st.Cur, off, int32(res.Index))
+		}
+	} else {
+		row, wts := tv.RowAndWeights(st.Cur)
+		if len(row) == 0 {
+			return false // zero outgoing edges: immediate termination (Fig. 1b)
+		}
+		mem.Row, mem.Wts, mem.Tier = row, wts, tv
+		res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Deg: int32(len(row)), Step: st.Step, Mem: mem}, r)
+		if res.Index < 0 {
+			return false // no selectable neighbor (MetaPath schema miss)
+		}
+		next = row[res.Index]
+	}
+	st.Prev, st.HasPrev = st.Cur, true
+	st.Cur = next
+	st.Path = append(st.Path, next)
+	st.Step++
+	if cfg.Algorithm == PPR && r.Float64() < cfg.Alpha {
+		return false // teleport: the walk restarts, ending this query
+	}
+	return st.Step < cfg.WalkLength
+}
+
 // walkOne runs a single query, returning the visited path (including the
 // start vertex) and the number of hops taken.
 func walkOne(g *graph.CSR, s sampling.Sampler, cfg Config, q Query, r *rng.Stream) ([]graph.VertexID, int64) {
@@ -369,6 +469,10 @@ type Walker struct {
 	src     *rng.Source
 	r       rng.Stream
 	buf     []graph.VertexID
+	// tv, when set, routes row reads through a tiered store's per-worker
+	// view; mem is the staged row view handed to the sampler.
+	tv  *graph.TierView
+	mem sampling.RowView
 }
 
 // NewWalker builds a walker for g under cfg, constructing its own sampler.
@@ -393,15 +497,35 @@ func NewWalkerWithSampler(g *graph.CSR, cfg Config, s sampling.Sampler) *Walker 
 	}
 }
 
+// SetTierView makes the walker read neighbor rows through a tiered
+// store's per-worker view (the view must be private to this walker;
+// build one per worker with graph.NewTierView). Because a tiered store
+// is content-identical to its CSR, trajectories are unaffected. Call
+// before the first Walk; nil restores direct CSR reads.
+func (w *Walker) SetTierView(tv *graph.TierView) {
+	w.tv = tv
+	if tv == nil {
+		return
+	}
+	// Narrow the view to what this walker's sampler reads (cfg validated
+	// at construction, so TierAccess cannot fail here).
+	if needRow, needW, err := TierAccess(w.g, w.cfg); err == nil {
+		tv.SetAccess(needRow, needW)
+	}
+}
+
 // Walk executes one query. The per-query RNG stream is derived from the
 // query ID exactly as Run does, so a Walker's output is byte-identical to
 // Run's for the same seed regardless of execution order. The returned path
 // is reused by the next call.
 func (w *Walker) Walk(q Query) ([]graph.VertexID, int64) {
 	w.src.StreamInto(uint64(q.ID), &w.r)
-	path, steps := walkInto(w.g, w.sampler, w.cfg, q, &w.r, w.buf)
-	w.buf = path
-	return path, steps
+	st := State{Path: w.buf}
+	st.Start(q)
+	for AdvanceView(w.g, w.tv, &w.mem, w.sampler, w.cfg, &st, &w.r) {
+	}
+	w.buf = st.Path
+	return st.Path, int64(st.Step)
 }
 
 // VisitCounts tallies how often each vertex appears across all paths —

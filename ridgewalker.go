@@ -300,13 +300,28 @@ type (
 	WalkOutput = exec.WalkOutput
 	// BackendConfig configures OpenBackend.
 	BackendConfig = exec.Config
+	// MemoryReport is a tiered session's placement accounting, attached
+	// to BatchResult when the session was opened with a nonzero
+	// MemoryBudgetBytes.
+	MemoryReport = exec.MemoryReport
 )
+
+// AutoMemoryBudget returns a fit-the-hubs default memory budget for g:
+// large enough that the high-degree rows carrying the bulk of a
+// power-law walk's traffic stay uncompressed, small enough that the
+// compressed cold tail dominates the resident savings. Pass it to
+// BackendConfig/ServiceConfig MemoryBudgetBytes.
+func AutoMemoryBudget(g *Graph) int64 { return graph.AutoMemoryBudget(g) }
 
 // Backends lists the registered execution backend names.
 func Backends() []string { return exec.Names() }
 
 // BackendByName returns a registered execution backend.
 func BackendByName(name string) (Backend, error) { return exec.Lookup(name) }
+
+// BackendSupportsMemoryTiering reports whether the named backend honors
+// the MemoryBudgetBytes knob (tiered graph + sampler stores).
+func BackendSupportsMemoryTiering(name string) bool { return exec.SupportsMemoryTiering(name) }
 
 // OpenBackend binds a named execution backend to a graph, performing all
 // per-workload setup (sampler construction, simulator instantiation,

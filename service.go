@@ -39,6 +39,12 @@ type ServiceConfig struct {
 	// highest-degree rows served to the cohort Gather stage). 0 leaves it
 	// off; other backends ignore it.
 	HubCacheBytes int64
+	// MemoryBudgetBytes, when nonzero, serves the CPU backends through
+	// tiered memory: hub rows uncompressed in a budget-bounded hot arena,
+	// the cold tail delta-varint compressed, with the sampler store split
+	// the same way for alias workloads (see exec.Config). Trajectories
+	// are byte-identical at any budget. 0 keeps the flat stores.
+	MemoryBudgetBytes int64
 	// MaxBatch is the flush threshold for request coalescing: a pending
 	// group is dispatched as soon as its accumulated queries reach this
 	// size instead of waiting out the linger. It bounds how much
@@ -271,6 +277,7 @@ func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, err
 			Shards:              s.cfg.Shards,
 			Cohort:              s.cfg.Cohort,
 			HubCacheBytes:       s.cfg.HubCacheBytes,
+			MemoryBudgetBytes:   s.cfg.MemoryBudgetBytes,
 			DisableAsync:        s.cfg.DisableAsync,
 			DisableDynamicSched: s.cfg.DisableDynamicSched,
 		})
