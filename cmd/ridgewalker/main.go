@@ -71,6 +71,9 @@ func run() error {
 	requests := flag.Int("requests", 16, "serve mode: concurrent requests the workload is split into")
 	maxBatch := flag.Int("max-batch", 4096, "serve mode: max queries coalesced per backend dispatch")
 	linger := flag.Duration("linger", 500*time.Microsecond, "serve mode: max wait for co-batched work")
+	mutIns := flag.Int("mutate-insert", 0, "serve mode: insert this many random edges between serving rounds (versioned-graph serving)")
+	mutDel := flag.Int("mutate-delete", 0, "serve mode: then delete this many of the inserted edges")
+	mutCompact := flag.Bool("mutate-compact", false, "serve mode: compact the mutated graph and serve a final round")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -180,7 +183,15 @@ func run() error {
 			Linger:              *linger,
 			DisableAsync:        *noAsync,
 			DisableDynamicSched: *noSched,
-		}, *requests, *pathsOut)
+		}, *requests, *pathsOut, mutationPlan{
+			inserts: *mutIns,
+			deletes: *mutDel,
+			compact: *mutCompact,
+			seed:    *seed,
+		})
+	}
+	if *mutIns != 0 || *mutDel != 0 || *mutCompact {
+		return fmt.Errorf("-mutate-insert/-mutate-delete/-mutate-compact require -serve")
 	}
 
 	ses, err := ridgewalker.OpenBackend(backend, g, ridgewalker.BackendConfig{
@@ -253,10 +264,47 @@ func parseMemBudget(s string, g *ridgewalker.Graph) (int64, error) {
 	return b, nil
 }
 
+// mutationPlan is the serve-mode edge-mutation schedule: a round of
+// random inserts, an optional round of deletes over the inserted edges,
+// and an optional final compaction — each followed by re-serving the
+// workload at the new epoch.
+type mutationPlan struct {
+	inserts int
+	deletes int
+	compact bool
+	seed    uint64
+}
+
+func (p mutationPlan) active() bool { return p.inserts > 0 || p.deletes > 0 || p.compact }
+
+// randomEdges derives n deterministic pseudo-random edges over g's vertex
+// range (a splitmix-style hash of the seed, so runs are reproducible).
+func randomEdges(g *ridgewalker.Graph, n int, seed uint64) []ridgewalker.Edge {
+	edges := make([]ridgewalker.Edge, n)
+	x := seed ^ 0x9e3779b97f4a7c15
+	next := func() uint64 {
+		x += 0x9e3779b97f4a7c15
+		z := x
+		z = (z ^ (z >> 30)) * 0xbf58476d1ce4e5b9
+		z = (z ^ (z >> 27)) * 0x94d049bb133111eb
+		return z ^ (z >> 31)
+	}
+	nv := uint64(g.NumVertices)
+	for i := range edges {
+		edges[i] = ridgewalker.Edge{
+			Src: ridgewalker.VertexID(next() % nv),
+			Dst: ridgewalker.VertexID(next() % nv),
+		}
+	}
+	return edges
+}
+
 // runServe splits the workload into concurrent requests against a batched
-// Service and reports the served-query metrics.
+// Service and reports the served-query metrics. With an active mutation
+// plan it re-serves the workload after each mutation phase, exercising
+// epoch-snapshot serving and incremental sampler maintenance end to end.
 func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker.Query,
-	scfg ridgewalker.ServiceConfig, requests int, pathsOut string) error {
+	scfg ridgewalker.ServiceConfig, requests int, pathsOut string, plan mutationPlan) error {
 	if requests < 1 {
 		return fmt.Errorf("serve: requests %d, want >= 1", requests)
 	}
@@ -265,6 +313,64 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 		return err
 	}
 	defer svc.Close()
+	paths, err := serveRound(svc, cfg, qs, requests, len(qs), pathsOut != "")
+	if err != nil {
+		return err
+	}
+	if plan.active() {
+		if plan.inserts > 0 {
+			ins := randomEdges(g, plan.inserts, plan.seed)
+			if err := svc.InsertEdges(ins); err != nil {
+				return fmt.Errorf("mutate: %w", err)
+			}
+			if plan.deletes > 0 {
+				if plan.deletes > len(ins) {
+					return fmt.Errorf("mutate: -mutate-delete %d > -mutate-insert %d (only inserted edges are deleted)", plan.deletes, plan.inserts)
+				}
+				if err := svc.DeleteEdges(ins[:plan.deletes]); err != nil {
+					return fmt.Errorf("mutate: %w", err)
+				}
+			}
+		} else if plan.deletes > 0 {
+			return fmt.Errorf("mutate: -mutate-delete needs -mutate-insert (only inserted edges are deleted)")
+		}
+		st := svc.GraphStats()
+		fmt.Printf("mutated: epoch %d, %d dirty rows (+%d edges, -%d edges)\n",
+			st.Epoch, st.DirtyRows, st.Inserts, st.Deletes)
+		if _, err := serveRound(svc, cfg, qs, requests, len(qs), false); err != nil {
+			return err
+		}
+		if plan.compact {
+			svc.CompactGraph()
+			st = svc.GraphStats()
+			fmt.Printf("compacted: epoch %d, %d compactions\n", st.Epoch, st.Compactions)
+			if _, err := serveRound(svc, cfg, qs, requests, len(qs), false); err != nil {
+				return err
+			}
+		}
+	}
+	m := svc.Metrics()
+	for name, c := range m.PerBackend {
+		fmt.Printf("backend %-12s requests=%d queries=%d steps=%d batches=%d\n",
+			name, c.Requests, c.Queries, c.Steps, c.Batches)
+	}
+	for name, c := range m.PerAlgorithm {
+		fmt.Printf("algorithm %-10s requests=%d queries=%d steps=%d batches=%d\n",
+			name, c.Requests, c.Queries, c.Steps, c.Batches)
+	}
+	if len(m.PerEpoch) > 1 || plan.active() {
+		for epoch, c := range m.PerEpoch {
+			fmt.Printf("epoch %-14d requests=%d queries=%d steps=%d batches=%d\n",
+				epoch, c.Requests, c.Queries, c.Steps, c.Batches)
+		}
+	}
+	return writePaths(pathsOut, paths)
+}
+
+// serveRound fires the workload as concurrent requests and reports wall
+// throughput; it returns the concatenated paths when keepPaths is set.
+func serveRound(svc *ridgewalker.Service, cfg ridgewalker.WalkConfig, qs []ridgewalker.Query,
+	requests, total int, keepPaths bool) ([][]ridgewalker.VertexID, error) {
 	chunk := (len(qs) + requests - 1) / requests
 	results := make([]*ridgewalker.Result, requests)
 	errs := make([]error, requests)
@@ -288,30 +394,21 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 	el := time.Since(start)
 	for r, err := range errs {
 		if err != nil {
-			return fmt.Errorf("request %d: %w", r, err)
+			return nil, fmt.Errorf("request %d: %w", r, err)
 		}
 	}
 	var steps int64
 	var paths [][]ridgewalker.VertexID
 	for _, res := range results[:served] {
 		steps += res.Steps
-		if pathsOut != "" {
+		if keepPaths {
 			paths = append(paths, res.Paths...)
 		}
 	}
-	fmt.Printf("served %d requests (%d queries, %d steps) in %v — %.1f MStep/s wall\n",
-		served, len(qs), steps, el.Round(time.Millisecond),
-		float64(steps)/el.Seconds()/1e6)
-	m := svc.Metrics()
-	for name, c := range m.PerBackend {
-		fmt.Printf("backend %-12s requests=%d queries=%d steps=%d batches=%d\n",
-			name, c.Requests, c.Queries, c.Steps, c.Batches)
-	}
-	for name, c := range m.PerAlgorithm {
-		fmt.Printf("algorithm %-10s requests=%d queries=%d steps=%d batches=%d\n",
-			name, c.Requests, c.Queries, c.Steps, c.Batches)
-	}
-	return writePaths(pathsOut, paths)
+	fmt.Printf("served %d requests (%d queries, %d steps) in %v — %.1f MStep/s wall (epoch %d)\n",
+		served, total, steps, el.Round(time.Millisecond),
+		float64(steps)/el.Seconds()/1e6, svc.GraphEpoch())
+	return paths, nil
 }
 
 func effectiveWorkers(w int) int {

@@ -122,6 +122,41 @@ func ComparePerf(baseline, fresh *PerfReport, tol float64, absolute bool) (regre
 	if compared > 0 {
 		regressions = append(regressions, missing...)
 	}
+	if msg := compareMutation(baseline, fresh); msg != "" {
+		regressions = append(regressions, msg)
+		compared++
+	}
 	sort.Strings(regressions)
 	return regressions, compared
+}
+
+// mutationMinSpeedup is the hard floor on the incremental-maintenance
+// advantage (cold rebuild latency over incremental derive latency). The
+// number prices the structural claim, not the machine: rebuilding ~100
+// dirty rows of a million-edge store runs orders of magnitude faster
+// than the O(E) cold build, so any honest implementation clears 5× with
+// a huge margin, while an implementation that silently degraded to O(E)
+// maintenance sits at ~1×. A relative tolerance would be the wrong gate
+// here — the ratio of a µs-scale to an ms-scale measurement jitters far
+// more run-to-run than the throughput records do.
+const mutationMinSpeedup = 5.0
+
+// compareMutation gates the dynamic-graph maintenance record: present in
+// the baseline means the fresh report must carry it too, and its
+// incremental speedup must clear the structural floor.
+func compareMutation(baseline, fresh *PerfReport) string {
+	bm := baseline.Mutation
+	if bm == nil {
+		return ""
+	}
+	fm := fresh.Mutation
+	if fm == nil {
+		return "mutation: present in baseline but missing from the fresh report (measurement dropped from the sweep?)"
+	}
+	if fm.Speedup < mutationMinSpeedup {
+		return fmt.Sprintf(
+			"mutation: incremental sampler maintenance %.1fx over cold rebuild (floor %.0fx) — dirty-row rebuild has degraded toward O(E)",
+			fm.Speedup, mutationMinSpeedup)
+	}
+	return ""
 }

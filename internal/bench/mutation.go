@@ -1,0 +1,138 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/sampling"
+)
+
+func init() {
+	register(Experiment{ID: "mutation",
+		Title: "Dynamic-graph sampler maintenance: incremental dirty-row rebuild vs cold O(E) rebuild",
+		Run: func(c *Context, w io.Writer) error {
+			scale := 22 - c.Opts.Shrink
+			if scale < 10 {
+				scale = 10
+			}
+			g, err := graph.GenerateRMAT(graph.Graph500(scale, 16, c.Opts.Seed))
+			if err != nil {
+				return err
+			}
+			rec, err := MeasureMutation(Weighted(g), fmt.Sprintf("rmat-%d-graph500", scale), c.Opts.Repeat)
+			if err != nil {
+				return err
+			}
+			t := newTable(w, fmt.Sprintf("Sampler maintenance after a mutation batch — %s (%d vertices, %d edges)",
+				rec.Graph, rec.Vertices, rec.Edges))
+			t.row("path", "rows rebuilt", "entries", "latency ms")
+			t.row("incremental (WithRebuiltRows)", rec.DirtyRows, rec.SpillEntries, fmt.Sprintf("%.3f", rec.IncrementalMS))
+			t.row("cold rebuild (NewAliasSampler)", rec.Vertices, rec.Edges, fmt.Sprintf("%.3f", rec.ColdRebuildMS))
+			if err := t.flush(); err != nil {
+				return err
+			}
+			fmt.Fprintf(w, "incremental speedup: %.1fx (dirty fraction %.5f of edge entries)\n",
+				rec.Speedup, rec.DirtyFraction)
+			return nil
+		}})
+}
+
+// MutationRecord is the BENCH.json dynamic-graph maintenance measurement:
+// after one mutation batch touching DirtyRows vertices, the latency of
+// deriving the serving alias store incrementally (rebuilding only the
+// overlay's dirty rows into spill arenas, base arenas shared) versus a
+// cold O(E) rebuild over the folded graph. Speedup — ColdRebuildMS over
+// IncrementalMS — is the number the regression gate tracks: an
+// implementation that silently degraded to O(E) maintenance would pull it
+// toward 1.
+type MutationRecord struct {
+	Graph    string `json:"graph"`
+	Vertices int    `json:"vertices"`
+	Edges    int64  `json:"edges"`
+	// MutatedEdges is the batch size; DirtyRows the distinct vertices the
+	// batch touched (insert mirrors included); SpillEntries the alias
+	// slots the incremental path rebuilt (Σ dirty merged degrees).
+	MutatedEdges  int     `json:"mutated_edges"`
+	DirtyRows     int     `json:"dirty_rows"`
+	SpillEntries  int     `json:"spill_entries"`
+	IncrementalMS float64 `json:"incremental_ms"`
+	ColdRebuildMS float64 `json:"cold_rebuild_ms"`
+	Speedup       float64 `json:"speedup"`
+	// DirtyFraction is SpillEntries over the graph's edge entries — the
+	// work fraction the incremental path actually performs.
+	DirtyFraction float64 `json:"dirty_fraction"`
+}
+
+// mutationBatchEdges sizes the measured batch: enough churn to be a
+// realistic serving-path update, small enough that the incremental path's
+// advantage is the thing measured rather than the batch construction.
+const mutationBatchEdges = 64
+
+// measureMutation applies one deterministic mutation batch to a weighted
+// graph and times both sampler maintenance paths, best of repeat
+// repetitions each (downward outliers are scheduling noise, as
+// everywhere in the perf suite).
+func MeasureMutation(gw *graph.CSR, name string, repeat int) (*MutationRecord, error) {
+	if repeat < 1 {
+		repeat = 1
+	}
+	base, err := sampling.NewAliasSampler(gw)
+	if err != nil {
+		return nil, err
+	}
+	vg := graph.NewVersioned(gw)
+	n := graph.VertexID(gw.NumVertices)
+	edges := make([]graph.Edge, mutationBatchEdges)
+	for i := range edges {
+		edges[i] = graph.Edge{
+			Src: graph.VertexID(uint64(i)*2654435761) % n,
+			Dst: graph.VertexID(uint64(i)*40503+17) % n,
+		}
+	}
+	if err := vg.InsertEdges(edges); err != nil {
+		return nil, err
+	}
+	if err := vg.DeleteEdges(edges[:mutationBatchEdges/4]); err != nil {
+		return nil, err
+	}
+	snap := vg.Snapshot()
+	final := vg.Compact()
+
+	rec := &MutationRecord{
+		Graph:        name,
+		Vertices:     gw.NumVertices,
+		Edges:        gw.NumEdges(),
+		MutatedEdges: len(edges) + mutationBatchEdges/4,
+		DirtyRows:    snap.NumDirty(),
+	}
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		d, err := base.WithRebuiltRows(snap)
+		el := time.Since(start)
+		if err != nil {
+			return nil, err
+		}
+		rec.SpillEntries = d.SpillEntries()
+		if ms := float64(el) / float64(time.Millisecond); rec.IncrementalMS == 0 || ms < rec.IncrementalMS {
+			rec.IncrementalMS = ms
+		}
+	}
+	for i := 0; i < repeat; i++ {
+		start := time.Now()
+		if _, err := sampling.NewAliasSampler(final); err != nil {
+			return nil, err
+		}
+		if ms := float64(time.Since(start)) / float64(time.Millisecond); rec.ColdRebuildMS == 0 || ms < rec.ColdRebuildMS {
+			rec.ColdRebuildMS = ms
+		}
+	}
+	if rec.IncrementalMS > 0 {
+		rec.Speedup = rec.ColdRebuildMS / rec.IncrementalMS
+	}
+	if entries := int64(len(gw.Col)); entries > 0 {
+		rec.DirtyFraction = float64(rec.SpillEntries) / float64(entries)
+	}
+	return rec, nil
+}

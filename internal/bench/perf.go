@@ -143,6 +143,10 @@ type PerfReport struct {
 	// O(E) flat alias store); other weighted workloads (node2vec's
 	// reservoir) have no prebuilt store to measure.
 	SamplerBuild *SamplerBuildRecord `json:"sampler_build,omitempty"`
+	// Mutation is the dynamic-graph maintenance measurement (incremental
+	// dirty-row sampler rebuild vs cold O(E) rebuild), emitted alongside
+	// SamplerBuild when the sweep includes DeepWalk.
+	Mutation *MutationRecord `json:"mutation,omitempty"`
 	// Ratios normalizes each configuration to the flat cpu baseline per
 	// algorithm at the same GOMAXPROCS (steps/sec over steps/sec), e.g.
 	// "cpu-pipelined/cpu URW": 1.31 (GOMAXPROCS=1) or
@@ -326,6 +330,11 @@ func RunPerf(c *Context) (*PerfReport, error) {
 				return nil, err
 			}
 			rep.SamplerBuild = sb
+			mut, err := MeasureMutation(gw, name, c.Opts.Repeat)
+			if err != nil {
+				return nil, err
+			}
+			rep.Mutation = mut
 		}
 		wcfg := walk.DefaultConfig(alg)
 		wcfg.WalkLength = c.Opts.WalkLength
@@ -580,6 +589,10 @@ func WritePerfTable(rep *PerfReport, w io.Writer) error {
 	if sb := rep.SamplerBuild; sb != nil {
 		fmt.Fprintf(w, "sampler build (alias store, %d edges): serial %.1f ms, parallel(%d workers) %.1f ms, %.2fx, %d KiB\n",
 			sb.Edges, sb.SerialMS, sb.Workers, sb.ParallelMS, sb.Speedup, sb.Bytes>>10)
+	}
+	if mu := rep.Mutation; mu != nil {
+		fmt.Fprintf(w, "mutation maintenance (%d edges mutated, %d dirty rows): incremental %.3f ms vs cold rebuild %.3f ms — %.1fx, dirty fraction %.5f\n",
+			mu.MutatedEdges, mu.DirtyRows, mu.IncrementalMS, mu.ColdRebuildMS, mu.Speedup, mu.DirtyFraction)
 	}
 	keys := make([]string, 0, len(rep.Ratios))
 	for k := range rep.Ratios {

@@ -2,6 +2,7 @@ package exec
 
 import (
 	"context"
+	"fmt"
 	"sync"
 
 	"ridgewalker/internal/baselines"
@@ -48,6 +49,9 @@ func (b analyticBackend) Name() string        { return b.name }
 func (b analyticBackend) Description() string { return b.desc }
 
 func (b analyticBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
+	if cfg.Snapshot != nil {
+		return nil, fmt.Errorf("exec: backend %q does not serve versioned-graph snapshots (compact the graph first)", b.name)
+	}
 	inner, err := cpuBackend{}.Open(g, cfg)
 	if err != nil {
 		return nil, err

@@ -35,6 +35,10 @@ func (cpuBackend) MergesBatches() bool { return true }
 // per-worker TierViews when a budget is set.
 func (cpuBackend) SupportsMemoryTiering() bool { return true }
 
+// SupportsVersionedGraphs implements VersionedGrapher: walkers consult
+// the epoch overlay through their staged row views.
+func (cpuBackend) SupportsVersionedGraphs() bool { return true }
+
 func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("exec: cpu workers %d, want >= 0", cfg.Workers)
@@ -49,22 +53,9 @@ func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	// (reused buffer + RNG) per worker. A memory budget swaps both
 	// borrows for their tiered counterparts; each walker then advances
 	// through its own TierView (per-worker cold-row decode scratch).
-	var (
-		ref *sampling.SamplerRef
-		ts  *tierState
-		err error
-	)
-	if cfg.MemoryBudgetBytes != 0 {
-		ts, err = acquireTiered(g, cfg)
-		if err != nil {
-			return nil, err
-		}
-		ref = ts.sref
-	} else {
-		ref, err = walk.AcquireSampler(g, cfg.Walk)
-		if err != nil {
-			return nil, err
-		}
+	ref, ts, err := acquireWalkState(g, cfg)
+	if err != nil {
+		return nil, err
 	}
 	s := &cpuSession{g: g, discard: cfg.DiscardPaths, sampler: ref, tier: ts}
 	s.walkers = make([]*walk.Walker, workers)
@@ -72,6 +63,9 @@ func (cpuBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 		s.walkers[i] = walk.NewWalkerWithSampler(g, cfg.Walk, ref.Sampler())
 		if ts != nil {
 			s.walkers[i].SetTierView(graph.NewTierView(ts.gref.Store()))
+		}
+		if cfg.Snapshot != nil {
+			s.walkers[i].SetSnapshot(cfg.Snapshot)
 		}
 	}
 	return s, nil

@@ -97,6 +97,21 @@ type Config struct {
 	// ignore it.
 	MemoryBudgetBytes int64
 
+	// Snapshot, when non-nil, serves an epoch snapshot of a versioned
+	// graph (graph.Versioned): rows dirtied by edge mutations since the
+	// last compaction are read from the snapshot's merged overlay, clean
+	// rows from the base CSR the session was opened on (which must be
+	// Snapshot.Graph()). Weighted alias workloads derive their sampler
+	// incrementally — only the dirty rows are rebuilt, into a spill arena
+	// shared per (graph version, epoch, spec) through the sampler registry
+	// — so opening against a snapshot costs O(dirty edges), not O(E).
+	// Under a memory budget the graph tier gets the whole budget (tiered
+	// alias rows cannot be incrementally rebuilt; draws are identical
+	// either way). Only the CPU backends support snapshots
+	// (SupportsVersionedGraphs); the simulator and analytic backends
+	// reject them.
+	Snapshot *graph.Snapshot
+
 	// DiscardPaths drops per-query paths from Run results (throughput
 	// studies on large workloads). Stream never accumulates paths.
 	DiscardPaths bool
@@ -239,4 +254,23 @@ func SupportsMemoryTiering(name string) bool {
 	}
 	m, ok := b.(MemoryTierer)
 	return ok && m.SupportsMemoryTiering()
+}
+
+// VersionedGrapher is an optional Backend capability: backends that honor
+// Config.Snapshot — serving walks against an epoch snapshot of a
+// versioned graph — implement it (returning true). Backends without the
+// capability reject a non-nil Snapshot at Open.
+type VersionedGrapher interface {
+	SupportsVersionedGraphs() bool
+}
+
+// SupportsVersionedGraphs reports whether the named backend declares the
+// versioned-graph capability. Unknown names report false.
+func SupportsVersionedGraphs(name string) bool {
+	b, err := Lookup(name)
+	if err != nil {
+		return false
+	}
+	v, ok := b.(VersionedGrapher)
+	return ok && v.SupportsVersionedGraphs()
 }

@@ -50,6 +50,10 @@ func (pipelinedBackend) MergesBatches() bool { return true }
 // serves hot rows from the arena and decodes cold rows per lane.
 func (pipelinedBackend) SupportsMemoryTiering() bool { return true }
 
+// SupportsVersionedGraphs implements VersionedGrapher: the cohort Gather
+// stage consults the epoch overlay before the base row.
+func (pipelinedBackend) SupportsVersionedGraphs() bool { return true }
+
 func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.Workers < 0 {
 		return nil, fmt.Errorf("exec: cpu-pipelined workers %d, want >= 0", cfg.Workers)
@@ -79,22 +83,9 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	// same graph all read one store. A memory budget swaps both borrows
 	// for their tiered counterparts; the cohort Gather stage then decodes
 	// cold rows into per-lane scratch.
-	var (
-		ref *sampling.SamplerRef
-		ts  *tierState
-		err error
-	)
-	if cfg.MemoryBudgetBytes != 0 {
-		ts, err = acquireTiered(g, cfg)
-		if err != nil {
-			return nil, err
-		}
-		ref = ts.sref
-	} else {
-		ref, err = walk.AcquireSampler(g, cfg.Walk)
-		if err != nil {
-			return nil, err
-		}
+	ref, ts, err := acquireWalkState(g, cfg)
+	if err != nil {
+		return nil, err
 	}
 	if cfg.Shards > 0 {
 		// Sharding × pipelining: per-shard workers run the cohort stepper.
@@ -105,10 +96,11 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 			return nil, err
 		}
 		ecfg := shard.EngineConfig{
-			Workers: cfg.Workers,
-			Cohort:  cohort,
-			Layout:  lay,
-			Sampler: ref.Sampler(),
+			Workers:  cfg.Workers,
+			Cohort:   cohort,
+			Layout:   lay,
+			Sampler:  ref.Sampler(),
+			Snapshot: cfg.Snapshot,
 		}
 		if ts != nil {
 			ecfg.Tiered = ts.gref.Store()
@@ -139,6 +131,9 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 		}
 		if ts != nil {
 			p.SetTiered(ts.gref.Store())
+		}
+		if cfg.Snapshot != nil {
+			p.SetSnapshot(cfg.Snapshot)
 		}
 		s.pipes[i] = p
 	}

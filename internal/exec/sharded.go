@@ -39,6 +39,10 @@ func (shardedBackend) MergesBatches() bool { return true }
 // workers advance through per-worker TierViews when a budget is set.
 func (shardedBackend) SupportsMemoryTiering() bool { return true }
 
+// SupportsVersionedGraphs implements VersionedGrapher: shard workers
+// consult the epoch overlay through their staged row views.
+func (shardedBackend) SupportsVersionedGraphs() bool { return true }
+
 // defaultShards picks a shard count when the config leaves it zero: one
 // shard per core up to 8 (beyond that, cut-edge traffic outgrows the
 // locality win on the graphs this repository generates), clamped to the
@@ -76,23 +80,11 @@ func (shardedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	// shard views never duplicate O(E) sampler state. A memory budget
 	// swaps the borrows for their tiered counterparts; each depth-first
 	// worker then advances through its own TierView.
-	var (
-		ref *sampling.SamplerRef
-		ts  *tierState
-	)
-	if cfg.MemoryBudgetBytes != 0 {
-		ts, err = acquireTiered(g, cfg)
-		if err != nil {
-			return nil, err
-		}
-		ref = ts.sref
-	} else {
-		ref, err = walk.AcquireSampler(g, cfg.Walk)
-		if err != nil {
-			return nil, err
-		}
+	ref, ts, err := acquireWalkState(g, cfg)
+	if err != nil {
+		return nil, err
 	}
-	ecfg := shard.EngineConfig{Workers: cfg.Workers, Sampler: ref.Sampler()}
+	ecfg := shard.EngineConfig{Workers: cfg.Workers, Sampler: ref.Sampler(), Snapshot: cfg.Snapshot}
 	if ts != nil {
 		ecfg.Tiered = ts.gref.Store()
 	}

@@ -3,6 +3,7 @@ package exec
 import (
 	"context"
 	"errors"
+	"fmt"
 	"sync"
 
 	"ridgewalker/internal/baselines"
@@ -65,6 +66,9 @@ func (b simBackend) Name() string        { return b.name }
 func (b simBackend) Description() string { return b.desc }
 
 func (b simBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
+	if cfg.Snapshot != nil {
+		return nil, fmt.Errorf("exec: backend %q does not serve versioned-graph snapshots (compact the graph first)", b.name)
+	}
 	ccfg := core.DefaultConfig(cfg.platform(hbm.U55C), cfg.Walk)
 	b.configure(cfg, &ccfg)
 	// Run records paths inside the accelerator and reindexes them into

@@ -1,6 +1,8 @@
 package exec
 
 import (
+	"fmt"
+
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
@@ -121,6 +123,79 @@ func acquireTiered(g *graph.CSR, cfg Config) (*tierState, error) {
 		ts.rep.SamplerColdRatio = as.CompressionRatio
 	}
 	return ts, nil
+}
+
+// acquireTieredSnap borrows the stores for a snapshot-serving session
+// under a memory budget. The graph tier gets the WHOLE budget over the
+// base CSR: a tiered alias store cannot be incrementally rebuilt, and
+// tiered alias draws are RNG-identical to flat alias draws, so serving
+// the incrementally derived flat sampler preserves trajectories while
+// keeping the open cost O(dirty edges). SamplerBudget reads 0 in the
+// report to make the policy visible.
+func acquireTieredSnap(g *graph.CSR, cfg Config) (*tierState, error) {
+	gb := cfg.MemoryBudgetBytes
+	gref, err := graph.AcquireTiered(g, gb)
+	if err != nil {
+		return nil, err
+	}
+	sref, err := walk.AcquireSamplerSnap(cfg.Snapshot, cfg.Walk)
+	if err != nil {
+		gref.Release()
+		return nil, err
+	}
+	ts := &tierState{gref: gref, sref: sref}
+	gs := gref.Store().Stats()
+	ts.rep = MemoryReport{
+		Budget:                cfg.MemoryBudgetBytes,
+		GraphBudget:           gb,
+		GraphBytes:            gref.Store().MemoryFootprintBytes(),
+		GraphFlatBytes:        gs.FlatBytes,
+		GraphHotRows:          gs.HotRows,
+		GraphColdRows:         gs.ColdRows,
+		GraphColdRatio:        gs.CompressionRatio,
+		ScratchBoundPerWorker: gref.Store().WorkerScratchBound(),
+	}
+	ts.rep.SamplerBytes = sampling.Footprint(sref.Sampler())
+	ts.rep.SamplerFlatBytes = ts.rep.SamplerBytes
+	return ts, nil
+}
+
+// acquireWalkState centralizes the CPU backends' per-session borrows: the
+// registry sampler (incrementally derived when Config.Snapshot is set)
+// and, under a memory budget, the tiered stores. The returned ref is
+// ts.sref when ts is non-nil; callers release through either (the
+// releases are idempotent together).
+func acquireWalkState(g *graph.CSR, cfg Config) (*sampling.SamplerRef, *tierState, error) {
+	if cfg.Snapshot != nil && cfg.Snapshot.Graph() != g {
+		return nil, nil, fmt.Errorf("exec: Config.Snapshot is over a different graph")
+	}
+	if cfg.MemoryBudgetBytes != 0 {
+		var (
+			ts  *tierState
+			err error
+		)
+		if cfg.Snapshot != nil {
+			ts, err = acquireTieredSnap(g, cfg)
+		} else {
+			ts, err = acquireTiered(g, cfg)
+		}
+		if err != nil {
+			return nil, nil, err
+		}
+		return ts.sref, ts, nil
+	}
+	if cfg.Snapshot != nil {
+		ref, err := walk.AcquireSamplerSnap(cfg.Snapshot, cfg.Walk)
+		if err != nil {
+			return nil, nil, err
+		}
+		return ref, nil, nil
+	}
+	ref, err := walk.AcquireSampler(g, cfg.Walk)
+	if err != nil {
+		return nil, nil, err
+	}
+	return ref, nil, nil
 }
 
 // release returns both borrows. Safe on nil.

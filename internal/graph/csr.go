@@ -12,6 +12,7 @@ package graph
 import (
 	"fmt"
 	"sort"
+	"sync/atomic"
 )
 
 // VertexID identifies a vertex. 32 bits match the paper's task tuple, which
@@ -39,7 +40,29 @@ type CSR struct {
 	// Directed records whether the graph was built as directed. Undirected
 	// graphs store each edge in both directions.
 	Directed bool
+
+	// version distinguishes in-place revisions of this CSR value. A CSR is
+	// immutable except for AttachWeights/AttachLabels, which historically
+	// mutated in place while downstream caches (sampling.Registry, the
+	// tiered-store cache) key by pointer identity — so a sampler built
+	// before attachment could silently serve after. Every in-place revision
+	// now takes a fresh process-unique version, and caches key on
+	// (pointer, version): stale acquisitions simply miss. The zero value is
+	// a valid version for graphs never revised.
+	version uint64
 }
+
+// csrVersionCounter feeds process-unique CSR versions; 0 is reserved for
+// never-revised graphs.
+var csrVersionCounter atomic.Uint64
+
+// nextCSRVersion returns a fresh nonzero version.
+func nextCSRVersion() uint64 { return csrVersionCounter.Add(1) }
+
+// Version returns the CSR's revision stamp. It changes whenever the graph
+// is revised in place (AttachWeights, AttachLabels), so caches keyed by
+// pointer identity can detect stale entries.
+func (g *CSR) Version() uint64 { return g.version }
 
 // Degree returns the out-degree of v.
 func (g *CSR) Degree(v VertexID) int {
@@ -237,6 +260,7 @@ func (g *CSR) AttachWeights() {
 		w[i] = float32(1 + c%5)
 	}
 	g.Weights = w
+	g.version = nextCSRVersion()
 }
 
 // AttachLabels assigns each vertex a label in [0, numTypes) by hashing the
@@ -251,4 +275,5 @@ func (g *CSR) AttachLabels(numTypes int) {
 		ls[v] = uint8((h >> 32) % uint64(numTypes))
 	}
 	g.Labels = ls
+	g.version = nextCSRVersion()
 }

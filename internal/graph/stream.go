@@ -231,9 +231,16 @@ func spillPairs(tmpDir string, pairs []uint64, stats *StreamStats) (string, erro
 		os.Remove(f.Name())
 		return "", err
 	}
+	// A failed Close must remove the file too: returning the name with an
+	// error would strand it — callers only track names of successful
+	// spills, so their cleanup would never see this one.
+	if err := f.Close(); err != nil {
+		os.Remove(f.Name())
+		return "", err
+	}
 	stats.Chunks++
 	stats.SpillBytes += int64(len(pairs)) * 8
-	return f.Name(), f.Close()
+	return f.Name(), nil
 }
 
 // pairReader streams packed pairs back from a spill file.
@@ -279,7 +286,13 @@ func streamSorted(cfg RMATConfig, rowPtr []int64, chunk int, tmpDir string,
 		bufCap *= 2
 	}
 	pairs := make([]uint64, 0, bufCap)
+	// Spill-file cleanup is unconditional: every error exit below (a
+	// failed spill, a failed reader open, a failed emit mid-merge) and the
+	// success path all funnel through this defer, so no rwg-chunk-* file
+	// outlives the call. Double removal (the reader defer below also
+	// removes files it opened) is harmless — removeAll ignores errors.
 	var files []string
+	defer func() { removeAll(files) }()
 	r := rng.New(cfg.Seed)
 	for i := 0; i < m; i++ {
 		src, dst := rmatEdge(cfg, r)
@@ -291,7 +304,6 @@ func streamSorted(cfg RMATConfig, rowPtr []int64, chunk int, tmpDir string,
 			slices.Sort(pairs)
 			name, err := spillPairs(tmpDir, pairs, stats)
 			if err != nil {
-				removeAll(files)
 				return err
 			}
 			files = append(files, name)
@@ -311,7 +323,6 @@ func streamSorted(cfg RMATConfig, rowPtr []int64, chunk int, tmpDir string,
 	if len(pairs) > 0 {
 		name, err := spillPairs(tmpDir, pairs, stats)
 		if err != nil {
-			removeAll(files)
 			return err
 		}
 		files = append(files, name)
@@ -325,7 +336,6 @@ func streamSorted(cfg RMATConfig, rowPtr []int64, chunk int, tmpDir string,
 	for _, name := range files {
 		pr, err := openPairReader(name)
 		if err != nil {
-			removeAll(files)
 			return err
 		}
 		readers = append(readers, pr)

@@ -1,0 +1,413 @@
+package graph
+
+import (
+	"fmt"
+	"sort"
+	"sync"
+	"sync/atomic"
+)
+
+// Versioned wraps an immutable base CSR with per-vertex delta overlays so
+// edges can be inserted and deleted while walk sessions are serving. The
+// design follows the dynamic engines RidgeWalker's related work targets
+// (LightRW, FlexiWalker): the base stays frozen, mutations accumulate as
+// fully merged per-vertex rows, and every mutation batch advances an
+// epoch counter.
+//
+//   - Snapshot() pins the current epoch: the returned Snapshot keeps a
+//     consistent merged view forever, regardless of later mutations or
+//     compactions, so in-flight sessions never observe a torn graph.
+//   - Compact() folds the accumulated deltas into a fresh base CSR
+//     (fresh Version), emptying the overlay. It materializes outside the
+//     mutation lock, so it can run on a background goroutine while
+//     mutations continue; a mutation landing mid-compaction just makes
+//     the compaction retry over the newer state.
+//
+// Cost model: a mutation batch touching k distinct vertices clones and
+// re-merges only those k rows — O(Σ deg(v) + batch) work and memory, not
+// O(E). Downstream, sampler maintenance is incremental the same way:
+// AliasSampler.WithRebuiltRows rebuilds only the overlay's dirty rows
+// into spill arenas and shares the base arenas untouched.
+//
+// All methods are safe for concurrent use. Snapshot reads (Dirty,
+// MergedRow, HasEdge, Degree) are lock-free.
+type Versioned struct {
+	mu    sync.Mutex
+	base  *CSR
+	epoch uint64
+	// rows holds the fully merged neighbor rows of every vertex touched
+	// since the last compaction. Entries are immutable once stored: a
+	// later mutation of the same vertex replaces the *vrow, so Snapshots
+	// holding the old pointer keep their view.
+	rows map[VertexID]*vrow
+	// dirty is a per-vertex bitset mirroring rows' keys. It is shared
+	// with live Snapshots and only ever gains bits between compactions,
+	// so a Snapshot may see a bit set by a later epoch: that is harmless
+	// (its own rows map misses and falls back to the base row, which is
+	// exactly that Snapshot's view of the vertex). Writers hold mu and
+	// store atomically; readers load atomically without the lock.
+	dirty []uint64
+	snap  *Snapshot // memoized Snapshot for the current epoch
+
+	inserts, deletes, compactions uint64
+}
+
+// vrow is one merged overlay row: the vertex's complete neighbor list
+// (sorted ascending, duplicates kept — Build's row semantics) and, on
+// weighted graphs, the parallel weight row.
+type vrow struct {
+	col []VertexID
+	wts []float32
+}
+
+// NewVersioned wraps g for mutation. The wrapper holds no copies until
+// the first mutation; a Versioned over a never-mutated graph costs one
+// bitset of n/8 bytes.
+func NewVersioned(g *CSR) *Versioned {
+	return &Versioned{
+		base:  g,
+		rows:  map[VertexID]*vrow{},
+		dirty: make([]uint64, (g.NumVertices+63)/64),
+	}
+}
+
+// Graph returns the current base CSR (the most recent compaction's
+// output, or the original graph). Deltas newer than the last compaction
+// are NOT reflected — use Snapshot for the merged view.
+func (vg *Versioned) Graph() *CSR {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	return vg.base
+}
+
+// Epoch returns the current epoch. Every successful mutation batch and
+// every compaction advances it by one; epoch 0 is the pristine graph.
+func (vg *Versioned) Epoch() uint64 {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	return vg.epoch
+}
+
+// VersionStats is a Versioned graph's mutation accounting.
+type VersionStats struct {
+	Epoch uint64
+	// DirtyRows is the number of vertices with a live overlay row
+	// (touched since the last compaction).
+	DirtyRows int
+	// Inserts and Deletes count mutated edges as given (mirrors on
+	// undirected graphs are not double-counted). Compactions counts
+	// Compact calls that folded a non-empty overlay.
+	Inserts, Deletes, Compactions uint64
+}
+
+// Stats returns the wrapper's mutation accounting.
+func (vg *Versioned) Stats() VersionStats {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	return VersionStats{
+		Epoch:       vg.epoch,
+		DirtyRows:   len(vg.rows),
+		Inserts:     vg.inserts,
+		Deletes:     vg.deletes,
+		Compactions: vg.compactions,
+	}
+}
+
+// InsertEdges adds a batch of edges, advancing the epoch once. On
+// undirected graphs each edge is mirrored (self-loops store two entries),
+// and on weighted graphs inserted edges take the ThunderRW weight
+// 1 + (dst mod 5) — both matching Build/AttachWeights, so a compacted or
+// snapshotted view is indistinguishable from a cold build of the same
+// edge list. The batch is atomic: on error nothing is applied.
+func (vg *Versioned) InsertEdges(edges []Edge) error { return vg.apply(edges, true) }
+
+// DeleteEdges removes a batch of edges (one stored occurrence per request;
+// mirrors removed on undirected graphs), advancing the epoch once. It is
+// an error to delete an edge the merged view does not contain. The batch
+// is atomic: on error nothing is applied.
+func (vg *Versioned) DeleteEdges(edges []Edge) error { return vg.apply(edges, false) }
+
+func (vg *Versioned) apply(edges []Edge, insert bool) error {
+	if len(edges) == 0 {
+		return nil
+	}
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	n := vg.base.NumVertices
+	for _, e := range edges {
+		if int(e.Src) >= n || int(e.Dst) >= n {
+			return fmt.Errorf("graph: edge %d→%d out of range (n=%d)", e.Src, e.Dst, n)
+		}
+	}
+	weighted := vg.base.Weighted()
+	// Stage the batch on private row clones and commit only on full
+	// success, so a failed delete leaves the current epoch untouched.
+	pending := map[VertexID]*vrow{}
+	rowOf := func(v VertexID) *vrow {
+		if r := pending[v]; r != nil {
+			return r
+		}
+		r := &vrow{}
+		if cur := vg.rows[v]; cur != nil {
+			r.col = append([]VertexID(nil), cur.col...)
+			r.wts = append([]float32(nil), cur.wts...)
+		} else {
+			r.col = append([]VertexID(nil), vg.base.Neighbors(v)...)
+			if weighted {
+				r.wts = append([]float32(nil), vg.base.NeighborWeights(v)...)
+			}
+		}
+		pending[v] = r
+		return r
+	}
+	for _, e := range edges {
+		if insert {
+			rowOf(e.Src).insert(e.Dst, weighted)
+			if !vg.base.Directed {
+				rowOf(e.Dst).insert(e.Src, weighted)
+			}
+			continue
+		}
+		if !rowOf(e.Src).remove(e.Dst) {
+			return fmt.Errorf("graph: delete of absent edge %d→%d", e.Src, e.Dst)
+		}
+		if !vg.base.Directed {
+			if !rowOf(e.Dst).remove(e.Src) {
+				return fmt.Errorf("graph: delete of absent mirror edge %d→%d", e.Dst, e.Src)
+			}
+		}
+	}
+	for v, r := range pending {
+		vg.rows[v] = r
+		w := &vg.dirty[v>>6]
+		atomic.StoreUint64(w, atomic.LoadUint64(w)|1<<(v&63))
+	}
+	vg.epoch++
+	vg.snap = nil
+	if insert {
+		vg.inserts += uint64(len(edges))
+	} else {
+		vg.deletes += uint64(len(edges))
+	}
+	return nil
+}
+
+// insert places dst at its sorted position (duplicates kept, appended
+// after existing equal entries) with the AttachWeights recipe's weight.
+func (r *vrow) insert(dst VertexID, weighted bool) {
+	i := sort.Search(len(r.col), func(i int) bool { return r.col[i] > dst })
+	r.col = append(r.col, 0)
+	copy(r.col[i+1:], r.col[i:])
+	r.col[i] = dst
+	if weighted {
+		r.wts = append(r.wts, 0)
+		copy(r.wts[i+1:], r.wts[i:])
+		r.wts[i] = float32(1 + dst%5)
+	}
+}
+
+// remove drops one occurrence of dst, reporting whether it was present.
+func (r *vrow) remove(dst VertexID) bool {
+	i := sort.Search(len(r.col), func(i int) bool { return r.col[i] >= dst })
+	if i >= len(r.col) || r.col[i] != dst {
+		return false
+	}
+	r.col = append(r.col[:i], r.col[i+1:]...)
+	if r.wts != nil {
+		r.wts = append(r.wts[:i], r.wts[i+1:]...)
+	}
+	return true
+}
+
+// Snapshot pins the current epoch. The returned Snapshot is immutable
+// and remains a consistent view of the graph-as-of-now across any later
+// mutations and compactions; it is memoized, so repeated calls between
+// mutations return the same pointer (which downstream caches key on).
+func (vg *Versioned) Snapshot() *Snapshot {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	return vg.snapshotLocked()
+}
+
+func (vg *Versioned) snapshotLocked() *Snapshot {
+	if vg.snap == nil {
+		rows := make(map[VertexID]*vrow, len(vg.rows))
+		for v, r := range vg.rows {
+			rows[v] = r
+		}
+		vg.snap = &Snapshot{base: vg.base, epoch: vg.epoch, rows: rows, dirty: vg.dirty}
+	}
+	return vg.snap
+}
+
+// ServingSnapshot returns Snapshot(), or nil when the overlay is empty
+// (pristine graph, or just compacted) — the nil lets engines keep the
+// overlay-free fast path when there is nothing to overlay.
+func (vg *Versioned) ServingSnapshot() *Snapshot {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if len(vg.rows) == 0 {
+		return nil
+	}
+	return vg.snapshotLocked()
+}
+
+// Serving resolves one consistent serving view under a single lock
+// acquisition: the current base CSR, the overlay snapshot (nil when the
+// overlay is empty, preserving engines' overlay-free fast path), and the
+// epoch. Callers that read Graph/ServingSnapshot/Epoch separately could
+// see views torn by a concurrent mutation; this cannot.
+func (vg *Versioned) Serving() (*CSR, *Snapshot, uint64) {
+	vg.mu.Lock()
+	defer vg.mu.Unlock()
+	if len(vg.rows) == 0 {
+		return vg.base, nil, vg.epoch
+	}
+	return vg.base, vg.snapshotLocked(), vg.epoch
+}
+
+// Compact folds the accumulated deltas into a fresh base CSR with a
+// fresh Version, empties the overlay, and advances the epoch. The O(E)
+// materialization runs outside the mutation lock, so Compact can run on
+// a background goroutine; if a mutation lands mid-materialization the
+// compaction retries over the newer state. Live Snapshots keep their old
+// base and stay valid. Returns the new base (the old one when there was
+// nothing to fold).
+func (vg *Versioned) Compact() *CSR {
+	for {
+		vg.mu.Lock()
+		if len(vg.rows) == 0 {
+			g := vg.base
+			vg.mu.Unlock()
+			return g
+		}
+		snap := vg.snapshotLocked()
+		vg.mu.Unlock()
+
+		fresh := snap.materialize()
+
+		vg.mu.Lock()
+		if vg.epoch != snap.epoch {
+			vg.mu.Unlock()
+			continue // raced with a mutation; fold the newer state
+		}
+		vg.base = fresh
+		vg.rows = map[VertexID]*vrow{}
+		vg.dirty = make([]uint64, len(vg.dirty))
+		vg.epoch++
+		vg.snap = nil
+		vg.compactions++
+		vg.mu.Unlock()
+		return fresh
+	}
+}
+
+// Snapshot is an immutable epoch-pinned view of a Versioned graph: the
+// base CSR current at Snapshot() time plus the merged overlay rows of
+// every vertex dirty at that epoch. All methods are lock-free and safe
+// for concurrent use.
+type Snapshot struct {
+	base  *CSR
+	epoch uint64
+	rows  map[VertexID]*vrow
+	// dirty is the parent's shared bitset. Bits set by epochs after this
+	// snapshot read true here too; Dirty is therefore a conservative
+	// filter — a true answer only means "consult the rows map", and a
+	// map miss falls back to the base row, which is this epoch's truth.
+	dirty []uint64
+}
+
+// Graph returns the base CSR this snapshot overlays. Sessions use it for
+// everything the overlay does not cover (clean rows, labels, metadata).
+func (s *Snapshot) Graph() *CSR { return s.base }
+
+// Epoch returns the pinned epoch.
+func (s *Snapshot) Epoch() uint64 { return s.epoch }
+
+// NumDirty returns the number of overlay rows (vertices whose merged row
+// differs — or at least was touched — relative to the base).
+func (s *Snapshot) NumDirty() int { return len(s.rows) }
+
+// Dirty reports whether v may have an overlay row. False means v's base
+// row is exact for this snapshot; true means callers must go through
+// MergedRow/Degree/HasEdge (which still fall back to the base when the
+// bit came from a later epoch).
+func (s *Snapshot) Dirty(v VertexID) bool {
+	if len(s.rows) == 0 {
+		return false
+	}
+	return atomic.LoadUint64(&s.dirty[v>>6])&(1<<(v&63)) != 0
+}
+
+// MergedRow returns v's neighbor row and weight row (nil on unweighted
+// graphs) as of this epoch. The slices alias snapshot/base storage and
+// must not be modified.
+func (s *Snapshot) MergedRow(v VertexID) ([]VertexID, []float32) {
+	if r := s.rows[v]; r != nil {
+		return r.col, r.wts
+	}
+	if s.base.Weighted() {
+		return s.base.Neighbors(v), s.base.NeighborWeights(v)
+	}
+	return s.base.Neighbors(v), nil
+}
+
+// Degree returns v's out-degree as of this epoch.
+func (s *Snapshot) Degree(v VertexID) int {
+	if r := s.rows[v]; r != nil {
+		return len(r.col)
+	}
+	return s.base.Degree(v)
+}
+
+// HasEdge reports whether u→v exists as of this epoch.
+func (s *Snapshot) HasEdge(u, v VertexID) bool {
+	if r := s.rows[u]; r != nil {
+		i := sort.Search(len(r.col), func(i int) bool { return r.col[i] >= v })
+		return i < len(r.col) && r.col[i] == v
+	}
+	return s.base.HasEdge(u, v)
+}
+
+// DirtyVertices returns the overlay's vertices in ascending order — the
+// row set incremental sampler maintenance must rebuild.
+func (s *Snapshot) DirtyVertices() []VertexID {
+	out := make([]VertexID, 0, len(s.rows))
+	for v := range s.rows {
+		out = append(out, v)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+	return out
+}
+
+// materialize folds the snapshot into a standalone CSR with a fresh
+// Version. Labels are shared with the base (they are per-vertex and
+// mutation-invariant).
+func (s *Snapshot) materialize() *CSR {
+	n := s.base.NumVertices
+	rowPtr := make([]int64, n+1)
+	for v := 0; v < n; v++ {
+		rowPtr[v+1] = rowPtr[v] + int64(s.Degree(VertexID(v)))
+	}
+	col := make([]VertexID, rowPtr[n])
+	var wts []float32
+	if s.base.Weighted() {
+		wts = make([]float32, rowPtr[n])
+	}
+	for v := 0; v < n; v++ {
+		row, w := s.MergedRow(VertexID(v))
+		copy(col[rowPtr[v]:], row)
+		if wts != nil {
+			copy(wts[rowPtr[v]:], w)
+		}
+	}
+	return &CSR{
+		NumVertices: n,
+		RowPtr:      rowPtr,
+		Col:         col,
+		Weights:     wts,
+		Labels:      s.base.Labels,
+		Directed:    s.base.Directed,
+		version:     nextCSRVersion(),
+	}
+}

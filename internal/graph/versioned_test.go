@@ -1,0 +1,453 @@
+package graph
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// versionedBase builds a small deterministic graph: a weighted, labeled
+// undirected RMAT so mutation tests exercise mirroring and the weight
+// recipe.
+func versionedBase(t testing.TB, directed bool) *CSR {
+	t.Helper()
+	cfg := Graph500(6, 8, 3)
+	cfg.Directed = directed
+	g, err := GenerateRMAT(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachWeights()
+	g.AttachLabels(3)
+	return g
+}
+
+// edgeModel mirrors a Versioned graph as a plain edge list, so every
+// check reduces to "overlay state == cold Build of the model".
+type edgeModel struct {
+	n        int
+	directed bool
+	edges    []Edge
+}
+
+func newEdgeModel(g *CSR) *edgeModel {
+	m := &edgeModel{n: g.NumVertices, directed: g.Directed}
+	if g.Directed {
+		for v := 0; v < g.NumVertices; v++ {
+			for _, d := range g.Neighbors(VertexID(v)) {
+				m.edges = append(m.edges, Edge{Src: VertexID(v), Dst: d})
+			}
+		}
+		return m
+	}
+	// Undirected CSRs store both mirrors; recover one edge per pair by
+	// keeping src<=dst and halving self-loop occurrences.
+	for v := 0; v < g.NumVertices; v++ {
+		loops := 0
+		for _, d := range g.Neighbors(VertexID(v)) {
+			if d > VertexID(v) {
+				m.edges = append(m.edges, Edge{Src: VertexID(v), Dst: d})
+			} else if d == VertexID(v) {
+				loops++
+			}
+		}
+		for i := 0; i < loops/2; i++ {
+			m.edges = append(m.edges, Edge{Src: VertexID(v), Dst: VertexID(v)})
+		}
+	}
+	return m
+}
+
+func (m *edgeModel) insert(es []Edge) { m.edges = append(m.edges, es...) }
+
+// delete removes one model occurrence per requested edge, matching
+// DeleteEdges semantics (on undirected graphs either orientation matches).
+func (m *edgeModel) delete(t *testing.T, es []Edge) {
+	t.Helper()
+	for _, e := range es {
+		found := -1
+		for i, have := range m.edges {
+			if have == e || (!m.directed && have.Src == e.Dst && have.Dst == e.Src) {
+				found = i
+				break
+			}
+		}
+		if found < 0 {
+			t.Fatalf("model: delete of absent edge %d→%d", e.Src, e.Dst)
+		}
+		m.edges = append(m.edges[:found], m.edges[found+1:]...)
+	}
+}
+
+// build cold-builds the model with the standard weight recipe.
+func (m *edgeModel) build(t *testing.T) *CSR {
+	t.Helper()
+	g, err := Build(m.n, m.edges, m.directed)
+	if err != nil {
+		t.Fatal(err)
+	}
+	g.AttachWeights()
+	return g
+}
+
+// checkSnapshotEquals asserts every row of snap matches want exactly
+// (neighbors and weights).
+func checkSnapshotEquals(t *testing.T, snap *Snapshot, want *CSR) {
+	t.Helper()
+	for v := 0; v < want.NumVertices; v++ {
+		row, wts := snap.MergedRow(VertexID(v))
+		wantRow := want.Neighbors(VertexID(v))
+		if len(row) == 0 && len(wantRow) == 0 {
+			continue
+		}
+		if !reflect.DeepEqual(row, wantRow) {
+			t.Fatalf("vertex %d: merged row %v, want %v", v, row, wantRow)
+		}
+		if want.Weighted() && !reflect.DeepEqual(wts, want.NeighborWeights(VertexID(v))) {
+			t.Fatalf("vertex %d: merged weights %v, want %v", v, wts, want.NeighborWeights(VertexID(v)))
+		}
+		if snap.Degree(VertexID(v)) != len(wantRow) {
+			t.Fatalf("vertex %d: degree %d, want %d", v, snap.Degree(VertexID(v)), len(wantRow))
+		}
+	}
+}
+
+func TestVersionedInsertDeleteMatchesColdBuild(t *testing.T) {
+	for _, directed := range []bool{false, true} {
+		name := "undirected"
+		if directed {
+			name = "directed"
+		}
+		t.Run(name, func(t *testing.T) {
+			g := versionedBase(t, directed)
+			vg := NewVersioned(g)
+			model := newEdgeModel(g)
+
+			ins := []Edge{{1, 5}, {1, 5}, {7, 7}, {0, 63}, {42, 3}}
+			if err := vg.InsertEdges(ins); err != nil {
+				t.Fatal(err)
+			}
+			model.insert(ins)
+			if vg.Epoch() != 1 {
+				t.Fatalf("epoch after insert %d, want 1", vg.Epoch())
+			}
+			checkSnapshotEquals(t, vg.Snapshot(), model.build(t))
+
+			del := []Edge{{1, 5}, {7, 7}}
+			if err := vg.DeleteEdges(del); err != nil {
+				t.Fatal(err)
+			}
+			model.delete(t, del)
+			if vg.Epoch() != 2 {
+				t.Fatalf("epoch after delete %d, want 2", vg.Epoch())
+			}
+			snap := vg.Snapshot()
+			checkSnapshotEquals(t, snap, model.build(t))
+
+			if !snap.HasEdge(1, 5) { // one duplicate deleted, one remains
+				t.Fatal("HasEdge(1,5) false after deleting one of two duplicates")
+			}
+			st := vg.Stats()
+			if st.Inserts != 5 || st.Deletes != 2 || st.DirtyRows != snap.NumDirty() {
+				t.Fatalf("stats %+v", st)
+			}
+		})
+	}
+}
+
+func TestVersionedSnapshotPinning(t *testing.T) {
+	g := versionedBase(t, false)
+	vg := NewVersioned(g)
+	if err := vg.InsertEdges([]Edge{{2, 9}}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := vg.Snapshot()
+	if again := vg.Snapshot(); again != s1 {
+		t.Fatal("Snapshot not memoized between mutations")
+	}
+	deg1 := s1.Degree(2)
+	row1, _ := s1.MergedRow(2)
+	row1 = append([]VertexID(nil), row1...)
+
+	// Later mutations and a compaction must not disturb s1's view.
+	if err := vg.InsertEdges([]Edge{{2, 11}, {2, 12}}); err != nil {
+		t.Fatal(err)
+	}
+	s2 := vg.Snapshot()
+	if s2 == s1 {
+		t.Fatal("Snapshot pointer reused across epochs")
+	}
+	fresh := vg.Compact()
+	if fresh == g {
+		t.Fatal("Compact with a dirty overlay returned the old base")
+	}
+	if fresh.Version() == g.Version() {
+		t.Fatal("compacted base did not get a fresh CSR version")
+	}
+	if s1.Degree(2) != deg1 {
+		t.Fatalf("pinned snapshot degree drifted: %d → %d", deg1, s1.Degree(2))
+	}
+	got, _ := s1.MergedRow(2)
+	if !reflect.DeepEqual(got, row1) {
+		t.Fatalf("pinned snapshot row drifted: %v → %v", row1, got)
+	}
+	if s1.Graph() != g || s2.Graph() != g {
+		t.Fatal("pre-compaction snapshots lost their base")
+	}
+
+	// s2 (the compacted state's view) must equal the new base exactly.
+	checkSnapshotEquals(t, s2, fresh)
+	if vg.Graph() != fresh {
+		t.Fatal("Graph() does not return the compacted base")
+	}
+	if st := vg.Stats(); st.Compactions != 1 || st.DirtyRows != 0 {
+		t.Fatalf("post-compaction stats %+v", st)
+	}
+}
+
+func TestVersionedBatchAtomicity(t *testing.T) {
+	g := versionedBase(t, false)
+	vg := NewVersioned(g)
+	before := vg.Snapshot()
+
+	// A batch whose last edge is absent must apply nothing.
+	var absent Edge
+	for u := 0; u < g.NumVertices; u++ {
+		for v := 0; v < g.NumVertices; v++ {
+			if !g.HasEdge(VertexID(u), VertexID(v)) {
+				absent = Edge{VertexID(u), VertexID(v)}
+				u = g.NumVertices
+				break
+			}
+		}
+	}
+	err := vg.DeleteEdges([]Edge{{0, g.Neighbors(0)[0]}, absent})
+	if err == nil || !strings.Contains(err.Error(), "absent edge") {
+		t.Fatalf("want absent-edge error, got %v", err)
+	}
+	if vg.Epoch() != 0 || vg.Snapshot() != before {
+		t.Fatal("failed batch mutated state")
+	}
+	if err := vg.InsertEdges([]Edge{{0, VertexID(g.NumVertices)}}); err == nil {
+		t.Fatal("out-of-range insert accepted")
+	}
+	if err := vg.DeleteEdges([]Edge{{VertexID(g.NumVertices), 0}}); err == nil {
+		t.Fatal("out-of-range delete accepted")
+	}
+	if vg.Epoch() != 0 {
+		t.Fatal("failed batches advanced the epoch")
+	}
+	if err := vg.InsertEdges(nil); err != nil || vg.Epoch() != 0 {
+		t.Fatal("empty batch should be a free no-op")
+	}
+}
+
+func TestVersionedServing(t *testing.T) {
+	g := versionedBase(t, false)
+	vg := NewVersioned(g)
+	base, snap, epoch := vg.Serving()
+	if base != g || snap != nil || epoch != 0 {
+		t.Fatalf("pristine Serving() = (%p, %v, %d), want (%p, nil, 0)", base, snap, epoch, g)
+	}
+	if vg.ServingSnapshot() != nil {
+		t.Fatal("pristine ServingSnapshot not nil")
+	}
+	if err := vg.InsertEdges([]Edge{{4, 4}}); err != nil {
+		t.Fatal(err)
+	}
+	base, snap, epoch = vg.Serving()
+	if base != g || snap == nil || epoch != 1 || snap.Epoch() != 1 {
+		t.Fatalf("dirty Serving() inconsistent: snap=%v epoch=%d", snap, epoch)
+	}
+	if vg.ServingSnapshot() != snap {
+		t.Fatal("ServingSnapshot disagrees with Serving")
+	}
+	vg.Compact()
+	_, snap, epoch = vg.Serving()
+	if snap != nil || epoch != 2 {
+		t.Fatalf("post-compaction Serving() = (%v, %d), want (nil, 2)", snap, epoch)
+	}
+}
+
+func TestVersionedDirtyVerticesSortedAndConservative(t *testing.T) {
+	g := versionedBase(t, false)
+	vg := NewVersioned(g)
+	if err := vg.InsertEdges([]Edge{{9, 1}, {3, 60}, {30, 2}}); err != nil {
+		t.Fatal(err)
+	}
+	s1 := vg.Snapshot()
+	dv := s1.DirtyVertices()
+	for i := 1; i < len(dv); i++ {
+		if dv[i-1] >= dv[i] {
+			t.Fatalf("DirtyVertices not strictly ascending: %v", dv)
+		}
+	}
+	for _, v := range dv {
+		if !s1.Dirty(v) {
+			t.Fatalf("vertex %d listed dirty but Dirty()=false", v)
+		}
+	}
+	// A vertex dirtied by a LATER epoch may read dirty on s1 (shared
+	// bitset), but its merged row must still be s1's base row.
+	var fresh VertexID
+	for v := 0; v < g.NumVertices; v++ {
+		if !s1.Dirty(VertexID(v)) {
+			fresh = VertexID(v)
+			break
+		}
+	}
+	if err := vg.InsertEdges([]Edge{{fresh, 0}}); err != nil {
+		t.Fatal(err)
+	}
+	row, _ := s1.MergedRow(fresh)
+	if !reflect.DeepEqual(row, g.Neighbors(fresh)) {
+		t.Fatalf("conservative dirty bit changed pinned row of %d", fresh)
+	}
+	if s1.Degree(fresh) != g.Degree(fresh) {
+		t.Fatal("conservative dirty bit changed pinned degree")
+	}
+}
+
+// TestVersionedCompactEquivalence is the tentpole's core contract at the
+// graph layer: mutate → Compact must be indistinguishable from a cold
+// Build of the final edge list (same rows, same weights, shared labels).
+func TestVersionedCompactEquivalence(t *testing.T) {
+	g := versionedBase(t, false)
+	vg := NewVersioned(g)
+	model := newEdgeModel(g)
+
+	ins := []Edge{{0, 1}, {0, 1}, {5, 5}, {10, 20}, {20, 10}, {63, 0}}
+	del := []Edge{{0, 1}, {10, 20}}
+	if err := vg.InsertEdges(ins); err != nil {
+		t.Fatal(err)
+	}
+	model.insert(ins)
+	if err := vg.DeleteEdges(del); err != nil {
+		t.Fatal(err)
+	}
+	model.delete(t, del)
+
+	fresh := vg.Compact()
+	want := model.build(t)
+	if !reflect.DeepEqual(fresh.RowPtr, want.RowPtr) {
+		t.Fatal("compacted RowPtr differs from cold build")
+	}
+	if !reflect.DeepEqual(fresh.Col, want.Col) {
+		t.Fatal("compacted Col differs from cold build")
+	}
+	if !reflect.DeepEqual(fresh.Weights, want.Weights) {
+		t.Fatal("compacted Weights differ from cold build")
+	}
+	if &fresh.Labels[0] != &g.Labels[0] {
+		t.Fatal("compaction copied labels instead of sharing them")
+	}
+	if vg.Compact() != fresh {
+		t.Fatal("Compact on a clean overlay should return the base unchanged")
+	}
+}
+
+// FuzzOverlayMerge drives a random mutation schedule against the plain
+// edge-list model: after every batch the snapshot's merged rows must
+// equal a cold Build of the model, and a final Compact must too. The ops
+// byte string encodes the schedule; the fuzzer explores batch shapes,
+// duplicate edges, self-loops, and delete-of-inserted interleavings.
+func FuzzOverlayMerge(f *testing.F) {
+	f.Add(uint8(16), []byte{0x00, 0x12, 0x34, 0x81, 0xFF, 0x07, 0x56, 0x78})
+	f.Add(uint8(4), []byte{0x01, 0x01, 0x81, 0x01, 0x01})
+	f.Add(uint8(32), []byte{})
+	f.Fuzz(func(t *testing.T, scale uint8, ops []byte) {
+		n := 4 + int(scale%64)
+		// Seed graph: a deterministic ring with a few chords, weighted.
+		var seed []Edge
+		for v := 0; v < n; v++ {
+			seed = append(seed, Edge{VertexID(v), VertexID((v + 1) % n)})
+			if v%3 == 0 {
+				seed = append(seed, Edge{VertexID(v), VertexID((v * 7) % n)})
+			}
+		}
+		g, err := Build(n, seed, false)
+		if err != nil {
+			t.Fatal(err)
+		}
+		g.AttachWeights()
+		vg := NewVersioned(g)
+		model := newEdgeModel(g)
+
+		// Each op byte: bit7 = delete, low bits pick the edge. Ops are
+		// grouped into batches of up to 4.
+		for len(ops) > 0 {
+			k := len(ops)
+			if k > 4 {
+				k = 4
+			}
+			batch := ops[:k]
+			ops = ops[k:]
+			var ins, del []Edge
+			for i, op := range batch {
+				src := VertexID(int(op&0x7F) % n)
+				dst := VertexID((int(op) + i*13) % n)
+				if op&0x80 != 0 {
+					del = append(del, Edge{src, dst})
+				} else {
+					ins = append(ins, Edge{src, dst})
+				}
+			}
+			if len(ins) > 0 {
+				if err := vg.InsertEdges(ins); err != nil {
+					t.Fatal(err)
+				}
+				model.insert(ins)
+			}
+			if len(del) > 0 {
+				// Deletes may target absent edges; both sides must agree.
+				err := vg.DeleteEdges(del)
+				if err == nil {
+					model.delete(t, del)
+				} else if !strings.Contains(err.Error(), "absent") {
+					t.Fatal(err)
+				}
+			}
+			snap := vg.Snapshot()
+			want := model.build(t)
+			for v := 0; v < n; v++ {
+				row, wts := snap.MergedRow(VertexID(v))
+				if !equalIDs(row, want.Neighbors(VertexID(v))) {
+					t.Fatalf("vertex %d: merged row %v, want %v", v, row, want.Neighbors(VertexID(v)))
+				}
+				if !equalF32(wts, want.NeighborWeights(VertexID(v))) {
+					t.Fatalf("vertex %d: merged weights %v, want %v", v, wts, want.NeighborWeights(VertexID(v)))
+				}
+			}
+		}
+		fresh := vg.Compact()
+		want := model.build(t)
+		if !reflect.DeepEqual(fresh.RowPtr, want.RowPtr) || !reflect.DeepEqual(fresh.Col, want.Col) ||
+			!reflect.DeepEqual(fresh.Weights, want.Weights) {
+			t.Fatal("compacted graph differs from cold build of the final edge list")
+		}
+	})
+}
+
+func equalIDs(a, b []VertexID) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func equalF32(a, b []float32) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}

@@ -147,6 +147,14 @@ type AliasSampler struct {
 	// bytes is the prob+alias arena footprint, tracked at build so
 	// TableBytes is O(1).
 	bytes int64
+
+	// spillProb/spillAlias hold incrementally rebuilt rows of a sampler
+	// derived via WithRebuiltRows: the base arenas stay shared (and
+	// untouched), dirty rows are re-packed here, and their locators carry
+	// offsets displaced by len(prob) — off >= len(prob) routes a draw to
+	// the spill arenas. Nil on a base sampler.
+	spillProb  []float64
+	spillAlias []int32
 }
 
 // NewAliasSampler packs alias tables for every vertex of g with degree > 0
@@ -241,10 +249,16 @@ func (s *AliasSampler) DrawAt(v graph.VertexID, r *rng.Stream) int {
 	}
 	off := p >> aliasOffShift
 	i := r.Intn(deg)
-	if r.Float64() < s.prob[off+uint64(i)] {
+	prob, alias := s.prob, s.alias
+	if off >= uint64(len(s.prob)) {
+		// Spill row of a WithRebuiltRows-derived sampler.
+		off -= uint64(len(s.prob))
+		prob, alias = s.spillProb, s.spillAlias
+	}
+	if r.Float64() < prob[off+uint64(i)] {
 		return i
 	}
-	return int(s.alias[off+uint64(i)])
+	return int(alias[off+uint64(i)])
 }
 
 // TouchRow loads v's locator word and the boundary slots of its alias row,
@@ -259,7 +273,12 @@ func (s *AliasSampler) TouchRow(v graph.VertexID) uint64 {
 		return p
 	}
 	off := p >> aliasOffShift
-	return p ^ math.Float64bits(s.prob[off]) ^ uint64(uint32(s.alias[off+deg-1]))
+	prob, alias := s.prob, s.alias
+	if off >= uint64(len(s.prob)) {
+		off -= uint64(len(s.prob))
+		prob, alias = s.spillProb, s.spillAlias
+	}
+	return p ^ math.Float64bits(prob[off]) ^ uint64(uint32(alias[off+deg-1]))
 }
 
 // TableBytes reports the alias-arena memory footprint (8-byte prob +
@@ -271,6 +290,77 @@ func (s *AliasSampler) TableBytes() int64 { return s.bytes }
 // store's whole resident size.
 func (s *AliasSampler) MemoryFootprint() int64 {
 	return s.bytes + int64(len(s.loc))*8
+}
+
+// WithRebuiltRows derives a sampler for an epoch snapshot by rebuilding
+// only the snapshot's dirty rows — the incremental maintenance path for
+// dynamic graphs. The base prob/alias arenas are shared untouched (the
+// packed-locator layout isolates rows, so clean locators keep pointing
+// into them); dirty rows are re-packed into fresh spill arenas sized to
+// their merged degrees, and only their locators are repointed. A
+// mutation touching k vertices therefore costs O(k·deg) row builds plus
+// one O(V) locator-word copy — never the O(E) arena rebuild of a cold
+// NewAliasSampler. Rows come out of the same deterministic Vose
+// construction, so draws over clean and rebuilt rows alike are identical
+// to a cold build of the merged graph.
+//
+// The receiver must be a base sampler built over snap.Graph(); deriving
+// from an already-derived sampler is rejected (always derive from the
+// epoch's base so spill arenas never chain).
+func (s *AliasSampler) WithRebuiltRows(snap *graph.Snapshot) (*AliasSampler, error) {
+	if s.spillProb != nil {
+		return nil, fmt.Errorf("sampling: WithRebuiltRows on an already-derived sampler")
+	}
+	dirty := snap.DirtyVertices()
+	var entries int64
+	for _, v := range dirty {
+		deg := int64(snap.Degree(v))
+		if deg > aliasDegMask {
+			return nil, fmt.Errorf("sampling: vertex %d degree %d exceeds alias locator packing limit", v, deg)
+		}
+		entries += deg
+	}
+	if uint64(len(s.prob))+uint64(entries) >= aliasMaxOff {
+		return nil, fmt.Errorf("sampling: spill arena exceeds alias locator offset limit")
+	}
+	d := &AliasSampler{
+		prob:       s.prob,
+		alias:      s.alias,
+		loc:        append([]uint64(nil), s.loc...),
+		bytes:      s.bytes + entries*12,
+		spillProb:  make([]float64, entries),
+		spillAlias: make([]int32, entries),
+	}
+	spillBase := uint64(len(s.prob))
+	var off int64
+	var sc aliasScratch
+	for _, v := range dirty {
+		row, wts := snap.MergedRow(v)
+		deg := int64(len(row))
+		d.loc[v] = (spillBase+uint64(off))<<aliasOffShift | uint64(deg)
+		if deg == 0 {
+			continue
+		}
+		if wts == nil {
+			return nil, fmt.Errorf("sampling: vertex %d has no weights in snapshot", v)
+		}
+		if err := buildAliasRow(d.spillProb[off:off+deg], d.spillAlias[off:off+deg], wts, &sc); err != nil {
+			return nil, fmt.Errorf("sampling: vertex %d: %w", v, err)
+		}
+		off += deg
+	}
+	return d, nil
+}
+
+// SpillEntries reports the number of alias slots in the spill arenas (0
+// on a base sampler) — the incremental-maintenance cost, in entries.
+func (s *AliasSampler) SpillEntries() int { return len(s.spillProb) }
+
+// SharesArenasWith reports whether s and o share the same base arenas —
+// true exactly when one was derived from the other (or both from the
+// same base) without copying the O(E) tables.
+func (s *AliasSampler) SharesArenasWith(o *AliasSampler) bool {
+	return len(s.prob) > 0 && len(o.prob) > 0 && &s.prob[0] == &o.prob[0]
 }
 
 // Sample implements Sampler.

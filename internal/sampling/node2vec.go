@@ -14,24 +14,32 @@ import (
 //	1   if prev has edge to v  (stay near)
 //	1/q otherwise              (explore)
 //
-// The adjacency probe routes through tv when the engine runs over a
-// tiered store (prev's row may live compressed in the cold arena; the
-// view caches its decode), and through the CSR otherwise.
-func node2vecBias(g *graph.CSR, tv *graph.TierView, prev, v graph.VertexID, p, q float64) float64 {
+// The adjacency probe routes through the engine's staged memory view:
+// a snapshot overlay first when prev's row is dirty for the serving
+// epoch (its base copy is stale), then the tiered store's view when the
+// engine runs over one (prev's row may live compressed in the cold
+// arena; the view caches its decode), and the CSR otherwise.
+func node2vecBias(g *graph.CSR, mem *RowView, prev, v graph.VertexID, p, q float64) float64 {
 	switch {
 	case v == prev:
 		return 1 / p
-	case hasEdge(g, tv, prev, v):
+	case hasEdge(g, mem, prev, v):
 		return 1
 	default:
 		return 1 / q
 	}
 }
 
-// hasEdge is the tier-routed adjacency probe behind node2vecBias.
-func hasEdge(g *graph.CSR, tv *graph.TierView, u, v graph.VertexID) bool {
-	if tv != nil {
-		return tv.HasEdge(u, v)
+// hasEdge is the overlay- and tier-routed adjacency probe behind
+// node2vecBias.
+func hasEdge(g *graph.CSR, mem *RowView, u, v graph.VertexID) bool {
+	if mem != nil {
+		if mem.Snap != nil && mem.Snap.Dirty(u) {
+			return mem.Snap.HasEdge(u, v)
+		}
+		if mem.Tier != nil {
+			return mem.Tier.HasEdge(u, v)
+		}
 	}
 	return g.HasEdge(u, v)
 }
@@ -107,7 +115,6 @@ func (s *Reservoir) Sample(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 func (s *Reservoir) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 	ns := ctx.row(g)
 	ws := ctx.rowWeights(g)
-	tv := ctx.tier()
 	chosen := -1
 	cum := 0.0
 	for i, v := range ns {
@@ -116,7 +123,7 @@ func (s *Reservoir) scan(g *graph.CSR, ctx Context, r *rng.Stream) Result {
 			w = float64(ws[i])
 		}
 		if ctx.HasPrev {
-			w *= node2vecBias(g, tv, ctx.Prev, v, s.P, s.Q)
+			w *= node2vecBias(g, ctx.Mem, ctx.Prev, v, s.P, s.Q)
 		}
 		cum += w
 		// A-Chao weighted reservoir of size 1: replace the incumbent with

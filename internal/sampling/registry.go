@@ -2,6 +2,8 @@ package sampling
 
 import (
 	"fmt"
+	"strconv"
+	"strings"
 	"sync"
 
 	"ridgewalker/internal/graph"
@@ -35,22 +37,103 @@ type Spec struct {
 	TierBudget int64
 }
 
-// String renders the spec for diagnostics.
+// String renders the spec for diagnostics — eviction logs, perf reports.
+// The rendering is injective over valid specs and ParseSpec inverts it.
+// Kinds that condition on p/q (rejection, reservoir) always print them,
+// even at p=q=0, so two such specs never collapse to the same string;
+// schemas print as bracketed decimal label lists instead of raw bytes.
 func (s Spec) String() string {
-	out := s.Kind.String()
+	var b strings.Builder
+	b.WriteString(s.Kind.String())
 	if s.Weighted {
-		out += "+w"
+		b.WriteString("+w")
 	}
-	if s.P != 0 || s.Q != 0 {
-		out += fmt.Sprintf(" p=%g q=%g", s.P, s.Q)
+	if s.Kind == KindRejection || s.Kind == KindReservoir || s.P != 0 || s.Q != 0 {
+		fmt.Fprintf(&b, " p=%g q=%g", s.P, s.Q)
 	}
-	if s.Schema != "" {
-		out += fmt.Sprintf(" schema=%v", []uint8(s.Schema))
+	if s.Kind == KindMetaPath || s.Schema != "" {
+		b.WriteString(" schema=[")
+		for i := 0; i < len(s.Schema); i++ {
+			if i > 0 {
+				b.WriteByte(',')
+			}
+			b.WriteString(strconv.Itoa(int(s.Schema[i])))
+		}
+		b.WriteByte(']')
 	}
 	if s.TierBudget != 0 {
-		out += fmt.Sprintf(" tier=%d", s.TierBudget)
+		fmt.Fprintf(&b, " tier=%d", s.TierBudget)
 	}
-	return out
+	return b.String()
+}
+
+// ParseSpec inverts Spec.String, so diagnostics are round-trippable.
+func ParseSpec(str string) (Spec, error) {
+	var s Spec
+	fields := strings.Fields(str)
+	if len(fields) == 0 {
+		return s, fmt.Errorf("sampling: empty spec string")
+	}
+	name := fields[0]
+	if w := strings.TrimSuffix(name, "+w"); w != name {
+		s.Weighted = true
+		name = w
+	}
+	kind := Kind(-1)
+	for k := KindUniform; k <= KindMetaPath; k++ {
+		if k.String() == name {
+			kind = k
+			break
+		}
+	}
+	if kind < 0 {
+		return s, fmt.Errorf("sampling: unknown sampler kind %q", name)
+	}
+	s.Kind = kind
+	for _, f := range fields[1:] {
+		key, val, ok := strings.Cut(f, "=")
+		if !ok {
+			return s, fmt.Errorf("sampling: malformed spec field %q", f)
+		}
+		switch key {
+		case "p", "q":
+			x, err := strconv.ParseFloat(val, 64)
+			if err != nil {
+				return s, fmt.Errorf("sampling: bad %s value %q: %w", key, val, err)
+			}
+			if key == "p" {
+				s.P = x
+			} else {
+				s.Q = x
+			}
+		case "schema":
+			body := strings.TrimSuffix(strings.TrimPrefix(val, "["), "]")
+			if len(body)+2 != len(val) {
+				return s, fmt.Errorf("sampling: malformed schema %q", val)
+			}
+			if body == "" {
+				continue
+			}
+			var sb strings.Builder
+			for _, lab := range strings.Split(body, ",") {
+				x, err := strconv.ParseUint(lab, 10, 8)
+				if err != nil {
+					return s, fmt.Errorf("sampling: bad schema label %q: %w", lab, err)
+				}
+				sb.WriteByte(byte(x))
+			}
+			s.Schema = sb.String()
+		case "tier":
+			x, err := strconv.ParseInt(val, 10, 64)
+			if err != nil {
+				return s, fmt.Errorf("sampling: bad tier budget %q: %w", val, err)
+			}
+			s.TierBudget = x
+		default:
+			return s, fmt.Errorf("sampling: unknown spec field %q", key)
+		}
+	}
+	return s, nil
 }
 
 // Build constructs the sampler the spec describes over g.
@@ -73,11 +156,17 @@ func (s Spec) Build(g *graph.CSR) (Sampler, error) {
 	return nil, fmt.Errorf("sampling: unknown sampler kind %d", int(s.Kind))
 }
 
-// regKey identifies one immutable sampler: the graph it was built over
-// (by identity — CSRs are immutable in use) and its spec.
+// regKey identifies one immutable sampler: the graph it was built over —
+// by identity AND revision stamp, because AttachWeights/AttachLabels
+// revise a CSR in place and a sampler built before such a revision must
+// not be served after (the version dimension makes stale acquisitions
+// miss instead of silently aliasing) — plus, for samplers derived for an
+// epoch snapshot, the snapshot's epoch, and the spec.
 type regKey struct {
-	g    *graph.CSR
-	spec Spec
+	g     *graph.CSR
+	ver   uint64
+	epoch uint64
+	spec  Spec
 }
 
 // regEntry is one registry slot. The sampler is built outside the
@@ -88,6 +177,9 @@ type regEntry struct {
 	sampler Sampler
 	err     error
 	refs    int
+	// onEvict, when set, runs after the entry leaves the map — derived
+	// snapshot samplers release their base-sampler borrow here.
+	onEvict func()
 }
 
 // Registry shares immutable samplers across sessions and backends.
@@ -135,7 +227,7 @@ func (r *SamplerRef) Release() {
 // first use. Concurrent acquisitions of the same key share one build;
 // acquisitions of different keys never wait on each other's builds.
 func (reg *Registry) Acquire(g *graph.CSR, spec Spec) (*SamplerRef, error) {
-	key := regKey{g: g, spec: spec}
+	key := regKey{g: g, ver: g.Version(), spec: spec}
 	reg.mu.Lock()
 	e := reg.entries[key]
 	if e == nil {
@@ -156,14 +248,83 @@ func (reg *Registry) Acquire(g *graph.CSR, spec Spec) (*SamplerRef, error) {
 	return &SamplerRef{reg: reg, key: key, e: e}, nil
 }
 
+// AcquireSnapshot returns a refcounted sampler serving an epoch snapshot.
+// Parametric samplers (uniform, rejection, reservoir, metapath) hold no
+// per-row state — the walk layer consults the overlay at sampling time —
+// so they resolve to the plain (graph, spec) entry and stay shared across
+// epochs. The alias kind holds O(E) row state, so a snapshot with dirty
+// rows gets a per-epoch entry derived incrementally from the base
+// sampler via WithRebuiltRows (base arenas shared, dirty rows rebuilt);
+// the base borrow is released when the derived entry is evicted.
+func (reg *Registry) AcquireSnapshot(snap *graph.Snapshot, spec Spec) (*SamplerRef, error) {
+	g := snap.Graph()
+	if spec.Kind != KindAlias || snap.NumDirty() == 0 {
+		return reg.Acquire(g, spec)
+	}
+	if spec.TierBudget != 0 {
+		return nil, fmt.Errorf("sampling: tiered alias store cannot serve a dirty snapshot (use a flat spec; the graph tier keeps the budget)")
+	}
+	key := regKey{g: g, ver: g.Version(), epoch: snap.Epoch(), spec: spec}
+	reg.mu.Lock()
+	e := reg.entries[key]
+	if e == nil {
+		e = &regEntry{}
+		reg.entries[key] = e
+	}
+	e.refs++
+	reg.mu.Unlock()
+	e.once.Do(func() {
+		baseRef, err := reg.Acquire(g, spec)
+		if err != nil {
+			e.err = err
+			return
+		}
+		base, ok := baseRef.Sampler().(*AliasSampler)
+		if !ok {
+			baseRef.Release()
+			e.err = fmt.Errorf("sampling: base sampler for %v is %T, want *AliasSampler", spec, baseRef.Sampler())
+			return
+		}
+		d, err := base.WithRebuiltRows(snap)
+		if err != nil {
+			baseRef.Release()
+			e.err = err
+			return
+		}
+		e.sampler = d
+		e.onEvict = baseRef.Release
+	})
+	if e.err != nil {
+		reg.drop(key, e)
+		return nil, e.err
+	}
+	return &SamplerRef{reg: reg, key: key, e: e}, nil
+}
+
+// SnapshotRefs reports the reference count of snap's derived alias entry
+// for spec, 0 when absent (tests and introspection).
+func (reg *Registry) SnapshotRefs(snap *graph.Snapshot, spec Spec) int {
+	g := snap.Graph()
+	reg.mu.Lock()
+	defer reg.mu.Unlock()
+	if e := reg.entries[regKey{g: g, ver: g.Version(), epoch: snap.Epoch(), spec: spec}]; e != nil {
+		return e.refs
+	}
+	return 0
+}
+
 // drop decrements an entry, evicting it when the last reference goes.
 func (reg *Registry) drop(key regKey, e *regEntry) {
 	reg.mu.Lock()
 	e.refs--
-	if e.refs == 0 && reg.entries[key] == e {
+	evicted := e.refs == 0 && reg.entries[key] == e
+	if evicted {
 		delete(reg.entries, key)
 	}
 	reg.mu.Unlock()
+	if evicted && e.onEvict != nil {
+		e.onEvict()
+	}
 }
 
 // Len reports the number of live (referenced) samplers.
@@ -173,12 +334,12 @@ func (reg *Registry) Len() int {
 	return len(reg.entries)
 }
 
-// Refs reports the reference count of (g, spec), 0 when absent (tests
-// and introspection).
+// Refs reports the reference count of (g, spec) at g's current version,
+// 0 when absent (tests and introspection).
 func (reg *Registry) Refs(g *graph.CSR, spec Spec) int {
 	reg.mu.Lock()
 	defer reg.mu.Unlock()
-	if e := reg.entries[regKey{g: g, spec: spec}]; e != nil {
+	if e := reg.entries[regKey{g: g, ver: g.Version(), spec: spec}]; e != nil {
 		return e.refs
 	}
 	return 0

@@ -86,6 +86,11 @@ type RowView struct {
 	Row  []graph.VertexID
 	Wts  []float32
 	Tier *graph.TierView
+	// Snap, when non-nil, is the epoch snapshot the engine is serving:
+	// second-order probes of *other* vertices' rows (HasEdge(prev, ·))
+	// must consult its overlay before the base CSR or tier, because a
+	// dirty row's base copy is stale for this epoch.
+	Snap *graph.Snapshot
 }
 
 // degree returns the out-degree of ctx.Cur, preferring the pre-gathered

@@ -109,7 +109,7 @@ func (s *Rejection) Propose(g *graph.CSR, ctx Context, prev Candidate, r *rng.St
 // or unconditionally once the trip bound is exhausted (the draw still
 // happens first, preserving the stream position of the inline loop).
 func (s *Rejection) Accept(g *graph.CSR, ctx Context, c Candidate, r *rng.Stream) bool {
-	bias := node2vecBias(g, ctx.tier(), ctx.Prev, ctx.row(g)[c.Index], s.P, s.Q)
+	bias := node2vecBias(g, ctx.Mem, ctx.Prev, ctx.row(g)[c.Index], s.P, s.Q)
 	return r.Float64()*s.maxBias < bias || c.Trips >= s.MaxTrips
 }
 

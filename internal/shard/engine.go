@@ -56,6 +56,12 @@ type EngineConfig struct {
 	// identity makes it trajectory-neutral. Mutually exclusive with
 	// Layout (the tiered store subsumes the hub arena).
 	Tiered *graph.Tiered
+	// Snapshot optionally serves an epoch snapshot of a versioned graph:
+	// rows dirty for the snapshot's epoch are read from its merged
+	// overlay (cohort workers through Cohort.SetSnapshot, depth-first
+	// workers through their staged RowView), and second-order probes
+	// route through it. It must be a snapshot over the engine's graph.
+	Snapshot *graph.Snapshot
 	// Sampler, when non-nil, is a prebuilt sampler the engine borrows
 	// instead of building its own — the execution layer passes its
 	// registry-shared sampler here so per-shard execution reads the one
@@ -91,6 +97,12 @@ type RunStats struct {
 	// full; each stalled walker was advanced in place instead (lossless
 	// backpressure), so stalls cost locality, never correctness.
 	RingStalls int64
+	// Epoch is the versioned-graph epoch the run served (EngineConfig.
+	// Snapshot's epoch), 0 when the engine runs an unversioned graph.
+	// OverlayRows is that snapshot's dirty-row count — the per-epoch
+	// overlay footprint every walker of this run consulted.
+	Epoch       uint64
+	OverlayRows int
 }
 
 // EmitFunc receives one finished walk: the query's position in the input
@@ -176,12 +188,26 @@ func NewEngine(g *graph.CSR, p *Partitioning, wcfg walk.Config, cfg EngineConfig
 			return nil, fmt.Errorf("shard: layout and tiered store are mutually exclusive")
 		}
 	}
+	if cfg.Snapshot != nil && cfg.Snapshot.Graph() != g {
+		return nil, fmt.Errorf("shard: snapshot over a different graph")
+	}
 	sampler := cfg.Sampler
 	if sampler == nil {
 		var err error
 		sampler, err = walk.BuildSampler(g, wcfg)
 		if err != nil {
 			return nil, err
+		}
+		// A dirty snapshot needs the alias store's dirty rows rebuilt —
+		// the base arenas' locators still describe the pre-mutation rows.
+		// Callers that pass a prebuilt Sampler (the exec layer) have
+		// already derived it against the snapshot.
+		if snap := cfg.Snapshot; snap != nil && snap.NumDirty() > 0 {
+			if base, ok := sampler.(*sampling.AliasSampler); ok {
+				if sampler, err = base.WithRebuiltRows(snap); err != nil {
+					return nil, err
+				}
+			}
 		}
 	} else if err := wcfg.Validate(g); err != nil {
 		return nil, err
@@ -312,7 +338,7 @@ func (r *run) advanceRec(wi int, ws *workerState) {
 	w := &ws.rec
 	for {
 		var more bool
-		if ws.tv != nil {
+		if ws.tv != nil || ws.mem.Snap != nil {
 			more = walk.AdvanceView(e.g, ws.tv, &ws.mem, e.sampler, e.wcfg, &w.st, &w.r)
 		} else {
 			more = walk.Advance(e.g, e.sampler, e.wcfg, &w.st, &w.r)
@@ -571,6 +597,10 @@ func (e *Engine) Run(ctx context.Context, queries []walk.Query, fn EmitFunc) (Ru
 		Migrations:     r.migrations.Load(),
 		HandoffBatches: r.handoffs.Load(),
 		RingStalls:     r.stalls.Load(),
+	}
+	if snap := e.cfg.Snapshot; snap != nil {
+		stats.Epoch = snap.Epoch()
+		stats.OverlayRows = snap.NumDirty()
 	}
 	err := r.err
 	m.run = nil

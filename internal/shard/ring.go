@@ -224,6 +224,12 @@ func newMesh(e *Engine) *mesh {
 				ws.tv.SetAccess(needRow, needW)
 			}
 		}
+		if cfg.Snapshot != nil && cfg.Cohort == 0 {
+			// Depth-first workers consult the epoch overlay through their
+			// staged row view (AdvanceView checks mem.Snap before the base
+			// row); cohort workers get it via SetSnapshot below.
+			ws.mem.Snap = cfg.Snapshot
+		}
 		if cfg.Cohort > 0 {
 			// NewEngine validated the cohort size and sampler stagedness.
 			cohort, err := walk.NewCohort(e.g, e.wcfg, e.sampler, cfg.Cohort)
@@ -235,6 +241,9 @@ func newMesh(e *Engine) *mesh {
 			}
 			if cfg.Tiered != nil {
 				cohort.SetTiered(cfg.Tiered)
+			}
+			if cfg.Snapshot != nil {
+				cohort.SetSnapshot(cfg.Snapshot)
 			}
 			ws.cohort = cohort
 			ws.recs = make([]walkerRec, cfg.Cohort)

@@ -91,6 +91,16 @@ type Cohort struct {
 	wtsBuf [][]float32
 	scr    []bool // lane's gathered row lives in rowBuf scratch
 	mem    []sampling.RowView
+	// Snapshot-overlay state (SetSnapshot). Lanes standing on a vertex
+	// dirty for the serving epoch gather the snapshot's merged row into
+	// ovRow/ovWts instead of any base-row source. The overlay rows are
+	// snapshot-owned (never written through), deliberately separate from
+	// rowBuf: DecodeRowInto writes into rowBuf in place and would corrupt
+	// a snapshot row stored there.
+	snap  *graph.Snapshot
+	ovRow [][]graph.VertexID
+	ovWts [][]float32
+	ovl   []bool
 	// needW marks full-row-scan samplers on weighted graphs: only those
 	// read weight rows, so only they pay cold weight decode.
 	needW bool
@@ -206,6 +216,28 @@ func (c *Cohort) SetTiered(t *graph.Tiered) {
 	}
 }
 
+// SetSnapshot makes the cohort serve an epoch snapshot of a versioned
+// graph: lanes on vertices dirty for the snapshot's epoch gather the
+// merged overlay row, and second-order probes route through the
+// snapshot. The cohort's graph must be snap.Graph(). Composes with
+// SetLayout and SetTiered (clean rows keep their fast paths). Call
+// before the first Admit; nil restores base-only reads.
+func (c *Cohort) SetSnapshot(snap *graph.Snapshot) {
+	c.snap = snap
+	if snap == nil {
+		return
+	}
+	size := len(c.cur)
+	if c.mem == nil {
+		c.mem = make([]sampling.RowView, size)
+	}
+	if c.ovl == nil {
+		c.ovRow = make([][]graph.VertexID, size)
+		c.ovWts = make([][]float32, size)
+		c.ovl = make([]bool, size)
+	}
+}
+
 // ScratchBytes reports the decode-scratch high water across lanes and
 // the per-cohort TierView cache — the "scratch" term of the tier
 // accounting (0 for flat cohorts).
@@ -247,6 +279,9 @@ func (c *Cohort) Admit(st *State, r *rng.Stream, tag int32) bool {
 	c.arena[i] = false
 	if c.scr != nil {
 		c.scr[i] = false
+	}
+	if c.ovl != nil {
+		c.ovl[i] = false
 	}
 	c.cand[i] = sampling.Candidate{}
 	c.phase[i] = phaseGather
@@ -294,9 +329,21 @@ func (c *Cohort) remove(i int) {
 			c.wtsBuf[i], c.wtsBuf[j] = c.wtsBuf[j], c.wtsBuf[i]
 			c.scr[i] = c.scr[j]
 		}
+		if c.ovl != nil {
+			// Plain copy: overlay rows alias snapshot storage, not
+			// lane-owned buffers, so nothing needs swapping back.
+			c.ovRow[i] = c.ovRow[j]
+			c.ovWts[i] = c.ovWts[j]
+			c.ovl[i] = c.ovl[j]
+		}
 	}
 	c.st[j] = nil
 	c.r[j] = nil
+	if c.ovl != nil {
+		c.ovRow[j] = nil
+		c.ovWts[j] = nil
+		c.ovl[j] = false
+	}
 }
 
 // Reset drops every lane without syncing or emitting, leaving the cohort
@@ -307,6 +354,36 @@ func (c *Cohort) Reset() {
 	for c.n > 0 {
 		c.remove(0)
 	}
+}
+
+// gatherOverlay is the Gather-stage hook for epoch snapshots (c.snap
+// non-nil): when lane i's vertex is dirty for the serving epoch it
+// stages the snapshot's merged row (zero-degree merged rows retire) and
+// reports true — the caller skips its base-row gather. Clean vertices
+// clear the lane's overlay mark and gather from the base as usual.
+func (c *Cohort) gatherOverlay(i int, v graph.VertexID) bool {
+	if !c.snap.Dirty(v) {
+		c.ovl[i] = false
+		return false
+	}
+	row, wts := c.snap.MergedRow(v)
+	if len(row) == 0 {
+		c.fate[i] = fateRetire // zero out-degree at this epoch
+		return true
+	}
+	c.ovRow[i], c.ovWts[i] = row, wts
+	c.ovl[i] = true
+	c.lo[i], c.hi[i] = 0, int64(len(row))
+	c.arena[i] = false
+	if c.scr != nil {
+		c.scr[i] = false
+	}
+	if c.aliasStore != nil {
+		c.touch ^= c.aliasStore.TouchRow(v)
+	}
+	c.cand[i] = sampling.Candidate{}
+	c.phase[i] = phaseSample
+	return true
 }
 
 // Step runs one Gather→Sample→Move pass over every lane.
@@ -353,6 +430,9 @@ func (c *Cohort) Step(
 				continue
 			}
 			v := c.cur[i]
+			if c.snap != nil && c.gatherOverlay(i, v) {
+				continue
+			}
 			off, deg, hot := c.tiered.Locate(v)
 			if deg == 0 {
 				c.fate[i] = fateRetire // zero out-degree: immediate termination
@@ -403,6 +483,9 @@ func (c *Cohort) Step(
 				continue
 			}
 			v := c.cur[i]
+			if c.snap != nil && c.gatherOverlay(i, v) {
+				continue
+			}
 			lo, hi := g.RowPtr[v], g.RowPtr[v+1]
 			if lo == hi {
 				c.fate[i] = fateRetire // zero out-degree: immediate termination
@@ -430,6 +513,9 @@ func (c *Cohort) Step(
 			}
 			if int(c.step[i]) >= c.cfg.WalkLength {
 				c.fate[i] = fateRetire
+				continue
+			}
+			if c.snap != nil && c.gatherOverlay(i, c.cur[i]) {
 				continue
 			}
 			lo, deg, inArena := c.lay.Locate(c.cur[i])
@@ -465,21 +551,35 @@ func (c *Cohort) Step(
 			continue
 		}
 		ctx := sampling.Context{Cur: c.cur[i], Prev: c.prev[i], HasPrev: c.hasPrev[i], Deg: int32(c.hi[i] - c.lo[i]), Step: int(c.step[i])}
-		if c.tiered != nil && !c.slotKind {
-			// Stage the gathered row for the sampler: it must not read
-			// the CSR's Col (cold rows do not live there). Slot-kind
-			// samplers never read rows, so their lanes skip the staging.
+		if (c.tiered != nil || c.snap != nil) && !c.slotKind {
+			// Stage the gathered row for the sampler: under a tiered store
+			// it must not read the CSR's Col (cold rows do not live there),
+			// and under a snapshot its second-order probes must route
+			// through the overlay. Slot-kind samplers never read rows, so
+			// their lanes skip the staging.
 			m := &c.mem[i]
-			if c.scr[i] {
+			switch {
+			case c.ovl != nil && c.ovl[i]:
+				m.Row, m.Wts = c.ovRow[i], c.ovWts[i]
+			case c.scr != nil && c.scr[i]:
 				m.Row, m.Wts = c.rowBuf[i], c.wtsBuf[i]
-			} else {
+			case c.tiered != nil:
 				m.Row = c.arenaCol[c.lo[i]:c.hi[i]]
 				m.Wts = nil
 				if c.needW {
 					m.Wts = c.hotW[c.lo[i]:c.hi[i]]
 				}
+			default:
+				// Flat or layout store, clean lane under a snapshot: stage
+				// the base row by vertex (lo/hi may be arena offsets).
+				m.Row = g.Neighbors(c.cur[i])
+				m.Wts = nil
+				if g.Weighted() {
+					m.Wts = g.NeighborWeights(c.cur[i])
+				}
 			}
 			m.Tier = c.tview
+			m.Snap = c.snap
 			ctx.Mem = m
 		}
 		cand := c.sampler.Propose(g, ctx, c.cand[i], c.r[i])
@@ -500,7 +600,12 @@ func (c *Cohort) Step(
 			continue
 		}
 		var next graph.VertexID
-		if c.tiered != nil && !c.arena[i] && !c.scr[i] {
+		if c.ovl != nil && c.ovl[i] {
+			// Overlay lane: the merged row replaced every base source
+			// (checked first — its arena/scr marks are cleared, so the
+			// tiered branch below would misroute it to the cold arena).
+			next = c.ovRow[i][c.cand[i].Index]
+		} else if c.tiered != nil && !c.arena[i] && !c.scr[i] {
 			// Slot-kind cold lane: the row never decoded; lo is the cold
 			// byte offset (Gather's fast path).
 			next = c.tiered.ColdEntryAt(c.cur[i], c.lo[i], int32(c.cand[i].Index))

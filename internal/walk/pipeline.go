@@ -115,6 +115,10 @@ func (p *Pipeline) SetLayout(l *graph.Layout) { p.cohort.SetLayout(l) }
 // (see Cohort.SetTiered). Call before the first Run.
 func (p *Pipeline) SetTiered(t *graph.Tiered) { p.cohort.SetTiered(t) }
 
+// SetSnapshot makes the cohort serve an epoch snapshot of a versioned
+// graph (see Cohort.SetSnapshot). Call before the first Run.
+func (p *Pipeline) SetSnapshot(snap *graph.Snapshot) { p.cohort.SetSnapshot(snap) }
+
 // Run executes the query batch, delivering each finished walk through
 // emit. Delivery order is unspecified (lanes retire as they terminate);
 // the batch index passed to emit identifies each walk. It returns the

@@ -200,6 +200,20 @@ func AcquireSamplerTiered(g *graph.CSR, cfg Config, budget int64) (*sampling.Sam
 	return sampling.DefaultRegistry().Acquire(g, spec)
 }
 
+// AcquireSamplerSnap is AcquireSampler for an epoch snapshot of a
+// versioned graph: parametric samplers resolve to the base graph's
+// shared entry, while alias sampling gets a per-epoch sampler derived
+// incrementally from the base arenas (only the snapshot's dirty rows are
+// rebuilt — see sampling.Registry.AcquireSnapshot). Release the ref when
+// the borrowing session closes.
+func AcquireSamplerSnap(snap *graph.Snapshot, cfg Config) (*sampling.SamplerRef, error) {
+	spec, err := SamplerSpec(snap.Graph(), cfg)
+	if err != nil {
+		return nil, err
+	}
+	return sampling.DefaultRegistry().AcquireSnapshot(snap, spec)
+}
+
 // TierAccess reports which row components cfg's sampler reads through a
 // tiered view: needRow false means the sampler consumes only a degree
 // and one drawn slot per hop (uniform draws by index, alias draws from
@@ -382,21 +396,62 @@ func Advance(g *graph.CSR, s sampling.Sampler, cfg Config, st *State, r *rng.Str
 	return st.Step < cfg.WalkLength
 }
 
-// AdvanceView is Advance over a tiered graph store: the current row is
-// read through tv (hot arena or cached cold-row decode) and staged into
-// mem, the caller-owned sampling.RowView the sampler reads instead of
-// the CSR. One mem lives per worker and is reused across hops, so the
-// view costs no allocations. With tv == nil it is exactly Advance —
+// AdvanceView is Advance over a tiered graph store and/or an epoch
+// snapshot: the current row is read through mem.Snap's overlay when the
+// vertex is dirty for the serving epoch, through tv (hot arena or cached
+// cold-row decode) otherwise, and staged into mem, the caller-owned
+// sampling.RowView the sampler reads instead of the CSR. One mem lives
+// per worker and is reused across hops, so the view costs no
+// allocations. With tv == nil and no snapshot it is exactly Advance —
 // flat engines keep their unchanged zero-overhead path.
 func AdvanceView(g *graph.CSR, tv *graph.TierView, mem *sampling.RowView, s sampling.Sampler, cfg Config, st *State, r *rng.Stream) bool {
-	if tv == nil {
+	var snap *graph.Snapshot
+	if mem != nil {
+		snap = mem.Snap
+	}
+	if tv == nil && snap == nil {
 		return Advance(g, s, cfg, st, r)
 	}
 	if st.Step >= cfg.WalkLength {
 		return false
 	}
 	var next graph.VertexID
-	if !tv.NeedRow() {
+	if snap != nil && snap.Dirty(st.Cur) {
+		// Overlay path: the serving epoch's merged row replaces the base
+		// row entirely (a bit set by a later epoch falls back to the base
+		// row inside MergedRow, keeping this branch trajectory-neutral).
+		row, wts := snap.MergedRow(st.Cur)
+		if len(row) == 0 {
+			return false // zero outgoing edges: immediate termination (Fig. 1b)
+		}
+		mem.Row, mem.Wts = row, wts
+		if tv != nil {
+			mem.Tier = tv
+		}
+		res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Deg: int32(len(row)), Step: st.Step, Mem: mem}, r)
+		if res.Index < 0 {
+			return false // no selectable neighbor (MetaPath schema miss)
+		}
+		next = row[res.Index]
+	} else if tv == nil {
+		// Flat store under a snapshot, clean row: stage the base row so
+		// second-order probes of dirty *other* rows route through mem.Snap.
+		row := g.Neighbors(st.Cur)
+		if len(row) == 0 {
+			return false // zero outgoing edges: immediate termination (Fig. 1b)
+		}
+		mem.Row = row
+		if g.Weighted() {
+			mem.Wts = g.NeighborWeights(st.Cur)
+		} else {
+			mem.Wts = nil
+		}
+		res := s.Sample(g, sampling.Context{Cur: st.Cur, Prev: st.Prev, HasPrev: st.HasPrev, Deg: int32(len(row)), Step: st.Step, Mem: mem}, r)
+		if res.Index < 0 {
+			return false // no selectable neighbor (MetaPath schema miss)
+		}
+		next = row[res.Index]
+	} else if !tv.NeedRow() {
 		// Slot fast path (uniform and alias kinds, see TierAccess): the
 		// sampler consumes only the degree and the walk only the drawn
 		// neighbor, so cold rows decode one block-bounded slot instead of
@@ -513,6 +568,13 @@ func (w *Walker) SetTierView(tv *graph.TierView) {
 		tv.SetAccess(needRow, needW)
 	}
 }
+
+// SetSnapshot makes the walker serve an epoch snapshot of a versioned
+// graph: rows dirty for the snapshot's epoch are read from its merged
+// overlay (and second-order probes route through it) instead of the base
+// CSR the walker was built over, which must be snap.Graph(). Call before
+// the first Walk; nil restores base-only reads.
+func (w *Walker) SetSnapshot(snap *graph.Snapshot) { w.mem.Snap = snap }
 
 // Walk executes one query. The per-query RNG stream is derived from the
 // query ID exactly as Run does, so a Walker's output is byte-identical to

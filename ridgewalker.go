@@ -120,6 +120,24 @@ func ParseEdgeList(r io.Reader, directed bool) (*Graph, error) {
 	return graph.ParseEdgeList(r, directed)
 }
 
+// VersionedGraph wraps an immutable base Graph with per-vertex delta
+// overlays so edges can be inserted and deleted while walk sessions are
+// serving: mutations advance an epoch, GraphSnapshot pins one, and
+// Compact folds the deltas into a fresh base CSR. Service embeds one
+// around its graph; use NewVersionedGraph for direct engine access.
+type VersionedGraph = graph.Versioned
+
+// GraphSnapshot is an immutable epoch-pinned view of a VersionedGraph,
+// servable through BackendConfig.Snapshot.
+type GraphSnapshot = graph.Snapshot
+
+// GraphVersionStats is a VersionedGraph's mutation accounting.
+type GraphVersionStats = graph.VersionStats
+
+// NewVersionedGraph wraps g for in-place edge mutation with epoch-pinned
+// snapshot serving.
+func NewVersionedGraph(g *Graph) *VersionedGraph { return graph.NewVersioned(g) }
+
 // Algorithm selects the GRW variant.
 type Algorithm = walk.Algorithm
 
@@ -322,6 +340,11 @@ func BackendByName(name string) (Backend, error) { return exec.Lookup(name) }
 // BackendSupportsMemoryTiering reports whether the named backend honors
 // the MemoryBudgetBytes knob (tiered graph + sampler stores).
 func BackendSupportsMemoryTiering(name string) bool { return exec.SupportsMemoryTiering(name) }
+
+// BackendSupportsVersionedGraphs reports whether the named backend can
+// serve a GraphSnapshot (BackendConfig.Snapshot). Backends without the
+// capability reject snapshots at open; compact the graph first.
+func BackendSupportsVersionedGraphs(name string) bool { return exec.SupportsVersionedGraphs(name) }
 
 // OpenBackend binds a named execution backend to a graph, performing all
 // per-workload setup (sampler construction, simulator instantiation,

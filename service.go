@@ -9,6 +9,7 @@ import (
 	"time"
 
 	"ridgewalker/internal/exec"
+	"ridgewalker/internal/graph"
 	"ridgewalker/internal/walk"
 )
 
@@ -86,10 +87,13 @@ func (c *Counter) add(d Counter) {
 }
 
 // ServiceMetrics is a point-in-time snapshot of served work, keyed by
-// backend name and by GRW algorithm.
+// backend name, by GRW algorithm, and by graph epoch (every mutation
+// batch and compaction advances the epoch; epoch 0 is the pristine
+// graph, so an immutable service accumulates everything under key 0).
 type ServiceMetrics struct {
 	PerBackend   map[string]Counter
 	PerAlgorithm map[string]Counter
+	PerEpoch     map[uint64]Counter
 }
 
 // Service is a long-lived walk-serving frontend over one graph and one
@@ -105,6 +109,7 @@ type ServiceMetrics struct {
 // to Walk for the same configuration.
 type Service struct {
 	g   *Graph
+	vg  *graph.Versioned
 	cfg ServiceConfig
 
 	mu       sync.Mutex
@@ -151,11 +156,22 @@ type sessionEntry struct {
 	err     error
 	refs    int
 	lastUse int64
+	// epoch is the graph epoch the session serves; mutations prune idle
+	// entries whose epoch is stale (their key can never be requested
+	// again, so without pruning they would squat in the LRU).
+	epoch uint64
 }
 
-// batchGroup accumulates compatible requests awaiting a flush.
+// batchGroup accumulates compatible requests awaiting a flush. The
+// serving view (base CSR + overlay snapshot + epoch) is resolved once,
+// when the group is created; the epoch is part of the group key, so
+// every co-batched request shares one consistent view even if mutations
+// land while the group lingers.
 type batchGroup struct {
 	cfg      WalkConfig
+	base     *graph.CSR
+	snap     *graph.Snapshot
+	epoch    uint64
 	requests []*request
 	queries  int
 	timer    *time.Timer
@@ -203,12 +219,14 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 	}
 	s := &Service{
 		g:        g,
+		vg:       graph.NewVersioned(g),
 		cfg:      cfg,
 		sessions: map[string]*sessionEntry{},
 		pending:  map[string]*batchGroup{},
 		metrics: ServiceMetrics{
 			PerBackend:   map[string]Counter{},
 			PerAlgorithm: map[string]Counter{},
+			PerEpoch:     map[uint64]Counter{},
 		},
 	}
 	s.flushCond = sync.NewCond(&s.flushMu)
@@ -245,11 +263,14 @@ func (s *Service) flushWorker() {
 	}
 }
 
-// cfgKey canonicalizes a walk configuration for session caching and
-// request coalescing.
-func cfgKey(cfg WalkConfig) string {
-	return fmt.Sprintf("%d|%d|%g|%g|%g|%v|%d",
-		cfg.Algorithm, cfg.WalkLength, cfg.Alpha, cfg.P, cfg.Q, cfg.Schema, cfg.Seed)
+// cfgKey canonicalizes a walk configuration plus the graph epoch it
+// serves for session caching and request coalescing. The epoch dimension
+// keeps sessions epoch-consistent: a mutation advances the epoch, so
+// later requests key to (and open) a fresh session over the new serving
+// view while in-flight groups finish on theirs.
+func cfgKey(cfg WalkConfig, epoch uint64) string {
+	return fmt.Sprintf("%d|%d|%g|%g|%g|%v|%d|e%d",
+		cfg.Algorithm, cfg.WalkLength, cfg.Alpha, cfg.P, cfg.Q, cfg.Schema, cfg.Seed, epoch)
 }
 
 // acquireSession returns the cached session for a walk configuration,
@@ -257,11 +278,11 @@ func cfgKey(cfg WalkConfig) string {
 // releaseSession. Sessions serialize their own batches, so sharing is
 // safe. Deliberately usable while closing: Close drains pending groups
 // through it.
-func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, error) {
+func (s *Service) acquireSession(key string, cfg WalkConfig, base *graph.CSR, snap *graph.Snapshot, epoch uint64) (*sessionEntry, error) {
 	s.mu.Lock()
 	e := s.sessions[key]
 	if e == nil {
-		e = &sessionEntry{}
+		e = &sessionEntry{epoch: epoch}
 		s.sessions[key] = e
 	}
 	e.refs++ // pin before evicting so the new entry cannot be the victim
@@ -269,8 +290,12 @@ func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, err
 	s.mu.Unlock()
 	// First user opens the session; everyone else waits here. The service
 	// lock is not held, so submissions for other configurations proceed.
+	// The session opens over the serving view its key's epoch pinned —
+	// the base CSR current at key time plus the overlay snapshot (nil
+	// when the overlay was empty) — never over state read at open time,
+	// which a racing mutation could have advanced past the key.
 	e.once.Do(func() {
-		e.ses, e.err = exec.Open(s.cfg.Backend, s.g, exec.Config{
+		e.ses, e.err = exec.Open(s.cfg.Backend, base, exec.Config{
 			Walk:                cfg,
 			Platform:            s.cfg.Platform,
 			Workers:             s.cfg.Workers,
@@ -278,6 +303,7 @@ func (s *Service) acquireSession(key string, cfg WalkConfig) (*sessionEntry, err
 			Cohort:              s.cfg.Cohort,
 			HubCacheBytes:       s.cfg.HubCacheBytes,
 			MemoryBudgetBytes:   s.cfg.MemoryBudgetBytes,
+			Snapshot:            snap,
 			DisableAsync:        s.cfg.DisableAsync,
 			DisableDynamicSched: s.cfg.DisableDynamicSched,
 		})
@@ -332,7 +358,7 @@ func (s *Service) evictLocked() {
 }
 
 // record folds served work into the metric maps.
-func (s *Service) record(alg Algorithm, d Counter) {
+func (s *Service) record(alg Algorithm, epoch uint64, d Counter) {
 	s.metricsMu.Lock()
 	defer s.metricsMu.Unlock()
 	b := s.metrics.PerBackend[s.cfg.Backend]
@@ -341,6 +367,9 @@ func (s *Service) record(alg Algorithm, d Counter) {
 	a := s.metrics.PerAlgorithm[alg.String()]
 	a.add(d)
 	s.metrics.PerAlgorithm[alg.String()] = a
+	ep := s.metrics.PerEpoch[epoch]
+	ep.add(d)
+	s.metrics.PerEpoch[epoch] = ep
 }
 
 // Metrics returns a snapshot of served-work counters.
@@ -350,12 +379,16 @@ func (s *Service) Metrics() ServiceMetrics {
 	out := ServiceMetrics{
 		PerBackend:   make(map[string]Counter, len(s.metrics.PerBackend)),
 		PerAlgorithm: make(map[string]Counter, len(s.metrics.PerAlgorithm)),
+		PerEpoch:     make(map[uint64]Counter, len(s.metrics.PerEpoch)),
 	}
 	for k, v := range s.metrics.PerBackend {
 		out.PerBackend[k] = v
 	}
 	for k, v := range s.metrics.PerAlgorithm {
 		out.PerAlgorithm[k] = v
+	}
+	for k, v := range s.metrics.PerEpoch {
+		out.PerEpoch[k] = v
 	}
 	return out
 }
@@ -371,7 +404,8 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 	if err := cfg.Validate(s.g); err != nil {
 		return nil, err
 	}
-	key := cfgKey(cfg)
+	base, snap, epoch := s.vg.Serving()
+	key := cfgKey(cfg, epoch)
 	req := &request{queries: queries, done: make(chan reply, 1)}
 
 	s.mu.Lock()
@@ -381,7 +415,7 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 	}
 	grp := s.pending[key]
 	if grp == nil {
-		grp = &batchGroup{cfg: cfg}
+		grp = &batchGroup{cfg: cfg, base: base, snap: snap, epoch: epoch}
 		s.pending[key] = grp
 		grp.timer = time.AfterFunc(s.cfg.Linger, func() { s.flush(key, grp) })
 	}
@@ -432,7 +466,7 @@ func (s *Service) flush(key string, grp *batchGroup) {
 // runGroup executes a flushed group on the cached session and distributes
 // per-request results.
 func (s *Service) runGroup(key string, grp *batchGroup) {
-	e, err := s.acquireSession(key, grp.cfg)
+	e, err := s.acquireSession(key, grp.cfg, grp.base, grp.snap, grp.epoch)
 	if err != nil {
 		for _, r := range grp.requests {
 			r.done <- reply{err: err}
@@ -473,7 +507,7 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 			r.done <- reply{res: sub}
 			lo = hi
 		}
-		s.record(grp.cfg.Algorithm, Counter{
+		s.record(grp.cfg.Algorithm, grp.epoch, Counter{
 			Requests: int64(len(grp.requests)),
 			Queries:  int64(grp.queries),
 			Steps:    steps,
@@ -488,7 +522,7 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 			continue
 		}
 		r.done <- reply{res: &Result{Paths: res.Paths, Steps: res.Steps}}
-		s.record(grp.cfg.Algorithm, Counter{
+		s.record(grp.cfg.Algorithm, grp.epoch, Counter{
 			Requests: 1,
 			Queries:  int64(len(r.queries)),
 			Steps:    res.Steps,
@@ -509,7 +543,8 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	if err := cfg.Validate(s.g); err != nil {
 		return err
 	}
-	key := cfgKey(cfg)
+	base, snap, epoch := s.vg.Serving()
+	key := cfgKey(cfg, epoch)
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -518,7 +553,7 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
-	e, err := s.acquireSession(key, cfg)
+	e, err := s.acquireSession(key, cfg, base, snap, epoch)
 	if err != nil {
 		return err
 	}
@@ -531,13 +566,82 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	if err != nil {
 		return err
 	}
-	s.record(cfg.Algorithm, Counter{
+	s.record(cfg.Algorithm, epoch, Counter{
 		Requests: 1,
 		Queries:  int64(len(queries)),
 		Steps:    steps,
 		Batches:  1,
 	})
 	return nil
+}
+
+// InsertEdges adds a batch of edges to the served graph, advancing its
+// epoch. Undirected graphs mirror each edge and weighted graphs assign
+// inserted edges the construction-recipe weight, so a later compaction
+// (or a cold rebuild of the final edge list) is indistinguishable from
+// the mutated view. In-flight requests finish on the epoch they started
+// with; requests submitted after InsertEdges returns see the new edges.
+// The batch is atomic: on error nothing is applied.
+func (s *Service) InsertEdges(edges []Edge) error {
+	if err := s.vg.InsertEdges(edges); err != nil {
+		return err
+	}
+	s.pruneStaleSessions()
+	return nil
+}
+
+// DeleteEdges removes a batch of edges from the served graph, advancing
+// its epoch (see InsertEdges for visibility semantics). Deleting an edge
+// the current view does not contain is an error, and the batch is
+// atomic: on error nothing is applied.
+func (s *Service) DeleteEdges(edges []Edge) error {
+	if err := s.vg.DeleteEdges(edges); err != nil {
+		return err
+	}
+	s.pruneStaleSessions()
+	return nil
+}
+
+// CompactGraph folds all accumulated mutations into a fresh base CSR and
+// empties the overlay, advancing the epoch. Subsequent sessions serve
+// the compacted graph flat — no overlay probes, no derived sampler rows
+// — so periodic compaction bounds the overlay cost of a long-lived
+// mutating service. It is safe to call from a background goroutine while
+// requests are being served. Returns the new base graph.
+func (s *Service) CompactGraph() *Graph {
+	g := s.vg.Compact()
+	s.pruneStaleSessions()
+	return g
+}
+
+// GraphEpoch returns the served graph's current epoch (0 until the first
+// mutation).
+func (s *Service) GraphEpoch() uint64 { return s.vg.Epoch() }
+
+// GraphStats returns the served graph's mutation accounting.
+func (s *Service) GraphStats() GraphVersionStats { return s.vg.Stats() }
+
+// pruneStaleSessions closes idle cached sessions keyed to epochs older
+// than the current one. Their keys can never be requested again (the
+// epoch only advances), so without pruning every mutation would leave a
+// dead session squatting in the LRU until cap pressure evicted it. Busy
+// stale sessions are left to finish and age out normally.
+func (s *Service) pruneStaleSessions() {
+	epoch := s.vg.Epoch()
+	s.mu.Lock()
+	var victims []exec.Session
+	for k, e := range s.sessions {
+		if e.refs == 0 && e.epoch < epoch {
+			delete(s.sessions, k)
+			if e.ses != nil {
+				victims = append(victims, e.ses)
+			}
+		}
+	}
+	s.mu.Unlock()
+	for _, ses := range victims {
+		ses.Close()
+	}
 }
 
 // Close flushes pending groups, waits for in-flight work, and releases the
