@@ -12,6 +12,7 @@
 //	ridgewalker -graph WG -alg urw -backend lightrw
 //	ridgewalker -graph WG -alg urw -backend cpu-sharded -shards 8
 //	ridgewalker -graph WG -alg urw -backend cpu-pipelined -cohort 128
+//	ridgewalker -graph WG -alg urw -backend auto -explain-plan
 //	ridgewalker -graph WG -alg ppr -backend cpu -serve -requests 32
 //	ridgewalker -graph WG -alg urw -backend cpu-pipelined -cpuprofile cpu.pprof
 //	ridgewalker -list-backends
@@ -74,6 +75,7 @@ func run() error {
 	mutIns := flag.Int("mutate-insert", 0, "serve mode: insert this many random edges between serving rounds (versioned-graph serving)")
 	mutDel := flag.Int("mutate-delete", 0, "serve mode: then delete this many of the inserted edges")
 	mutCompact := flag.Bool("mutate-compact", false, "serve mode: compact the mutated graph and serve a final round")
+	explainPlan := flag.Bool("explain-plan", false, "auto backend: print the planner's decision record (stats, probed candidates, chosen plan)")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -112,12 +114,19 @@ func run() error {
 			if ridgewalker.BackendSupportsMemoryTiering(name) {
 				mark = "  [tiered-mem]"
 			}
+			if name == "auto" {
+				mark += "  [planned]"
+			}
 			fmt.Printf("%-13s %s%s\n", name, b.Description(), mark)
 		}
 		fmt.Println("\n[tiered-mem] backends honor -membudget: hot rows stay in an")
 		fmt.Println("uncompressed arena, the cold tail is delta-varint compressed, and the")
 		fmt.Println("per-tier accounting (hot arena, compressed cold arena, locators,")
 		fmt.Println("per-worker decode scratch) is reported after each run.")
+		fmt.Println("\n[planned] resolves its engine and shape (backend, cohort, shards) per")
+		fmt.Println("workload from graph statistics and a calibration micro-bench; the")
+		fmt.Println("resolved plan — chosen config, predicted vs observed steps/sec — is")
+		fmt.Println("reported after each run (add -explain-plan for the full decision record).")
 		return nil
 	}
 
@@ -170,8 +179,11 @@ func run() error {
 		fmt.Printf("memory budget: %d bytes (tiered hot arenas + compressed cold tail)\n", budget)
 	}
 
+	if *explainPlan && backend != "auto" {
+		return fmt.Errorf("-explain-plan requires -backend auto")
+	}
 	if *serve {
-		return runServe(g, cfg, qs, ridgewalker.ServiceConfig{
+		return runServe(g, cfg, qs, *explainPlan, ridgewalker.ServiceConfig{
 			Backend:             backend,
 			Platform:            plat,
 			Workers:             *workers,
@@ -194,7 +206,7 @@ func run() error {
 		return fmt.Errorf("-mutate-insert/-mutate-delete/-mutate-compact require -serve")
 	}
 
-	ses, err := ridgewalker.OpenBackend(backend, g, ridgewalker.BackendConfig{
+	bcfg := ridgewalker.BackendConfig{
 		Walk:                cfg,
 		Platform:            plat,
 		Workers:             *workers,
@@ -204,7 +216,21 @@ func run() error {
 		MemoryBudgetBytes:   budget,
 		DisableAsync:        *noAsync,
 		DisableDynamicSched: *noSched,
-	})
+	}
+	if backend == "auto" {
+		// A one-shot run amortizes calibration over a single batch, but the
+		// probes are microseconds-to-milliseconds against the run itself —
+		// and without them "auto" would be stats-only guesswork.
+		bcfg.Plan = &ridgewalker.PlanOptions{Calibrate: true}
+	}
+	if *explainPlan {
+		rec, err := ridgewalker.ExplainPlan(g, bcfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rec)
+	}
+	ses, err := ridgewalker.OpenBackend(backend, g, bcfg)
 	if err != nil {
 		return err
 	}
@@ -232,6 +258,10 @@ func run() error {
 		fmt.Printf("cpu engine (%d workers): %d steps in %v (%.1f MStep/s wall)\n",
 			effectiveWorkers(*workers), res.Steps, el.Round(time.Millisecond),
 			float64(res.Steps)/el.Seconds()/1e6)
+	}
+	if pr := res.Plan; pr != nil {
+		fmt.Printf("plan: %s  predicted %.3g steps/s, observed %.3g steps/s (%s)\n",
+			planShape(pr), pr.PredictedStepsPerSec, pr.ObservedStepsPerSec, pr.Source)
 	}
 	if m := res.Memory; m != nil {
 		fmt.Printf("tiered memory: %d B resident (flat %d B)\n",
@@ -303,8 +333,26 @@ func randomEdges(g *ridgewalker.Graph, n int, seed uint64) []ridgewalker.Edge {
 // Service and reports the served-query metrics. With an active mutation
 // plan it re-serves the workload after each mutation phase, exercising
 // epoch-snapshot serving and incremental sampler maintenance end to end.
+// planShape renders a plan report's chosen engine and shape.
+func planShape(pr *ridgewalker.PlanReport) string {
+	s := pr.Backend
+	if pr.Cohort > 0 {
+		s += fmt.Sprintf(" c%d", pr.Cohort)
+	}
+	if pr.Shards > 0 {
+		s += fmt.Sprintf(" s%d", pr.Shards)
+	}
+	if pr.HubCacheBytes > 0 {
+		s += fmt.Sprintf(" hub=%dB", pr.HubCacheBytes)
+	}
+	if pr.MemoryBudgetBytes != 0 {
+		s += fmt.Sprintf(" budget=%dB", pr.MemoryBudgetBytes)
+	}
+	return s
+}
+
 func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker.Query,
-	scfg ridgewalker.ServiceConfig, requests int, pathsOut string, plan mutationPlan) error {
+	explainPlan bool, scfg ridgewalker.ServiceConfig, requests int, pathsOut string, plan mutationPlan) error {
 	if requests < 1 {
 		return fmt.Errorf("serve: requests %d, want >= 1", requests)
 	}
@@ -348,6 +396,17 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 				return err
 			}
 		}
+	}
+	if explainPlan {
+		rec, err := svc.ExplainPlan(cfg)
+		if err != nil {
+			return err
+		}
+		fmt.Print(rec)
+	}
+	for _, ps := range svc.PlanStatus() {
+		fmt.Printf("plan %-20s → %s  observed %.3g steps/s over %d batches (replans=%d)\n",
+			ps.Class, ps.Plan, ps.ObservedStepsPerSec, ps.Observations, ps.Recalibrations)
 	}
 	m := svc.Metrics()
 	for name, c := range m.PerBackend {

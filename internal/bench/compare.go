@@ -126,6 +126,9 @@ func ComparePerf(baseline, fresh *PerfReport, tol float64, absolute bool) (regre
 		regressions = append(regressions, msg)
 		compared++
 	}
+	pmsgs, pcompared := comparePlanner(baseline, fresh)
+	regressions = append(regressions, pmsgs...)
+	compared += pcompared
 	sort.Strings(regressions)
 	return regressions, compared
 }
@@ -159,4 +162,52 @@ func compareMutation(baseline, fresh *PerfReport) string {
 			fm.Speedup, mutationMinSpeedup)
 	}
 	return ""
+}
+
+// plannerMaxRegret caps how far the "auto" backend may fall below the
+// best hand-picked configuration in any {algorithm × procs} cell: 10%,
+// the acceptance criterion. Like the mutation floor, this is a gate on
+// the fresh report alone — regret is already a within-run ratio, so
+// machine speed cancels out by construction and no baseline record is
+// needed to evaluate it.
+const plannerMaxRegret = 0.10
+
+// plannerCrossoverFactor is the empirical-parallelism threshold for the
+// shard-crossover check: only when the cell's best sharded configuration
+// beats its best unsharded one by more than this factor does the runner
+// demonstrably have the parallelism that makes sharding the right call —
+// and then the planner must have picked a sharded plan. Below it (and on
+// single-core cells, where p1 sharding always loses) the check is
+// skipped; WritePlannerTable logs each skip with its reason.
+const plannerCrossoverFactor = 1.2
+
+// comparePlanner gates the planner cells: present in the baseline means
+// the fresh report must carry them too; each fresh cell's regret must
+// stay under the cap; and cells with demonstrated parallel advantage
+// must have resolved to a sharded plan.
+func comparePlanner(baseline, fresh *PerfReport) (msgs []string, compared int) {
+	if len(baseline.Planner) > 0 && len(fresh.Planner) == 0 {
+		return []string{"planner: cells present in baseline but missing from the fresh report (sweep dropped?)"}, 1
+	}
+	for _, p := range fresh.Planner {
+		if p.BestManualStepsPerSec <= 0 {
+			continue
+		}
+		compared++
+		if p.Regret > plannerMaxRegret {
+			msgs = append(msgs, fmt.Sprintf(
+				"planner %s p%d: auto chose %s at %.3g steps/s, best manual %s at %.3g — %.1f%% regret (cap %.0f%%)",
+				p.Algorithm, p.GoMaxProcs, p.Chosen, p.AutoStepsPerSec,
+				p.BestManual, p.BestManualStepsPerSec, 100*p.Regret, 100*plannerMaxRegret))
+		}
+		if p.GoMaxProcs > 1 &&
+			p.BestShardedStepsPerSec > p.BestUnshardedStepsPerSec*plannerCrossoverFactor &&
+			p.ChosenShards <= 1 {
+			msgs = append(msgs, fmt.Sprintf(
+				"planner %s p%d: sharding wins %.2fx on this runner but the plan (%s) is unsharded — shard crossover missed",
+				p.Algorithm, p.GoMaxProcs,
+				p.BestShardedStepsPerSec/p.BestUnshardedStepsPerSec, p.Chosen))
+		}
+	}
+	return msgs, compared
 }

@@ -127,3 +127,105 @@ func TestComparePerfFlagsDroppedConfiguration(t *testing.T) {
 		}
 	}
 }
+
+// plannerFixture attaches one planner cell per procs level to a report.
+// regret sets every cell's regret; sharded controls whether the chosen
+// plan is sharded at p2.
+func plannerFixture(rep *PerfReport, regret float64, sharded bool) {
+	for _, p := range []int{1, 2} {
+		best := 2.2e6 * float64(p)
+		pr := PlannerRecord{
+			Algorithm: "URW", Graph: rep.Graph, GoMaxProcs: p,
+			Chosen: "cpu-pipelined c64", PlanSource: "calibrated",
+			AutoStepsPerSec:          best * (1 - regret),
+			BestManual:               "cpu-pipelined-s4",
+			BestManualStepsPerSec:    best,
+			BestUnshardedStepsPerSec: best / 2,
+			BestShardedStepsPerSec:   best,
+			Regret:                   regret,
+		}
+		if p == 1 {
+			// Single-core cells have no sharded advantage to assert on.
+			pr.BestShardedStepsPerSec = pr.BestUnshardedStepsPerSec * 0.8
+			pr.BestManualStepsPerSec = pr.BestUnshardedStepsPerSec
+		} else if sharded {
+			pr.Chosen, pr.ChosenShards = "cpu-pipelined c64 s4", 4
+		}
+		rep.Planner = append(rep.Planner, pr)
+	}
+}
+
+// TestComparePlannerRegretGate: regret under the cap passes, over fails,
+// and the gate needs no baseline planner cells to evaluate a fresh one.
+func TestComparePlannerRegretGate(t *testing.T) {
+	baseline := perfFixture(1.0, 2.0)
+	fresh := perfFixture(1.0, 2.0)
+	plannerFixture(fresh, 0.05, true)
+	regs, compared := ComparePerf(baseline, fresh, 0.15, false)
+	if compared == 0 {
+		t.Fatal("no records compared")
+	}
+	if len(regs) != 0 {
+		t.Fatalf("5%% regret flagged at the 10%% cap: %v", regs)
+	}
+	over := perfFixture(1.0, 2.0)
+	plannerFixture(over, 0.25, true)
+	regs, _ = ComparePerf(baseline, over, 0.15, false)
+	if len(regs) == 0 {
+		t.Fatal("25% regret not flagged")
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "regret") {
+			t.Fatalf("unexpected regression line: %s", r)
+		}
+	}
+}
+
+// TestComparePlannerShardCrossover: a runner where sharding demonstrably
+// wins at p2 must see a sharded plan; the p1 cell (sharding loses) and
+// the advantage-free case are skipped, not failed.
+func TestComparePlannerShardCrossover(t *testing.T) {
+	baseline := perfFixture(1.0, 2.0)
+	fresh := perfFixture(1.0, 2.0)
+	plannerFixture(fresh, 0.02, false) // sharding wins 2x at p2, plan unsharded
+	regs, _ := ComparePerf(baseline, fresh, 0.15, false)
+	if len(regs) == 0 {
+		t.Fatal("missed shard crossover not flagged")
+	}
+	for _, r := range regs {
+		if !strings.Contains(r, "crossover") {
+			t.Fatalf("unexpected regression line: %s", r)
+		}
+		if strings.Contains(r, "p1") {
+			t.Fatalf("single-core cell must be skipped, not failed: %s", r)
+		}
+	}
+	// No sharded advantage on this runner: check skipped entirely.
+	flat := perfFixture(1.0, 2.0)
+	plannerFixture(flat, 0.02, false)
+	for i := range flat.Planner {
+		flat.Planner[i].BestShardedStepsPerSec = flat.Planner[i].BestUnshardedStepsPerSec
+	}
+	regs, _ = ComparePerf(baseline, flat, 0.15, false)
+	if len(regs) != 0 {
+		t.Fatalf("crossover check fired without empirical sharded advantage: %v", regs)
+	}
+}
+
+// TestComparePlannerFlagsDroppedCells: baseline planner cells missing
+// from the fresh report fail the gate.
+func TestComparePlannerFlagsDroppedCells(t *testing.T) {
+	baseline := perfFixture(1.0, 2.0)
+	plannerFixture(baseline, 0.02, true)
+	fresh := perfFixture(1.0, 2.0)
+	regs, _ := ComparePerf(baseline, fresh, 0.15, false)
+	found := false
+	for _, r := range regs {
+		if strings.Contains(r, "planner") && strings.Contains(r, "missing") {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("dropped planner cells not flagged: %v", regs)
+	}
+}

@@ -138,6 +138,10 @@ type PerfReport struct {
 	// Records holds one entry per backend × algorithm × procs
 	// configuration.
 	Records []PerfRecord `json:"records"`
+	// Planner (schema 5) holds one regret cell per algorithm × procs:
+	// the "auto" backend's realized throughput against the best
+	// hand-picked configuration from Records on the same queries.
+	Planner []PlannerRecord `json:"planner,omitempty"`
 	// SamplerBuild is the alias-store preprocessing measurement, emitted
 	// when the sweep includes DeepWalk (the workload whose sampler is the
 	// O(E) flat alias store); other weighted workloads (node2vec's
@@ -292,7 +296,7 @@ func RunPerf(c *Context) (*PerfReport, error) {
 	name := fmt.Sprintf("rmat-%d-graph500", scale)
 	procs := perfProcs(c.Opts)
 	rep := &PerfReport{
-		Schema:     4,
+		Schema:     5,
 		Graph:      name,
 		Vertices:   g.NumVertices,
 		Edges:      g.NumEdges(),
@@ -365,6 +369,15 @@ func RunPerf(c *Context) (*PerfReport, error) {
 				rec.Graph, rec.Vertices, rec.Edges = name, g.NumVertices, g.NumEdges()
 				rep.Records = append(rep.Records, rec)
 			}
+			// One planner cell per algorithm × procs: the "auto" backend
+			// calibrates, then races the cell's best sweep configuration
+			// in a paired measurement on the same queries.
+			pcell, err := plannerCell(rep, name, gw, wcfg, qs, c.Opts.Repeat)
+			if err != nil {
+				runtime.GOMAXPROCS(prev)
+				return nil, err
+			}
+			rep.Planner = append(rep.Planner, pcell)
 		}
 	}
 	runtime.GOMAXPROCS(prev)

@@ -29,6 +29,7 @@ import (
 	"ridgewalker/internal/core"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/plan"
 	"ridgewalker/internal/walk"
 )
 
@@ -128,6 +129,13 @@ type Config struct {
 	// GPU overrides the gSampler backend's model parameters
 	// (default baselines.DefaultH100).
 	GPU *baselines.GPUConfig
+
+	// Plan tunes the "auto" backend's planner (calibration micro-bench,
+	// probe seed and sizes, drift thresholds). nil means stats-only
+	// planning at Open — cheap enough for one-shot sessions; long-lived
+	// serving layers enable plan.Options.Calibrate. Other backends
+	// ignore it.
+	Plan *plan.Options
 }
 
 // platform returns the configured platform or the given default.
@@ -175,6 +183,10 @@ type BatchResult struct {
 	// Memory carries the session's tiered-memory placement accounting;
 	// nil unless the session was opened with a nonzero MemoryBudgetBytes.
 	Memory *MemoryReport
+	// Plan carries the resolved execution plan for sessions opened
+	// through the "auto" backend (chosen backend and shape, predicted
+	// vs observed steps/sec); nil for manually selected backends.
+	Plan *PlanReport
 }
 
 // Session is a backend bound to one graph and configuration, reusable
@@ -273,4 +285,37 @@ func SupportsVersionedGraphs(name string) bool {
 	}
 	v, ok := b.(VersionedGrapher)
 	return ok && v.SupportsVersionedGraphs()
+}
+
+// PlanReport is the resolved execution decision a planned session runs
+// under, plus its realized throughput — the record that keeps the
+// "auto" backend debuggable instead of a black box.
+type PlanReport struct {
+	// Backend, Cohort, Shards, HubCacheBytes, and MemoryBudgetBytes are
+	// the chosen engine and shape.
+	Backend           string
+	Cohort            int
+	Shards            int
+	HubCacheBytes     int64
+	MemoryBudgetBytes int64
+	// Source and Reason record how the decision was made ("stats",
+	// "calibrated", "replanned") and why.
+	Source string
+	Reason string
+	// Revision counts drift-triggered re-plans of the class.
+	Revision int
+	// PredictedStepsPerSec is the calibration prediction (0 for
+	// stats-only plans); ObservedStepsPerSec is the EWMA of the
+	// session's own runs so far, with Runs counting them.
+	PredictedStepsPerSec float64
+	ObservedStepsPerSec  float64
+	Runs                 int64
+}
+
+// PlanReporter is an optional Session capability: sessions opened
+// through the "auto" backend report the plan they resolved to. The
+// returned report is a snapshot; mutating it does not affect the
+// session.
+type PlanReporter interface {
+	PlanReport() *PlanReport
 }

@@ -37,7 +37,7 @@ func testWorkload(t testing.TB, g *graph.CSR, alg walk.Algorithm, n int) (walk.C
 }
 
 func TestRegistryHasAllBackends(t *testing.T) {
-	want := []string{"cpu", "cpu-pipelined", "cpu-sharded", "fastrw", "gsampler", "lightrw", "ridgewalker", "suetal"}
+	want := []string{"auto", "cpu", "cpu-pipelined", "cpu-sharded", "fastrw", "gsampler", "lightrw", "ridgewalker", "suetal"}
 	if got := Names(); !reflect.DeepEqual(got, want) {
 		t.Fatalf("Names() = %v, want %v", got, want)
 	}

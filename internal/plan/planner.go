@@ -1,0 +1,273 @@
+package plan
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"ridgewalker/internal/graph"
+	"ridgewalker/internal/walk"
+)
+
+// Planner binds the decision machinery to one graph: it computes the
+// statistics once, calibrates lazily per class (first request of a
+// class pays the micro-bench; the result is cached), and folds served
+// observations back in. All methods are safe for concurrent use.
+type Planner struct {
+	g      *graph.CSR
+	cons   Constraints
+	opts   Options
+	runner ProbeRunner
+
+	mu      sync.Mutex
+	stats   GraphStats
+	statsAt uint64 // epoch the stats were computed under
+	probeG  *graph.CSR
+	classes map[Class]*classState
+}
+
+// classState is one class's resolved plan plus its observation stream.
+type classState struct {
+	plan     Plan
+	measured []Measurement
+	calErr   string // why calibration fell back to stats, if it did
+	// Drift tracking: ewma of served steps/sec, the level at adoption
+	// time (set once observations settle), and counters.
+	ewma    float64
+	adopted float64
+	obs     int64
+	recals  int
+	stale   bool // next PlanFor must re-plan
+}
+
+// ClassStatus is one class's externally visible planning state (see
+// Planner.Status and the Service's PlanStatus).
+type ClassStatus struct {
+	Class                Class
+	Plan                 Plan
+	PredictedStepsPerSec float64
+	ObservedStepsPerSec  float64
+	Observations         int64
+	Recalibrations       int
+	CalibrationError     string
+}
+
+// New builds a planner for g. runner may be nil when Options.Calibrate
+// is false (stats-only planning never probes).
+func New(g *graph.CSR, cons Constraints, opts Options, runner ProbeRunner) *Planner {
+	return &Planner{
+		g:       g,
+		cons:    cons,
+		opts:    opts.withDefaults(),
+		runner:  runner,
+		stats:   ComputeStats(g, nil),
+		classes: map[Class]*classState{},
+	}
+}
+
+// Stats returns the statistics the planner decides from.
+func (p *Planner) Stats() GraphStats {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	return p.stats
+}
+
+// RefreshStats recomputes the overlay-dependent statistics for a new
+// serving view (mutations advanced the epoch). Plans are not
+// invalidated here — the serving layer's epoch already re-keys sessions
+// — but a heavily dirtied overlay shifts per-row costs, so the refresh
+// marks every class stale once the dirty fraction crosses 10%, letting
+// the next request of each class re-plan against current reality.
+func (p *Planner) RefreshStats(snap *graph.Snapshot) {
+	st := ComputeStats(p.g, snap)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	crossed := st.OverlayDirtyFraction >= 0.10 && p.stats.OverlayDirtyFraction < 0.10
+	p.stats = st
+	p.statsAt = st.Epoch
+	if crossed {
+		for _, cs := range p.classes {
+			cs.stale = true
+		}
+	}
+}
+
+// probeGraph lazily builds (and caches) the calibration graph.
+func (p *Planner) probeGraph() *graph.CSR {
+	if p.probeG == nil {
+		if p.opts.SubgraphEdges < 0 {
+			p.probeG = p.g
+		} else {
+			p.probeG = SampleSubgraph(p.g, p.opts.SubgraphEdges)
+		}
+	}
+	return p.probeG
+}
+
+// PlanFor resolves the plan serving cfg's class, calibrating on first
+// use (and again after drift or overlay staleness marked the class).
+// The returned plan is a value: later re-plans produce new revisions,
+// they never mutate a plan a caller already holds.
+func (p *Planner) PlanFor(cfg walk.Config) (Plan, error) {
+	if err := cfg.Validate(p.g); err != nil {
+		return Plan{}, err
+	}
+	cls := ClassOf(p.g, cfg)
+	p.mu.Lock()
+	cs := p.classes[cls]
+	if cs != nil && !cs.stale {
+		pl := cs.plan
+		p.mu.Unlock()
+		return pl, nil
+	}
+	rev := 0
+	source := ""
+	if cs != nil {
+		rev = cs.plan.Revision + 1
+		source = "replanned"
+	}
+	st := p.stats
+	probeG := p.probeG
+	p.mu.Unlock()
+
+	// Calibration runs outside the planner lock: probes take real time
+	// and other classes must keep planning meanwhile. The worst case is
+	// two goroutines calibrating the same class concurrently; both
+	// produce the same deterministic workload and the second result
+	// simply overwrites the first.
+	var ms []Measurement
+	var calErr string
+	if p.opts.Calibrate && p.runner != nil {
+		if probeG == nil {
+			p.mu.Lock()
+			probeG = p.probeGraph()
+			p.mu.Unlock()
+		}
+		var err error
+		ms, err = calibrate(probeG, p.g.NumEdges(), cfg, st, p.cons, p.opts, p.runner)
+		if err != nil {
+			calErr = err.Error()
+			ms = nil
+		}
+	}
+	pl := Decide(st, p.cons, ms)
+	pl.Revision = rev
+	if source != "" && pl.Source == "calibrated" {
+		pl.Source = source
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs = p.classes[cls]
+	if cs == nil {
+		cs = &classState{}
+		p.classes[cls] = cs
+	}
+	cs.plan = pl
+	cs.measured = ms
+	cs.calErr = calErr
+	cs.stale = false
+	cs.ewma, cs.adopted, cs.obs = 0, 0, 0
+	return pl, nil
+}
+
+// Observe feeds one served batch's realized steps/sec back into the
+// class. Once MinObservations batches have settled an EWMA, a drift
+// beyond DriftFactor of the adoption-time level (in either direction)
+// marks the class stale: the next PlanFor recalibrates and advances the
+// plan revision, so new sessions pick up the new reality while sessions
+// already serving the old plan finish undisturbed.
+func (p *Planner) Observe(cfg walk.Config, stepsPerSec float64) {
+	if stepsPerSec <= 0 {
+		return
+	}
+	cls := ClassOf(p.g, cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := p.classes[cls]
+	if cs == nil || cs.stale {
+		return
+	}
+	if cs.ewma == 0 {
+		cs.ewma = stepsPerSec
+	} else {
+		cs.ewma = 0.3*stepsPerSec + 0.7*cs.ewma
+	}
+	cs.obs++
+	if cs.obs == int64(p.opts.MinObservations) {
+		cs.adopted = cs.ewma
+	}
+	if cs.adopted > 0 && cs.obs > int64(p.opts.MinObservations) {
+		f := p.opts.DriftFactor
+		if cs.ewma > cs.adopted*f || cs.ewma < cs.adopted/f {
+			cs.stale = true
+			cs.recals++
+		}
+	}
+}
+
+// Status snapshots every class's planning state, sorted by class name.
+func (p *Planner) Status() []ClassStatus {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	out := make([]ClassStatus, 0, len(p.classes))
+	for cls, cs := range p.classes {
+		out = append(out, ClassStatus{
+			Class:                cls,
+			Plan:                 cs.plan,
+			PredictedStepsPerSec: cs.plan.PredictedStepsPerSec,
+			ObservedStepsPerSec:  cs.ewma,
+			Observations:         cs.obs,
+			Recalibrations:       cs.recals,
+			CalibrationError:     cs.calErr,
+		})
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Class.String() < out[j].Class.String() })
+	return out
+}
+
+// Explain renders the full decision record for cfg's class — the
+// statistics, every probed candidate, and the chosen plan — resolving
+// the plan first if the class has none yet.
+func (p *Planner) Explain(cfg walk.Config) (string, error) {
+	pl, err := p.PlanFor(cfg)
+	if err != nil {
+		return "", err
+	}
+	cls := ClassOf(p.g, cfg)
+	p.mu.Lock()
+	st := p.stats
+	cs := p.classes[cls]
+	var ms []Measurement
+	var calErr string
+	var obs float64
+	var nobs int64
+	if cs != nil {
+		ms, calErr, obs, nobs = cs.measured, cs.calErr, cs.ewma, cs.obs
+	}
+	p.mu.Unlock()
+	var b strings.Builder
+	fmt.Fprintf(&b, "class %s\n", cls)
+	fmt.Fprintf(&b, "graph: %d vertices, %d edges, avg degree %.1f, max %d, hub mass %.0f%%, dirty %.1f%%\n",
+		st.Vertices, st.Edges, st.AvgDegree, st.MaxDegree, 100*st.HubMass, 100*st.OverlayDirtyFraction)
+	if calErr != "" {
+		fmt.Fprintf(&b, "calibration unavailable: %s\n", calErr)
+	}
+	for _, m := range ms {
+		if m.Err != "" {
+			fmt.Fprintf(&b, "  probe %-24s failed: %s\n", m.Candidate, m.Err)
+			continue
+		}
+		mark := " "
+		if m.Candidate == pl.Candidate {
+			mark = "*"
+		}
+		fmt.Fprintf(&b, " %s probe %-24s %12.4g steps/s\n", mark, m.Candidate, m.StepsPerSec)
+	}
+	fmt.Fprintf(&b, "plan: %s\n", pl)
+	if nobs > 0 {
+		fmt.Fprintf(&b, "observed: %.4g steps/s over %d batches\n", obs, nobs)
+	}
+	return b.String(), nil
+}

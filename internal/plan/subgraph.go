@@ -1,0 +1,57 @@
+package plan
+
+import (
+	"ridgewalker/internal/graph"
+)
+
+// SampleSubgraph builds the calibration probe graph: a degree-
+// proportional edge sample of g with roughly targetEdges edges. Every
+// vertex is kept and each row keeps a deterministic prefix of its
+// neighbor list scaled by targetEdges/E, so the degree distribution's
+// shape — the property that separates the candidate engines — survives
+// the shrink while candidate session opens drop from O(E) to
+// O(targetEdges). Weights and labels are carried so every algorithm
+// remains servable. Graphs already at or under the target are returned
+// as-is (calibration then probes the real graph and shares its
+// registry-cached samplers with live sessions).
+func SampleSubgraph(g *graph.CSR, targetEdges int64) *graph.CSR {
+	e := g.NumEdges()
+	if targetEdges <= 0 || e <= targetEdges {
+		return g
+	}
+	sub := &graph.CSR{
+		NumVertices: g.NumVertices,
+		RowPtr:      make([]int64, g.NumVertices+1),
+		Directed:    g.Directed,
+		Labels:      g.Labels,
+	}
+	// First pass: scaled degrees. Integer scaling with a shared
+	// remainder accumulator lands the total within one row of the
+	// target without per-row rounding bias.
+	var total, acc int64
+	for v := 0; v < g.NumVertices; v++ {
+		d := g.RowPtr[v+1] - g.RowPtr[v]
+		acc += d * targetEdges
+		keep := acc / e
+		acc -= keep * e
+		if keep > d {
+			keep = d
+		}
+		total += keep
+		sub.RowPtr[v+1] = total
+	}
+	sub.Col = make([]graph.VertexID, total)
+	if g.Weighted() {
+		sub.Weights = make([]float32, total)
+	}
+	for v := 0; v < g.NumVertices; v++ {
+		src := g.RowPtr[v]
+		dst := sub.RowPtr[v]
+		keep := sub.RowPtr[v+1] - dst
+		copy(sub.Col[dst:dst+keep], g.Col[src:src+keep])
+		if sub.Weights != nil {
+			copy(sub.Weights[dst:dst+keep], g.Weights[src:src+keep])
+		}
+	}
+	return sub
+}

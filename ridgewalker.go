@@ -65,6 +65,7 @@ import (
 	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
+	"ridgewalker/internal/plan"
 	"ridgewalker/internal/walk"
 )
 
@@ -322,7 +323,41 @@ type (
 	// to BatchResult when the session was opened with a nonzero
 	// MemoryBudgetBytes.
 	MemoryReport = exec.MemoryReport
+	// PlanOptions tune the "auto" backend's planner: calibration on/off,
+	// probe seed and sizes, subgraph bound, and the drift thresholds
+	// that trigger online re-planning (see BackendConfig.Plan and
+	// ServiceConfig.Plan).
+	PlanOptions = plan.Options
+	// PlanReport is the resolved execution decision attached to
+	// BatchResult (and available via the PlanReporter capability) for
+	// sessions opened through the "auto" backend.
+	PlanReport = exec.PlanReport
+	// PlanClassStatus is one query class's planning state, reported by
+	// Service.PlanStatus: the chosen plan, predicted vs observed
+	// steps/sec, and the drift-triggered recalibration count.
+	PlanClassStatus = plan.ClassStatus
 )
+
+// ExplainPlan renders the "auto" backend's full decision record for a
+// configuration without opening a session: the graph statistics, every
+// probed candidate's measured steps/sec (when cfg.Plan enables
+// calibration), and the chosen plan. The CLI's -explain-plan flag is a
+// thin wrapper over this.
+func ExplainPlan(g *Graph, cfg BackendConfig) (string, error) {
+	return exec.NewPlanner(g, cfg).Explain(cfg.Walk)
+}
+
+// SessionPlan returns the resolved execution plan of a session opened
+// through the "auto" backend (nil, false for manually selected
+// backends) — the chosen engine and shape plus predicted vs observed
+// steps/sec so the planner's choice is inspectable, not a black box.
+func SessionPlan(s Session) (*PlanReport, bool) {
+	pr, ok := s.(exec.PlanReporter)
+	if !ok {
+		return nil, false
+	}
+	return pr.PlanReport(), true
+}
 
 // AutoMemoryBudget returns a fit-the-hubs default memory budget for g:
 // large enough that the high-degree rows carrying the bulk of a

@@ -10,13 +10,18 @@ import (
 
 	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
+	"ridgewalker/internal/plan"
 	"ridgewalker/internal/walk"
 )
 
 // ServiceConfig configures a Service.
 type ServiceConfig struct {
 	// Backend names the execution engine serving requests (see Backends);
-	// default "cpu".
+	// default "auto" — the planner picks a CPU-family engine and shape
+	// per query class from graph statistics, a start-up calibration
+	// micro-bench, and served-query observations (see PlanStatus). Name
+	// a concrete backend ("cpu", "cpu-pipelined", ...) to pin the engine
+	// by hand.
 	Backend string
 	// Platform selects the accelerator memory system for simulator-backed
 	// backends; ignored by the cpu backend.
@@ -61,6 +66,12 @@ type ServiceConfig struct {
 	// Linger bounds how long a submitted request may wait for co-batched
 	// work before its group is flushed anyway. Default 500µs.
 	Linger time.Duration
+	// Plan tunes the "auto" backend's planner. nil enables calibration
+	// with defaults (the service is long-lived, so the start-up
+	// micro-bench amortizes); a non-nil value is used verbatim, so
+	// &PlanOptions{} yields stats-only planning. Ignored when Backend
+	// names a concrete engine.
+	Plan *PlanOptions
 	// DisableAsync and DisableDynamicSched are the "ridgewalker" backend's
 	// Fig. 11 ablation switches; other backends ignore them.
 	DisableAsync        bool
@@ -111,6 +122,12 @@ type Service struct {
 	g   *Graph
 	vg  *graph.Versioned
 	cfg ServiceConfig
+
+	// planner is non-nil when Backend is "auto": it resolves one plan
+	// per query class and folds served steps/sec back in. Guarded by
+	// s.mu (the pointer is swapped when CompactGraph replaces the base
+	// graph); the planner itself is internally synchronized.
+	planner *plan.Planner
 
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
@@ -175,6 +192,13 @@ type batchGroup struct {
 	requests []*request
 	queries  int
 	timer    *time.Timer
+	// planned/plan carry the resolved execution plan under the "auto"
+	// backend. The plan's fingerprint is part of the group key, so every
+	// co-batched request shares one plan revision and a drift-triggered
+	// re-plan keys later requests to a fresh group (and session) instead
+	// of tearing this one.
+	planned bool
+	plan    plan.Plan
 }
 
 // request is one Submit call's share of a batch group.
@@ -191,7 +215,7 @@ type reply struct {
 // NewService builds a serving frontend for g. Close releases it.
 func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 	if cfg.Backend == "" {
-		cfg.Backend = "cpu"
+		cfg.Backend = "auto"
 	}
 	if _, err := exec.Lookup(cfg.Backend); err != nil {
 		return nil, err
@@ -230,11 +254,93 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 		},
 	}
 	s.flushCond = sync.NewCond(&s.flushMu)
+	if cfg.Backend == "auto" {
+		s.planner = s.newPlanner(g)
+		// Service-start calibration: warm the always-valid URW class now
+		// so the first request doesn't pay the micro-bench. Other classes
+		// calibrate on first use, cached per class. Failure is not fatal —
+		// the planner falls back to stats-only decisions.
+		s.planner.PlanFor(walk.DefaultConfig(walk.URW))
+	}
 	s.flushWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.flushWorker()
 	}
 	return s, nil
+}
+
+// newPlanner builds the auto backend's planner over base: the service's
+// pinned knobs become planning constraints, and calibration defaults on
+// unless the caller supplied PlanOptions.
+func (s *Service) newPlanner(base *graph.CSR) *plan.Planner {
+	opts := plan.Options{Calibrate: true}
+	if s.cfg.Plan != nil {
+		opts = *s.cfg.Plan
+	}
+	return exec.NewPlanner(base, exec.Config{
+		Workers:           s.cfg.Workers,
+		Shards:            s.cfg.Shards,
+		Cohort:            s.cfg.Cohort,
+		HubCacheBytes:     s.cfg.HubCacheBytes,
+		MemoryBudgetBytes: s.cfg.MemoryBudgetBytes,
+		Plan:              &opts,
+	})
+}
+
+// resolvePlan returns the current plan for cfg's class (calibrating on
+// first use) plus the key suffix that folds it into request coalescing.
+// Manual backends plan nothing and contribute no suffix.
+func (s *Service) resolvePlan(cfg WalkConfig) (pl plan.Plan, planned bool, suffix string, err error) {
+	s.mu.Lock()
+	p := s.planner
+	s.mu.Unlock()
+	if p == nil {
+		return plan.Plan{}, false, "", nil
+	}
+	pl, err = p.PlanFor(cfg)
+	if err != nil {
+		return plan.Plan{}, false, "", err
+	}
+	return pl, true, "|" + pl.Fingerprint(), nil
+}
+
+// observePlan feeds a served batch's realized throughput back to the
+// planner (drift beyond the configured factor re-plans the class).
+func (s *Service) observePlan(cfg WalkConfig, steps int64, elapsed time.Duration) {
+	s.mu.Lock()
+	p := s.planner
+	s.mu.Unlock()
+	if p == nil || steps == 0 || elapsed <= 0 {
+		return
+	}
+	p.Observe(cfg, float64(steps)/elapsed.Seconds())
+}
+
+// PlanStatus reports the auto backend's per-class planning state: the
+// resolved plan (chosen backend, cohort, shards, memory placement),
+// predicted vs observed steps/sec, and how often drift forced a
+// re-plan. nil when the service runs a manually pinned backend.
+func (s *Service) PlanStatus() []PlanClassStatus {
+	s.mu.Lock()
+	p := s.planner
+	s.mu.Unlock()
+	if p == nil {
+		return nil
+	}
+	return p.Status()
+}
+
+// ExplainPlan renders the full decision record for cfg's class —
+// graph statistics, probed candidates, chosen plan — resolving the plan
+// first if needed. Errors when the service runs a manual backend.
+func (s *Service) ExplainPlan(cfg WalkConfig) (string, error) {
+	s.mu.Lock()
+	p := s.planner
+	s.mu.Unlock()
+	if p == nil {
+		return "", fmt.Errorf("ridgewalker: backend %q is manually pinned (no planner)", s.cfg.Backend)
+	}
+	return p.Explain(cfg)
 }
 
 // flushWorker is one dispatcher-pool goroutine: it drains the flush
@@ -278,11 +384,11 @@ func cfgKey(cfg WalkConfig, epoch uint64) string {
 // releaseSession. Sessions serialize their own batches, so sharing is
 // safe. Deliberately usable while closing: Close drains pending groups
 // through it.
-func (s *Service) acquireSession(key string, cfg WalkConfig, base *graph.CSR, snap *graph.Snapshot, epoch uint64) (*sessionEntry, error) {
+func (s *Service) acquireSession(key string, grp *batchGroup) (*sessionEntry, error) {
 	s.mu.Lock()
 	e := s.sessions[key]
 	if e == nil {
-		e = &sessionEntry{epoch: epoch}
+		e = &sessionEntry{epoch: grp.epoch}
 		s.sessions[key] = e
 	}
 	e.refs++ // pin before evicting so the new entry cannot be the victim
@@ -295,18 +401,31 @@ func (s *Service) acquireSession(key string, cfg WalkConfig, base *graph.CSR, sn
 	// when the overlay was empty) — never over state read at open time,
 	// which a racing mutation could have advanced past the key.
 	e.once.Do(func() {
-		e.ses, e.err = exec.Open(s.cfg.Backend, base, exec.Config{
-			Walk:                cfg,
+		backend := s.cfg.Backend
+		ec := exec.Config{
+			Walk:                grp.cfg,
 			Platform:            s.cfg.Platform,
 			Workers:             s.cfg.Workers,
 			Shards:              s.cfg.Shards,
 			Cohort:              s.cfg.Cohort,
 			HubCacheBytes:       s.cfg.HubCacheBytes,
 			MemoryBudgetBytes:   s.cfg.MemoryBudgetBytes,
-			Snapshot:            snap,
+			Snapshot:            grp.snap,
 			DisableAsync:        s.cfg.DisableAsync,
 			DisableDynamicSched: s.cfg.DisableDynamicSched,
-		})
+		}
+		if grp.planned {
+			// The plan was resolved at key time (its fingerprint is in the
+			// key), so the session opens the chosen concrete engine with the
+			// resolved shape — never "auto" recursively, which would
+			// recalibrate per session open.
+			backend = grp.plan.Backend
+			ec.Shards = grp.plan.Shards
+			ec.Cohort = grp.plan.Cohort
+			ec.HubCacheBytes = grp.plan.HubCacheBytes
+			ec.MemoryBudgetBytes = grp.plan.MemoryBudgetBytes
+		}
+		e.ses, e.err = exec.Open(backend, grp.base, ec)
 	})
 	if e.err != nil {
 		s.mu.Lock()
@@ -357,13 +476,15 @@ func (s *Service) evictLocked() {
 	}
 }
 
-// record folds served work into the metric maps.
-func (s *Service) record(alg Algorithm, epoch uint64, d Counter) {
+// record folds served work into the metric maps. backend is the engine
+// that actually served the batch — under "auto" the resolved backend
+// name, so the metrics show where planned traffic really ran.
+func (s *Service) record(backend string, alg Algorithm, epoch uint64, d Counter) {
 	s.metricsMu.Lock()
 	defer s.metricsMu.Unlock()
-	b := s.metrics.PerBackend[s.cfg.Backend]
+	b := s.metrics.PerBackend[backend]
 	b.add(d)
-	s.metrics.PerBackend[s.cfg.Backend] = b
+	s.metrics.PerBackend[backend] = b
 	a := s.metrics.PerAlgorithm[alg.String()]
 	a.add(d)
 	s.metrics.PerAlgorithm[alg.String()] = a
@@ -404,8 +525,12 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 	if err := cfg.Validate(s.g); err != nil {
 		return nil, err
 	}
+	pl, planned, suffix, err := s.resolvePlan(cfg)
+	if err != nil {
+		return nil, err
+	}
 	base, snap, epoch := s.vg.Serving()
-	key := cfgKey(cfg, epoch)
+	key := cfgKey(cfg, epoch) + suffix
 	req := &request{queries: queries, done: make(chan reply, 1)}
 
 	s.mu.Lock()
@@ -415,7 +540,7 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 	}
 	grp := s.pending[key]
 	if grp == nil {
-		grp = &batchGroup{cfg: cfg, base: base, snap: snap, epoch: epoch}
+		grp = &batchGroup{cfg: cfg, base: base, snap: snap, epoch: epoch, planned: planned, plan: pl}
 		s.pending[key] = grp
 		grp.timer = time.AfterFunc(s.cfg.Linger, func() { s.flush(key, grp) })
 	}
@@ -466,7 +591,7 @@ func (s *Service) flush(key string, grp *batchGroup) {
 // runGroup executes a flushed group on the cached session and distributes
 // per-request results.
 func (s *Service) runGroup(key string, grp *batchGroup) {
-	e, err := s.acquireSession(key, grp.cfg, grp.base, grp.snap, grp.epoch)
+	e, err := s.acquireSession(key, grp)
 	if err != nil {
 		for _, r := range grp.requests {
 			r.done <- reply{err: err}
@@ -475,25 +600,33 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 	}
 	defer s.releaseSession(e)
 	ses := e.ses
+	backend := s.cfg.Backend
+	if grp.planned {
+		backend = grp.plan.Backend
+	}
 	// Backends declaring the BatchMerger capability (the cpu family, whose
 	// per-query RNG streams make walks independent of batch composition)
 	// merge requests into one backend dispatch. The rest — simulators
 	// routing walks through shared pipelines, models requiring unique query
 	// IDs — run requests back-to-back instead, still amortizing the
 	// session's sampler and configuration.
-	merge := exec.MergesBatches(s.cfg.Backend)
+	merge := exec.MergesBatches(backend)
 	ctx := context.Background()
 	if merge {
 		all := make([]walk.Query, 0, grp.queries)
 		for _, r := range grp.requests {
 			all = append(all, r.queries...)
 		}
+		start := time.Now()
 		res, err := ses.Run(ctx, exec.Batch{Queries: all})
 		if err != nil {
 			for _, r := range grp.requests {
 				r.done <- reply{err: err}
 			}
 			return
+		}
+		if grp.planned {
+			s.observePlan(grp.cfg, res.Steps, time.Since(start))
 		}
 		lo := 0
 		var steps int64
@@ -507,7 +640,7 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 			r.done <- reply{res: sub}
 			lo = hi
 		}
-		s.record(grp.cfg.Algorithm, grp.epoch, Counter{
+		s.record(backend, grp.cfg.Algorithm, grp.epoch, Counter{
 			Requests: int64(len(grp.requests)),
 			Queries:  int64(grp.queries),
 			Steps:    steps,
@@ -522,7 +655,7 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 			continue
 		}
 		r.done <- reply{res: &Result{Paths: res.Paths, Steps: res.Steps}}
-		s.record(grp.cfg.Algorithm, grp.epoch, Counter{
+		s.record(backend, grp.cfg.Algorithm, grp.epoch, Counter{
 			Requests: 1,
 			Queries:  int64(len(r.queries)),
 			Steps:    res.Steps,
@@ -543,8 +676,12 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	if err := cfg.Validate(s.g); err != nil {
 		return err
 	}
+	pl, planned, suffix, err := s.resolvePlan(cfg)
+	if err != nil {
+		return err
+	}
 	base, snap, epoch := s.vg.Serving()
-	key := cfgKey(cfg, epoch)
+	key := cfgKey(cfg, epoch) + suffix
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
@@ -553,12 +690,17 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
-	e, err := s.acquireSession(key, cfg, base, snap, epoch)
+	e, err := s.acquireSession(key, &batchGroup{cfg: cfg, base: base, snap: snap, epoch: epoch, planned: planned, plan: pl})
 	if err != nil {
 		return err
 	}
 	defer s.releaseSession(e)
+	backend := s.cfg.Backend
+	if planned {
+		backend = pl.Backend
+	}
 	var steps int64
+	start := time.Now()
 	err = e.ses.Stream(ctx, exec.Batch{Queries: queries}, func(w WalkOutput) error {
 		steps += w.Steps
 		return fn(w)
@@ -566,7 +708,10 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	if err != nil {
 		return err
 	}
-	s.record(cfg.Algorithm, epoch, Counter{
+	if planned {
+		s.observePlan(cfg, steps, time.Since(start))
+	}
+	s.record(backend, cfg.Algorithm, epoch, Counter{
 		Requests: 1,
 		Queries:  int64(len(queries)),
 		Steps:    steps,
@@ -587,6 +732,7 @@ func (s *Service) InsertEdges(edges []Edge) error {
 		return err
 	}
 	s.pruneStaleSessions()
+	s.refreshPlannerStats()
 	return nil
 }
 
@@ -599,6 +745,7 @@ func (s *Service) DeleteEdges(edges []Edge) error {
 		return err
 	}
 	s.pruneStaleSessions()
+	s.refreshPlannerStats()
 	return nil
 }
 
@@ -611,6 +758,15 @@ func (s *Service) DeleteEdges(edges []Edge) error {
 func (s *Service) CompactGraph() *Graph {
 	g := s.vg.Compact()
 	s.pruneStaleSessions()
+	s.mu.Lock()
+	if s.planner != nil {
+		// Compaction replaces the base CSR, so the planner's statistics,
+		// probe subgraph, and calibration cache all describe a dead graph:
+		// rebuild over the new base. Classes recalibrate lazily on their
+		// next request.
+		s.planner = s.newPlanner(g)
+	}
+	s.mu.Unlock()
 	return g
 }
 
@@ -620,6 +776,21 @@ func (s *Service) GraphEpoch() uint64 { return s.vg.Epoch() }
 
 // GraphStats returns the served graph's mutation accounting.
 func (s *Service) GraphStats() GraphVersionStats { return s.vg.Stats() }
+
+// refreshPlannerStats recomputes the planner's overlay-dependent
+// statistics after a mutation: the serving snapshot's dirty fraction is
+// a plan input, and crossing the heavy-dirtiness threshold marks every
+// class for re-planning (see plan.Planner.RefreshStats).
+func (s *Service) refreshPlannerStats() {
+	s.mu.Lock()
+	p := s.planner
+	s.mu.Unlock()
+	if p == nil {
+		return
+	}
+	_, snap, _ := s.vg.Serving()
+	p.RefreshStats(snap)
+}
 
 // pruneStaleSessions closes idle cached sessions keyed to epochs older
 // than the current one. Their keys can never be requested again (the

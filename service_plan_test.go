@@ -1,0 +1,158 @@
+package ridgewalker_test
+
+import (
+	"context"
+	"reflect"
+	"strings"
+	"testing"
+
+	"ridgewalker"
+)
+
+func fastPlanOptions() *ridgewalker.PlanOptions {
+	return &ridgewalker.PlanOptions{
+		Calibrate: true, Queries: 32, WalkLength: 8, Repeat: 1, SubgraphEdges: -1,
+	}
+}
+
+// TestServiceAutoBackendMatchesGolden: the default backend is now the
+// planner ("auto"); whatever engine it resolves per class, served
+// results stay byte-identical to the golden engine, plan status is
+// populated per class, and metrics record the resolved engine — never
+// the literal "auto".
+func TestServiceAutoBackendMatchesGolden(t *testing.T) {
+	g := serviceTestGraph(t)
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Plan: fastPlanOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	ctx := context.Background()
+	for _, alg := range []ridgewalker.Algorithm{
+		ridgewalker.URW, ridgewalker.PPR, ridgewalker.DeepWalk,
+		ridgewalker.Node2Vec, ridgewalker.MetaPath,
+	} {
+		t.Run(alg.String(), func(t *testing.T) {
+			cfg := ridgewalker.DefaultWalkConfig(alg)
+			cfg.WalkLength = 20
+			cfg.Seed = 11
+			qs, err := ridgewalker.RandomQueries(g, cfg, 250, 17)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want, err := ridgewalker.Walk(g, qs, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			got, err := svc.Submit(ctx, cfg, qs)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if !reflect.DeepEqual(got.Paths, want.Paths) {
+				t.Fatal("auto-planned Submit differs from the golden engine")
+			}
+		})
+	}
+	st := svc.PlanStatus()
+	if len(st) != 5 {
+		t.Fatalf("plan status covers %d classes, want 5", len(st))
+	}
+	for _, ps := range st {
+		if ps.Plan.Backend == "" || ps.Plan.Backend == "auto" {
+			t.Fatalf("class %s resolved to %q", ps.Class, ps.Plan.Backend)
+		}
+		if ps.Plan.Source != "calibrated" {
+			t.Fatalf("class %s planned from %q, want calibrated", ps.Class, ps.Plan.Source)
+		}
+		if ps.Observations == 0 {
+			t.Fatalf("class %s recorded no served observations", ps.Class)
+		}
+	}
+	m := svc.Metrics()
+	if _, ok := m.PerBackend["auto"]; ok {
+		t.Fatal(`metrics recorded the literal "auto" instead of the resolved engine`)
+	}
+	var steps int64
+	for _, c := range m.PerBackend {
+		steps += c.Steps
+	}
+	if steps == 0 {
+		t.Fatal("no steps recorded under any resolved backend")
+	}
+}
+
+// TestServiceDriftReplanKeepsResults forces the drift trigger on nearly
+// every batch (MinObservations 1, factor barely above 1) and checks the
+// machinery under churn: revisions advance, and — the actual contract —
+// every re-planned batch still returns byte-identical results, because
+// a plan switch re-keys sessions instead of tearing live ones.
+func TestServiceDriftReplanKeepsResults(t *testing.T) {
+	g := serviceTestGraph(t)
+	opts := fastPlanOptions()
+	opts.MinObservations = 1
+	opts.DriftFactor = 1.000001
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Plan: opts})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.DeepWalk)
+	cfg.WalkLength = 12
+	cfg.Seed = 5
+	qs, err := ridgewalker.RandomQueries(g, cfg, 150, 29)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := ridgewalker.Walk(g, qs, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 12; i++ {
+		got, err := svc.Submit(context.Background(), cfg, qs)
+		if err != nil {
+			t.Fatalf("submit %d: %v", i, err)
+		}
+		if !reflect.DeepEqual(got.Paths, want.Paths) {
+			t.Fatalf("submit %d diverged after a drift re-plan", i)
+		}
+	}
+	for _, ps := range svc.PlanStatus() {
+		if ps.Class.Algorithm != ridgewalker.DeepWalk {
+			continue
+		}
+		if ps.Recalibrations == 0 && ps.Plan.Revision == 0 {
+			t.Fatal("hair-trigger drift settings never forced a re-plan")
+		}
+		return
+	}
+	t.Fatal("DeepWalk class missing from plan status")
+}
+
+// TestServiceExplainPlan: the explain surface renders the decision
+// record for auto services and refuses manually pinned backends.
+func TestServiceExplainPlan(t *testing.T) {
+	g := serviceTestGraph(t)
+	svc, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Plan: fastPlanOptions()})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer svc.Close()
+	cfg := ridgewalker.DefaultWalkConfig(ridgewalker.URW)
+	out, err := svc.ExplainPlan(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, part := range []string{"class URW", "graph:", "probe", "plan:"} {
+		if !strings.Contains(out, part) {
+			t.Fatalf("explain output missing %q:\n%s", part, out)
+		}
+	}
+	pinned, err := ridgewalker.NewService(g, ridgewalker.ServiceConfig{Backend: "cpu"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer pinned.Close()
+	if _, err := pinned.ExplainPlan(cfg); err == nil {
+		t.Fatal("ExplainPlan on a pinned backend should error")
+	}
+}
