@@ -24,6 +24,7 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -72,6 +73,13 @@ func run() error {
 	requests := flag.Int("requests", 16, "serve mode: concurrent requests the workload is split into")
 	maxBatch := flag.Int("max-batch", 4096, "serve mode: max queries coalesced per backend dispatch")
 	linger := flag.Duration("linger", 500*time.Microsecond, "serve mode: max wait for co-batched work")
+	maxInflight := flag.String("max-inflight", "", "serve mode: in-flight query budget — 'auto' (feedback-derived), a count, or empty for unbounded")
+	laneName := flag.String("lane", "interactive", "serve mode: priority lane (interactive | bulk)")
+	laneWeights := flag.String("lane-weights", "", "serve mode: interactive:bulk drain ratio, e.g. 4:1 (empty = default)")
+	tenant := flag.String("tenant", "", "serve mode: tenant name for quota accounting")
+	tenantQPS := flag.Float64("tenant-qps", 0, "serve mode: default per-tenant quota in queries/sec (0 = unlimited)")
+	tenantBurst := flag.Float64("tenant-burst", 0, "serve mode: default per-tenant burst depth in queries")
+	deadline := flag.Duration("deadline", 0, "serve mode: per-request deadline (0 = none); infeasible requests shed fast")
 	mutIns := flag.Int("mutate-insert", 0, "serve mode: insert this many random edges between serving rounds (versioned-graph serving)")
 	mutDel := flag.Int("mutate-delete", 0, "serve mode: then delete this many of the inserted edges")
 	mutCompact := flag.Bool("mutate-compact", false, "serve mode: compact the mutated graph and serve a final round")
@@ -183,6 +191,20 @@ func run() error {
 		return fmt.Errorf("-explain-plan requires -backend auto")
 	}
 	if *serve {
+		inflight, err := parseMaxInflight(*maxInflight)
+		if err != nil {
+			return err
+		}
+		lane, err := parseLane(*laneName)
+		if err != nil {
+			return err
+		}
+		iw, bw, err := parseLaneWeights(*laneWeights)
+		if err != nil {
+			return err
+		}
+		cfg.Lane = lane
+		cfg.Tenant = *tenant
 		return runServe(g, cfg, qs, *explainPlan, ridgewalker.ServiceConfig{
 			Backend:             backend,
 			Platform:            plat,
@@ -193,9 +215,13 @@ func run() error {
 			MemoryBudgetBytes:   budget,
 			MaxBatch:            *maxBatch,
 			Linger:              *linger,
+			MaxInFlight:         inflight,
+			InteractiveWeight:   iw,
+			BulkWeight:          bw,
+			TenantQuota:         ridgewalker.TenantQuota{QPS: *tenantQPS, Burst: *tenantBurst},
 			DisableAsync:        *noAsync,
 			DisableDynamicSched: *noSched,
-		}, *requests, *pathsOut, mutationPlan{
+		}, *requests, *pathsOut, *deadline, mutationPlan{
 			inserts: *mutIns,
 			deletes: *mutDel,
 			compact: *mutCompact,
@@ -277,6 +303,53 @@ func run() error {
 	return writePaths(*pathsOut, res.Paths)
 }
 
+// parseMaxInflight resolves the -max-inflight flag: empty = unbounded,
+// "auto" = the Theorem VI.1 feedback-derived budget, otherwise a count.
+func parseMaxInflight(s string) (int, error) {
+	switch s {
+	case "":
+		return 0, nil
+	case "auto":
+		return ridgewalker.AutoInFlight, nil
+	}
+	n, err := strconv.Atoi(s)
+	if err != nil || n < 1 {
+		return 0, fmt.Errorf("max-inflight: %q, want 'auto' or a positive count", s)
+	}
+	return n, nil
+}
+
+// parseLane resolves the -lane flag.
+func parseLane(s string) (ridgewalker.Lane, error) {
+	switch strings.ToLower(s) {
+	case "interactive":
+		return ridgewalker.LaneInteractive, nil
+	case "bulk":
+		return ridgewalker.LaneBulk, nil
+	}
+	return 0, fmt.Errorf("unknown lane %q (interactive | bulk)", s)
+}
+
+// parseLaneWeights resolves the -lane-weights flag ("I:B"); empty keeps
+// the service default.
+func parseLaneWeights(s string) (interactive, bulk int, err error) {
+	if s == "" {
+		return 0, 0, nil
+	}
+	parts := strings.Split(s, ":")
+	if len(parts) != 2 {
+		return 0, 0, fmt.Errorf("lane-weights: %q, want I:B (e.g. 4:1)", s)
+	}
+	interactive, err = strconv.Atoi(parts[0])
+	if err == nil {
+		bulk, err = strconv.Atoi(parts[1])
+	}
+	if err != nil || interactive < 1 || bulk < 1 {
+		return 0, 0, fmt.Errorf("lane-weights: %q, want two positive integers I:B", s)
+	}
+	return interactive, bulk, nil
+}
+
 // parseMemBudget resolves the -membudget flag: empty = off, "auto" =
 // graph.AutoMemoryBudget, otherwise a byte count (negative = all-cold,
 // for footprint measurement).
@@ -352,7 +425,8 @@ func planShape(pr *ridgewalker.PlanReport) string {
 }
 
 func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker.Query,
-	explainPlan bool, scfg ridgewalker.ServiceConfig, requests int, pathsOut string, plan mutationPlan) error {
+	explainPlan bool, scfg ridgewalker.ServiceConfig, requests int, pathsOut string,
+	deadline time.Duration, plan mutationPlan) error {
 	if requests < 1 {
 		return fmt.Errorf("serve: requests %d, want >= 1", requests)
 	}
@@ -361,7 +435,7 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 		return err
 	}
 	defer svc.Close()
-	paths, err := serveRound(svc, cfg, qs, requests, len(qs), pathsOut != "")
+	paths, err := serveRound(svc, cfg, qs, requests, len(qs), deadline, pathsOut != "")
 	if err != nil {
 		return err
 	}
@@ -385,14 +459,14 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 		st := svc.GraphStats()
 		fmt.Printf("mutated: epoch %d, %d dirty rows (+%d edges, -%d edges)\n",
 			st.Epoch, st.DirtyRows, st.Inserts, st.Deletes)
-		if _, err := serveRound(svc, cfg, qs, requests, len(qs), false); err != nil {
+		if _, err := serveRound(svc, cfg, qs, requests, len(qs), deadline, false); err != nil {
 			return err
 		}
 		if plan.compact {
 			svc.CompactGraph()
 			st = svc.GraphStats()
 			fmt.Printf("compacted: epoch %d, %d compactions\n", st.Epoch, st.Compactions)
-			if _, err := serveRound(svc, cfg, qs, requests, len(qs), false); err != nil {
+			if _, err := serveRound(svc, cfg, qs, requests, len(qs), deadline, false); err != nil {
 				return err
 			}
 		}
@@ -423,13 +497,26 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 				epoch, c.Requests, c.Queries, c.Steps, c.Batches)
 		}
 	}
+	ast := svc.AdmissionStatus()
+	fmt.Printf("admission: budget=%d inflight=%d rate=%.0f q/s/worker window=%v\n",
+		ast.Budget, ast.InFlight, ast.ServiceRate, ast.FeedbackDelay.Round(time.Microsecond))
+	for name, c := range ast.PerLane {
+		fmt.Printf("lane %-15s admitted=%d shed=%d expired=%d\n",
+			name, c.Admitted, c.Shed, c.Expired)
+	}
+	for name, c := range ast.PerTenant {
+		fmt.Printf("tenant %-13s admitted=%d shed=%d expired=%d\n",
+			name, c.Admitted, c.Shed, c.Expired)
+	}
 	return writePaths(pathsOut, paths)
 }
 
 // serveRound fires the workload as concurrent requests and reports wall
 // throughput; it returns the concatenated paths when keepPaths is set.
+// Requests the admission gate sheds (over budget or quota, or an
+// infeasible deadline) are counted and reported, not fatal.
 func serveRound(svc *ridgewalker.Service, cfg ridgewalker.WalkConfig, qs []ridgewalker.Query,
-	requests, total int, keepPaths bool) ([][]ridgewalker.VertexID, error) {
+	requests, total int, deadline time.Duration, keepPaths bool) ([][]ridgewalker.VertexID, error) {
 	chunk := (len(qs) + requests - 1) / requests
 	results := make([]*ridgewalker.Result, requests)
 	errs := make([]error, requests)
@@ -446,26 +533,42 @@ func serveRound(svc *ridgewalker.Service, cfg ridgewalker.WalkConfig, qs []ridge
 		wg.Add(1)
 		go func(r, lo, hi int) {
 			defer wg.Done()
-			results[r], errs[r] = svc.Submit(context.Background(), cfg, qs[lo:hi])
+			ctx := context.Background()
+			if deadline > 0 {
+				var cancel context.CancelFunc
+				ctx, cancel = context.WithTimeout(ctx, deadline)
+				defer cancel()
+			}
+			results[r], errs[r] = svc.Submit(ctx, cfg, qs[lo:hi])
 		}(r, lo, hi)
 	}
 	wg.Wait()
 	el := time.Since(start)
+	shed := 0
 	for r, err := range errs {
-		if err != nil {
+		switch {
+		case err == nil:
+		case errors.Is(err, ridgewalker.ErrOverloaded),
+			errors.Is(err, ridgewalker.ErrQuotaExceeded),
+			errors.Is(err, context.DeadlineExceeded):
+			shed++
+		default:
 			return nil, fmt.Errorf("request %d: %w", r, err)
 		}
 	}
 	var steps int64
 	var paths [][]ridgewalker.VertexID
 	for _, res := range results[:served] {
+		if res == nil {
+			continue
+		}
 		steps += res.Steps
 		if keepPaths {
 			paths = append(paths, res.Paths...)
 		}
 	}
-	fmt.Printf("served %d requests (%d queries, %d steps) in %v — %.1f MStep/s wall (epoch %d)\n",
-		served, total, steps, el.Round(time.Millisecond),
+	fmt.Printf("served %d requests (%d shed, %d queries, %d steps) in %v — %.1f MStep/s wall (epoch %d)\n",
+		served-shed, shed, total, steps, el.Round(time.Millisecond),
 		float64(steps)/el.Seconds()/1e6, svc.GraphEpoch())
 	return paths, nil
 }

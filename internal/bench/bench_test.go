@@ -17,7 +17,7 @@ func TestRegistryComplete(t *testing.T) {
 		"fig3a", "fig8a", "fig8b", "fig8c", "fig8d",
 		"fig9a", "fig9b", "fig9c", "fig9d", "fig10", "fig11",
 		"tab3", "tab4", "obs2", "micro", "shard", "perf", "mutation",
-		"planner",
+		"planner", "serve",
 	}
 	have := map[string]bool{}
 	for _, e := range All() {

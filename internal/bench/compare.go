@@ -129,6 +129,9 @@ func ComparePerf(baseline, fresh *PerfReport, tol float64, absolute bool) (regre
 	pmsgs, pcompared := comparePlanner(baseline, fresh)
 	regressions = append(regressions, pmsgs...)
 	compared += pcompared
+	smsgs, scompared := compareServe(baseline, fresh)
+	regressions = append(regressions, smsgs...)
+	compared += scompared
 	sort.Strings(regressions)
 	return regressions, compared
 }
@@ -208,6 +211,76 @@ func comparePlanner(baseline, fresh *PerfReport) (msgs []string, compared int) {
 				p.Algorithm, p.GoMaxProcs,
 				p.BestShardedStepsPerSec/p.BestUnshardedStepsPerSec, p.Chosen))
 		}
+	}
+	return msgs, compared
+}
+
+// Serving-gate constants. Like the planner regret cap, these gate the
+// fresh report alone — every number is a within-run ratio, so machine
+// speed cancels out and no baseline value is compared. The baseline's
+// role is presence detection: a baseline with a serve section pins the
+// measurement into every future report.
+const (
+	// serveOverloadFactor is the acceptance operating point: 2× the
+	// measured saturation load.
+	serveOverloadFactor = 2.0
+	// serveGoodputTolerance bounds how far admitted goodput at the
+	// overload point may fall below the saturation-point goodput (the
+	// acceptance criterion's 15%): overload must shed the excess, not
+	// collapse the work that was admitted.
+	serveGoodputTolerance = 0.15
+	// serveShedLatencyRatio caps shed-rejection p99 as a fraction of the
+	// saturation-point admitted p50 — "fail fast" means a rejection costs
+	// well under one service time. The true ratio is ~1000× (a mutex
+	// check against milliseconds of walking), so 0.5 is a loose
+	// structural gate, not a tuned threshold.
+	serveShedLatencyRatio = 0.5
+	// serveMinShedSamples is the minimum shed count for the fail-fast
+	// latency gate: a p99 over a handful of samples is noise.
+	serveMinShedSamples = 5
+)
+
+// compareServe gates the serving measurement: present in the baseline
+// means the fresh report must carry it too; at 2× saturation the fresh
+// run must actually shed, hold admitted goodput within tolerance of the
+// saturation point, and reject at well under one service time.
+func compareServe(baseline, fresh *PerfReport) (msgs []string, compared int) {
+	if baseline.Serve == nil {
+		return nil, 0
+	}
+	fs := fresh.Serve
+	if fs == nil {
+		return []string{"serve: present in baseline but missing from the fresh report (harness dropped from the sweep?)"}, 1
+	}
+	point := func(rec *ServeRecord, f float64) *ServePoint {
+		for i := range rec.Points {
+			if rec.Points[i].LoadFactor == f {
+				return &rec.Points[i]
+			}
+		}
+		return nil
+	}
+	over := point(fs, serveOverloadFactor)
+	sat := point(fs, 1.0)
+	if over == nil || sat == nil {
+		return []string{fmt.Sprintf("serve: fresh report lacks the 1.0x/%.1fx load points", serveOverloadFactor)}, 1
+	}
+	compared++
+	if over.Shed == 0 {
+		msgs = append(msgs, fmt.Sprintf(
+			"serve: no requests shed at %.0fx saturation (offered %.0f rps, %d admitted) — admission control is not engaging under overload",
+			serveOverloadFactor, over.OfferedRPS, over.Admitted))
+	}
+	if sat.GoodputRPS > 0 && over.GoodputRPS < sat.GoodputRPS*(1-serveGoodputTolerance) {
+		msgs = append(msgs, fmt.Sprintf(
+			"serve: goodput at %.0fx load is %.0f rps, %.1f%% below the saturation point's %.0f rps (tolerance %.0f%%) — overload is collapsing admitted work instead of shedding excess",
+			serveOverloadFactor, over.GoodputRPS, 100*(1-over.GoodputRPS/sat.GoodputRPS),
+			sat.GoodputRPS, 100*serveGoodputTolerance))
+	}
+	if over.Shed >= serveMinShedSamples && sat.P50MS > 0 && over.ShedP99MS >= sat.P50MS*serveShedLatencyRatio {
+		msgs = append(msgs, fmt.Sprintf(
+			"serve: shed p99 %.3f ms at %.0fx load vs admitted p50 %.3f ms — rejections are not failing fast (cap %.0f%% of a service time)",
+			over.ShedP99MS, serveOverloadFactor, sat.P50MS, 100*serveShedLatencyRatio))
 	}
 	return msgs, compared
 }

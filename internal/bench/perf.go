@@ -151,6 +151,10 @@ type PerfReport struct {
 	// dirty-row sampler rebuild vs cold O(E) rebuild), emitted alongside
 	// SamplerBuild when the sweep includes DeepWalk.
 	Mutation *MutationRecord `json:"mutation,omitempty"`
+	// Serve (schema 6) is the overload-serving measurement: closed-loop
+	// saturation rate plus the open-loop load sweep against the Service's
+	// feedback-derived admission budget (see ServeRecord).
+	Serve *ServeRecord `json:"serve,omitempty"`
 	// Ratios normalizes each configuration to the flat cpu baseline per
 	// algorithm at the same GOMAXPROCS (steps/sec over steps/sec), e.g.
 	// "cpu-pipelined/cpu URW": 1.31 (GOMAXPROCS=1) or
@@ -296,7 +300,7 @@ func RunPerf(c *Context) (*PerfReport, error) {
 	name := fmt.Sprintf("rmat-%d-graph500", scale)
 	procs := perfProcs(c.Opts)
 	rep := &PerfReport{
-		Schema:     5,
+		Schema:     6,
 		Graph:      name,
 		Vertices:   g.NumVertices,
 		Edges:      g.NumEdges(),
@@ -381,6 +385,14 @@ func RunPerf(c *Context) (*PerfReport, error) {
 		}
 	}
 	runtime.GOMAXPROCS(prev)
+	// The serving measurement runs at the host's full GOMAXPROCS (it
+	// exercises the Service front door, not a swept engine shape) on the
+	// suite's unweighted graph.
+	srec, err := runServe(g, name, c.Opts)
+	if err != nil {
+		return nil, err
+	}
+	rep.Serve = srec
 	finishReport(rep)
 	rep.PeakRSSMB = peakRSSMB()
 	return rep, nil
@@ -606,6 +618,15 @@ func WritePerfTable(rep *PerfReport, w io.Writer) error {
 	if mu := rep.Mutation; mu != nil {
 		fmt.Fprintf(w, "mutation maintenance (%d edges mutated, %d dirty rows): incremental %.3f ms vs cold rebuild %.3f ms — %.1fx, dirty fraction %.5f\n",
 			mu.MutatedEdges, mu.DirtyRows, mu.IncrementalMS, mu.ColdRebuildMS, mu.Speedup, mu.DirtyFraction)
+	}
+	if sv := rep.Serve; sv != nil {
+		fmt.Fprintf(w, "serving: saturation %.0f req/s (%d queries/request); budget %d queries",
+			sv.SaturationRPS, sv.RequestQueries, sv.Budget)
+		for _, p := range sv.Points {
+			fmt.Fprintf(w, "; %.1fx load → %.0f rps goodput, %.0f%% shed, p99 %.2f ms (shed p99 %.3f ms)",
+				p.LoadFactor, p.GoodputRPS, 100*p.ShedRate, p.P99MS, p.ShedP99MS)
+		}
+		fmt.Fprintln(w)
 	}
 	keys := make([]string, 0, len(rep.Ratios))
 	for k := range rep.Ratios {

@@ -110,7 +110,7 @@ func (s *cpuSession) forEachWalk(ctx context.Context, batch Batch,
 	return runChunked(ctx, len(batch.Queries), workers, func(w, lo, hi int, stopped func() bool) error {
 		walker := s.walkers[w]
 		for i := lo; i < hi; i++ {
-			if i&0xff == 0 && stopped() {
+			if i&0x3f == 0 && stopped() {
 				if err := ctx.Err(); err != nil {
 					return err
 				}

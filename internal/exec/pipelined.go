@@ -182,18 +182,22 @@ func (s *pipelinedSession) forEachWalk(ctx context.Context, batch Batch,
 		return fmt.Errorf("exec: session is closed")
 	}
 	return runChunked(ctx, len(batch.Queries), workers, func(w, lo, hi int, stopped func() bool) error {
-		done := 0
+		// Cooperative cancellation inside the cohort loop: the pipeline
+		// polls the stop hook once per cohort pass (at most one hop per
+		// lane between polls), so an expired deadline sheds remaining
+		// steps mid-walk instead of finishing the chunk.
+		s.pipes[w].SetStop(stopped)
+		defer s.pipes[w].SetStop(nil)
 		_, err := s.pipes[w].Run(batch.Queries[lo:hi],
 			func(i int, q walk.Query, path []graph.VertexID, steps int64) error {
-				done++
-				if done&0xff == 0 && stopped() {
-					if err := ctx.Err(); err != nil {
-						return err
-					}
-					return errStopped
-				}
 				return emit(w, lo+i, q, path, steps)
 			})
+		if err == walk.ErrStopped {
+			if cerr := ctx.Err(); cerr != nil {
+				return cerr
+			}
+			return errStopped
+		}
 		return err
 	})
 }

@@ -42,6 +42,10 @@ type Pipeline struct {
 	retireFn func(tag int32) error
 	steps    int64
 	err      error // first emit error; once set, emit is never called again
+
+	// stop, when set, is polled once per cohort pass; when it reports
+	// true, Run abandons in-flight lanes and returns ErrStopped.
+	stop func() bool
 }
 
 // NewPipeline builds a pipelined stepper for g under cfg with the given
@@ -119,6 +123,14 @@ func (p *Pipeline) SetTiered(t *graph.Tiered) { p.cohort.SetTiered(t) }
 // graph (see Cohort.SetSnapshot). Call before the first Run.
 func (p *Pipeline) SetSnapshot(snap *graph.Snapshot) { p.cohort.SetSnapshot(snap) }
 
+// SetStop installs a cooperative cancellation hook, polled once per
+// cohort pass (every lane takes at most one hop between polls). When it
+// reports true, Run abandons its in-flight lanes and returns ErrStopped,
+// shedding the batch's remaining steps. nil clears the hook. The hook is
+// retained across Runs; engines that share a Pipeline between batches
+// should install the current batch's hook before each Run.
+func (p *Pipeline) SetStop(stop func() bool) { p.stop = stop }
+
 // Run executes the query batch, delivering each finished walk through
 // emit. Delivery order is unspecified (lanes retire as they terminate);
 // the batch index passed to emit identifies each walk. It returns the
@@ -145,6 +157,14 @@ func (p *Pipeline) Run(queries []Query, emit EmitFunc) (int64, error) {
 		if p.cohort.Len() == 0 {
 			p.emit = nil
 			return p.steps, nil
+		}
+		if p.stop != nil && p.stop() {
+			// Cooperative cancellation checkpoint: shed the remaining steps
+			// of every in-flight lane. Walks already emitted stand; the
+			// abandoned lanes' partial paths are discarded.
+			p.abandon()
+			p.emit = nil
+			return p.steps, ErrStopped
 		}
 		if err := p.cohort.Step(nil, nil, p.retireFn); err != nil {
 			// Drain the cohort without emitting: lanes must not keep stale

@@ -12,6 +12,7 @@
 package walk
 
 import (
+	"errors"
 	"fmt"
 	"sync"
 
@@ -19,6 +20,12 @@ import (
 	"ridgewalker/internal/rng"
 	"ridgewalker/internal/sampling"
 )
+
+// ErrStopped is returned by Pipeline.Run when a stop hook installed with
+// SetStop fires mid-batch: in-flight lanes are abandoned and the batch's
+// remaining steps are shed. Engines map it to their own cancellation
+// cause (typically the context error).
+var ErrStopped = errors.New("walk: stopped")
 
 // Algorithm enumerates the GRW variants of the paper's evaluation (§VIII-A).
 type Algorithm int
@@ -60,6 +67,32 @@ func (a Algorithm) String() string {
 // Algorithms lists all supported variants.
 var Algorithms = []Algorithm{URW, PPR, DeepWalk, Node2Vec, MetaPath}
 
+// Lane is a serving priority class. It is pure scheduling metadata: the
+// Service drains interactive lanes ahead of bulk under weighted-round-
+// robin, but a walk's trajectory never depends on its lane.
+type Lane uint8
+
+const (
+	// LaneInteractive is the latency-sensitive lane (default): user-facing
+	// queries that want the tightest tail latency.
+	LaneInteractive Lane = iota
+	// LaneBulk is the throughput lane: corpus jobs that tolerate queueing
+	// behind interactive traffic.
+	LaneBulk
+)
+
+// String names the lane for metrics keys.
+func (l Lane) String() string {
+	switch l {
+	case LaneInteractive:
+		return "interactive"
+	case LaneBulk:
+		return "bulk"
+	default:
+		return fmt.Sprintf("Lane(%d)", int(l))
+	}
+}
+
 // Config selects the GRW variant and its parameters.
 type Config struct {
 	Algorithm Algorithm
@@ -73,6 +106,13 @@ type Config struct {
 	Schema []uint8
 	// Seed drives all sampling deterministically.
 	Seed uint64
+	// Lane is the serving priority class (interactive vs. bulk). Serving
+	// metadata only: it steers admission and drain order in the Service
+	// and never affects a trajectory.
+	Lane Lane
+	// Tenant identifies the submitting tenant for quota accounting and
+	// fairness. Serving metadata only; empty means the default tenant.
+	Tenant string
 }
 
 // DefaultConfig returns the paper's standard configuration for alg.
@@ -123,13 +163,17 @@ func (c Config) Validate(g *graph.CSR) error {
 	default:
 		return fmt.Errorf("walk: unknown algorithm %d", int(c.Algorithm))
 	}
+	if c.Lane > LaneBulk {
+		return fmt.Errorf("walk: unknown lane %d", int(c.Lane))
+	}
 	return nil
 }
 
 // SamplerSpec maps a validated walk configuration to the parameters that
 // actually determine its Table-I sampler — the registry key. Walk length,
-// α, and the seed never reach a sampler, so configurations differing only
-// in those map to the same spec (and share one registry sampler).
+// α, the seed, and the serving metadata (lane, tenant) never reach a
+// sampler, so configurations differing only in those map to the same spec
+// (and share one registry sampler).
 func SamplerSpec(g *graph.CSR, cfg Config) (sampling.Spec, error) {
 	if err := cfg.Validate(g); err != nil {
 		return sampling.Spec{}, err

@@ -58,9 +58,11 @@ package ridgewalker
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"io"
 
+	"ridgewalker/internal/admit"
 	"ridgewalker/internal/core"
 	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
@@ -153,6 +155,57 @@ const (
 
 // WalkConfig selects the GRW algorithm and parameters.
 type WalkConfig = walk.Config
+
+// Lane is a serving priority class (WalkConfig.Lane). It is scheduling
+// metadata only — the Service admits and drains interactive traffic
+// ahead of bulk, but a walk's trajectory never depends on its lane.
+type Lane = walk.Lane
+
+// Serving priority lanes.
+const (
+	// LaneInteractive is the latency-sensitive lane (the default).
+	LaneInteractive = walk.LaneInteractive
+	// LaneBulk is the throughput lane for corpus jobs.
+	LaneBulk = walk.LaneBulk
+)
+
+// TenantQuota is a per-tenant token-bucket allowance (see ServiceConfig
+// TenantQuota and TenantQuotas): QPS queries per second of sustained
+// refill, Burst queries of instantaneous depth. The zero value is
+// unlimited.
+type TenantQuota = admit.Quota
+
+// AdmissionCounter tallies admission outcomes in queries: Admitted
+// passed the gate, Shed were rejected at admission (budget or quota),
+// Expired were admitted but completed after every submitter's context
+// was gone.
+type AdmissionCounter = admit.Counters
+
+// AdmissionStats is a point-in-time snapshot of the Service admission
+// controller (Service.AdmissionStatus): the current in-flight budget,
+// admitted-but-unfinished query count, EWMA service rate, feedback
+// window, and per-lane/per-tenant outcome counters.
+type AdmissionStats = admit.Stats
+
+// AutoInFlight, as ServiceConfig.MaxInFlight, derives the in-flight
+// budget from the observed service rate via the paper's Theorem VI.1
+// feedback-depth math instead of a static cap.
+const AutoInFlight = admit.Auto
+
+// Serving sentinel errors, matchable with errors.Is through any
+// wrapping the Service applies.
+var (
+	// ErrOverloaded rejects a Submit/Stream that would exceed the
+	// admission budget or provably cannot meet its deadline. Shed
+	// requests fail in microseconds — retry with backoff or downgrade
+	// to LaneBulk.
+	ErrOverloaded = admit.ErrOverloaded
+	// ErrQuotaExceeded rejects a Submit/Stream whose tenant token
+	// bucket has run dry; other tenants are unaffected.
+	ErrQuotaExceeded = admit.ErrQuotaExceeded
+	// ErrServiceClosed rejects work submitted after Service.Close.
+	ErrServiceClosed = errors.New("ridgewalker: service is closed")
+)
 
 // Query is one random-walk request.
 type Query = walk.Query

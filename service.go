@@ -8,6 +8,7 @@ import (
 	"sync"
 	"time"
 
+	"ridgewalker/internal/admit"
 	"ridgewalker/internal/exec"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/plan"
@@ -66,6 +67,28 @@ type ServiceConfig struct {
 	// Linger bounds how long a submitted request may wait for co-batched
 	// work before its group is flushed anyway. Default 500µs.
 	Linger time.Duration
+	// MaxInFlight bounds admitted-but-unfinished queries across the
+	// service; excess load is rejected immediately with ErrOverloaded
+	// instead of queueing without bound. 0 disables the budget (admit
+	// everything — quotas and admission metrics still apply),
+	// AutoInFlight (-1) derives it from the EWMA-observed service rate
+	// via the paper's Theorem VI.1 feedback-depth math, and a positive
+	// value pins it by hand.
+	MaxInFlight int
+	// InteractiveWeight and BulkWeight set the lane draining ratio (and
+	// each lane's share of the in-flight budget). Both zero means the
+	// default 4:1; when set, each must be >= 1 so every lane stays
+	// starvation-free.
+	InteractiveWeight int
+	BulkWeight        int
+	// TenantQuota is the token-bucket allowance applied to tenants
+	// without an explicit TenantQuotas entry. The zero value is
+	// unlimited.
+	TenantQuota TenantQuota
+	// TenantQuotas overrides TenantQuota per WalkConfig.Tenant name.
+	// Submissions beyond a tenant's bucket are rejected with
+	// ErrQuotaExceeded without affecting other tenants.
+	TenantQuotas map[string]TenantQuota
 	// Plan tunes the "auto" backend's planner. nil enables calibration
 	// with defaults (the service is long-lived, so the start-up
 	// micro-bench amortizes); a non-nil value is used verbatim, so
@@ -105,6 +128,11 @@ type ServiceMetrics struct {
 	PerBackend   map[string]Counter
 	PerAlgorithm map[string]Counter
 	PerEpoch     map[uint64]Counter
+	// PerLane and PerTenant tally admission outcomes (admitted / shed /
+	// expired queries) by priority lane and by tenant (the empty tenant
+	// reports as "default").
+	PerLane   map[string]AdmissionCounter
+	PerTenant map[string]AdmissionCounter
 }
 
 // Service is a long-lived walk-serving frontend over one graph and one
@@ -129,6 +157,13 @@ type Service struct {
 	// graph); the planner itself is internally synchronized.
 	planner *plan.Planner
 
+	// admit is the front-door overload gate: every Submit/Stream passes
+	// its lane, tenant, query count, and deadline headroom through
+	// Admit before any work is queued, and completed dispatches feed
+	// their service time back via Observe so the auto budget tracks
+	// what the engine demonstrably sustains.
+	admit *admit.Controller
+
 	mu       sync.Mutex
 	sessions map[string]*sessionEntry
 	seq      int64 // LRU clock for session eviction
@@ -142,14 +177,17 @@ type Service struct {
 	// into unbounded goroutine growth; now group execution is bounded at
 	// Workers pool goroutines and enqueueing never blocks (a
 	// mutex-guarded FIFO, so no hand-off goroutines pile up behind a full
-	// channel either). The queue itself is unbounded: a group enqueues at
-	// most once, but callers that stop waiting (context cancellation)
-	// return while their group — and the query slices it retains — stays
-	// queued until a worker drains it, so sustained submit-then-cancel
-	// floods are throttled only by the pool's drain rate, not by memory.
+	// channel either). The queues are unbounded, but admission bounds
+	// what enters them: a group enqueues at most once, callers that stop
+	// waiting (context cancellation) return while their group stays
+	// queued until a worker drains it, and the admission budget caps the
+	// total queries those queued groups can hold. One FIFO per priority
+	// lane; workers pick the next lane by weighted round-robin, so
+	// interactive groups overtake queued bulk without starving it.
 	flushMu   sync.Mutex
 	flushCond *sync.Cond
-	flushQ    []flushJob
+	flushQs   [admit.NumLanes][]flushJob
+	flushWRR  *admit.WRR
 	flushStop bool
 	flushWG   sync.WaitGroup
 
@@ -186,6 +224,7 @@ type sessionEntry struct {
 // land while the group lingers.
 type batchGroup struct {
 	cfg      WalkConfig
+	lane     int
 	base     *graph.CSR
 	snap     *graph.Snapshot
 	epoch    uint64
@@ -199,11 +238,94 @@ type batchGroup struct {
 	// of tearing this one.
 	planned bool
 	plan    plan.Plan
+
+	// The group context joins its members' contexts: it cancels when
+	// every member's context is done (and the group is sealed — no more
+	// joiners), so one impatient caller cannot abort work its co-batched
+	// peers still want, but a group nobody is waiting for stops burning
+	// engine time mid-walk. A member without a cancelable context pins
+	// the group for its full run.
+	ctx      context.Context
+	cancel   context.CancelFunc
+	cmu      sync.Mutex
+	members  int
+	canceled int
+	sealed   bool // detached from pending: membership is final
+	eternal  bool // some member can never cancel (Background et al.)
+	stops    []func() bool
+}
+
+func newBatchGroup(cfg WalkConfig, base *graph.CSR, snap *graph.Snapshot, epoch uint64, planned bool, pl plan.Plan) *batchGroup {
+	g := &batchGroup{
+		cfg:     cfg,
+		lane:    int(cfg.Lane),
+		base:    base,
+		snap:    snap,
+		epoch:   epoch,
+		planned: planned,
+		plan:    pl,
+	}
+	g.ctx, g.cancel = context.WithCancel(context.Background())
+	return g
+}
+
+// addMember registers one submitter's context with the group. Called
+// while the group is still in pending (membership not yet sealed).
+func (g *batchGroup) addMember(ctx context.Context) {
+	g.cmu.Lock()
+	defer g.cmu.Unlock()
+	g.members++
+	if g.eternal {
+		return
+	}
+	if ctx.Done() == nil {
+		g.eternal = true
+		return
+	}
+	g.stops = append(g.stops, context.AfterFunc(ctx, g.memberDone))
+}
+
+// memberDone runs when one member's context is done.
+func (g *batchGroup) memberDone() {
+	g.cmu.Lock()
+	g.canceled++
+	fire := g.sealed && !g.eternal && g.canceled >= g.members
+	g.cmu.Unlock()
+	if fire {
+		g.cancel()
+	}
+}
+
+// seal marks membership final (the group left pending). Until sealed,
+// all-members-canceled must not cancel the group: a late joiner could
+// still arrive and depend on the run.
+func (g *batchGroup) seal() {
+	g.cmu.Lock()
+	g.sealed = true
+	fire := !g.eternal && g.members > 0 && g.canceled >= g.members
+	g.cmu.Unlock()
+	if fire {
+		g.cancel()
+	}
+}
+
+// releaseCtx detaches the member watchers and releases the group
+// context's resources after the run.
+func (g *batchGroup) releaseCtx() {
+	g.cmu.Lock()
+	stops := g.stops
+	g.stops = nil
+	g.cmu.Unlock()
+	for _, stop := range stops {
+		stop()
+	}
+	g.cancel()
 }
 
 // request is one Submit call's share of a batch group.
 type request struct {
 	queries []Query
+	tenant  string
 	done    chan reply
 }
 
@@ -241,6 +363,18 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 	if cfg.MaxSessions < 1 {
 		return nil, fmt.Errorf("ridgewalker: service max sessions %d, want >= 1", cfg.MaxSessions)
 	}
+	if cfg.MaxInFlight < AutoInFlight {
+		return nil, fmt.Errorf("ridgewalker: service max in-flight %d, want AutoInFlight (-1), 0 (unbounded), or > 0", cfg.MaxInFlight)
+	}
+	weights := [admit.NumLanes]int{cfg.InteractiveWeight, cfg.BulkWeight}
+	if weights != [admit.NumLanes]int{} {
+		// A zero-weight lane would never drain — its queued groups (and
+		// the submitters waiting on them) would hang forever.
+		if cfg.InteractiveWeight < 1 || cfg.BulkWeight < 1 {
+			return nil, fmt.Errorf("ridgewalker: lane weights %d:%d, want both >= 1 (or both 0 for the default)",
+				cfg.InteractiveWeight, cfg.BulkWeight)
+		}
+	}
 	s := &Service{
 		g:        g,
 		vg:       graph.NewVersioned(g),
@@ -253,6 +387,14 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 			PerEpoch:     map[uint64]Counter{},
 		},
 	}
+	s.admit = admit.NewController(admit.Config{
+		Workers:      cfg.Workers,
+		MaxInFlight:  cfg.MaxInFlight,
+		LaneWeights:  weights,
+		DefaultQuota: cfg.TenantQuota,
+		TenantQuotas: cfg.TenantQuotas,
+	})
+	s.flushWRR = admit.NewWRR(weights)
 	s.flushCond = sync.NewCond(&s.flushMu)
 	if cfg.Backend == "auto" {
 		s.planner = s.newPlanner(g)
@@ -343,40 +485,61 @@ func (s *Service) ExplainPlan(cfg WalkConfig) (string, error) {
 	return p.Explain(cfg)
 }
 
-// flushWorker is one dispatcher-pool goroutine: it drains the flush
-// queue, running one detached group at a time, until Close signals stop
-// (by then the queue is empty — Close waits out inflight first).
+// flushWorker is one dispatcher-pool goroutine: it drains the per-lane
+// flush queues, running one detached group at a time, until Close
+// signals stop (by then the queues are empty — Close waits out inflight
+// first). The next lane is picked by weighted round-robin over the
+// non-empty lanes, so interactive groups overtake queued bulk while a
+// sustained interactive flood still grants bulk its weight share of
+// dispatches (starvation-free).
 func (s *Service) flushWorker() {
 	defer s.flushWG.Done()
 	for {
 		s.flushMu.Lock()
-		for len(s.flushQ) == 0 && !s.flushStop {
+		for s.flushEmptyLocked() && !s.flushStop {
 			s.flushCond.Wait()
 		}
-		if len(s.flushQ) == 0 {
+		lane := s.flushWRR.Next(func(l int) bool { return len(s.flushQs[l]) > 0 })
+		if lane < 0 {
 			s.flushMu.Unlock()
-			return
+			return // stopping and every lane is empty
 		}
-		j := s.flushQ[0]
-		s.flushQ[0] = flushJob{}
-		s.flushQ = s.flushQ[1:]
-		if len(s.flushQ) == 0 {
-			s.flushQ = nil // release the drained backing array
+		q := s.flushQs[lane]
+		j := q[0]
+		q[0] = flushJob{}
+		q = q[1:]
+		if len(q) == 0 {
+			q = nil // release the drained backing array
 		}
+		s.flushQs[lane] = q
 		s.flushMu.Unlock()
 		s.runGroup(j.key, j.grp)
 		s.inflight.Done()
 	}
 }
 
+// flushEmptyLocked reports whether every lane's flush queue is empty.
+// Called with flushMu held.
+func (s *Service) flushEmptyLocked() bool {
+	for _, q := range s.flushQs {
+		if len(q) > 0 {
+			return false
+		}
+	}
+	return true
+}
+
 // cfgKey canonicalizes a walk configuration plus the graph epoch it
 // serves for session caching and request coalescing. The epoch dimension
 // keeps sessions epoch-consistent: a mutation advances the epoch, so
 // later requests key to (and open) a fresh session over the new serving
-// view while in-flight groups finish on theirs.
+// view while in-flight groups finish on theirs. The lane dimension keeps
+// priority classes in separate groups (they drain through different
+// flush queues); the tenant is deliberately excluded — quotas gate at
+// admission and cross-tenant co-batching is trajectory-neutral.
 func cfgKey(cfg WalkConfig, epoch uint64) string {
-	return fmt.Sprintf("%d|%d|%g|%g|%g|%v|%d|e%d",
-		cfg.Algorithm, cfg.WalkLength, cfg.Alpha, cfg.P, cfg.Q, cfg.Schema, cfg.Seed, epoch)
+	return fmt.Sprintf("%d|%d|%g|%g|%g|%v|%d|l%d|e%d",
+		cfg.Algorithm, cfg.WalkLength, cfg.Alpha, cfg.P, cfg.Q, cfg.Schema, cfg.Seed, cfg.Lane, epoch)
 }
 
 // acquireSession returns the cached session for a walk configuration,
@@ -511,13 +674,45 @@ func (s *Service) Metrics() ServiceMetrics {
 	for k, v := range s.metrics.PerEpoch {
 		out.PerEpoch[k] = v
 	}
+	ast := s.admit.Stats()
+	out.PerLane = ast.PerLane
+	out.PerTenant = ast.PerTenant
 	return out
+}
+
+// AdmissionStatus snapshots the admission controller: the current
+// in-flight budget (static, or Theorem VI.1-derived under
+// AutoInFlight), admitted-but-unfinished queries, the EWMA service rate
+// and feedback window driving the auto budget, and per-lane/per-tenant
+// admitted/shed/expired counters.
+func (s *Service) AdmissionStatus() AdmissionStats { return s.admit.Stats() }
+
+// deadlineHeadroom converts a submitter's context deadline into the
+// admission gate's headroom argument: time remaining until the deadline
+// (floored at zero), or -1 when the context has none.
+func deadlineHeadroom(ctx context.Context) time.Duration {
+	dl, ok := ctx.Deadline()
+	if !ok {
+		return -1
+	}
+	if h := time.Until(dl); h > 0 {
+		return h
+	}
+	return 0
 }
 
 // Submit executes queries under cfg and returns their paths in input
 // order. Concurrent submissions sharing a walk configuration are coalesced
 // into one backend batch when the backend's determinism permits; the reply
 // always covers exactly the caller's queries.
+//
+// Submissions pass the admission gate first: work beyond the in-flight
+// budget (ServiceConfig.MaxInFlight), the tenant's quota, or the
+// context deadline's feasibility is rejected immediately with
+// ErrOverloaded / ErrQuotaExceeded instead of queueing — rejection
+// costs microseconds where queueing would cost the deadline. ctx also
+// propagates end to end: when every submitter of a batch has canceled,
+// the batch itself is canceled mid-walk and its remaining steps shed.
 func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (*Result, error) {
 	if len(queries) == 0 {
 		return nil, fmt.Errorf("ridgewalker: no queries")
@@ -525,26 +720,35 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 	if err := cfg.Validate(s.g); err != nil {
 		return nil, err
 	}
+	lane := int(cfg.Lane)
+	if err := s.admit.Admit(lane, cfg.Tenant, len(queries), deadlineHeadroom(ctx)); err != nil {
+		return nil, err
+	}
+	// Admitted: from here every path must release the in-flight slots —
+	// early returns directly, joined groups through runGroup's delivery.
 	pl, planned, suffix, err := s.resolvePlan(cfg)
 	if err != nil {
+		s.admit.Release(lane, len(queries))
 		return nil, err
 	}
 	base, snap, epoch := s.vg.Serving()
 	key := cfgKey(cfg, epoch) + suffix
-	req := &request{queries: queries, done: make(chan reply, 1)}
+	req := &request{queries: queries, tenant: cfg.Tenant, done: make(chan reply, 1)}
 
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return nil, fmt.Errorf("ridgewalker: service is closed")
+		s.admit.Release(lane, len(queries))
+		return nil, ErrServiceClosed
 	}
 	grp := s.pending[key]
 	if grp == nil {
-		grp = &batchGroup{cfg: cfg, base: base, snap: snap, epoch: epoch, planned: planned, plan: pl}
+		grp = newBatchGroup(cfg, base, snap, epoch, planned, pl)
 		s.pending[key] = grp
 		grp.timer = time.AfterFunc(s.cfg.Linger, func() { s.flush(key, grp) })
 	}
 	grp.requests = append(grp.requests, req)
+	grp.addMember(ctx)
 	grp.queries += len(queries)
 	full := grp.queries >= s.cfg.MaxBatch
 	if full {
@@ -559,8 +763,10 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 	case r := <-req.done:
 		return r.res, r.err
 	case <-ctx.Done():
-		// The batch keeps running (co-batched requests depend on it); this
-		// caller just stops waiting.
+		// This caller stops waiting. The batch keeps running while any
+		// co-batched request still wants it; once every member's context
+		// is done the group context cancels and the engine sheds the
+		// batch's remaining steps mid-walk.
 		return nil, ctx.Err()
 	}
 }
@@ -582,19 +788,38 @@ func (s *Service) flush(key string, grp *batchGroup) {
 	delete(s.pending, key)
 	s.inflight.Add(1)
 	s.mu.Unlock()
+	// Detached: no more joiners, so all-members-canceled may now cancel
+	// the group context.
+	grp.seal()
 	s.flushMu.Lock()
-	s.flushQ = append(s.flushQ, flushJob{key: key, grp: grp})
+	s.flushQs[grp.lane] = append(s.flushQs[grp.lane], flushJob{key: key, grp: grp})
 	s.flushMu.Unlock()
 	s.flushCond.Signal()
 }
 
+// deliver hands one request its reply and returns its admission slots.
+// An error reply while the group context is canceled means the admitted
+// work expired mid-flight (every submitter was gone), which the
+// controller counts separately from shedding at the gate.
+func (s *Service) deliver(grp *batchGroup, r *request, rep reply) {
+	if rep.err != nil && grp.ctx.Err() != nil {
+		s.admit.Expire(grp.lane, r.tenant, len(r.queries))
+	}
+	r.done <- rep
+	s.admit.Release(grp.lane, len(r.queries))
+}
+
 // runGroup executes a flushed group on the cached session and distributes
-// per-request results.
+// per-request results. The group runs under its joined member context —
+// canceled exactly when every submitter's context is done — so
+// abandoned batches shed their remaining steps at the engine's next
+// cooperative checkpoint instead of completing for nobody.
 func (s *Service) runGroup(key string, grp *batchGroup) {
+	defer grp.releaseCtx()
 	e, err := s.acquireSession(key, grp)
 	if err != nil {
 		for _, r := range grp.requests {
-			r.done <- reply{err: err}
+			s.deliver(grp, r, reply{err: err})
 		}
 		return
 	}
@@ -611,7 +836,7 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 	// IDs — run requests back-to-back instead, still amortizing the
 	// session's sampler and configuration.
 	merge := exec.MergesBatches(backend)
-	ctx := context.Background()
+	ctx := grp.ctx
 	if merge {
 		all := make([]walk.Query, 0, grp.queries)
 		for _, r := range grp.requests {
@@ -621,12 +846,14 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 		res, err := ses.Run(ctx, exec.Batch{Queries: all})
 		if err != nil {
 			for _, r := range grp.requests {
-				r.done <- reply{err: err}
+				s.deliver(grp, r, reply{err: err})
 			}
 			return
 		}
+		service := time.Since(start)
+		s.admit.Observe(len(all), service)
 		if grp.planned {
-			s.observePlan(grp.cfg, res.Steps, time.Since(start))
+			s.observePlan(grp.cfg, res.Steps, service)
 		}
 		lo := 0
 		var steps int64
@@ -637,7 +864,7 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 				sub.Steps += int64(len(p) - 1)
 			}
 			steps += sub.Steps
-			r.done <- reply{res: sub}
+			s.deliver(grp, r, reply{res: sub})
 			lo = hi
 		}
 		s.record(backend, grp.cfg.Algorithm, grp.epoch, Counter{
@@ -649,12 +876,14 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 		return
 	}
 	for _, r := range grp.requests {
+		start := time.Now()
 		res, err := ses.Run(ctx, exec.Batch{Queries: r.queries})
 		if err != nil {
-			r.done <- reply{err: err}
+			s.deliver(grp, r, reply{err: err})
 			continue
 		}
-		r.done <- reply{res: &Result{Paths: res.Paths, Steps: res.Steps}}
+		s.admit.Observe(len(r.queries), time.Since(start))
+		s.deliver(grp, r, reply{res: &Result{Paths: res.Paths, Steps: res.Steps}})
 		s.record(backend, grp.cfg.Algorithm, grp.epoch, Counter{
 			Requests: 1,
 			Queries:  int64(len(r.queries)),
@@ -676,6 +905,11 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	if err := cfg.Validate(s.g); err != nil {
 		return err
 	}
+	lane := int(cfg.Lane)
+	if err := s.admit.Admit(lane, cfg.Tenant, len(queries), deadlineHeadroom(ctx)); err != nil {
+		return err
+	}
+	defer s.admit.Release(lane, len(queries))
 	pl, planned, suffix, err := s.resolvePlan(cfg)
 	if err != nil {
 		return err
@@ -685,12 +919,12 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	s.mu.Lock()
 	if s.closed {
 		s.mu.Unlock()
-		return fmt.Errorf("ridgewalker: service is closed")
+		return ErrServiceClosed
 	}
 	s.inflight.Add(1)
 	s.mu.Unlock()
 	defer s.inflight.Done()
-	e, err := s.acquireSession(key, &batchGroup{cfg: cfg, base: base, snap: snap, epoch: epoch, planned: planned, plan: pl})
+	e, err := s.acquireSession(key, &batchGroup{cfg: cfg, lane: lane, base: base, snap: snap, epoch: epoch, planned: planned, plan: pl})
 	if err != nil {
 		return err
 	}
@@ -706,10 +940,17 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 		return fn(w)
 	})
 	if err != nil {
+		if ctx.Err() != nil {
+			// The caller's deadline expired (or it canceled) mid-stream:
+			// the engine shed the remaining walks at its next checkpoint.
+			s.admit.Expire(lane, cfg.Tenant, len(queries))
+		}
 		return err
 	}
+	service := time.Since(start)
+	s.admit.Observe(len(queries), service)
 	if planned {
-		s.observePlan(cfg, steps, time.Since(start))
+		s.observePlan(cfg, steps, service)
 	}
 	s.record(backend, cfg.Algorithm, epoch, Counter{
 		Requests: 1,
@@ -832,11 +1073,15 @@ func (s *Service) Close() error {
 	s.mu.Unlock()
 	for k, g := range groups {
 		// flush re-checks membership; pending was not cleared, so detach
-		// manually then run inline.
+		// manually then run inline. Each group either drains normally
+		// (some submitter still waits) or — when every member already
+		// canceled — sheds via its joined context; either way every
+		// request gets a reply and no group is silently dropped.
 		s.mu.Lock()
 		if s.pending[k] == g {
 			delete(s.pending, k)
 			s.mu.Unlock()
+			g.seal()
 			s.runGroup(k, g)
 		} else {
 			s.mu.Unlock()
