@@ -84,6 +84,7 @@ func run() error {
 	mutDel := flag.Int("mutate-delete", 0, "serve mode: then delete this many of the inserted edges")
 	mutCompact := flag.Bool("mutate-compact", false, "serve mode: compact the mutated graph and serve a final round")
 	explainPlan := flag.Bool("explain-plan", false, "auto backend: print the planner's decision record (stats, probed candidates, chosen plan)")
+	chaos := flag.String("chaos", "", "serve mode: arm deterministic fault injection, e.g. 'batch-exec=panic:every=3,cold-decode=error:after=5' (comma-separated point=mode[:every=N][:after=N][:limit=N][:tag=backend])")
 	flag.Parse()
 
 	if *cpuProfile != "" {
@@ -189,6 +190,24 @@ func run() error {
 
 	if *explainPlan && backend != "auto" {
 		return fmt.Errorf("-explain-plan requires -backend auto")
+	}
+	if *chaos != "" {
+		if !*serve {
+			// Outside the serving frontend there are no containment
+			// boundaries, breakers, or watchdogs — an injected panic would
+			// just crash the process, which demonstrates nothing.
+			return fmt.Errorf("-chaos requires -serve (fault isolation lives in the serving frontend)")
+		}
+		points, err := ridgewalker.ParseFaultInjection(*chaos)
+		if err != nil {
+			return fmt.Errorf("chaos: %w", err)
+		}
+		defer ridgewalker.DisableFaultInjection()
+		names := make([]string, len(points))
+		for i, p := range points {
+			names[i] = string(p)
+		}
+		fmt.Printf("chaos: armed %s\n", strings.Join(names, ", "))
 	}
 	if *serve {
 		inflight, err := parseMaxInflight(*maxInflight)
@@ -501,12 +520,29 @@ func runServe(g *ridgewalker.Graph, cfg ridgewalker.WalkConfig, qs []ridgewalker
 	fmt.Printf("admission: budget=%d inflight=%d rate=%.0f q/s/worker window=%v\n",
 		ast.Budget, ast.InFlight, ast.ServiceRate, ast.FeedbackDelay.Round(time.Microsecond))
 	for name, c := range ast.PerLane {
-		fmt.Printf("lane %-15s admitted=%d shed=%d expired=%d\n",
-			name, c.Admitted, c.Shed, c.Expired)
+		fmt.Printf("lane %-15s admitted=%d shed=%d expired=%d faulted=%d quarantined=%d watchdog=%d\n",
+			name, c.Admitted, c.Shed, c.Expired, c.Faulted, c.Quarantined, c.WatchdogKilled)
 	}
 	for name, c := range ast.PerTenant {
-		fmt.Printf("tenant %-13s admitted=%d shed=%d expired=%d\n",
-			name, c.Admitted, c.Shed, c.Expired)
+		fmt.Printf("tenant %-13s admitted=%d shed=%d expired=%d faulted=%d quarantined=%d watchdog=%d\n",
+			name, c.Admitted, c.Shed, c.Expired, c.Faulted, c.Quarantined, c.WatchdogKilled)
+	}
+	fr := svc.FaultStatus()
+	if fr.BreakerOpens > 0 || len(fr.Watchdog) > 0 || fr.QuarantinedQueries > 0 {
+		fmt.Printf("faults: breaker-opens=%d quarantined-queries=%d watchdog-kills=%d\n",
+			fr.BreakerOpens, fr.QuarantinedQueries, len(fr.Watchdog))
+		for _, b := range fr.Breakers {
+			fmt.Printf("breaker %-12s state=%s consecutive=%d\n", b.Key, b.State, b.Consecutive)
+		}
+		for _, w := range fr.Watchdog {
+			fmt.Printf("watchdog-kill backend=%s lane=%s tenant=%s epoch=%d stage=%s queries=%d\n",
+				w.Backend, w.Lane, w.Tenant, w.Epoch, w.Stage, w.Queries)
+		}
+	}
+	if counts := ridgewalker.FaultInjectionCounts(); len(counts) > 0 {
+		for p, n := range counts {
+			fmt.Printf("chaos %-14s fired=%d\n", p, n)
+		}
 	}
 	return writePaths(pathsOut, paths)
 }
@@ -551,6 +587,11 @@ func serveRound(svc *ridgewalker.Service, cfg ridgewalker.WalkConfig, qs []ridge
 		case errors.Is(err, ridgewalker.ErrOverloaded),
 			errors.Is(err, ridgewalker.ErrQuotaExceeded),
 			errors.Is(err, context.DeadlineExceeded):
+			shed++
+		case errors.Is(err, ridgewalker.ErrEngineFault),
+			errors.Is(err, ridgewalker.ErrQuarantined):
+			// Chaos mode: contained engine faults are the point of the
+			// exercise — count them as shed and keep reporting.
 			shed++
 		default:
 			return nil, fmt.Errorf("request %d: %w", r, err)

@@ -122,12 +122,26 @@ type Counters struct {
 	// gone by completion — work the deadline-propagation path aborted
 	// mid-walk (or that finished for nobody).
 	Expired int64
+	// Faulted counts admitted queries whose batch group died to a
+	// contained engine fault (injected or organic panic / typed engine
+	// error) — delivered as ErrEngineFault, slots released.
+	Faulted int64
+	// Quarantined counts queries rejected at admission because their
+	// request signature faulted K times in a row.
+	Quarantined int64
+	// WatchdogKilled counts admitted queries whose batch group the
+	// watchdog canceled for lack of heartbeat progress (also counted
+	// Expired by the shed accounting).
+	WatchdogKilled int64
 }
 
 func (c *Counters) add(d Counters) {
 	c.Admitted += d.Admitted
 	c.Shed += d.Shed
 	c.Expired += d.Expired
+	c.Faulted += d.Faulted
+	c.Quarantined += d.Quarantined
+	c.WatchdogKilled += d.WatchdogKilled
 }
 
 // Stats is a point-in-time snapshot of the controller.
@@ -383,6 +397,57 @@ func (c *Controller) Expire(lane int, tenant string, n int) {
 	c.laneCounters[lane].Expired += int64(n)
 	ts, _ := c.tenantLocked(tenant)
 	ts.counters.Expired += int64(n)
+}
+
+// Fault records that n admitted queries on lane for tenant were
+// delivered an engine-fault reply (contained panic or typed engine
+// error). Like Expire it only counts; pair with Release as usual.
+func (c *Controller) Fault(lane int, tenant string, n int) {
+	if lane < 0 || lane >= NumLanes || n < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.laneCounters[lane].Faulted += int64(n)
+	ts, _ := c.tenantLocked(tenant)
+	ts.counters.Faulted += int64(n)
+}
+
+// Quarantine records n queries rejected at the door because their
+// request signature is quarantined (no slots were taken).
+func (c *Controller) Quarantine(lane int, tenant string, n int) {
+	if lane < 0 || lane >= NumLanes || n < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.laneCounters[lane].Quarantined += int64(n)
+	ts, _ := c.tenantLocked(tenant)
+	ts.counters.Quarantined += int64(n)
+}
+
+// WatchdogKill records that n admitted queries' batch group was killed
+// by the progress watchdog. Counting only; pair with Release as usual.
+func (c *Controller) WatchdogKill(lane int, tenant string, n int) {
+	if lane < 0 || lane >= NumLanes || n < 1 {
+		return
+	}
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	c.laneCounters[lane].WatchdogKilled += int64(n)
+	ts, _ := c.tenantLocked(tenant)
+	ts.counters.WatchdogKilled += int64(n)
+}
+
+// ResetObservations clears the service-time EWMAs (rate and feedback
+// delay) so the auto budget re-derives from fresh observations. The
+// serving layer calls it on graph compaction: a new epoch's per-query
+// cost can differ enough that pre-compaction history misprices the
+// in-flight budget. In-flight accounting and counters are untouched.
+func (c *Controller) ResetObservations() {
+	c.mu.Lock()
+	c.muRate, c.delaySec = 0, 0
+	c.mu.Unlock()
 }
 
 // Observe feeds a completed dispatch back into the budget: n queries

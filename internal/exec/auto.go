@@ -7,6 +7,7 @@ import (
 	"sync"
 	"time"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/plan"
 	"ridgewalker/internal/walk"
@@ -39,6 +40,10 @@ func (autoBackend) SupportsMemoryTiering() bool { return true }
 // SupportsVersionedGraphs implements VersionedGrapher: all candidate
 // engines serve epoch snapshots.
 func (autoBackend) SupportsVersionedGraphs() bool { return true }
+
+// Heartbeats implements Heartbeater: every engine the planner can choose
+// is in the CPU family, all of which bump Batch.Heartbeat.
+func (autoBackend) Heartbeats() bool { return true }
 
 func (autoBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if err := cfg.Walk.Validate(g); err != nil {
@@ -85,13 +90,21 @@ func NewPlanner(g *graph.CSR, cfg Config) *plan.Planner {
 // plan.Probe); Close releases the registry sampler borrow.
 func probeRunner(workers int) plan.ProbeRunner {
 	return func(g *graph.CSR, cand plan.Candidate, pcfg walk.Config, qs []walk.Query, budget int64) (plan.Probe, error) {
-		ses, err := Open(cand.Backend, g, Config{
-			Walk:              pcfg,
-			Workers:           workers,
-			Shards:            cand.Shards,
-			Cohort:            cand.Cohort,
-			MemoryBudgetBytes: budget,
-			DiscardPaths:      true,
+		// Contained like probe steps: an Open-path crash (e.g. a sampler
+		// build panic) marks the candidate failed instead of unwinding
+		// through the planner into its caller.
+		var ses Session
+		err := fault.Contain("calibration-probe", func() error {
+			var err error
+			ses, err = Open(cand.Backend, g, Config{
+				Walk:              pcfg,
+				Workers:           workers,
+				Shards:            cand.Shards,
+				Cohort:            cand.Cohort,
+				MemoryBudgetBytes: budget,
+				DiscardPaths:      true,
+			})
+			return err
 		})
 		if err != nil {
 			return nil, err
@@ -109,16 +122,30 @@ type execProbe struct {
 }
 
 func (p *execProbe) Step() (float64, error) {
-	start := time.Now()
-	res, err := p.ses.Run(context.Background(), p.batch)
+	if err := fault.CheckTag(fault.CalibrationProbe, p.cand.Backend); err != nil {
+		return 0, err
+	}
+	// Probe runs are contained like served batches: a panicking candidate
+	// scores as a failed measurement (Decide skips it) instead of taking
+	// down the planner's caller.
+	var sps float64
+	err := fault.Contain("calibration-probe", func() error {
+		start := time.Now()
+		res, err := p.ses.Run(context.Background(), p.batch)
+		if err != nil {
+			return err
+		}
+		el := time.Since(start).Seconds()
+		if el <= 0 || res.Steps == 0 {
+			return fmt.Errorf("exec: probe %s took no steps", p.cand)
+		}
+		sps = float64(res.Steps) / el
+		return nil
+	})
 	if err != nil {
 		return 0, err
 	}
-	el := time.Since(start).Seconds()
-	if el <= 0 || res.Steps == 0 {
-		return 0, fmt.Errorf("exec: probe %s took no steps", p.cand)
-	}
-	return float64(res.Steps) / el, nil
+	return sps, nil
 }
 
 func (p *execProbe) Close() error { return p.ses.Close() }

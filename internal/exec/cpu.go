@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/walk"
@@ -34,6 +35,10 @@ func (cpuBackend) MergesBatches() bool { return true }
 // SupportsMemoryTiering implements MemoryTierer: walkers advance through
 // per-worker TierViews when a budget is set.
 func (cpuBackend) SupportsMemoryTiering() bool { return true }
+
+// Heartbeats implements Heartbeater: the chunk loop bumps
+// Batch.Heartbeat at its every-64-walks checkpoint.
+func (cpuBackend) Heartbeats() bool { return true }
 
 // SupportsVersionedGraphs implements VersionedGrapher: walkers consult
 // the epoch overlay through their staged row views.
@@ -107,14 +112,23 @@ func (s *cpuSession) forEachWalk(ctx context.Context, batch Batch,
 	if workers == 0 {
 		return fmt.Errorf("exec: session is closed")
 	}
+	hb := batch.Heartbeat
 	return runChunked(ctx, len(batch.Queries), workers, func(w, lo, hi int, stopped func() bool) error {
+		if err := fault.CheckTag(fault.BatchExec, "cpu"); err != nil {
+			return err
+		}
 		walker := s.walkers[w]
 		for i := lo; i < hi; i++ {
-			if i&0x3f == 0 && stopped() {
-				if err := ctx.Err(); err != nil {
-					return err
+			if i&0x3f == 0 {
+				if hb != nil {
+					hb.Add(1)
 				}
-				return errStopped
+				if stopped() {
+					if err := ctx.Err(); err != nil {
+						return err
+					}
+					return errStopped
+				}
 			}
 			q := batch.Queries[i]
 			path, steps := walker.Walk(q)

@@ -24,6 +24,7 @@ package exec
 
 import (
 	"context"
+	"sync/atomic"
 
 	"ridgewalker/internal/baselines"
 	"ridgewalker/internal/core"
@@ -153,6 +154,14 @@ func (c Config) platform(def hbm.Platform) hbm.Platform {
 // while simulator backends require unique IDs within a batch.
 type Batch struct {
 	Queries []walk.Query
+
+	// Heartbeat, when non-nil, is incremented by heartbeat-capable
+	// sessions (SupportsHeartbeats) at their cooperative-stop
+	// checkpoints — every 64 walks on the flat engine, every cohort
+	// pass on the pipeline, every finished walk on the sharded engine.
+	// Serving-layer watchdogs watch the counter to tell a slow batch
+	// from a wedged one; sessions without the capability ignore it.
+	Heartbeat *atomic.Int64
 }
 
 // WalkOutput is one finished walk delivered through Session.Stream.
@@ -247,6 +256,27 @@ func MergesBatches(name string) bool {
 	}
 	m, ok := b.(BatchMerger)
 	return ok && m.MergesBatches()
+}
+
+// Heartbeater is an optional Backend capability: backends whose sessions
+// bump Batch.Heartbeat at cooperative-stop checkpoints implement it
+// (returning true), which is what licenses a serving-layer watchdog to
+// treat a flat heartbeat as "wedged" and cancel the batch. Backends
+// without the capability (simulators, analytic models) are never
+// watchdog-killed.
+type Heartbeater interface {
+	Heartbeats() bool
+}
+
+// SupportsHeartbeats reports whether the named backend declares the
+// heartbeat capability. Unknown names report false.
+func SupportsHeartbeats(name string) bool {
+	b, err := Lookup(name)
+	if err != nil {
+		return false
+	}
+	h, ok := b.(Heartbeater)
+	return ok && h.Heartbeats()
 }
 
 // MemoryTierer is an optional Backend capability: backends that honor

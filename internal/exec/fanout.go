@@ -5,6 +5,8 @@ import (
 	"errors"
 	"sync"
 	"sync/atomic"
+
+	"ridgewalker/internal/fault"
 )
 
 // errStopped is returned by a worker to bail out quietly after another
@@ -36,7 +38,13 @@ func runChunked(ctx context.Context, n, workers int, run func(w, lo, hi int, sto
 		wg.Add(1)
 		go func(w, lo, hi int) {
 			defer wg.Done()
-			if err := run(w, lo, hi, stopped); err != nil && err != errStopped {
+			// Panic firewall: a crash in one worker's chunk (walker bug,
+			// corrupted row, injected fault) becomes a typed engine fault
+			// that fails the batch, never the process.
+			err := fault.Contain("exec-worker", func() error {
+				return run(w, lo, hi, stopped)
+			})
+			if err != nil && err != errStopped {
 				errMu.Lock()
 				if firstErr == nil {
 					firstErr = err

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/shard"
@@ -53,6 +54,11 @@ func (pipelinedBackend) SupportsMemoryTiering() bool { return true }
 // SupportsVersionedGraphs implements VersionedGrapher: the cohort Gather
 // stage consults the epoch overlay before the base row.
 func (pipelinedBackend) SupportsVersionedGraphs() bool { return true }
+
+// Heartbeats implements Heartbeater: the cohort stepper bumps
+// Batch.Heartbeat once per cohort pass (sharded composition: per
+// finished walk).
+func (pipelinedBackend) Heartbeats() bool { return true }
 
 func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 	if cfg.Workers < 0 {
@@ -111,7 +117,7 @@ func (pipelinedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 			ref.Release()
 			return nil, err
 		}
-		return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref, tier: ts}, nil
+		return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref, tier: ts, tag: "cpu-pipelined"}, nil
 	}
 	workers := cfg.Workers
 	if workers == 0 {
@@ -181,12 +187,24 @@ func (s *pipelinedSession) forEachWalk(ctx context.Context, batch Batch,
 	if workers == 0 {
 		return fmt.Errorf("exec: session is closed")
 	}
+	hb := batch.Heartbeat
 	return runChunked(ctx, len(batch.Queries), workers, func(w, lo, hi int, stopped func() bool) error {
+		if err := fault.CheckTag(fault.BatchExec, "cpu-pipelined"); err != nil {
+			return err
+		}
 		// Cooperative cancellation inside the cohort loop: the pipeline
 		// polls the stop hook once per cohort pass (at most one hop per
 		// lane between polls), so an expired deadline sheds remaining
-		// steps mid-walk instead of finishing the chunk.
-		s.pipes[w].SetStop(stopped)
+		// steps mid-walk instead of finishing the chunk. The watchdog
+		// heartbeat rides the same poll.
+		hook := stopped
+		if hb != nil {
+			hook = func() bool {
+				hb.Add(1)
+				return stopped()
+			}
+		}
+		s.pipes[w].SetStop(hook)
 		defer s.pipes[w].SetStop(nil)
 		_, err := s.pipes[w].Run(batch.Queries[lo:hi],
 			func(i int, q walk.Query, path []graph.VertexID, steps int64) error {

@@ -7,6 +7,7 @@ import (
 	"sync"
 	"sync/atomic"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/sampling"
 	"ridgewalker/internal/shard"
@@ -42,6 +43,10 @@ func (shardedBackend) SupportsMemoryTiering() bool { return true }
 // SupportsVersionedGraphs implements VersionedGrapher: shard workers
 // consult the epoch overlay through their staged row views.
 func (shardedBackend) SupportsVersionedGraphs() bool { return true }
+
+// Heartbeats implements Heartbeater: the session bumps Batch.Heartbeat
+// on every finished walk.
+func (shardedBackend) Heartbeats() bool { return true }
 
 // defaultShards picks a shard count when the config leaves it zero: one
 // shard per core up to 8 (beyond that, cut-edge traffic outgrows the
@@ -94,7 +99,7 @@ func (shardedBackend) Open(g *graph.CSR, cfg Config) (Session, error) {
 		ref.Release()
 		return nil, err
 	}
-	return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref, tier: ts}, nil
+	return &shardedSession{eng: eng, discard: cfg.DiscardPaths, sampler: ref, tier: ts, tag: "cpu-sharded"}, nil
 }
 
 // shardedSession adapts a shard.Engine to the Session interface. The
@@ -107,6 +112,10 @@ type shardedSession struct {
 	discard bool
 	sampler *sampling.SamplerRef
 	tier    *tierState
+	// tag is the creating backend's name ("cpu-sharded", or
+	// "cpu-pipelined" for the sharded×pipelined composition); it
+	// discriminates BatchExec fault injections.
+	tag string
 }
 
 // MemoryReport implements MemoryReporter (nil for untiered sessions).
@@ -141,11 +150,15 @@ func (s *shardedSession) Run(ctx context.Context, batch Batch) (*BatchResult, er
 	if err != nil {
 		return nil, err
 	}
+	if err := fault.CheckTag(fault.BatchExec, s.tag); err != nil {
+		return nil, err
+	}
 	res := &BatchResult{}
 	if !s.discard {
 		res.Paths = make([][]graph.VertexID, len(batch.Queries))
 	}
 	var steps atomic.Int64
+	hb := batch.Heartbeat
 	// Emits arrive concurrently from shard workers; each batch index is
 	// finished exactly once, so the per-slot writes need no lock.
 	_, err = eng.Run(ctx, batch.Queries, func(i int, _ walk.Query, path []graph.VertexID, st int64) error {
@@ -153,6 +166,9 @@ func (s *shardedSession) Run(ctx context.Context, batch Batch) (*BatchResult, er
 			cp := make([]graph.VertexID, len(path))
 			copy(cp, path)
 			res.Paths[i] = cp
+		}
+		if hb != nil {
+			hb.Add(1)
 		}
 		steps.Add(st)
 		return nil
@@ -170,10 +186,17 @@ func (s *shardedSession) Stream(ctx context.Context, batch Batch, fn func(WalkOu
 	if err != nil {
 		return err
 	}
+	if err := fault.CheckTag(fault.BatchExec, s.tag); err != nil {
+		return err
+	}
+	hb := batch.Heartbeat
 	var outMu sync.Mutex // fn contract: never called concurrently
 	_, err = eng.Run(ctx, batch.Queries, func(_ int, q walk.Query, path []graph.VertexID, st int64) error {
 		outMu.Lock()
 		defer outMu.Unlock()
+		if hb != nil {
+			hb.Add(1)
+		}
 		return fn(WalkOutput{Query: q.ID, Path: path, Steps: st})
 	})
 	return err

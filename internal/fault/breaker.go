@@ -1,0 +1,181 @@
+package fault
+
+import (
+	"sort"
+	"sync"
+	"time"
+)
+
+// Breaker is a per-key (plan-class) circuit breaker over consecutive
+// engine faults. The serving layer reports Fault/Success per executed
+// batch group; when a key accumulates `threshold` consecutive faults
+// the breaker opens (the caller demotes the class to the known-good
+// cpu backend). After `cooldown` the next AllowProbe returns true
+// exactly once (half-open): the caller runs a health probe of the
+// demoted candidate and calls Reset on success or Reopen on failure,
+// which restarts the cool-down clock.
+type Breaker struct {
+	mu        sync.Mutex
+	threshold int
+	cooldown  time.Duration
+	now       func() time.Time
+	keys      map[string]*breakerKey
+	opens     int64
+}
+
+type breakerKey struct {
+	consecutive int
+	open        bool
+	openedAt    time.Time
+	probing     bool // a half-open probe is in flight
+}
+
+// BreakerStatus is one key's snapshot for diagnostics.
+type BreakerStatus struct {
+	Key         string
+	State       string // "closed", "open", "half-open"
+	Consecutive int
+	OpenedAt    time.Time
+}
+
+// NewBreaker returns a breaker opening after `threshold` consecutive
+// faults and half-opening `cooldown` after it last opened.
+func NewBreaker(threshold int, cooldown time.Duration) *Breaker {
+	if threshold < 1 {
+		threshold = 1
+	}
+	return &Breaker{
+		threshold: threshold,
+		cooldown:  cooldown,
+		now:       time.Now,
+		keys:      map[string]*breakerKey{},
+	}
+}
+
+// SetClock overrides the breaker's time source (tests).
+func (b *Breaker) SetClock(now func() time.Time) {
+	b.mu.Lock()
+	b.now = now
+	b.mu.Unlock()
+}
+
+// Fault records one engine fault on key and reports whether this fault
+// transitioned the key's breaker from closed to open (the caller should
+// demote exactly when it did).
+func (b *Breaker) Fault(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := b.key(key)
+	k.consecutive++
+	if !k.open && k.consecutive >= b.threshold {
+		k.open = true
+		k.openedAt = b.now()
+		k.probing = false
+		b.opens++
+		return true
+	}
+	return false
+}
+
+// Success records one fault-free group on key, zeroing its consecutive
+// count. It does not close an open breaker: only a successful half-open
+// probe (Reset) does, so a demoted class serving fine on cpu doesn't
+// mask the original backend's health.
+func (b *Breaker) Success(key string) {
+	b.mu.Lock()
+	if k := b.keys[key]; k != nil {
+		k.consecutive = 0
+	}
+	b.mu.Unlock()
+}
+
+// AllowProbe reports whether key is open, cooled down, and not already
+// being probed; it returns true at most once per cool-down window
+// (marking the key half-open) so exactly one caller runs the health
+// probe.
+func (b *Breaker) AllowProbe(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := b.keys[key]
+	if k == nil || !k.open || k.probing {
+		return false
+	}
+	if b.now().Sub(k.openedAt) < b.cooldown {
+		return false
+	}
+	k.probing = true
+	return true
+}
+
+// Reset closes key's breaker after a successful half-open probe.
+func (b *Breaker) Reset(key string) {
+	b.mu.Lock()
+	if k := b.keys[key]; k != nil {
+		k.open = false
+		k.probing = false
+		k.consecutive = 0
+	}
+	b.mu.Unlock()
+}
+
+// Reopen restarts key's cool-down after a failed half-open probe.
+func (b *Breaker) Reopen(key string) {
+	b.mu.Lock()
+	if k := b.keys[key]; k != nil && k.open {
+		k.probing = false
+		k.openedAt = b.now()
+	}
+	b.mu.Unlock()
+}
+
+// Open reports whether key's breaker is currently open.
+func (b *Breaker) Open(key string) bool {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	k := b.keys[key]
+	return k != nil && k.open
+}
+
+// Opens returns the total number of closed→open transitions.
+func (b *Breaker) Opens() int64 {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	return b.opens
+}
+
+// ResetAll forgets all per-key state (graph swap) but keeps the opens
+// total for metrics continuity.
+func (b *Breaker) ResetAll() {
+	b.mu.Lock()
+	b.keys = map[string]*breakerKey{}
+	b.mu.Unlock()
+}
+
+// Snapshot returns every tracked key's status, sorted by key.
+func (b *Breaker) Snapshot() []BreakerStatus {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	out := make([]BreakerStatus, 0, len(b.keys))
+	for key, k := range b.keys {
+		st := BreakerStatus{Key: key, State: "closed", Consecutive: k.consecutive}
+		if k.open {
+			st.State = "open"
+			st.OpenedAt = k.openedAt
+			if k.probing {
+				st.State = "half-open"
+			}
+		}
+		out = append(out, st)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].Key < out[j].Key })
+	return out
+}
+
+func (b *Breaker) key(key string) *breakerKey {
+	k := b.keys[key]
+	if k == nil {
+		k = &breakerKey{}
+		b.keys[key] = k
+	}
+	return k
+}

@@ -1,0 +1,96 @@
+package fault
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+)
+
+// ParseSpec parses one "point=mode[:k=v...]" fault-injection directive,
+// the syntax the CLI -chaos flag and the chaos tests share:
+//
+//	batch-exec=panic
+//	cold-decode=error:every=3:limit=2
+//	batch-exec=panic:tag=cpu-pipelined:after=1
+//
+// Mode is "error" or "panic"; the optional keys are every, after,
+// limit (ints) and tag (string).
+func ParseSpec(directive string) (Point, Spec, error) {
+	name, rest, ok := strings.Cut(directive, "=")
+	if !ok {
+		return "", Spec{}, fmt.Errorf("fault: bad directive %q (want point=mode[:k=v...])", directive)
+	}
+	point := Point(strings.TrimSpace(name))
+	valid := false
+	for _, p := range Points() {
+		if p == point {
+			valid = true
+			break
+		}
+	}
+	if !valid {
+		return "", Spec{}, fmt.Errorf("fault: unknown injection point %q (have %v)", point, Points())
+	}
+	parts := strings.Split(rest, ":")
+	spec := Spec{Every: 1}
+	switch strings.TrimSpace(parts[0]) {
+	case "error":
+		spec.Mode = ModeError
+	case "panic":
+		spec.Mode = ModePanic
+	default:
+		return "", Spec{}, fmt.Errorf("fault: bad mode %q in %q (want error or panic)", parts[0], directive)
+	}
+	for _, kv := range parts[1:] {
+		k, v, ok := strings.Cut(kv, "=")
+		if !ok {
+			return "", Spec{}, fmt.Errorf("fault: bad option %q in %q (want k=v)", kv, directive)
+		}
+		k, v = strings.TrimSpace(k), strings.TrimSpace(v)
+		if k == "tag" {
+			spec.Tag = v
+			continue
+		}
+		n, err := strconv.Atoi(v)
+		if err != nil || n < 0 {
+			return "", Spec{}, fmt.Errorf("fault: bad value %q for %s in %q", v, k, directive)
+		}
+		switch k {
+		case "every":
+			spec.Every = n
+		case "after":
+			spec.After = n
+		case "limit":
+			spec.Limit = n
+		default:
+			return "", Spec{}, fmt.Errorf("fault: unknown option %q in %q", k, directive)
+		}
+	}
+	if spec.Every < 1 {
+		spec.Every = 1
+	}
+	return point, spec, nil
+}
+
+// ParseSpecs parses a comma-separated list of directives and enables
+// each one, returning the enabled points. On error nothing is enabled.
+func ParseSpecs(directives string) ([]Point, error) {
+	var parsed []Point
+	var specs []Spec
+	for _, d := range strings.Split(directives, ",") {
+		d = strings.TrimSpace(d)
+		if d == "" {
+			continue
+		}
+		p, s, err := ParseSpec(d)
+		if err != nil {
+			return nil, err
+		}
+		parsed = append(parsed, p)
+		specs = append(specs, s)
+	}
+	for i, p := range parsed {
+		Enable(p, specs[i])
+	}
+	return parsed, nil
+}

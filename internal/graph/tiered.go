@@ -4,6 +4,8 @@ import (
 	"encoding/binary"
 	"fmt"
 	"sort"
+
+	"ridgewalker/internal/fault"
 )
 
 // Tiered is a two-tier physical encoding of a CSR: the highest-degree
@@ -241,6 +243,12 @@ func (t *Tiered) HotWeights() []float32 { return t.hotW }
 // the returned buffers across calls makes steady-state decode
 // allocation-free.
 func (t *Tiered) DecodeRowInto(v VertexID, colBuf []VertexID, wtsBuf []float32, wantW bool) ([]VertexID, []float32) {
+	// Armed-guarded injection on the cold hot path: one atomic load when
+	// chaos is off. The decode API has no error return, so any injection
+	// surfaces as a panic the nearest containment boundary converts.
+	if fault.Armed() {
+		fault.MustCheck(fault.ColdDecode)
+	}
 	off, deg, _ := t.Locate(v)
 	d := int(deg)
 	if d == 0 {

@@ -112,8 +112,9 @@ type Plan struct {
 	// based on; 0 when the plan came from statistics alone.
 	PredictedStepsPerSec float64
 	// Source records how the decision was made: "stats" (heuristics
-	// only), "calibrated" (micro-bench), or "replanned" (drift-triggered
-	// recalibration).
+	// only), "calibrated" (micro-bench), "replanned" (drift-triggered
+	// recalibration), "demoted" (circuit breaker fell back to cpu), or
+	// "restored" (half-open health probe reinstated the prior plan).
 	Source string
 	// Reason is a one-line human-readable justification.
 	Reason string

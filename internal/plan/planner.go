@@ -39,6 +39,13 @@ type classState struct {
 	obs     int64
 	recals  int
 	stale   bool // next PlanFor must re-plan
+	// Breaker demotion: while demoted the class serves the known-good
+	// cpu plan and prev holds the pre-demotion plan for Restore's
+	// half-open health probe. Demoted classes neither observe drift nor
+	// recalibrate — the breaker, not the drift detector, owns their
+	// lifecycle until restored.
+	demoted bool
+	prev    Plan
 }
 
 // ClassStatus is one class's externally visible planning state (see
@@ -51,6 +58,8 @@ type ClassStatus struct {
 	Observations         int64
 	Recalibrations       int
 	CalibrationError     string
+	// Demoted reports the class is serving the breaker's cpu fallback.
+	Demoted bool
 }
 
 // New builds a planner for g. runner may be nil when Options.Calibrate
@@ -116,7 +125,7 @@ func (p *Planner) PlanFor(cfg walk.Config) (Plan, error) {
 	cls := ClassOf(p.g, cfg)
 	p.mu.Lock()
 	cs := p.classes[cls]
-	if cs != nil && !cs.stale {
+	if cs != nil && (cs.demoted || !cs.stale) {
 		pl := cs.plan
 		p.mu.Unlock()
 		return pl, nil
@@ -186,7 +195,7 @@ func (p *Planner) Observe(cfg walk.Config, stepsPerSec float64) {
 	p.mu.Lock()
 	defer p.mu.Unlock()
 	cs := p.classes[cls]
-	if cs == nil || cs.stale {
+	if cs == nil || cs.stale || cs.demoted {
 		return
 	}
 	if cs.ewma == 0 {
@@ -207,6 +216,115 @@ func (p *Planner) Observe(cfg walk.Config, stepsPerSec float64) {
 	}
 }
 
+// Demote switches cfg's class to the known-good flat cpu backend after
+// its circuit breaker opened, stashing the current plan for Restore.
+// The demoted plan keeps the constraint memory knobs and advances the
+// revision — Revision feeds the plan fingerprint, so serving layers
+// re-coalesce onto fresh sessions instead of reusing ones the faulting
+// backend may have corrupted. Demoting an already-demoted class is a
+// no-op returning the current plan.
+func (p *Planner) Demote(cfg walk.Config, reason string) (Plan, bool) {
+	cls := ClassOf(p.g, cfg)
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs := p.classes[cls]
+	if cs == nil {
+		cs = &classState{}
+		p.classes[cls] = cs
+	}
+	if cs.demoted {
+		return cs.plan, false
+	}
+	pl := Plan{
+		Candidate:         Candidate{Backend: "cpu"},
+		MemoryBudgetBytes: p.cons.MemoryBudgetBytes,
+		Source:            "demoted",
+		Reason:            reason,
+		Revision:          cs.plan.Revision + 1,
+	}
+	if p.cons.MemoryBudgetBytes == 0 {
+		pl.HubCacheBytes = p.cons.HubCacheBytes
+	}
+	cs.prev = cs.plan
+	cs.demoted = true
+	cs.stale = false
+	cs.plan = pl
+	cs.ewma, cs.adopted, cs.obs = 0, 0, 0
+	return pl, true
+}
+
+// Restore attempts to lift cfg's class out of demotion (the breaker
+// half-opened): it health-probes the stashed pre-demotion candidate —
+// one contained probe batch through the same runner calibration uses,
+// so a still-faulting backend fails here instead of on served traffic —
+// and on success reinstates that plan at a fresh revision. It returns
+// false (class stays demoted) when the probe fails; the caller reopens
+// the breaker. A planner without a probe runner restores optimistically:
+// the breaker re-demotes on the next fault.
+func (p *Planner) Restore(cfg walk.Config) (Plan, bool) {
+	cls := ClassOf(p.g, cfg)
+	p.mu.Lock()
+	cs := p.classes[cls]
+	if cs == nil || !cs.demoted {
+		p.mu.Unlock()
+		return Plan{}, false
+	}
+	prev := cs.prev
+	runner := p.runner
+	probeG := p.probeGraph()
+	p.mu.Unlock()
+
+	if runner != nil {
+		if err := p.healthProbe(probeG, prev.Candidate, cfg); err != nil {
+			return Plan{}, false
+		}
+	}
+
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	cs = p.classes[cls]
+	if cs == nil || !cs.demoted {
+		return Plan{}, false
+	}
+	pl := prev
+	pl.Source = "restored"
+	pl.Reason = "half-open health probe succeeded"
+	pl.Revision = cs.plan.Revision + 1
+	cs.plan = pl
+	cs.demoted = false
+	cs.stale = false
+	cs.ewma, cs.adopted, cs.obs = 0, 0, 0
+	return pl, true
+}
+
+// healthProbe opens cand once on the probe graph and runs a single
+// probe batch, reporting any open/run error. The deliberate contrast
+// with full recalibration: a restore must bring back the plan the class
+// had, not re-run the candidate tournament.
+func (p *Planner) healthProbe(probeG *graph.CSR, cand Candidate, cfg walk.Config) error {
+	pcfg := ProbeConfig(cfg, p.opts)
+	qs, err := walk.RandomQueries(probeG, pcfg, p.opts.Queries, p.opts.Seed)
+	if err != nil {
+		return err
+	}
+	budget := p.cons.MemoryBudgetBytes
+	if budget > 0 {
+		if pe, fe := probeG.NumEdges(), p.g.NumEdges(); pe < fe && fe > 0 {
+			budget = budget * pe / fe
+			if budget < 1<<16 {
+				budget = 1 << 16
+			}
+		}
+	}
+	probe, err := p.runner(probeG, cand, pcfg, qs, budget)
+	if err != nil {
+		return err
+	}
+	defer probe.Close()
+	_, err = probe.Step()
+	return err
+}
+
 // Status snapshots every class's planning state, sorted by class name.
 func (p *Planner) Status() []ClassStatus {
 	p.mu.Lock()
@@ -221,6 +339,7 @@ func (p *Planner) Status() []ClassStatus {
 			Observations:         cs.obs,
 			Recalibrations:       cs.recals,
 			CalibrationError:     cs.calErr,
+			Demoted:              cs.demoted,
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].Class.String() < out[j].Class.String() })

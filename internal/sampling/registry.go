@@ -6,6 +6,7 @@ import (
 	"strings"
 	"sync"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 )
 
@@ -227,6 +228,11 @@ func (r *SamplerRef) Release() {
 // first use. Concurrent acquisitions of the same key share one build;
 // acquisitions of different keys never wait on each other's builds.
 func (reg *Registry) Acquire(g *graph.CSR, spec Spec) (*SamplerRef, error) {
+	// Injection sits before any registry mutation: a panic here leaves no
+	// half-registered entry behind.
+	if err := fault.Check(fault.SamplerBuild); err != nil {
+		return nil, err
+	}
 	key := regKey{g: g, ver: g.Version(), spec: spec}
 	reg.mu.Lock()
 	e := reg.entries[key]
@@ -245,6 +251,14 @@ func (reg *Registry) Acquire(g *graph.CSR, spec Spec) (*SamplerRef, error) {
 		reg.drop(key, e)
 		return nil, e.err
 	}
+	if e.sampler == nil {
+		// The building goroutine panicked inside the once (and was
+		// contained upstream): the once is burned but the entry holds
+		// nothing. Evict so a later Acquire rebuilds instead of serving a
+		// nil sampler forever.
+		reg.drop(key, e)
+		return nil, fmt.Errorf("sampling: sampler build for %v aborted", spec)
+	}
 	return &SamplerRef{reg: reg, key: key, e: e}, nil
 }
 
@@ -260,6 +274,9 @@ func (reg *Registry) AcquireSnapshot(snap *graph.Snapshot, spec Spec) (*SamplerR
 	g := snap.Graph()
 	if spec.Kind != KindAlias || snap.NumDirty() == 0 {
 		return reg.Acquire(g, spec)
+	}
+	if err := fault.Check(fault.SamplerBuild); err != nil {
+		return nil, err
 	}
 	if spec.TierBudget != 0 {
 		return nil, fmt.Errorf("sampling: tiered alias store cannot serve a dirty snapshot (use a flat spec; the graph tier keeps the budget)")
@@ -297,6 +314,12 @@ func (reg *Registry) AcquireSnapshot(snap *graph.Snapshot, spec Spec) (*SamplerR
 	if e.err != nil {
 		reg.drop(key, e)
 		return nil, e.err
+	}
+	if e.sampler == nil {
+		// Burned once with no sampler: the deriving goroutine panicked and
+		// was contained upstream (see Acquire).
+		reg.drop(key, e)
+		return nil, fmt.Errorf("sampling: snapshot sampler derivation for %v aborted", spec)
 	}
 	return &SamplerRef{reg: reg, key: key, e: e}, nil
 }

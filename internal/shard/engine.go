@@ -2,11 +2,13 @@ package shard
 
 import (
 	"context"
+	"errors"
 	"fmt"
 	"runtime"
 	"sync"
 	"sync/atomic"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/rng"
 	"ridgewalker/internal/sampling"
@@ -358,6 +360,12 @@ func (r *run) advanceRec(wi int, ws *workerState) {
 		if dst == ws.shardID {
 			continue
 		}
+		// Hand-off injection point (armed-guarded: one atomic load when
+		// chaos is off); surfaces as a panic the shard-worker containment
+		// converts to an engine fault.
+		if fault.Armed() {
+			fault.MustCheck(fault.ShardHandoff)
+		}
 		c := m.route(&ws.rr, dst)
 		if m.rings[wi][c].push(w) {
 			r.migrations.Add(1)
@@ -374,6 +382,9 @@ func (r *run) advanceRec(wi int, ws *workerState) {
 // was synced). A full ring parks the lane on the stalled list; the
 // worker retries after the pass and re-admits locally if still full.
 func (r *run) ejectLane(wi int, ws *workerState, tag int32) {
+	if fault.Armed() {
+		fault.MustCheck(fault.ShardHandoff)
+	}
 	m := r.m
 	c := m.route(&ws.rr, int(ws.dst[tag]))
 	if m.rings[wi][c].push(&ws.recs[tag]) {
@@ -391,6 +402,18 @@ func (r *run) ejectLane(wi int, ws *workerState, tag int32) {
 // doorbells, park when idle.
 func (r *run) workerDF(wi int) {
 	defer r.wg.Done()
+	// Panic firewall: a crash while advancing one walker fails the run
+	// (closing abortCh wakes every parked worker and the injector) and
+	// quarantines the mesh, never the process.
+	if err := fault.Contain("shard-worker", func() error {
+		r.workerDFLoop(wi)
+		return nil
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+func (r *run) workerDFLoop(wi int) {
 	m := r.m
 	ws := m.workers[wi]
 	for {
@@ -431,6 +454,15 @@ func (r *run) workerDF(wi int) {
 // wait in the ring, not in a growing slice.
 func (r *run) workerCohort(wi int) {
 	defer r.wg.Done()
+	if err := fault.Contain("shard-worker", func() error {
+		r.workerCohortLoop(wi)
+		return nil
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+func (r *run) workerCohortLoop(wi int) {
 	m := r.m
 	ws := m.workers[wi]
 	cohort := ws.cohort
@@ -503,6 +535,17 @@ func (r *run) flushInjectorBells() {
 // finish. It parks on the injector doorbell when no record is free and
 // yields when a destination ring is full (the consumer always drains).
 func (r *run) inject(ctx context.Context, queries []walk.Query) {
+	// The injector runs on Run's caller goroutine; containment here keeps
+	// an injection-path crash inside the run like any worker crash.
+	if err := fault.Contain("shard-inject", func() error {
+		r.injectLoop(ctx, queries)
+		return nil
+	}); err != nil {
+		r.fail(err)
+	}
+}
+
+func (r *run) injectLoop(ctx context.Context, queries []walk.Query) {
 	m, e := r.m, r.eng
 	freeTop := len(m.pool)
 	if freeTop > len(queries) {
@@ -604,6 +647,13 @@ func (e *Engine) Run(ctx context.Context, queries []walk.Query, fn EmitFunc) (Ru
 	}
 	err := r.err
 	m.run = nil
-	e.putMesh(m)
+	if errors.Is(err, fault.ErrEngineFault) {
+		// A contained panic can leave the mesh's cohort lanes and ring
+		// cursors mid-mutation; a concurrent Run drawing it from the cache
+		// would inherit the corruption. Drop it — the next Run builds
+		// fresh.
+	} else {
+		e.putMesh(m)
+	}
 	return stats, err
 }

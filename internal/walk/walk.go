@@ -16,6 +16,7 @@ import (
 	"fmt"
 	"sync"
 
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/rng"
 	"ridgewalker/internal/sampling"
@@ -198,6 +199,9 @@ func SamplerSpec(g *graph.CSR, cfg Config) (sampling.Spec, error) {
 // algorithm. Long-lived sessions should prefer AcquireSampler, which
 // shares the (potentially O(E)) sampler state through the registry.
 func BuildSampler(g *graph.CSR, cfg Config) (sampling.Sampler, error) {
+	if err := fault.Check(fault.SamplerBuild); err != nil {
+		return nil, err
+	}
 	spec, err := SamplerSpec(g, cfg)
 	if err != nil {
 		return nil, err

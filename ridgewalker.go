@@ -65,6 +65,7 @@ import (
 	"ridgewalker/internal/admit"
 	"ridgewalker/internal/core"
 	"ridgewalker/internal/exec"
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/hbm"
 	"ridgewalker/internal/plan"
@@ -205,6 +206,20 @@ var (
 	ErrQuotaExceeded = admit.ErrQuotaExceeded
 	// ErrServiceClosed rejects work submitted after Service.Close.
 	ErrServiceClosed = errors.New("ridgewalker: service is closed")
+	// ErrEngineFault marks a contained engine crash: a panic inside a
+	// backend (or an injected fault) was caught at a containment
+	// boundary and delivered to the affected submitters as a typed
+	// error. The service keeps serving; the faulted session is
+	// discarded, the query class's circuit breaker advances, and
+	// repeatedly-faulting queries are quarantined.
+	ErrEngineFault = fault.ErrEngineFault
+	// ErrQuarantined rejects a Submit/Stream carrying a query that has
+	// already caused ServiceConfig.QuarantineThreshold engine faults — a
+	// deterministic poison query cannot keep crashing fresh sessions.
+	ErrQuarantined = errors.New("ridgewalker: query quarantined after repeated engine faults")
+	// ErrEngineStalled wraps a batch the watchdog canceled for making no
+	// engine progress (heartbeat stopped advancing).
+	ErrEngineStalled = errors.New("ridgewalker: engine stalled (watchdog)")
 )
 
 // Query is one random-walk request.
@@ -440,3 +455,47 @@ func BackendSupportsVersionedGraphs(name string) bool { return exec.SupportsVers
 func OpenBackend(name string, g *Graph, cfg BackendConfig) (Session, error) {
 	return exec.Open(name, g, cfg)
 }
+
+// Fault injection and fault-isolation surface. The library threads named
+// injection points through its engine hot paths (sampler build, cold-row
+// decode, shard ring hand-off, dispatcher flush, calibration probes,
+// batch execution); arming one makes the point fail — as a typed error
+// or a panic — on a deterministic schedule, exercising the same
+// containment, breaker, quarantine, and watchdog machinery a real crash
+// would. Disarmed points cost one atomic load. The chaos tests and the
+// CLI's -chaos flag are built on this.
+type (
+	// FaultPoint names an injection point (see FaultPoints).
+	FaultPoint = fault.Point
+	// FaultSpec schedules an armed point: error or panic mode, fire
+	// cadence (Every/After/Limit), and an optional backend tag filter.
+	FaultSpec = fault.Spec
+	// BreakerStatus is one query class's circuit-breaker state
+	// (FaultReport.Breakers).
+	BreakerStatus = fault.BreakerStatus
+)
+
+// FaultPoints lists every named injection point.
+func FaultPoints() []FaultPoint { return fault.Points() }
+
+// EnableFaultInjection arms one injection point. Panics on an unknown
+// point or invalid spec (it is a test/chaos facility — misconfiguration
+// should fail loudly).
+func EnableFaultInjection(p FaultPoint, spec FaultSpec) { fault.Enable(p, spec) }
+
+// DisableFaultInjection disarms every injection point and clears their
+// schedules and counters.
+func DisableFaultInjection() { fault.Reset() }
+
+// ParseFaultInjection parses a comma-separated chaos directive like
+//
+//	"batch-exec=panic:tag=cpu-pipelined:every=100,cold-decode=error:after=5"
+//
+// and arms the named points, returning them. This is the CLI -chaos
+// flag's format; see internal/fault.ParseSpec for the grammar. Parsing
+// is all-or-nothing: on error no point is armed.
+func ParseFaultInjection(directive string) ([]FaultPoint, error) { return fault.ParseSpecs(directive) }
+
+// FaultInjectionCounts reports, per armed injection point, how many
+// times it has fired.
+func FaultInjectionCounts() map[FaultPoint]int64 { return fault.Counts() }

@@ -1,15 +1,20 @@
 package ridgewalker
 
 import (
+	"container/heap"
 	"context"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"ridgewalker/internal/admit"
 	"ridgewalker/internal/exec"
+	"ridgewalker/internal/fault"
 	"ridgewalker/internal/graph"
 	"ridgewalker/internal/plan"
 	"ridgewalker/internal/walk"
@@ -99,6 +104,27 @@ type ServiceConfig struct {
 	// Fig. 11 ablation switches; other backends ignore them.
 	DisableAsync        bool
 	DisableDynamicSched bool
+	// BreakerThreshold is how many consecutive engine faults on one query
+	// class open its circuit breaker — under the "auto" backend the class
+	// is demoted to the known-good cpu engine until a half-open re-probe
+	// succeeds. 0 means the default (3); negative disables the breaker
+	// (faults are still counted and contained).
+	BreakerThreshold int
+	// BreakerCooldown is how long an open breaker waits before allowing
+	// one half-open restore probe. 0 means the default (5s).
+	BreakerCooldown time.Duration
+	// QuarantineThreshold is how many engine faults a single query (same
+	// configuration, ID, and start vertex) may cause before later
+	// submissions carrying it are rejected with ErrQuarantined — a
+	// deterministic poison query cannot take the same engine down
+	// forever. 0 means the default (3); negative disables quarantine.
+	QuarantineThreshold int
+	// WatchdogInterval is the no-progress scan period for dispatched
+	// batch groups: a heartbeat-capable engine that reports no forward
+	// progress for two consecutive scans is canceled and its queries shed
+	// with watchdog accounting (see FaultStatus). 0 means the default
+	// (2s); negative disables the watchdog.
+	WatchdogInterval time.Duration
 }
 
 // Counter is a served-work tally (see Service.Metrics).
@@ -184,21 +210,109 @@ type Service struct {
 	// total queries those queued groups can hold. One FIFO per priority
 	// lane; workers pick the next lane by weighted round-robin, so
 	// interactive groups overtake queued bulk without starving it.
-	flushMu   sync.Mutex
-	flushCond *sync.Cond
-	flushQs   [admit.NumLanes][]flushJob
-	flushWRR  *admit.WRR
-	flushStop bool
-	flushWG   sync.WaitGroup
+	flushMu     sync.Mutex
+	flushCond   *sync.Cond
+	flushQs     [admit.NumLanes]flushHeap
+	flushWRR    *admit.WRR
+	flushSeq    int64
+	flushStop   bool
+	flushPaused bool // test hook: hold dispatch so EDF ordering can be observed
+	flushWG     sync.WaitGroup
+
+	// breaker trips a query class to the known-good cpu engine after
+	// BreakerThreshold consecutive engine faults (see noteGroupOutcome /
+	// resolvePlan). nil when BreakerThreshold is negative.
+	breaker *fault.Breaker
+
+	// Quarantine tracks per-query engine-fault counts: a query that
+	// deterministically crashes the engine QuarantineThreshold times is
+	// rejected at the front door instead of burning another session.
+	// Keyed by a hash of (walk configuration identity, query ID, start);
+	// bounded at quarantineTableCap entries.
+	qmu     sync.Mutex
+	qcounts map[uint64]int
+
+	// Watchdog state: every dispatched group on a heartbeat-capable
+	// engine registers here; the scanner cancels groups whose heartbeat
+	// stops advancing (see watchdogScan).
+	watchMu     sync.Mutex
+	watched     map[*batchGroup]*watchEntry
+	watchEvents []WatchdogEvent // bounded ring, newest last
+	watchStop   chan struct{}
+	watchWG     sync.WaitGroup
 
 	metricsMu sync.Mutex
 	metrics   ServiceMetrics
 }
 
+// quarantineTableCap bounds the quarantine fault-count table. Past the
+// cap new faulting queries are no longer tracked (existing entries keep
+// counting) — an adversarial query stream cannot grow the table without
+// bound.
+const quarantineTableCap = 4096
+
+// watchdogEventCap bounds the retained watchdog diagnostic ring.
+const watchdogEventCap = 32
+
 // flushJob is one detached batch group awaiting a dispatcher worker.
 type flushJob struct {
 	key string
 	grp *batchGroup
+	// deadline is the group's earliest member deadline (EDF ordering
+	// within the lane); hasDL false means no member carried one.
+	deadline time.Time
+	hasDL    bool
+	// seq breaks ties FIFO so deadline-free groups keep arrival order.
+	seq int64
+}
+
+// flushHeap orders one lane's detached groups earliest-deadline-first:
+// deadlined groups ahead of deadline-free ones, earlier deadlines first,
+// arrival order as the tiebreak. Lane selection stays weighted
+// round-robin (see flushWorker); EDF applies within a lane's share.
+type flushHeap []flushJob
+
+func (h flushHeap) Len() int { return len(h) }
+func (h flushHeap) Less(i, j int) bool {
+	a, b := h[i], h[j]
+	if a.hasDL != b.hasDL {
+		return a.hasDL
+	}
+	if a.hasDL && !a.deadline.Equal(b.deadline) {
+		return a.deadline.Before(b.deadline)
+	}
+	return a.seq < b.seq
+}
+func (h flushHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *flushHeap) Push(x interface{}) { *h = append(*h, x.(flushJob)) }
+func (h *flushHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	j := old[n-1]
+	old[n-1] = flushJob{}
+	*h = old[:n-1]
+	return j
+}
+
+// watchEntry is the scanner's per-group progress record.
+type watchEntry struct {
+	key     string
+	backend string
+	last    int64 // heartbeat value at the previous scan
+	strikes int   // consecutive scans with no heartbeat advance
+}
+
+// WatchdogEvent is the diagnostic snapshot recorded when the watchdog
+// cancels a no-progress batch group (see Service.FaultStatus).
+type WatchdogEvent struct {
+	Time    time.Time
+	Key     string // coalescing key (configuration | epoch | plan)
+	Backend string
+	Lane    string
+	Tenant  string // first member's tenant ("default" when unset)
+	Epoch   uint64
+	Stage   string // last stage the group reported before stalling
+	Queries int
 }
 
 // sessionEntry is a cached backend session with a reference count (in-use
@@ -215,6 +329,10 @@ type sessionEntry struct {
 	// entries whose epoch is stale (their key can never be requested
 	// again, so without pruning they would squat in the LRU).
 	epoch uint64
+	// discard marks a session whose engine faulted: its internal state is
+	// suspect, so the last releaser closes it instead of returning it to
+	// the cache (the entry is already out of the map; see discardSession).
+	discard bool
 }
 
 // batchGroup accumulates compatible requests awaiting a flush. The
@@ -253,6 +371,40 @@ type batchGroup struct {
 	sealed   bool // detached from pending: membership is final
 	eternal  bool // some member can never cancel (Background et al.)
 	stops    []func() bool
+	// deadline/hasDL track the earliest member deadline for EDF flush
+	// ordering (guarded by cmu; see addMember).
+	deadline time.Time
+	hasDL    bool
+
+	// hb is the engine progress heartbeat: heartbeat-capable backends bump
+	// it at every cooperative-stop checkpoint while running this group's
+	// batch, and the watchdog scanner cancels the group when it stops
+	// advancing. stalled records a watchdog kill so delivery accounts the
+	// shed queries as watchdog-killed rather than caller-expired. stage is
+	// the last dispatch stage the group entered (diagnostic only).
+	hb      atomic.Int64
+	stalled atomic.Bool
+	stage   atomic.Value // string
+}
+
+// setStage records the group's current dispatch stage for watchdog
+// diagnostics.
+func (g *batchGroup) setStage(st string) { g.stage.Store(st) }
+
+// lastStage returns the last recorded dispatch stage.
+func (g *batchGroup) lastStage() string {
+	if v, ok := g.stage.Load().(string); ok {
+		return v
+	}
+	return ""
+}
+
+// earliestDeadline returns the earliest member deadline, if any member
+// carried one.
+func (g *batchGroup) earliestDeadline() (time.Time, bool) {
+	g.cmu.Lock()
+	defer g.cmu.Unlock()
+	return g.deadline, g.hasDL
 }
 
 func newBatchGroup(cfg WalkConfig, base *graph.CSR, snap *graph.Snapshot, epoch uint64, planned bool, pl plan.Plan) *batchGroup {
@@ -275,6 +427,11 @@ func (g *batchGroup) addMember(ctx context.Context) {
 	g.cmu.Lock()
 	defer g.cmu.Unlock()
 	g.members++
+	if dl, ok := ctx.Deadline(); ok {
+		if !g.hasDL || dl.Before(g.deadline) {
+			g.deadline, g.hasDL = dl, true
+		}
+	}
 	if g.eternal {
 		return
 	}
@@ -327,6 +484,10 @@ type request struct {
 	queries []Query
 	tenant  string
 	done    chan reply
+	// delivered guards against double delivery when a contained panic
+	// unwinds a group mid-distribution (only the group's single runner
+	// goroutine touches it).
+	delivered bool
 }
 
 type reply struct {
@@ -375,17 +536,36 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 				cfg.InteractiveWeight, cfg.BulkWeight)
 		}
 	}
+	if cfg.BreakerThreshold == 0 {
+		cfg.BreakerThreshold = 3
+	}
+	if cfg.BreakerCooldown == 0 {
+		cfg.BreakerCooldown = 5 * time.Second
+	} else if cfg.BreakerCooldown < 0 {
+		return nil, fmt.Errorf("ridgewalker: breaker cooldown %v, want >= 0", cfg.BreakerCooldown)
+	}
+	if cfg.QuarantineThreshold == 0 {
+		cfg.QuarantineThreshold = 3
+	}
+	if cfg.WatchdogInterval == 0 {
+		cfg.WatchdogInterval = 2 * time.Second
+	}
 	s := &Service{
 		g:        g,
 		vg:       graph.NewVersioned(g),
 		cfg:      cfg,
 		sessions: map[string]*sessionEntry{},
 		pending:  map[string]*batchGroup{},
+		qcounts:  map[uint64]int{},
+		watched:  map[*batchGroup]*watchEntry{},
 		metrics: ServiceMetrics{
 			PerBackend:   map[string]Counter{},
 			PerAlgorithm: map[string]Counter{},
 			PerEpoch:     map[uint64]Counter{},
 		},
+	}
+	if cfg.BreakerThreshold > 0 {
+		s.breaker = fault.NewBreaker(cfg.BreakerThreshold, cfg.BreakerCooldown)
 	}
 	s.admit = admit.NewController(admit.Config{
 		Workers:      cfg.Workers,
@@ -407,6 +587,11 @@ func NewService(g *Graph, cfg ServiceConfig) (*Service, error) {
 	s.flushWG.Add(cfg.Workers)
 	for i := 0; i < cfg.Workers; i++ {
 		go s.flushWorker()
+	}
+	if cfg.WatchdogInterval > 0 {
+		s.watchStop = make(chan struct{})
+		s.watchWG.Add(1)
+		go s.watchdogLoop()
 	}
 	return s, nil
 }
@@ -432,6 +617,12 @@ func (s *Service) newPlanner(base *graph.CSR) *plan.Planner {
 // resolvePlan returns the current plan for cfg's class (calibrating on
 // first use) plus the key suffix that folds it into request coalescing.
 // Manual backends plan nothing and contribute no suffix.
+//
+// This is also where an open circuit breaker half-opens: once per
+// cooldown one caller is elected to re-probe the demoted class's
+// original engine (Planner.Restore runs a health probe synchronously);
+// success closes the breaker and reinstates the plan, failure re-arms
+// the cooldown. Everyone else keeps being served the demoted cpu plan.
 func (s *Service) resolvePlan(cfg WalkConfig) (pl plan.Plan, planned bool, suffix string, err error) {
 	s.mu.Lock()
 	p := s.planner
@@ -439,11 +630,34 @@ func (s *Service) resolvePlan(cfg WalkConfig) (pl plan.Plan, planned bool, suffi
 	if p == nil {
 		return plan.Plan{}, false, "", nil
 	}
-	pl, err = p.PlanFor(cfg)
-	if err != nil {
-		return plan.Plan{}, false, "", err
+	if s.breaker != nil {
+		ck := s.classKey(cfg)
+		if s.breaker.AllowProbe(ck) {
+			if _, ok := p.Restore(cfg); ok {
+				s.breaker.Reset(ck)
+			} else {
+				s.breaker.Reopen(ck)
+			}
+		}
+	}
+	// Contained: a panic-mode fault during lazy calibration (sampler
+	// build, probe open) must fail this submission, not crash the caller.
+	cerr := fault.Contain("plan-resolve", func() error {
+		var perr error
+		pl, perr = p.PlanFor(cfg)
+		return perr
+	})
+	if cerr != nil {
+		return plan.Plan{}, false, "", cerr
 	}
 	return pl, true, "|" + pl.Fingerprint(), nil
+}
+
+// classKey is the circuit breaker's key for cfg's query class —
+// plan-class granularity, matching what the planner can demote.
+func (s *Service) classKey(cfg WalkConfig) string {
+	base, _, _ := s.vg.Serving()
+	return plan.ClassOf(base, cfg).String()
 }
 
 // observePlan feeds a served batch's realized throughput back to the
@@ -496,7 +710,7 @@ func (s *Service) flushWorker() {
 	defer s.flushWG.Done()
 	for {
 		s.flushMu.Lock()
-		for s.flushEmptyLocked() && !s.flushStop {
+		for (s.flushEmptyLocked() || s.flushPaused) && !s.flushStop {
 			s.flushCond.Wait()
 		}
 		lane := s.flushWRR.Next(func(l int) bool { return len(s.flushQs[l]) > 0 })
@@ -504,14 +718,10 @@ func (s *Service) flushWorker() {
 			s.flushMu.Unlock()
 			return // stopping and every lane is empty
 		}
-		q := s.flushQs[lane]
-		j := q[0]
-		q[0] = flushJob{}
-		q = q[1:]
-		if len(q) == 0 {
-			q = nil // release the drained backing array
+		j := heap.Pop(&s.flushQs[lane]).(flushJob)
+		if len(s.flushQs[lane]) == 0 {
+			s.flushQs[lane] = nil // release the drained backing array
 		}
-		s.flushQs[lane] = q
 		s.flushMu.Unlock()
 		s.runGroup(j.key, j.grp)
 		s.inflight.Done()
@@ -527,6 +737,21 @@ func (s *Service) flushEmptyLocked() bool {
 		}
 	}
 	return true
+}
+
+// pauseFlush / resumeFlush hold and release the dispatcher pool (test
+// hook: enqueue several groups while paused, then observe EDF order).
+func (s *Service) pauseFlush() {
+	s.flushMu.Lock()
+	s.flushPaused = true
+	s.flushMu.Unlock()
+}
+
+func (s *Service) resumeFlush() {
+	s.flushMu.Lock()
+	s.flushPaused = false
+	s.flushMu.Unlock()
+	s.flushCond.Broadcast()
 }
 
 // cfgKey canonicalizes a walk configuration plus the graph epoch it
@@ -588,7 +813,18 @@ func (s *Service) acquireSession(key string, grp *batchGroup) (*sessionEntry, er
 			ec.HubCacheBytes = grp.plan.HubCacheBytes
 			ec.MemoryBudgetBytes = grp.plan.MemoryBudgetBytes
 		}
-		e.ses, e.err = exec.Open(backend, grp.base, ec)
+		// Contained: a panic during Open (e.g. an injected sampler-build
+		// crash) becomes this entry's error — refs unwind, the entry
+		// leaves the map, and every submitter gets a typed engine fault
+		// instead of a dead process or a wedged sync.Once.
+		e.err = fault.Contain("session-open", func() error {
+			ses, err := exec.Open(backend, grp.base, ec)
+			if err != nil {
+				return err
+			}
+			e.ses = ses
+			return nil
+		})
 	})
 	if e.err != nil {
 		s.mu.Lock()
@@ -602,13 +838,47 @@ func (s *Service) acquireSession(key string, grp *batchGroup) (*sessionEntry, er
 	return e, nil
 }
 
-// releaseSession unpins an acquired session and stamps its recency.
+// releaseSession unpins an acquired session and stamps its recency. The
+// last releaser of a discarded (engine-faulted) session closes it — the
+// entry already left the cache map, so nobody can re-acquire it.
 func (s *Service) releaseSession(e *sessionEntry) {
 	s.mu.Lock()
 	e.refs--
 	s.seq++
 	e.lastUse = s.seq
+	var victim exec.Session
+	if e.discard && e.refs == 0 && e.ses != nil {
+		victim = e.ses
+		e.ses = nil
+	}
 	s.mu.Unlock()
+	if victim != nil {
+		victim.Close()
+	}
+}
+
+// discardSession removes key's cached session after an engine fault: the
+// engine's internal state (worker buffers, shard rings, tiered caches)
+// is suspect after a contained panic, so the next request for this key
+// opens a fresh session. Closed immediately when idle, by the last
+// releaser otherwise.
+func (s *Service) discardSession(key string) {
+	s.mu.Lock()
+	e := s.sessions[key]
+	var victim exec.Session
+	if e != nil {
+		delete(s.sessions, key)
+		if e.refs == 0 {
+			victim = e.ses
+			e.ses = nil
+		} else {
+			e.discard = true
+		}
+	}
+	s.mu.Unlock()
+	if victim != nil {
+		victim.Close()
+	}
 }
 
 // evictLocked enforces MaxSessions by closing the least recently used idle
@@ -721,6 +991,10 @@ func (s *Service) Submit(ctx context.Context, cfg WalkConfig, queries []Query) (
 		return nil, err
 	}
 	lane := int(cfg.Lane)
+	if s.quarantined(cfg, queries) {
+		s.admit.Quarantine(lane, cfg.Tenant, len(queries))
+		return nil, ErrQuarantined
+	}
 	if err := s.admit.Admit(lane, cfg.Tenant, len(queries), deadlineHeadroom(ctx)); err != nil {
 		return nil, err
 	}
@@ -791,22 +1065,46 @@ func (s *Service) flush(key string, grp *batchGroup) {
 	// Detached: no more joiners, so all-members-canceled may now cancel
 	// the group context.
 	grp.seal()
+	j := flushJob{key: key, grp: grp}
+	j.deadline, j.hasDL = grp.earliestDeadline()
 	s.flushMu.Lock()
-	s.flushQs[grp.lane] = append(s.flushQs[grp.lane], flushJob{key: key, grp: grp})
+	s.flushSeq++
+	j.seq = s.flushSeq
+	heap.Push(&s.flushQs[grp.lane], j)
 	s.flushMu.Unlock()
 	s.flushCond.Signal()
 }
 
 // deliver hands one request its reply and returns its admission slots.
 // An error reply while the group context is canceled means the admitted
-// work expired mid-flight (every submitter was gone), which the
-// controller counts separately from shedding at the gate.
+// work either was killed by the watchdog (no engine progress — counted
+// as a watchdog kill) or expired mid-flight (every submitter was gone),
+// which the controller counts separately from shedding at the gate.
 func (s *Service) deliver(grp *batchGroup, r *request, rep reply) {
-	if rep.err != nil && grp.ctx.Err() != nil {
-		s.admit.Expire(grp.lane, r.tenant, len(r.queries))
+	if r.delivered {
+		return
+	}
+	r.delivered = true
+	if rep.err != nil {
+		switch {
+		case grp.stalled.Load():
+			s.admit.WatchdogKill(grp.lane, r.tenant, len(r.queries))
+		case grp.ctx.Err() != nil:
+			s.admit.Expire(grp.lane, r.tenant, len(r.queries))
+		}
 	}
 	r.done <- rep
 	s.admit.Release(grp.lane, len(r.queries))
+}
+
+// failGroup delivers err to every request the group has not yet
+// answered. Used when a contained panic (or a pre-dispatch fault)
+// aborts the group partway: every submitter still gets a reply and
+// every admission slot is still released.
+func (s *Service) failGroup(grp *batchGroup, err error) {
+	for _, r := range grp.requests {
+		s.deliver(grp, r, reply{err: err})
+	}
 }
 
 // runGroup executes a flushed group on the cached session and distributes
@@ -814,17 +1112,86 @@ func (s *Service) deliver(grp *batchGroup, r *request, rep reply) {
 // canceled exactly when every submitter's context is done — so
 // abandoned batches shed their remaining steps at the engine's next
 // cooperative checkpoint instead of completing for nobody.
+//
+// This is the service's primary fault boundary: the whole dispatch runs
+// under fault.Contain, so an engine panic anywhere past this point —
+// session open, sampler build, the run itself, result distribution —
+// unwinds to here as a typed ErrEngineFault, is delivered to the
+// group's submitters, and leaves the dispatcher worker (and the
+// service) serving. The outcome then feeds fault accounting: per-query
+// quarantine counts, the class circuit breaker, and session discard.
 func (s *Service) runGroup(key string, grp *batchGroup) {
 	defer grp.releaseCtx()
-	e, err := s.acquireSession(key, grp)
-	if err != nil {
+	backendName := s.cfg.Backend
+	if grp.planned {
+		backendName = grp.plan.Backend
+	}
+	if s.watchStop != nil && exec.SupportsHeartbeats(backendName) {
+		s.watchRegister(key, backendName, grp)
+		defer s.watchUnregister(grp)
+	}
+	var runErr error
+	cerr := fault.Contain("batch-group", func() error {
+		if err := fault.Check(fault.DispatchFlush); err != nil {
+			return err
+		}
+		grp.setStage("acquire-session")
+		e, err := s.acquireSession(key, grp)
+		if err != nil {
+			runErr = err
+			s.failGroup(grp, err)
+			return nil
+		}
+		defer s.releaseSession(e)
+		runErr = s.runGroupExec(grp, e.ses)
+		return nil
+	})
+	if cerr != nil {
+		runErr = cerr
+		s.failGroup(grp, cerr)
+	}
+	s.noteGroupOutcome(key, grp, runErr)
+}
+
+// noteGroupOutcome folds one dispatched group's result into the fault
+// machinery. An engine fault quarantine-counts every member query,
+// discards the (suspect) cached session, and advances the class
+// breaker — tripping it demotes the class to the known-good cpu engine
+// until a half-open re-probe succeeds. A clean run clears the members'
+// quarantine counts and the breaker's consecutive-fault streak.
+func (s *Service) noteGroupOutcome(key string, grp *batchGroup, runErr error) {
+	if runErr == nil {
+		if s.breaker != nil {
+			s.breaker.Success(plan.ClassOf(grp.base, grp.cfg).String())
+		}
 		for _, r := range grp.requests {
-			s.deliver(grp, r, reply{err: err})
+			s.clearQuarantine(grp.cfg, r.queries)
 		}
 		return
 	}
-	defer s.releaseSession(e)
-	ses := e.ses
+	if !errors.Is(runErr, fault.ErrEngineFault) {
+		return // cancellation, validation, overload: not an engine fault
+	}
+	for _, r := range grp.requests {
+		s.admit.Fault(grp.lane, r.tenant, len(r.queries))
+		s.noteQuarantine(grp.cfg, r.queries)
+	}
+	s.discardSession(key)
+	if s.breaker != nil && s.breaker.Fault(plan.ClassOf(grp.base, grp.cfg).String()) && grp.planned {
+		s.mu.Lock()
+		p := s.planner
+		s.mu.Unlock()
+		if p != nil {
+			p.Demote(grp.cfg, fmt.Sprintf("circuit breaker: %d consecutive engine faults (last: %v)",
+				s.cfg.BreakerThreshold, runErr))
+		}
+	}
+}
+
+// runGroupExec runs the group's batch on ses and distributes per-request
+// results, returning the engine error (already delivered to the
+// affected requests) for outcome accounting.
+func (s *Service) runGroupExec(grp *batchGroup, ses exec.Session) error {
 	backend := s.cfg.Backend
 	if grp.planned {
 		backend = grp.plan.Backend
@@ -842,14 +1209,17 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 		for _, r := range grp.requests {
 			all = append(all, r.queries...)
 		}
+		grp.setStage("run")
 		start := time.Now()
-		res, err := ses.Run(ctx, exec.Batch{Queries: all})
+		res, err := ses.Run(ctx, exec.Batch{Queries: all, Heartbeat: &grp.hb})
 		if err != nil {
-			for _, r := range grp.requests {
-				s.deliver(grp, r, reply{err: err})
+			if grp.stalled.Load() {
+				err = fmt.Errorf("%w: %v", ErrEngineStalled, err)
 			}
-			return
+			s.failGroup(grp, err)
+			return err
 		}
+		grp.setStage("deliver")
 		service := time.Since(start)
 		s.admit.Observe(len(all), service)
 		if grp.planned {
@@ -873,15 +1243,24 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 			Steps:    steps,
 			Batches:  1,
 		})
-		return
+		return nil
 	}
+	var firstErr error
 	for _, r := range grp.requests {
+		grp.setStage("run")
 		start := time.Now()
-		res, err := ses.Run(ctx, exec.Batch{Queries: r.queries})
+		res, err := ses.Run(ctx, exec.Batch{Queries: r.queries, Heartbeat: &grp.hb})
 		if err != nil {
+			if grp.stalled.Load() {
+				err = fmt.Errorf("%w: %v", ErrEngineStalled, err)
+			}
+			if firstErr == nil {
+				firstErr = err
+			}
 			s.deliver(grp, r, reply{err: err})
 			continue
 		}
+		grp.setStage("deliver")
 		s.admit.Observe(len(r.queries), time.Since(start))
 		s.deliver(grp, r, reply{res: &Result{Paths: res.Paths, Steps: res.Steps}})
 		s.record(backend, grp.cfg.Algorithm, grp.epoch, Counter{
@@ -891,6 +1270,185 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 			Batches:  1,
 		})
 	}
+	return firstErr
+}
+
+// quarantineKey hashes one query's deterministic identity — the walk
+// configuration fields that select its trajectory plus (ID, Start) — so
+// a poison query is recognized across submissions regardless of lane,
+// tenant, or batching.
+func quarantineKey(cfg WalkConfig, q Query) uint64 {
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%d|%d|%g|%g|%g|%v|%d|%d|%d",
+		cfg.Algorithm, cfg.WalkLength, cfg.Alpha, cfg.P, cfg.Q, cfg.Schema, cfg.Seed, q.ID, q.Start)
+	return h.Sum64()
+}
+
+// quarantined reports whether any of the queries has caused
+// QuarantineThreshold engine faults.
+func (s *Service) quarantined(cfg WalkConfig, queries []Query) bool {
+	if s.cfg.QuarantineThreshold <= 0 {
+		return false
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for i := range queries {
+		if s.qcounts[quarantineKey(cfg, queries[i])] >= s.cfg.QuarantineThreshold {
+			return true
+		}
+	}
+	return false
+}
+
+// noteQuarantine counts one engine fault against each query. New queries
+// stop being tracked once the table is full; already-tracked queries
+// keep counting.
+func (s *Service) noteQuarantine(cfg WalkConfig, queries []Query) {
+	if s.cfg.QuarantineThreshold <= 0 {
+		return
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	for i := range queries {
+		k := quarantineKey(cfg, queries[i])
+		if _, ok := s.qcounts[k]; !ok && len(s.qcounts) >= quarantineTableCap {
+			continue
+		}
+		s.qcounts[k]++
+	}
+}
+
+// clearQuarantine forgets the queries' fault counts after a clean run —
+// a transient fault (since cleared) must not accumulate toward
+// quarantine forever.
+func (s *Service) clearQuarantine(cfg WalkConfig, queries []Query) {
+	if s.cfg.QuarantineThreshold <= 0 {
+		return
+	}
+	s.qmu.Lock()
+	defer s.qmu.Unlock()
+	if len(s.qcounts) == 0 {
+		return
+	}
+	for i := range queries {
+		delete(s.qcounts, quarantineKey(cfg, queries[i]))
+	}
+}
+
+// watchRegister puts a dispatched group under watchdog observation.
+func (s *Service) watchRegister(key, backend string, grp *batchGroup) {
+	s.watchMu.Lock()
+	s.watched[grp] = &watchEntry{key: key, backend: backend, last: grp.hb.Load()}
+	s.watchMu.Unlock()
+}
+
+// watchUnregister removes a finished group from observation.
+func (s *Service) watchUnregister(grp *batchGroup) {
+	s.watchMu.Lock()
+	delete(s.watched, grp)
+	s.watchMu.Unlock()
+}
+
+// watchdogLoop scans dispatched groups every WatchdogInterval until
+// Close.
+func (s *Service) watchdogLoop() {
+	defer s.watchWG.Done()
+	t := time.NewTicker(s.cfg.WatchdogInterval)
+	defer t.Stop()
+	for {
+		select {
+		case <-s.watchStop:
+			return
+		case <-t.C:
+			s.watchdogScan()
+		}
+	}
+}
+
+// watchdogScan cancels groups whose engine heartbeat has not advanced
+// for two consecutive scans: the batch is shed (its submitters get the
+// engine's cancellation error, accounted as watchdog kills) and a
+// diagnostic snapshot is recorded. Two strikes, not one, so a group
+// dispatched just before a scan isn't killed for arriving late.
+func (s *Service) watchdogScan() {
+	var kills []*batchGroup
+	s.watchMu.Lock()
+	for grp, e := range s.watched {
+		cur := grp.hb.Load()
+		if cur != e.last {
+			e.last = cur
+			e.strikes = 0
+			continue
+		}
+		if e.strikes++; e.strikes < 2 {
+			continue
+		}
+		tenant := "default"
+		if len(grp.requests) > 0 && grp.requests[0].tenant != "" {
+			tenant = grp.requests[0].tenant
+		}
+		ev := WatchdogEvent{
+			Time:    time.Now(),
+			Key:     e.key,
+			Backend: e.backend,
+			Lane:    admit.LaneName(grp.lane),
+			Tenant:  tenant,
+			Epoch:   grp.epoch,
+			Stage:   grp.lastStage(),
+			Queries: grp.queries,
+		}
+		s.watchEvents = append(s.watchEvents, ev)
+		if len(s.watchEvents) > watchdogEventCap {
+			s.watchEvents = append(s.watchEvents[:0], s.watchEvents[len(s.watchEvents)-watchdogEventCap:]...)
+		}
+		delete(s.watched, grp)
+		kills = append(kills, grp)
+	}
+	s.watchMu.Unlock()
+	for _, grp := range kills {
+		// stalled before cancel: delivery observes the flag when the
+		// engine's cancellation error surfaces.
+		grp.stalled.Store(true)
+		grp.cancel()
+	}
+}
+
+// FaultReport is a point-in-time snapshot of the service's fault
+// machinery (see Service.FaultStatus).
+type FaultReport struct {
+	// BreakerOpens counts breaker-open transitions since start (survives
+	// CompactGraph's breaker reset).
+	BreakerOpens int64
+	// Breakers lists per-class breaker states, sorted by class key.
+	Breakers []BreakerStatus
+	// Watchdog holds the most recent watchdog-kill diagnostics (bounded).
+	Watchdog []WatchdogEvent
+	// QuarantinedQueries counts queries currently at or past the
+	// quarantine threshold.
+	QuarantinedQueries int
+}
+
+// FaultStatus snapshots the fault machinery: per-class circuit-breaker
+// states, recorded watchdog kills, and the quarantine table.
+// Per-lane/per-tenant fault counters flow through Metrics (and
+// AdmissionStatus) alongside the admission counters.
+func (s *Service) FaultStatus() FaultReport {
+	var rep FaultReport
+	if s.breaker != nil {
+		rep.BreakerOpens = s.breaker.Opens()
+		rep.Breakers = s.breaker.Snapshot()
+	}
+	s.watchMu.Lock()
+	rep.Watchdog = append([]WatchdogEvent(nil), s.watchEvents...)
+	s.watchMu.Unlock()
+	s.qmu.Lock()
+	for _, c := range s.qcounts {
+		if c >= s.cfg.QuarantineThreshold {
+			rep.QuarantinedQueries++
+		}
+	}
+	s.qmu.Unlock()
+	return rep
 }
 
 // Stream executes queries under cfg, delivering each finished walk to fn
@@ -898,6 +1456,16 @@ func (s *Service) runGroup(key string, grp *batchGroup) {
 // memory footprint stays O(queries), not O(steps). The path passed to fn
 // is only valid during the callback. Streaming requests bypass batching
 // (delivery is per-caller) but share the cached session.
+//
+// Admission is leased per chunk of at most MaxBatch queries, not for the
+// whole run up front: a long stream holds in-flight slots only for the
+// chunk the engine is actually walking, so it cannot monopolize the
+// budget against interactive submissions for its full duration. Each
+// chunk re-passes the gate (with the caller's remaining deadline
+// headroom); a mid-stream rejection returns ErrOverloaded with all
+// completed chunks already delivered. Engine faults are contained per
+// chunk like batch dispatches — typed error to the caller, fault
+// accounting, session discard, breaker advance.
 func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, fn func(WalkOutput) error) error {
 	if len(queries) == 0 {
 		return fmt.Errorf("ridgewalker: no queries")
@@ -906,10 +1474,10 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 		return err
 	}
 	lane := int(cfg.Lane)
-	if err := s.admit.Admit(lane, cfg.Tenant, len(queries), deadlineHeadroom(ctx)); err != nil {
-		return err
+	if s.quarantined(cfg, queries) {
+		s.admit.Quarantine(lane, cfg.Tenant, len(queries))
+		return ErrQuarantined
 	}
-	defer s.admit.Release(lane, len(queries))
 	pl, planned, suffix, err := s.resolvePlan(cfg)
 	if err != nil {
 		return err
@@ -926,6 +1494,11 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	defer s.inflight.Done()
 	e, err := s.acquireSession(key, &batchGroup{cfg: cfg, lane: lane, base: base, snap: snap, epoch: epoch, planned: planned, plan: pl})
 	if err != nil {
+		if errors.Is(err, fault.ErrEngineFault) {
+			s.admit.Fault(lane, cfg.Tenant, len(queries))
+			s.noteQuarantine(cfg, queries)
+			s.noteStreamFault(cfg, planned, err)
+		}
 		return err
 	}
 	defer s.releaseSession(e)
@@ -933,32 +1506,79 @@ func (s *Service) Stream(ctx context.Context, cfg WalkConfig, queries []Query, f
 	if planned {
 		backend = pl.Backend
 	}
-	var steps int64
+	var totalSteps int64
+	var served int
 	start := time.Now()
-	err = e.ses.Stream(ctx, exec.Batch{Queries: queries}, func(w WalkOutput) error {
-		steps += w.Steps
-		return fn(w)
-	})
-	if err != nil {
-		if ctx.Err() != nil {
-			// The caller's deadline expired (or it canceled) mid-stream:
-			// the engine shed the remaining walks at its next checkpoint.
-			s.admit.Expire(lane, cfg.Tenant, len(queries))
+	for lo := 0; lo < len(queries); lo += s.cfg.MaxBatch {
+		hi := lo + s.cfg.MaxBatch
+		if hi > len(queries) {
+			hi = len(queries)
 		}
-		return err
+		chunk := queries[lo:hi:hi]
+		if err := s.admit.Admit(lane, cfg.Tenant, len(chunk), deadlineHeadroom(ctx)); err != nil {
+			return err // mid-stream shed: earlier chunks were delivered
+		}
+		var steps int64
+		cerr := fault.Contain("stream", func() error {
+			return e.ses.Stream(ctx, exec.Batch{Queries: chunk}, func(w WalkOutput) error {
+				steps += w.Steps
+				return fn(w)
+			})
+		})
+		totalSteps += steps
+		if cerr != nil {
+			switch {
+			case errors.Is(cerr, fault.ErrEngineFault):
+				s.admit.Fault(lane, cfg.Tenant, len(chunk))
+				s.noteQuarantine(cfg, chunk)
+				s.discardSession(key)
+				s.noteStreamFault(cfg, planned, cerr)
+			case ctx.Err() != nil:
+				// The caller's deadline expired (or it canceled) mid-stream:
+				// the engine shed the remaining walks at its next checkpoint.
+				s.admit.Expire(lane, cfg.Tenant, len(chunk))
+			}
+			s.admit.Release(lane, len(chunk))
+			return cerr
+		}
+		s.admit.Release(lane, len(chunk))
+		served += len(chunk)
 	}
 	service := time.Since(start)
-	s.admit.Observe(len(queries), service)
+	s.admit.Observe(served, service)
 	if planned {
-		s.observePlan(cfg, steps, service)
+		s.observePlan(cfg, totalSteps, service)
 	}
+	if s.breaker != nil {
+		s.breaker.Success(plan.ClassOf(base, cfg).String())
+	}
+	s.clearQuarantine(cfg, queries)
 	s.record(backend, cfg.Algorithm, epoch, Counter{
 		Requests: 1,
 		Queries:  int64(len(queries)),
-		Steps:    steps,
+		Steps:    totalSteps,
 		Batches:  1,
 	})
 	return nil
+}
+
+// noteStreamFault advances the class breaker for a streaming engine
+// fault, demoting the class when it trips (the batch path's equivalent
+// lives in noteGroupOutcome).
+func (s *Service) noteStreamFault(cfg WalkConfig, planned bool, runErr error) {
+	if s.breaker == nil {
+		return
+	}
+	if !s.breaker.Fault(s.classKey(cfg)) || !planned {
+		return
+	}
+	s.mu.Lock()
+	p := s.planner
+	s.mu.Unlock()
+	if p != nil {
+		p.Demote(cfg, fmt.Sprintf("circuit breaker: %d consecutive engine faults (last: %v)",
+			s.cfg.BreakerThreshold, runErr))
+	}
 }
 
 // InsertEdges adds a batch of edges to the served graph, advancing its
@@ -1008,6 +1628,17 @@ func (s *Service) CompactGraph() *Graph {
 		s.planner = s.newPlanner(g)
 	}
 	s.mu.Unlock()
+	// Budget handoff: the admission controller's EWMA service rate (and
+	// the Theorem VI.1 auto budget derived from it) was observed against
+	// the old base — flat-store layouts, overlay probe costs, sampler
+	// shapes all changed. Re-seed from the first post-compaction
+	// dispatches instead of steering the new graph by the old one's
+	// rate. The breaker likewise restarts closed: its faulting sessions
+	// died with the old epoch's keys (opens-so-far stays counted).
+	s.admit.ResetObservations()
+	if s.breaker != nil {
+		s.breaker.ResetAll()
+	}
 	return g
 }
 
@@ -1096,6 +1727,10 @@ func (s *Service) Close() error {
 	s.flushMu.Unlock()
 	s.flushCond.Broadcast()
 	s.flushWG.Wait()
+	if s.watchStop != nil {
+		close(s.watchStop)
+		s.watchWG.Wait()
+	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	var firstErr error

@@ -4,6 +4,7 @@ import (
 	"context"
 	"fmt"
 	"reflect"
+	"strings"
 	"sync"
 	"testing"
 	"time"
@@ -249,6 +250,9 @@ func TestBackendsListAndOpen(t *testing.T) {
 		t.Fatal(err)
 	}
 	for _, name := range names {
+		if strings.HasPrefix(name, "test-") {
+			continue // fault-test fixtures registered by service_fault_test.go
+		}
 		if testing.Short() && name != "cpu" && name != "fastrw" && name != "gsampler" {
 			continue
 		}
